@@ -1,0 +1,136 @@
+//! Criterion benchmarks of the federated runtime itself: weight-payload
+//! codec throughput, secure-channel sealing, aggregation latency, and a
+//! full simulator round — the costs NVFlare adds on top of local training.
+
+use clinfl_flare::aggregator::{Aggregator, CoordinateMedian, WeightedFedAvg};
+use clinfl_flare::controller::SagConfig;
+use clinfl_flare::executor::ArithmeticExecutor;
+use clinfl_flare::security::{DhKeyPair, SecureChannel};
+use clinfl_flare::simulator::{SimulatorConfig, SimulatorRunner};
+use clinfl_flare::wire::{WireDecode, WireEncode};
+use clinfl_flare::{Dxo, WeightTensor, Weights};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// A BERT-sized weight set (≈ 0.5M parameters, as measured by
+/// `table2_models`).
+fn bert_sized_weights() -> Weights {
+    let mut w = Weights::new();
+    w.insert(
+        "embeddings".into(),
+        WeightTensor::new(vec![443, 128], vec![0.1; 443 * 128]),
+    );
+    for l in 0..12 {
+        w.insert(
+            format!("layer{l}.attn"),
+            WeightTensor::new(vec![128, 132], vec![0.01; 128 * 132]),
+        );
+        w.insert(
+            format!("layer{l}.ffn"),
+            WeightTensor::new(vec![128, 256], vec![0.01; 128 * 256]),
+        );
+    }
+    w
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let weights = bert_sized_weights();
+    let frame = weights.to_frame();
+    let mut group = c.benchmark_group("wire_codec");
+    group.throughput(Throughput::Bytes(frame.len() as u64));
+    group.bench_function("encode_bert_weights", |b| {
+        b.iter(|| black_box(weights.to_frame()))
+    });
+    group.bench_function("decode_bert_weights", |b| {
+        b.iter(|| black_box(Weights::from_frame(&frame).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_secure_channel(c: &mut Criterion) {
+    let key = DhKeyPair::from_secret(1).shared_key(DhKeyPair::from_secret(2).public);
+    let frame = bert_sized_weights().to_frame();
+    let mut group = c.benchmark_group("secure_channel");
+    group.throughput(Throughput::Bytes(frame.len() as u64));
+    group.bench_function("seal_bert_frame", |b| {
+        let mut tx = SecureChannel::new(key, 0);
+        b.iter(|| black_box(tx.seal(&frame)))
+    });
+    group.bench_function("open_bert_frame", |b| {
+        let mut tx = SecureChannel::new(key, 0);
+        let sealed = tx.seal(&frame);
+        let rx = SecureChannel::new(key, 0);
+        b.iter(|| black_box(rx.open(&sealed).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let reference = bert_sized_weights();
+    let updates: Vec<(String, Dxo)> = (0..8)
+        .map(|i| {
+            (
+                format!("site-{}", i + 1),
+                Dxo::from_weights(reference.clone(), 100 * (i as u64 + 1)),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("aggregate_8_bert_updates");
+    group.sample_size(20);
+    group.bench_function("weighted_fedavg", |b| {
+        b.iter(|| black_box(WeightedFedAvg.aggregate(&updates, &reference).unwrap()))
+    });
+    group.bench_function("coordinate_median", |b| {
+        b.iter(|| black_box(CoordinateMedian.aggregate(&updates, &reference).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_full_round(c: &mut Criterion) {
+    // A complete simulator run (provision + handshake + 1 round + shutdown)
+    // with trivial executors: measures pure runtime overhead per round.
+    let mut group = c.benchmark_group("simulator_overhead");
+    group.sample_size(10);
+    group.bench_function("8_clients_1_round_arith", |b| {
+        b.iter(|| {
+            let runner = SimulatorRunner::new(SimulatorConfig {
+                n_clients: 8,
+                sag: SagConfig {
+                    rounds: 1,
+                    min_clients: 8,
+                    round_timeout: Duration::from_secs(10),
+                    validate_global: false,
+                },
+                seed: 1,
+                behaviors: BTreeMap::new(),
+            });
+            let mut initial = Weights::new();
+            initial.insert("w".into(), WeightTensor::new(vec![256], vec![0.0; 256]));
+            let res = runner
+                .run_simple(
+                    initial,
+                    |_, _| {
+                        Box::new(ArithmeticExecutor {
+                            delta: 1.0,
+                            n_examples: 1,
+                        })
+                    },
+                    &WeightedFedAvg,
+                )
+                .unwrap();
+            black_box(res.workflow.final_weights);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_secure_channel,
+    bench_aggregation,
+    bench_full_round
+);
+criterion_main!(benches);

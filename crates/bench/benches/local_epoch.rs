@@ -1,0 +1,55 @@
+//! Criterion benchmark of the **sec/local-epoch** figure (the paper's
+//! Fig. 3 reports 12.7 s/local epoch for BERT on an RTX 2080 Ti): one local
+//! training epoch per model on a site-sized shard.
+
+use clinfl::{drivers, Learner, ModelSpec, PipelineConfig, TrainHyper};
+use clinfl_data::ClassifyDataset;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn shard(cfg: &PipelineConfig, n: usize) -> ClassifyDataset {
+    let data = drivers::build_task_data(cfg);
+    ClassifyDataset::from_examples(
+        data.train.examples().iter().take(n).cloned().collect(),
+        data.train.seq_len(),
+    )
+}
+
+fn bench_local_epoch(c: &mut Criterion) {
+    let mut cfg = PipelineConfig::fast_demo();
+    cfg.cohort.n_patients = 256;
+    let site_shard = shard(&cfg, 128); // a mid-sized site's data
+    let vocab = clinfl_data::CodeSystem::new().vocab().len();
+
+    let mut group = c.benchmark_group("local_epoch_128_examples");
+    group.sample_size(10);
+    for model in [ModelSpec::Lstm, ModelSpec::BertMini, ModelSpec::Bert] {
+        group.bench_function(model.as_str(), |b| {
+            b.iter_batched(
+                || Learner::new(model, vocab, cfg.seq_len, TrainHyper::for_model(model), 1),
+                |mut learner| black_box(learner.train_epoch(&site_shard)),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let mut cfg = PipelineConfig::fast_demo();
+    cfg.cohort.n_patients = 256;
+    let valid = shard(&cfg, 128);
+    let vocab = clinfl_data::CodeSystem::new().vocab().len();
+    let mut group = c.benchmark_group("evaluate_128_examples");
+    group.sample_size(10);
+    for model in [ModelSpec::Lstm, ModelSpec::BertMini] {
+        let learner = Learner::new(model, vocab, cfg.seq_len, TrainHyper::for_model(model), 1);
+        group.bench_function(model.as_str(), |b| {
+            b.iter(|| black_box(learner.evaluate(&valid)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_epoch, bench_evaluate);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks for the autograd substrate: the kernels that
+//! dominate LSTM/BERT training cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use clinfl_tensor::{kernels, Graph, Tensor};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &(m, k, n, label) in &[
+        (512usize, 128usize, 128usize, "bert_proj_512x128x128"),
+        (32, 128, 512, "lstm_gates_32x128x512"),
+        (576, 128, 256, "bert_ffn_576x128x256"),
+    ] {
+        let a = Tensor::randn(&[m, k], 1.0, 1);
+        let b = Tensor::randn(&[k, n], 1.0, 2);
+        group.throughput(Throughput::Elements((2 * m * k * n) as u64));
+        group.bench_function(BenchmarkId::from_parameter(label), |bench| {
+            bench.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_row_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("row_kernels");
+    let rows = 1152usize; // 32 sequences x 36 positions
+    let width = 128usize;
+    let src: Vec<f32> = Tensor::randn(&[rows * width], 1.0, 3).into_data();
+    group.throughput(Throughput::Elements((rows * width) as u64));
+    group.bench_function("softmax", |b| {
+        b.iter(|| {
+            let mut d = src.clone();
+            kernels::softmax_rows(&mut d, width);
+            black_box(d);
+        })
+    });
+    group.bench_function("layer_norm", |b| {
+        b.iter(|| {
+            let mut d = src.clone();
+            black_box(kernels::layer_norm_rows(&mut d, width, 1e-5));
+        })
+    });
+    group.bench_function("gelu", |b| {
+        b.iter(|| {
+            let d: Vec<f32> = src.iter().map(|&v| kernels::gelu(v)).collect();
+            black_box(d);
+        })
+    });
+    group.finish();
+}
+
+fn bench_graph_overhead(c: &mut Criterion) {
+    // Forward+backward through a small MLP: measures tape bookkeeping cost
+    // relative to raw kernels.
+    c.bench_function("graph_mlp_fwd_bwd_64x64", |b| {
+        let x = Tensor::randn(&[64, 64], 1.0, 4);
+        let w1 = Tensor::randn(&[64, 64], 0.1, 5);
+        let w2 = Tensor::randn(&[64, 64], 0.1, 6);
+        b.iter(|| {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let w1v = g.input(w1.clone());
+            let w2v = g.input(w2.clone());
+            let h = g.matmul(xv, w1v);
+            let h = g.relu(h);
+            let y = g.matmul(h, w2v);
+            let sq = g.mul(y, y);
+            let loss = g.mean(sq);
+            g.backward(loss);
+            black_box(g.grad(w1v).map(|t| t.data()[0]));
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_row_kernels, bench_graph_overhead
+);
+criterion_main!(benches);

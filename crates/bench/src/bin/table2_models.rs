@@ -1,0 +1,65 @@
+//! Regenerates the paper's **Table II** (medical NLP models), verifying the
+//! constructed models against the specified geometry and reporting the
+//! resulting parameter counts.
+
+use clinfl_data::CodeSystem;
+use clinfl_models::{BertConfig, BertModel, LstmClassifier, LstmConfig};
+
+fn main() {
+    let vocab = CodeSystem::new().vocab().len();
+    let seq = 36;
+    let bert = BertModel::new(&BertConfig::bert(vocab, seq), 1);
+    let mini = BertModel::new(&BertConfig::bert_mini(vocab, seq), 1);
+    let lstm = LstmClassifier::new(&LstmConfig::with_vocab(vocab), 1);
+
+    println!("TABLE II — MEDICAL NLP MODELS (measured from constructed models)\n");
+    println!(
+        "{:<24} {:>10} {:>12} {:>10}",
+        "Specification/Model", "BERT", "BERT-mini", "LSTM"
+    );
+    println!(
+        "{:<24} {:>10} {:>12} {:>10}",
+        "Hidden dimension",
+        bert.config().hidden,
+        mini.config().hidden,
+        lstm.config().hidden
+    );
+    println!(
+        "{:<24} {:>10} {:>12} {:>10}",
+        "# of attention heads",
+        bert.config().heads,
+        mini.config().heads,
+        "-"
+    );
+    println!(
+        "{:<24} {:>10} {:>12} {:>10}",
+        "# of hidden layers",
+        bert.config().layers,
+        mini.config().layers,
+        lstm.config().layers
+    );
+    println!(
+        "{:<24} {:>10} {:>12} {:>10}   (not in paper; measured)",
+        "Parameters",
+        bert.num_parameters(),
+        mini.num_parameters(),
+        lstm.num_parameters()
+    );
+    println!(
+        "{:<24} {:>10} {:>12} {:>10}   (encoder w/o heads)",
+        "Backbone parameters",
+        bert.num_backbone_parameters(),
+        mini.num_backbone_parameters(),
+        "-"
+    );
+    println!("\nPaper values: hidden 128/50/128, heads 6/2/-, layers 12/6/3 — matched exactly.");
+    assert_eq!(
+        (bert.config().hidden, bert.config().heads, bert.config().layers),
+        (128, 6, 12)
+    );
+    assert_eq!(
+        (mini.config().hidden, mini.config().heads, mini.config().layers),
+        (50, 2, 6)
+    );
+    assert_eq!((lstm.config().hidden, lstm.config().layers), (128, 3));
+}

@@ -1,0 +1,189 @@
+//! `clinfl` — command-line front end for the clinical federated-learning
+//! pipeline.
+//!
+//! ```text
+//! clinfl centralized --model lstm --scale 16
+//! clinfl standalone  --model bert-mini --scale 16
+//! clinfl federated   --model lstm --scale 16 [--balanced] [--echo]
+//! clinfl pretrain    --scale 64 --scheme centralized
+//! clinfl table3      --scale 10
+//! clinfl fig2        --scale 32
+//! ```
+//!
+//! Every subcommand runs on the synthetic cohort/corpus at `1/scale` of
+//! the paper's data volumes (see DESIGN.md for the substitution rationale).
+
+use clinfl::drivers::{self, MlmScheme};
+use clinfl::experiments;
+use clinfl::{ModelSpec, PipelineConfig};
+use clinfl_flare::EventLog;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    scale: usize,
+    model: ModelSpec,
+    scheme: MlmScheme,
+    balanced: bool,
+    echo: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: clinfl <centralized|standalone|federated|pretrain|table3|fig2> \
+         [--scale N] [--model lstm|bert|bert-mini] [--scheme centralized|small|fl-imbalanced|fl-balanced] \
+         [--balanced] [--echo]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        return Err(usage());
+    };
+    let mut args = Args {
+        command,
+        scale: 16,
+        model: ModelSpec::Lstm,
+        scheme: MlmScheme::Centralized,
+        balanced: false,
+        echo: false,
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--scale" => {
+                args.scale = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(usage)?
+            }
+            "--model" => {
+                args.model = match argv.next().as_deref() {
+                    Some("lstm") => ModelSpec::Lstm,
+                    Some("bert") => ModelSpec::Bert,
+                    Some("bert-mini") | Some("bert_mini") => ModelSpec::BertMini,
+                    _ => return Err(usage()),
+                }
+            }
+            "--scheme" => {
+                args.scheme = match argv.next().as_deref() {
+                    Some("centralized") => MlmScheme::Centralized,
+                    Some("small") => MlmScheme::SmallData,
+                    Some("fl-imbalanced") => MlmScheme::FlImbalanced,
+                    Some("fl-balanced") => MlmScheme::FlBalanced,
+                    _ => return Err(usage()),
+                }
+            }
+            "--balanced" => args.balanced = true,
+            "--echo" => args.echo = true,
+            _ => return Err(usage()),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let cfg = PipelineConfig::scaled(args.scale);
+    println!(
+        "clinfl: {} at scale {} ({} patients, seq {}, {} sites)",
+        args.command, args.scale, cfg.cohort.n_patients, cfg.seq_len, cfg.n_clients
+    );
+    match args.command.as_str() {
+        "centralized" => {
+            let out = drivers::train_centralized(&cfg, args.model);
+            for (i, (loss, acc)) in out.history.iter().enumerate() {
+                println!("epoch {:>3}: train_loss={loss:.3} valid_acc={acc:.3}", i + 1);
+            }
+            println!(
+                "{} centralized top-1 accuracy: {:.1}%",
+                args.model,
+                100.0 * out.accuracy
+            );
+        }
+        "standalone" => {
+            let out = drivers::train_standalone(&cfg, args.model);
+            for (i, acc) in out.per_site.iter().enumerate() {
+                println!("site-{}: {:.1}%", i + 1, 100.0 * acc);
+            }
+            println!(
+                "{} standalone mean accuracy: {:.1}%",
+                args.model,
+                100.0 * out.mean_accuracy
+            );
+        }
+        "federated" => {
+            let partitioner = if args.balanced {
+                cfg.balanced_partitioner()
+            } else {
+                cfg.imbalanced_partitioner()
+            };
+            let log = if args.echo {
+                EventLog::echoing()
+            } else {
+                EventLog::new()
+            };
+            match drivers::train_federated_with(&cfg, args.model, &partitioner, log) {
+                Ok(out) => {
+                    for (i, (loss, acc)) in out.history.iter().enumerate() {
+                        println!(
+                            "round {:>3}: mean_train_loss={loss:.3} global_valid_acc={acc:.3}",
+                            i + 1
+                        );
+                    }
+                    println!(
+                        "{} federated top-1 accuracy: {:.1}%",
+                        args.model,
+                        100.0 * out.accuracy
+                    );
+                }
+                Err(e) => {
+                    eprintln!("federation failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "pretrain" => {
+            let data = drivers::build_mlm_data(&cfg);
+            println!(
+                "corpus: {} train / {} valid, vocab {}",
+                data.train.len(),
+                data.valid.len(),
+                data.vocab_size
+            );
+            match drivers::pretrain_mlm(&cfg, args.scheme, &data) {
+                Ok(curve) => {
+                    print!("{} MLM valid loss:", args.scheme);
+                    for v in &curve {
+                        print!(" {v:.3}");
+                    }
+                    println!();
+                }
+                Err(e) => {
+                    eprintln!("pretraining failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "table3" => match experiments::run_table3(&cfg) {
+            Ok(table) => println!("{table}"),
+            Err(e) => {
+                eprintln!("table3 failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        "fig2" => match experiments::run_fig2(&cfg) {
+            Ok(fig) => println!("{fig}"),
+            Err(e) => {
+                eprintln!("fig2 failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,64 @@
+//! Model checkpointing: save/load trained weights to disk using the
+//! federated wire format, so a fine-tuned global model can be shipped to
+//! sites or resumed later (the "obtaining optimal global models" output of
+//! the paper's pipeline, Fig. 1).
+
+use clinfl_flare::wire::{WireDecode, WireEncode};
+use clinfl_flare::{FlareError, Weights};
+use std::path::Path;
+
+/// Saves weights to `path` in the framed wire format (`.cfw`).
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save_weights(path: impl AsRef<Path>, weights: &Weights) -> Result<(), FlareError> {
+    std::fs::write(path.as_ref(), weights.to_frame())?;
+    Ok(())
+}
+
+/// Loads weights previously written by [`save_weights`].
+///
+/// # Errors
+///
+/// Propagates I/O failures and codec errors (truncated / corrupt file).
+pub fn load_weights(path: impl AsRef<Path>) -> Result<Weights, FlareError> {
+    let bytes = std::fs::read(path.as_ref())?;
+    Weights::from_frame(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clinfl_flare::WeightTensor;
+
+    #[test]
+    fn roundtrip_through_disk() {
+        let mut w = Weights::new();
+        w.insert(
+            "enc.w".into(),
+            WeightTensor::new(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]),
+        );
+        let path = std::env::temp_dir().join(format!("clinfl-ckpt-{}.cfw", std::process::id()));
+        save_weights(&path, &w).unwrap();
+        let back = load_weights(&path).unwrap();
+        assert_eq!(back, w);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_file_rejected() {
+        let path = std::env::temp_dir().join(format!("clinfl-bad-{}.cfw", std::process::id()));
+        std::fs::write(&path, b"not a checkpoint").unwrap();
+        assert!(load_weights(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            load_weights("/definitely/not/here.cfw"),
+            Err(FlareError::Io(_))
+        ));
+    }
+}

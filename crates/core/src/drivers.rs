@@ -1,0 +1,436 @@
+//! Training drivers for the paper's three schemes (centralized /
+//! standalone / federated) and the four MLM pretraining regimes.
+
+use crate::config::{ModelSpec, PipelineConfig, TrainHyper};
+use crate::executor::{ClinicalExecutor, MlmExecutor};
+use crate::learner::{Learner, MlmLearner};
+use clinfl_data::{
+    generate_cohort, generate_corpus, ClassifyDataset, CodeSystem, SitePartitioner,
+};
+use clinfl_flare::aggregator::WeightedFedAvg;
+use clinfl_flare::controller::SagConfig;
+use clinfl_flare::simulator::{SimulatorConfig, SimulatorRunner};
+use clinfl_flare::{EventLog, FlareError};
+use clinfl_models::BertConfig;
+use clinfl_text::{ClinicalTokenizer, Encoded};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Tokenized data for the fine-tuning task.
+#[derive(Clone, Debug)]
+pub struct TaskData {
+    /// Shared code system / vocabulary.
+    pub code_system: CodeSystem,
+    /// The tokenizer all sites share.
+    pub tokenizer: ClinicalTokenizer,
+    /// Pooled training split.
+    pub train: ClassifyDataset,
+    /// Held-out validation split.
+    pub valid: ClassifyDataset,
+}
+
+/// Builds the synthetic cohort and tokenizes it per the config.
+pub fn build_task_data(cfg: &PipelineConfig) -> TaskData {
+    let code_system = CodeSystem::new();
+    let cohort = generate_cohort(&code_system, &cfg.cohort);
+    let tokenizer = ClinicalTokenizer::new(code_system.vocab().clone(), cfg.seq_len);
+    let dataset = ClassifyDataset::from_cohort(&cohort, &tokenizer);
+    let (train, valid) = dataset.split(cfg.train_frac, cfg.seed ^ 0x5917);
+    TaskData {
+        code_system,
+        tokenizer,
+        train,
+        valid,
+    }
+}
+
+/// Result of one training scheme.
+#[derive(Clone, Debug)]
+pub struct TrainOutcome {
+    /// Final top-1 accuracy on the held-out validation split.
+    pub accuracy: f64,
+    /// Per-epoch (or per-round) `(train_loss, valid_acc)` history.
+    pub history: Vec<(f64, f64)>,
+    /// The run's event log (federated runs only).
+    pub log: Option<EventLog>,
+}
+
+/// Centralized training: one model over the pooled dataset — the paper's
+/// upper-bound scheme.
+pub fn train_centralized(cfg: &PipelineConfig, spec: ModelSpec) -> TrainOutcome {
+    let data = build_task_data(cfg);
+    centralized_on(cfg, spec, &data.train, &data.valid, cfg.seed)
+}
+
+fn centralized_on(
+    cfg: &PipelineConfig,
+    spec: ModelSpec,
+    train: &ClassifyDataset,
+    valid: &ClassifyDataset,
+    seed: u64,
+) -> TrainOutcome {
+    let hyper = TrainHyper::for_model(spec);
+    let vocab_size = CodeSystem::new().vocab().len();
+    let mut learner = Learner::new(spec, vocab_size, cfg.seq_len, hyper, seed);
+    let mut history = Vec::with_capacity(cfg.epochs as usize);
+    for _ in 0..cfg.epochs {
+        let stats = learner.train_epoch(train);
+        let acc = learner.evaluate(valid);
+        history.push((stats.mean_loss, acc));
+    }
+    TrainOutcome {
+        accuracy: learner.evaluate(valid),
+        history,
+        log: None,
+    }
+}
+
+/// Result of standalone (per-site, no collaboration) training.
+#[derive(Clone, Debug)]
+pub struct StandaloneOutcome {
+    /// Accuracy of each site's local model on the shared validation split.
+    pub per_site: Vec<f64>,
+    /// Mean over sites (the single number reported in Table III).
+    pub mean_accuracy: f64,
+}
+
+/// Standalone training: each site trains its own model on its (imbalanced)
+/// local shard only — the paper's lower-bound scheme.
+pub fn train_standalone(cfg: &PipelineConfig, spec: ModelSpec) -> StandaloneOutcome {
+    let data = build_task_data(cfg);
+    let shards = cfg
+        .imbalanced_partitioner()
+        .partition(&data.train, cfg.seed ^ 0xA17);
+    let per_site: Vec<f64> = shards
+        .iter()
+        .enumerate()
+        .map(|(i, shard)| {
+            centralized_on(cfg, spec, shard, &data.valid, cfg.seed.wrapping_add(i as u64))
+                .accuracy
+        })
+        .collect();
+    let mean_accuracy = per_site.iter().sum::<f64>() / per_site.len().max(1) as f64;
+    StandaloneOutcome {
+        per_site,
+        mean_accuracy,
+    }
+}
+
+fn simulator_config(cfg: &PipelineConfig) -> SimulatorConfig {
+    SimulatorConfig {
+        n_clients: cfg.n_clients,
+        sag: SagConfig {
+            rounds: cfg.rounds,
+            min_clients: 1,
+            round_timeout: Duration::from_secs(3600),
+            validate_global: true,
+        },
+        seed: cfg.seed,
+        behaviors: BTreeMap::new(),
+    }
+}
+
+/// Federated training over the paper's 8-site imbalanced partition using
+/// the ScatterAndGather workflow and weighted FedAvg.
+///
+/// # Errors
+///
+/// Propagates runtime failures from the simulator.
+pub fn train_federated(cfg: &PipelineConfig, spec: ModelSpec) -> Result<TrainOutcome, FlareError> {
+    train_federated_with(cfg, spec, &cfg.imbalanced_partitioner(), EventLog::new())
+}
+
+/// Federated training with an explicit partitioner and log (used by the
+/// benches for the balanced-vs-imbalanced ablation and the Fig. 3 demo).
+///
+/// # Errors
+///
+/// Propagates runtime failures from the simulator.
+pub fn train_federated_with(
+    cfg: &PipelineConfig,
+    spec: ModelSpec,
+    partitioner: &SitePartitioner,
+    log: EventLog,
+) -> Result<TrainOutcome, FlareError> {
+    let data = build_task_data(cfg);
+    let shards = partitioner.partition(&data.train, cfg.seed ^ 0xA17);
+    let hyper = TrainHyper::for_model(spec);
+    let vocab_size = data.code_system.vocab().len();
+
+    let seed_learner = Learner::new(spec, vocab_size, cfg.seq_len, hyper, cfg.seed);
+    let initial = seed_learner.export_weights();
+
+    let runner = SimulatorRunner::with_log(simulator_config(cfg), log.clone());
+    let valid = data.valid.clone();
+    let result = runner.run_simple(
+        initial,
+        |i, _site| {
+            let learner = Learner::new(spec, vocab_size, cfg.seq_len, hyper, cfg.seed);
+            Box::new(ClinicalExecutor::new(
+                learner,
+                shards[i].clone(),
+                valid.clone(),
+                cfg.local_epochs,
+                log.clone(),
+            ))
+        },
+        &WeightedFedAvg,
+    )?;
+
+    // Server-side final evaluation of the aggregated model on the full
+    // validation split.
+    let mut eval = Learner::new(spec, vocab_size, cfg.seq_len, hyper, cfg.seed);
+    eval.load_weights(&result.workflow.final_weights);
+    let accuracy = eval.evaluate(&data.valid);
+    let history = result
+        .workflow
+        .rounds
+        .iter()
+        .map(|r| {
+            let mean_loss = r
+                .client_metrics
+                .values()
+                .filter_map(|m| m.get("train_loss"))
+                .sum::<f64>()
+                / r.client_metrics.len().max(1) as f64;
+            (mean_loss, r.global_metric.unwrap_or(0.0))
+        })
+        .collect();
+    Ok(TrainOutcome {
+        accuracy,
+        history,
+        log: Some(result.log),
+    })
+}
+
+// ---------------------------------------------------------------------
+// MLM pretraining (paper Fig. 2)
+// ---------------------------------------------------------------------
+
+/// The four pretraining regimes of the paper's Fig. 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MlmScheme {
+    /// All data on one node (upper bound).
+    Centralized,
+    /// One site's share only (lower bound, "BERT utilizing a small
+    /// dataset").
+    SmallData,
+    /// Federated over the paper's imbalanced 8-site split.
+    FlImbalanced,
+    /// Federated over a balanced 8-site split.
+    FlBalanced,
+}
+
+impl MlmScheme {
+    /// All four, in the paper's order.
+    pub fn all() -> [MlmScheme; 4] {
+        [
+            MlmScheme::Centralized,
+            MlmScheme::SmallData,
+            MlmScheme::FlImbalanced,
+            MlmScheme::FlBalanced,
+        ]
+    }
+
+    /// Label used in Fig. 2's legend.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MlmScheme::Centralized => "BERT (centralized)",
+            MlmScheme::SmallData => "BERT (small dataset)",
+            MlmScheme::FlImbalanced => "BERT (FL, imbalanced)",
+            MlmScheme::FlBalanced => "BERT (FL, balanced)",
+        }
+    }
+}
+
+impl std::fmt::Display for MlmScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Tokenized pretraining corpus.
+#[derive(Clone, Debug)]
+pub struct MlmData {
+    /// Training sequences.
+    pub train: Vec<Encoded>,
+    /// Held-out sequences (loss curve measurements).
+    pub valid: Vec<Encoded>,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+}
+
+/// Generates and tokenizes the pretraining corpus.
+pub fn build_mlm_data(cfg: &PipelineConfig) -> MlmData {
+    let cs = CodeSystem::new();
+    let corpus = generate_corpus(&cs, &cfg.pretrain);
+    let tokenizer = ClinicalTokenizer::new(cs.vocab().clone(), cfg.seq_len);
+    let encode = |seqs: &[Vec<String>]| -> Vec<Encoded> {
+        seqs.iter().map(|s| tokenizer.encode(s)).collect()
+    };
+    MlmData {
+        train: encode(&corpus.train),
+        valid: encode(&corpus.valid),
+        vocab_size: cs.vocab().len(),
+    }
+}
+
+/// Runs one MLM pretraining scheme, returning the per-round validation
+/// loss curve (the series plotted in Fig. 2). The initial point is the
+/// untrained model's loss (≈ `ln |V|`).
+///
+/// # Errors
+///
+/// Propagates simulator failures for the FL schemes.
+pub fn pretrain_mlm(
+    cfg: &PipelineConfig,
+    scheme: MlmScheme,
+    data: &MlmData,
+) -> Result<Vec<f64>, FlareError> {
+    let hyper = TrainHyper::for_mlm();
+    let bert = BertConfig::bert(data.vocab_size, cfg.seq_len);
+    match scheme {
+        MlmScheme::Centralized | MlmScheme::SmallData => {
+            let train: Vec<Encoded> = match scheme {
+                MlmScheme::Centralized => data.train.clone(),
+                _ => {
+                    // One balanced site's share (1/n of the data).
+                    let per = (data.train.len() / cfg.n_clients).max(1);
+                    data.train[..per].to_vec()
+                }
+            };
+            let mut learner = MlmLearner::new(&bert, CodeSystem::new().vocab().clone(), hyper, cfg.seed);
+            let mut curve = vec![learner.eval_loss(&data.valid)];
+            for _ in 0..cfg.pretrain_rounds {
+                learner.train_epoch(&train);
+                curve.push(learner.eval_loss(&data.valid));
+            }
+            Ok(curve)
+        }
+        MlmScheme::FlImbalanced | MlmScheme::FlBalanced => {
+            let shards = split_sequences(
+                &data.train,
+                match scheme {
+                    MlmScheme::FlImbalanced => clinfl_data::PAPER_IMBALANCED_RATIOS.to_vec(),
+                    _ => vec![1.0 / cfg.n_clients as f64; cfg.n_clients],
+                },
+            );
+            let log = EventLog::new();
+            let mut sim_cfg = simulator_config(cfg);
+            sim_cfg.sag.rounds = cfg.pretrain_rounds;
+            let runner = SimulatorRunner::with_log(sim_cfg, log.clone());
+            let seed_learner =
+                MlmLearner::new(&bert, CodeSystem::new().vocab().clone(), hyper, cfg.seed);
+            let initial = seed_learner.export_weights();
+            let initial_loss = seed_learner.eval_loss(&data.valid);
+            let valid = data.valid.clone();
+            let result = runner.run_simple(
+                initial,
+                |i, _| {
+                    let learner =
+                        MlmLearner::new(&bert, CodeSystem::new().vocab().clone(), hyper, cfg.seed);
+                    Box::new(MlmExecutor::new(
+                        learner,
+                        shards[i].clone(),
+                        valid.clone(),
+                        1,
+                        log.clone(),
+                    ))
+                },
+                &WeightedFedAvg,
+            )?;
+            let mut curve = vec![initial_loss];
+            curve.extend(
+                result
+                    .workflow
+                    .rounds
+                    .iter()
+                    .map(|r| r.global_metric.unwrap_or(f64::NAN)),
+            );
+            Ok(curve)
+        }
+    }
+}
+
+fn split_sequences(seqs: &[Encoded], ratios: Vec<f64>) -> Vec<Vec<Encoded>> {
+    let n = seqs.len();
+    let mut out = Vec::with_capacity(ratios.len());
+    let mut start = 0usize;
+    for (i, r) in ratios.iter().enumerate() {
+        let end = if i + 1 == ratios.len() {
+            n
+        } else {
+            (start + (n as f64 * r).round() as usize).min(n)
+        };
+        out.push(seqs[start..end].to_vec());
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> PipelineConfig {
+        let mut cfg = PipelineConfig::fast_demo();
+        cfg.cohort.n_patients = 120;
+        cfg.epochs = 1;
+        cfg.rounds = 1;
+        cfg.local_epochs = 1;
+        cfg
+    }
+
+    #[test]
+    fn task_data_split_counts() {
+        let cfg = tiny_cfg();
+        let data = build_task_data(&cfg);
+        assert_eq!(data.train.len() + data.valid.len(), 120);
+        assert!(data.train.len() > data.valid.len());
+    }
+
+    #[test]
+    fn centralized_lstm_runs() {
+        let cfg = tiny_cfg();
+        let out = train_centralized(&cfg, ModelSpec::Lstm);
+        assert_eq!(out.history.len(), 1);
+        assert!(out.accuracy > 0.0 && out.accuracy <= 1.0);
+    }
+
+    #[test]
+    fn federated_lstm_round_trips() {
+        let cfg = tiny_cfg();
+        let out = train_federated(&cfg, ModelSpec::Lstm).unwrap();
+        assert_eq!(out.history.len(), 1);
+        assert!(out.accuracy > 0.0 && out.accuracy <= 1.0);
+        assert!(out.log.unwrap().contains("Local epoch site-1: 1/1"));
+    }
+
+    #[test]
+    fn standalone_reports_all_sites() {
+        let cfg = tiny_cfg();
+        let out = train_standalone(&cfg, ModelSpec::Lstm);
+        assert_eq!(out.per_site.len(), 8);
+        let mean = out.per_site.iter().sum::<f64>() / 8.0;
+        assert!((out.mean_accuracy - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mlm_split_conserves() {
+        let e = Encoded {
+            ids: vec![2, 3],
+            attention_mask: vec![1, 1],
+        };
+        let seqs = vec![e; 100];
+        let shards = split_sequences(&seqs, clinfl_data::PAPER_IMBALANCED_RATIOS.to_vec());
+        assert_eq!(shards.iter().map(Vec::len).sum::<usize>(), 100);
+        assert_eq!(shards.len(), 8);
+        assert!(shards[0].len() > shards[7].len());
+    }
+
+    #[test]
+    fn scheme_labels() {
+        assert_eq!(MlmScheme::all().len(), 4);
+        assert!(MlmScheme::FlImbalanced.to_string().contains("imbalanced"));
+    }
+}

@@ -1,0 +1,175 @@
+//! NVFlare executors wiring the learners into the federated runtime
+//! (the paper Fig. 3's `CiBertLearner`).
+
+use crate::learner::{Learner, MlmLearner};
+use clinfl_data::ClassifyDataset;
+use clinfl_flare::executor::{Executor, TaskContext};
+use clinfl_flare::{Dxo, EventLog, Weights};
+use clinfl_text::Encoded;
+use std::collections::BTreeMap;
+
+/// Federated executor for the ADR fine-tuning task: on each `Train` task it
+/// loads the global model, runs `local_epochs` of local training on the
+/// site's shard, and submits the updated weights with
+/// `train_loss`/`valid_acc` metrics — producing exactly the log lines of
+/// the paper's Fig. 3.
+pub struct ClinicalExecutor {
+    learner: Learner,
+    train: ClassifyDataset,
+    valid: ClassifyDataset,
+    /// Small validation probe used for the per-epoch log lines (full
+    /// validation happens once per round in [`Executor::validate`]).
+    valid_probe: ClassifyDataset,
+    local_epochs: u32,
+    log: EventLog,
+}
+
+impl std::fmt::Debug for ClinicalExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClinicalExecutor")
+            .field("train_examples", &self.train.len())
+            .field("local_epochs", &self.local_epochs)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClinicalExecutor {
+    /// Creates the executor for one site.
+    pub fn new(
+        learner: Learner,
+        train: ClassifyDataset,
+        valid: ClassifyDataset,
+        local_epochs: u32,
+        log: EventLog,
+    ) -> Self {
+        let probe_n = valid.len().min(96);
+        let valid_probe = ClassifyDataset::from_examples(
+            valid.examples()[..probe_n].to_vec(),
+            valid.seq_len(),
+        );
+        ClinicalExecutor {
+            learner,
+            train,
+            valid,
+            valid_probe,
+            local_epochs,
+            log,
+        }
+    }
+
+    /// Enables FedProx local training with coefficient `mu` (extension;
+    /// see [`Learner::set_prox`]).
+    pub fn with_prox(mut self, mu: f32) -> Self {
+        self.learner.set_prox(mu);
+        self
+    }
+}
+
+impl Executor for ClinicalExecutor {
+    fn train(&mut self, global: &Weights, ctx: &TaskContext) -> Dxo {
+        self.learner.load_weights(global);
+        self.learner.reset_optimizer();
+        let mut last_loss = 0.0;
+        let mut last_acc = 0.0;
+        for e in 0..self.local_epochs {
+            let stats = self.learner.train_epoch(&self.train);
+            last_loss = stats.mean_loss;
+            last_acc = self.learner.evaluate(&self.valid_probe);
+            self.log.info(
+                "CiBertLearner",
+                format!(
+                    "Local epoch {site}: {cur}/{total} (lr={lr}), train_loss={loss:.3}, valid_acc={acc:.3} [{secs:.1} sec/local epoch]",
+                    site = ctx.site,
+                    cur = e + 1,
+                    total = self.local_epochs,
+                    lr = self.learner.hyper().lr,
+                    loss = stats.mean_loss,
+                    acc = last_acc,
+                    secs = stats.seconds,
+                ),
+            );
+        }
+        let mut metrics = BTreeMap::new();
+        metrics.insert("train_loss".to_string(), last_loss);
+        metrics.insert("valid_acc".to_string(), last_acc);
+        let mut dxo = Dxo::from_weights(self.learner.export_weights(), self.train.len() as u64);
+        dxo.metrics = metrics;
+        dxo
+    }
+
+    fn validate(&mut self, global: &Weights, _ctx: &TaskContext) -> f64 {
+        self.learner.load_weights(global);
+        self.learner.evaluate(&self.valid)
+    }
+}
+
+/// Federated executor for BERT MLM pretraining (the paper's Fig. 2 FL
+/// schemes). Validation reports the **MLM loss** on the shared held-out
+/// corpus — lower is better, so round summaries carry the loss curve
+/// directly.
+pub struct MlmExecutor {
+    learner: MlmLearner,
+    train: Vec<Encoded>,
+    valid: Vec<Encoded>,
+    local_epochs: u32,
+    log: EventLog,
+}
+
+impl std::fmt::Debug for MlmExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MlmExecutor")
+            .field("train_sequences", &self.train.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MlmExecutor {
+    /// Creates the executor for one site.
+    pub fn new(
+        learner: MlmLearner,
+        train: Vec<Encoded>,
+        valid: Vec<Encoded>,
+        local_epochs: u32,
+        log: EventLog,
+    ) -> Self {
+        MlmExecutor {
+            learner,
+            train,
+            valid,
+            local_epochs,
+            log,
+        }
+    }
+}
+
+impl Executor for MlmExecutor {
+    fn train(&mut self, global: &Weights, ctx: &TaskContext) -> Dxo {
+        self.learner.load_weights(global);
+        let mut last = 0.0;
+        for e in 0..self.local_epochs {
+            let stats = self.learner.train_epoch(&self.train);
+            last = stats.mean_loss;
+            self.log.info(
+                "CiBertLearner",
+                format!(
+                    "MLM epoch {site}: {cur}/{total}, mlm_loss={loss:.3} [{secs:.1} sec]",
+                    site = ctx.site,
+                    cur = e + 1,
+                    total = self.local_epochs,
+                    loss = stats.mean_loss,
+                    secs = stats.seconds,
+                ),
+            );
+        }
+        let mut metrics = BTreeMap::new();
+        metrics.insert("mlm_loss".to_string(), last);
+        let mut dxo = Dxo::from_weights(self.learner.export_weights(), self.train.len() as u64);
+        dxo.metrics = metrics;
+        dxo
+    }
+
+    fn validate(&mut self, global: &Weights, _ctx: &TaskContext) -> f64 {
+        self.learner.load_weights(global);
+        self.learner.eval_loss(&self.valid)
+    }
+}

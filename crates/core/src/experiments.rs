@@ -1,0 +1,273 @@
+//! Typed experiment runners regenerating the paper's tables and figures.
+
+use crate::config::{ModelSpec, PipelineConfig};
+use crate::drivers::{self, build_mlm_data, pretrain_mlm, MlmScheme};
+use clinfl_flare::FlareError;
+use std::fmt;
+
+/// The three training schemes of Table III, in row order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Pooled-data training (upper bound).
+    Centralized,
+    /// Per-site training without collaboration (lower bound).
+    Standalone,
+    /// Federated learning over NVFlare-style ScatterAndGather.
+    Federated,
+}
+
+impl Scheme {
+    /// All schemes in the paper's row order.
+    pub fn all() -> [Scheme; 3] {
+        [Scheme::Centralized, Scheme::Standalone, Scheme::Federated]
+    }
+
+    /// Row label as printed in Table III.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Scheme::Centralized => "Centralized",
+            Scheme::Standalone => "Standalone",
+            Scheme::Federated => "FL",
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Reproduction of Table III: top-1 accuracy [%] of the three models under
+/// the three schemes.
+#[derive(Clone, Debug)]
+pub struct Table3 {
+    /// `cells[scheme][model]` in [`Scheme::all`] × [`ModelSpec::all`]
+    /// order, as percentages.
+    pub cells: Vec<Vec<f64>>,
+}
+
+/// The paper's reported Table III values (top-1 accuracy [%]), for
+/// side-by-side printing.
+pub const PAPER_TABLE3: [[f64; 3]; 3] = [
+    // BERT, BERT-mini, LSTM
+    [80.1, 72.7, 87.9], // Centralized
+    [72.2, 68.5, 67.3], // Standalone
+    [80.1, 72.3, 87.5], // FL
+];
+
+impl Table3 {
+    /// Accuracy cell by scheme/model.
+    pub fn get(&self, scheme: Scheme, model: ModelSpec) -> f64 {
+        let si = Scheme::all().iter().position(|s| *s == scheme).expect("scheme");
+        let mi = ModelSpec::all()
+            .iter()
+            .position(|m| *m == model)
+            .expect("model");
+        self.cells[si][mi]
+    }
+
+    /// Checks the paper's qualitative shape (see EXPERIMENTS.md):
+    /// FL ≈ centralized for every model, and standalone clearly worse
+    /// than FL.
+    pub fn shape_report(&self) -> Vec<String> {
+        let mut notes = Vec::new();
+        for model in ModelSpec::all() {
+            let c = self.get(Scheme::Centralized, model);
+            let f = self.get(Scheme::Federated, model);
+            let s = self.get(Scheme::Standalone, model);
+            notes.push(format!(
+                "{model}: centralized {c:.1}%, FL {f:.1}% (gap {:.1}), standalone {s:.1}% (FL advantage {:.1})",
+                c - f,
+                f - s
+            ));
+        }
+        notes
+    }
+}
+
+impl fmt::Display for Table3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "TABLE III — TOP-1 ACCURACY [%] (measured | paper)\n{:<14} {:>16} {:>16} {:>16}",
+            "Schemes/Model", "BERT", "BERT-mini", "LSTM"
+        )?;
+        for (si, scheme) in Scheme::all().iter().enumerate() {
+            write!(f, "{:<14}", scheme.as_str())?;
+            for (mi, _) in ModelSpec::all().iter().enumerate() {
+                write!(
+                    f,
+                    " {:>8.1} | {:<5.1}",
+                    self.cells[si][mi], PAPER_TABLE3[si][mi]
+                )?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the full Table III grid (9 training runs).
+///
+/// # Errors
+///
+/// Propagates federated-runtime failures.
+pub fn run_table3(cfg: &PipelineConfig) -> Result<Table3, FlareError> {
+    run_table3_with(cfg, |_, _| {})
+}
+
+/// [`run_table3`] with a progress callback `(scheme, model)` invoked before
+/// each cell.
+///
+/// # Errors
+///
+/// Propagates federated-runtime failures.
+pub fn run_table3_with(
+    cfg: &PipelineConfig,
+    mut progress: impl FnMut(Scheme, ModelSpec),
+) -> Result<Table3, FlareError> {
+    let mut cells = Vec::with_capacity(3);
+    for scheme in Scheme::all() {
+        let mut row = Vec::with_capacity(3);
+        for model in ModelSpec::all() {
+            progress(scheme, model);
+            let cfg = budget_for(cfg, model);
+            let acc = match scheme {
+                Scheme::Centralized => drivers::train_centralized(&cfg, model).accuracy,
+                Scheme::Standalone => drivers::train_standalone(&cfg, model).mean_accuracy,
+                Scheme::Federated => drivers::train_federated(&cfg, model)?.accuracy,
+            };
+            row.push(acc * 100.0);
+        }
+        cells.push(row);
+    }
+    Ok(Table3 { cells })
+}
+
+/// Compute-matched per-model budgets: an LSTM epoch costs roughly one
+/// sixth of a BERT epoch on this substrate, so the recursive model gets
+/// proportionally more epochs (and local epochs per round) for the same
+/// wall-clock share — mirroring how the paper trained each model to
+/// convergence rather than to an epoch count.
+fn budget_for(cfg: &PipelineConfig, model: ModelSpec) -> PipelineConfig {
+    let mut cfg = cfg.clone();
+    if model == ModelSpec::Lstm {
+        cfg.epochs *= 3;
+        cfg.local_epochs *= 3;
+    }
+    cfg
+}
+
+/// Reproduction of Fig. 2: MLM validation-loss curves for the four
+/// pretraining regimes.
+#[derive(Clone, Debug)]
+pub struct Fig2 {
+    /// `(scheme, per-round validation loss)` series; index 0 of each curve
+    /// is the untrained model (≈ `ln |V|`).
+    pub curves: Vec<(MlmScheme, Vec<f64>)>,
+}
+
+impl Fig2 {
+    /// The curve for a scheme.
+    pub fn curve(&self, scheme: MlmScheme) -> &[f64] {
+        &self
+            .curves
+            .iter()
+            .find(|(s, _)| *s == scheme)
+            .expect("scheme present")
+            .1
+    }
+
+    /// Final loss of a scheme.
+    pub fn final_loss(&self, scheme: MlmScheme) -> f64 {
+        *self.curve(scheme).last().expect("non-empty curve")
+    }
+}
+
+impl fmt::Display for Fig2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "FIG. 2 — MLM VALIDATION LOSS PER ROUND")?;
+        for (scheme, curve) in &self.curves {
+            write!(f, "{:<24}", scheme.as_str())?;
+            for v in curve {
+                write!(f, " {v:6.3}")?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(
+            f,
+            "(paper: starts 10.7 with its vocabulary; centralized/FL reach 3.5, small-data stalls at 4.4 —\n ours starts at ln|V| for the synthetic vocabulary; shape comparison in EXPERIMENTS.md)"
+        )
+    }
+}
+
+/// Runs all four Fig. 2 pretraining schemes.
+///
+/// # Errors
+///
+/// Propagates federated-runtime failures.
+pub fn run_fig2(cfg: &PipelineConfig) -> Result<Fig2, FlareError> {
+    run_fig2_with(cfg, |_| {})
+}
+
+/// [`run_fig2`] with a progress callback.
+///
+/// # Errors
+///
+/// Propagates federated-runtime failures.
+pub fn run_fig2_with(
+    cfg: &PipelineConfig,
+    mut progress: impl FnMut(MlmScheme),
+) -> Result<Fig2, FlareError> {
+    let data = build_mlm_data(cfg);
+    let mut curves = Vec::with_capacity(4);
+    for scheme in MlmScheme::all() {
+        progress(scheme);
+        curves.push((scheme, pretrain_mlm(cfg, scheme, &data)?));
+    }
+    Ok(Fig2 { curves })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_constants_match_text() {
+        // Sanity-pin the transcription of the paper's Table III.
+        assert_eq!(PAPER_TABLE3[0][2], 87.9); // centralized LSTM
+        assert_eq!(PAPER_TABLE3[2][0], 80.1); // FL BERT
+        assert_eq!(PAPER_TABLE3[1][1], 68.5); // standalone BERT-mini
+    }
+
+    #[test]
+    fn table3_accessors() {
+        let t = Table3 {
+            cells: vec![
+                vec![1.0, 2.0, 3.0],
+                vec![4.0, 5.0, 6.0],
+                vec![7.0, 8.0, 9.0],
+            ],
+        };
+        assert_eq!(t.get(Scheme::Centralized, ModelSpec::Bert), 1.0);
+        assert_eq!(t.get(Scheme::Standalone, ModelSpec::Lstm), 6.0);
+        assert_eq!(t.get(Scheme::Federated, ModelSpec::BertMini), 8.0);
+        let shown = t.to_string();
+        assert!(shown.contains("TABLE III"));
+        assert_eq!(t.shape_report().len(), 3);
+    }
+
+    #[test]
+    fn fig2_accessors() {
+        let f = Fig2 {
+            curves: vec![
+                (MlmScheme::Centralized, vec![6.0, 4.0, 3.0]),
+                (MlmScheme::SmallData, vec![6.0, 5.0, 4.4]),
+            ],
+        };
+        assert_eq!(f.final_loss(MlmScheme::Centralized), 3.0);
+        assert_eq!(f.curve(MlmScheme::SmallData).len(), 3);
+        assert!(f.to_string().contains("FIG. 2"));
+    }
+}

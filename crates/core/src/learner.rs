@@ -1,0 +1,488 @@
+//! Local training engines around the paper's models.
+
+use crate::config::{ModelSpec, TrainHyper};
+use crate::weights::{params_to_weights, weights_to_params};
+use clinfl_data::{Batch, ClassifyDataset};
+use clinfl_flare::Weights;
+use clinfl_models::{
+    BertConfig, BertModel, LstmClassifier, LstmConfig, SequenceClassifier, TokenBatch,
+};
+use clinfl_tensor::{Adam, GradClip, Graph, LrSchedule, Optimizer};
+use clinfl_text::{Encoded, MlmMasker, Vocab};
+
+/// Summary of one local training epoch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EpochStats {
+    /// Mean training loss over the epoch's batches.
+    pub mean_loss: f64,
+    /// Number of batches processed.
+    pub batches: usize,
+    /// Wall-clock seconds for the epoch (the paper's Fig. 3 reports
+    /// "Training cost: 12.7 sec/local epoch").
+    pub seconds: f64,
+}
+
+fn token_batch(b: &Batch) -> TokenBatch<'_> {
+    TokenBatch {
+        ids: &b.ids,
+        mask: &b.mask,
+        batch_size: b.batch_size,
+        seq_len: b.seq_len,
+    }
+}
+
+/// A classification learner: one of the paper's three models plus an Adam
+/// optimizer and hyper-parameters, trainable locally and exchangeable with
+/// the federated runtime via [`Weights`].
+pub struct Learner {
+    model: Box<dyn SequenceClassifier + Send>,
+    hyper: TrainHyper,
+    optimizer: Adam,
+    epoch_counter: u64,
+    seed: u64,
+    /// FedProx proximal coefficient μ and the reference (global) weights:
+    /// when set, every step adds `μ (w - w_global)` to the gradients,
+    /// penalizing local drift (Li et al., *Federated Optimization in
+    /// Heterogeneous Networks*). Extension beyond the paper.
+    prox: Option<(f32, Weights)>,
+}
+
+impl std::fmt::Debug for Learner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Learner")
+            .field("hyper", &self.hyper)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Learner {
+    /// Builds the given model (Table II geometry) over a vocabulary.
+    pub fn new(
+        spec: ModelSpec,
+        vocab_size: usize,
+        seq_len: usize,
+        hyper: TrainHyper,
+        seed: u64,
+    ) -> Self {
+        let model: Box<dyn SequenceClassifier + Send> = match spec {
+            ModelSpec::Bert => Box::new(BertModel::new(&BertConfig::bert(vocab_size, seq_len), seed)),
+            ModelSpec::BertMini => Box::new(BertModel::new(
+                &BertConfig::bert_mini(vocab_size, seq_len),
+                seed,
+            )),
+            ModelSpec::Lstm => Box::new(LstmClassifier::new(
+                &LstmConfig::with_vocab(vocab_size),
+                seed,
+            )),
+        };
+        Learner {
+            model,
+            hyper,
+            optimizer: Adam::with_lr(hyper.lr),
+            epoch_counter: 0,
+            seed,
+            prox: None,
+        }
+    }
+
+    /// Enables FedProx local training: gradients gain `mu (w - w_global)`
+    /// where `w_global` is the weight set from the most recent
+    /// [`Learner::load_weights`] call after this one. Pass `mu = 0` or call
+    /// with `None`-like semantics via [`Learner::clear_prox`] to disable.
+    pub fn set_prox(&mut self, mu: f32) {
+        let anchor = self.export_weights();
+        self.prox = Some((mu, anchor));
+    }
+
+    /// Disables the FedProx proximal term.
+    pub fn clear_prox(&mut self) {
+        self.prox = None;
+    }
+
+    /// The hyper-parameters in use.
+    pub fn hyper(&self) -> &TrainHyper {
+        &self.hyper
+    }
+
+    /// Current weights in federated wire form.
+    pub fn export_weights(&self) -> Weights {
+        params_to_weights(self.model.params())
+    }
+
+    /// Loads global weights (e.g. at the start of a federated round).
+    /// When FedProx is enabled, the loaded weights become the new proximal
+    /// anchor.
+    pub fn load_weights(&mut self, weights: &Weights) {
+        weights_to_params(weights, self.model.params_mut());
+        if let Some((mu, anchor)) = &mut self.prox {
+            let _ = mu;
+            *anchor = weights.clone();
+        }
+    }
+
+    /// Resets optimizer state (fresh Adam moments, as when a federated
+    /// round restarts local training from new global weights).
+    pub fn reset_optimizer(&mut self) {
+        self.optimizer = Adam::with_lr(self.hyper.lr);
+    }
+
+    /// Runs one epoch of mini-batch training; returns loss statistics.
+    pub fn train_epoch(&mut self, data: &ClassifyDataset) -> EpochStats {
+        let start = std::time::Instant::now();
+        self.epoch_counter += 1;
+        let shuffle_seed = self
+            .seed
+            .wrapping_mul(0x100000001b3)
+            .wrapping_add(self.epoch_counter);
+        let mut total = 0.0f64;
+        let mut batches = 0usize;
+        for batch in data.batches(self.hyper.batch_size, shuffle_seed) {
+            let mut g = Graph::with_seed(shuffle_seed ^ batches as u64);
+            let loss = self
+                .model
+                .classification_loss(&mut g, &token_batch(&batch), &batch.labels);
+            total += g.value(loss).item() as f64;
+            g.backward(loss);
+            g.grads_into(self.model.params_mut());
+            self.apply_prox_gradient();
+            if self.hyper.clip_norm > 0.0 {
+                GradClip {
+                    max_norm: self.hyper.clip_norm,
+                }
+                .apply(self.model.params_mut());
+            }
+            self.optimizer.step(self.model.params_mut());
+            batches += 1;
+        }
+        EpochStats {
+            mean_loss: if batches == 0 { 0.0 } else { total / batches as f64 },
+            batches,
+            seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Adds the FedProx gradient `μ (w - w_anchor)` directly into the
+    /// parameter gradients (equivalent to the μ/2‖w−w₀‖² loss term, without
+    /// paying for it on the autograd tape).
+    fn apply_prox_gradient(&mut self) {
+        let Some((mu, anchor)) = &self.prox else { return };
+        let mu = *mu;
+        if mu == 0.0 {
+            return;
+        }
+        let params = self.model.params_mut();
+        let entries: Vec<(clinfl_tensor::ParamId, String)> = params
+            .iter()
+            .map(|(id, name, _)| (id, name.to_string()))
+            .collect();
+        for (id, name) in entries {
+            let Some(a) = anchor.get(&name) else { continue };
+            let w = params.value(id).clone();
+            let g = params.grad_mut(id);
+            for ((gv, &wv), &av) in g.data_mut().iter_mut().zip(w.data()).zip(&a.data) {
+                *gv += mu * (wv - av);
+            }
+        }
+    }
+
+    /// Full classification report (accuracy, precision/recall/F1,
+    /// specificity, ROC-AUC) on a dataset — the clinically relevant view
+    /// beyond the paper's Top-1 accuracy.
+    pub fn evaluate_report(&self, data: &ClassifyDataset) -> crate::metrics::ClassificationReport {
+        let mut scores = Vec::with_capacity(data.len());
+        let mut labels = Vec::with_capacity(data.len());
+        for batch in data.batches(self.hyper.batch_size, 0) {
+            for row in self.model.predict_proba(&token_batch(&batch)) {
+                scores.push(row.get(1).copied().unwrap_or(0.0));
+            }
+            labels.extend_from_slice(&batch.labels);
+        }
+        crate::metrics::ClassificationReport::from_scores(&scores, &labels)
+    }
+
+    /// Top-1 accuracy on a dataset (evaluation mode).
+    pub fn evaluate(&self, data: &ClassifyDataset) -> f64 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for batch in data.batches(self.hyper.batch_size, 0) {
+            let preds = self.model.predict(&token_batch(&batch));
+            correct += preds
+                .iter()
+                .zip(&batch.labels)
+                .filter(|(p, l)| **p as i32 == **l)
+                .count();
+            total += batch.labels.len();
+        }
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+/// An MLM pretraining learner around [`BertModel`] (the paper's §III-B
+/// pretraining stage, Fig. 2).
+pub struct MlmLearner {
+    model: BertModel,
+    vocab: Vocab,
+    masker: MlmMasker,
+    hyper: TrainHyper,
+    optimizer: Adam,
+    schedule: LrSchedule,
+    step_counter: u64,
+    epoch_counter: u64,
+    seed: u64,
+}
+
+impl std::fmt::Debug for MlmLearner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MlmLearner")
+            .field("hyper", &self.hyper)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MlmLearner {
+    /// Builds a BERT MLM learner (use [`BertConfig::bert`] or
+    /// [`BertConfig::bert_mini`] geometry via `config`).
+    pub fn new(config: &BertConfig, vocab: Vocab, hyper: TrainHyper, seed: u64) -> Self {
+        MlmLearner {
+            model: BertModel::new(config, seed),
+            vocab,
+            masker: MlmMasker::default(),
+            hyper,
+            optimizer: Adam::with_lr(hyper.lr),
+            // Standard transformer warmup: ramp the rate over the first
+            // optimizer steps so the 12-layer stack does not destabilize.
+            schedule: LrSchedule::LinearWarmup { warmup_steps: 64 },
+            step_counter: 0,
+            epoch_counter: 0,
+            seed,
+        }
+    }
+
+    /// Overrides the learning-rate schedule (default: 64-step linear
+    /// warmup).
+    pub fn set_schedule(&mut self, schedule: LrSchedule) {
+        self.schedule = schedule;
+    }
+
+    /// Current weights in federated wire form.
+    pub fn export_weights(&self) -> Weights {
+        params_to_weights(self.model.params())
+    }
+
+    /// Loads global weights.
+    pub fn load_weights(&mut self, weights: &Weights) {
+        weights_to_params(weights, self.model.params_mut());
+    }
+
+    /// The underlying model (e.g. to transfer the pretrained backbone into
+    /// a fine-tuning learner).
+    pub fn model(&self) -> &BertModel {
+        &self.model
+    }
+
+    fn masked_batch(
+        &self,
+        seqs: &[Encoded],
+        idx: &[usize],
+        seed: u64,
+    ) -> (Vec<u32>, Vec<u8>, Vec<i32>) {
+        let seq_len = seqs[idx[0]].ids.len();
+        let mut ids = Vec::with_capacity(idx.len() * seq_len);
+        let mut mask = Vec::with_capacity(idx.len() * seq_len);
+        let mut labels = Vec::with_capacity(idx.len() * seq_len);
+        for (k, &i) in idx.iter().enumerate() {
+            let m = self
+                .masker
+                .mask(&seqs[i].ids, &self.vocab, seed.wrapping_add(k as u64));
+            ids.extend_from_slice(&m.input_ids);
+            mask.extend_from_slice(&seqs[i].attention_mask);
+            labels.extend_from_slice(&m.labels);
+        }
+        (ids, mask, labels)
+    }
+
+    /// One epoch of MLM training with fresh dynamic masking; returns loss
+    /// statistics.
+    pub fn train_epoch(&mut self, seqs: &[Encoded]) -> EpochStats {
+        let start = std::time::Instant::now();
+        self.epoch_counter += 1;
+        let mut order: Vec<usize> = (0..seqs.len()).collect();
+        // Deterministic shuffle differing per epoch.
+        let mut state = self.seed ^ self.epoch_counter.wrapping_mul(0x9E3779B97F4A7C15);
+        for i in (1..order.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            order.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let mut total = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(self.hyper.batch_size) {
+            let mask_seed = state.wrapping_add(batches as u64 * 7919);
+            let (ids, mask, labels) = self.masked_batch(seqs, chunk, mask_seed);
+            let seq_len = ids.len() / chunk.len();
+            let batch = TokenBatch {
+                ids: &ids,
+                mask: &mask,
+                batch_size: chunk.len(),
+                seq_len,
+            };
+            let mut g = Graph::with_seed(mask_seed);
+            let loss = self.model.mlm_loss(&mut g, &batch, &labels);
+            total += g.value(loss).item() as f64;
+            g.backward(loss);
+            g.grads_into(self.model.params_mut());
+            if self.hyper.clip_norm > 0.0 {
+                GradClip {
+                    max_norm: self.hyper.clip_norm,
+                }
+                .apply(self.model.params_mut());
+            }
+            self.step_counter += 1;
+            self.optimizer
+                .set_learning_rate(self.schedule.lr_at(self.hyper.lr, self.step_counter));
+            self.optimizer.step(self.model.params_mut());
+            batches += 1;
+        }
+        EpochStats {
+            mean_loss: if batches == 0 { 0.0 } else { total / batches as f64 },
+            batches,
+            seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Mean MLM loss on held-out sequences (fixed masking seed, evaluation
+    /// mode) — the quantity plotted in the paper's Fig. 2.
+    pub fn eval_loss(&self, seqs: &[Encoded]) -> f64 {
+        if seqs.is_empty() {
+            return 0.0;
+        }
+        let idx: Vec<usize> = (0..seqs.len()).collect();
+        let mut total = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in idx.chunks(self.hyper.batch_size) {
+            const EVAL_MASK_SEED: u64 = 0xE7A1_5EED;
+            let (ids, mask, labels) = self.masked_batch(seqs, chunk, EVAL_MASK_SEED);
+            let seq_len = ids.len() / chunk.len();
+            let batch = TokenBatch {
+                ids: &ids,
+                mask: &mask,
+                batch_size: chunk.len(),
+                seq_len,
+            };
+            let mut g = Graph::new();
+            g.set_training(false);
+            let loss = self.model.mlm_loss(&mut g, &batch, &labels);
+            total += g.value(loss).item() as f64;
+            batches += 1;
+        }
+        total / batches as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clinfl_data::{generate_cohort, CodeSystem, CohortSpec};
+    use clinfl_text::ClinicalTokenizer;
+
+    fn small_data() -> (CodeSystem, ClassifyDataset) {
+        let cs = CodeSystem::new();
+        let cohort = generate_cohort(&cs, &CohortSpec::small(160, 3));
+        let tok = ClinicalTokenizer::new(cs.vocab().clone(), 36);
+        (cs, ClassifyDataset::from_cohort(&cohort, &tok))
+    }
+
+    #[test]
+    fn lstm_learner_trains_and_improves_loss() {
+        let (cs, data) = small_data();
+        let mut hyper = TrainHyper::for_model(ModelSpec::Lstm);
+        hyper.batch_size = 16;
+        let mut learner = Learner::new(ModelSpec::Lstm, cs.vocab().len(), 36, hyper, 1);
+        let first = learner.train_epoch(&data);
+        let mut last = first;
+        for _ in 0..4 {
+            last = learner.train_epoch(&data);
+        }
+        assert!(first.batches == 10);
+        assert!(
+            last.mean_loss < first.mean_loss,
+            "loss should fall: {} -> {}",
+            first.mean_loss,
+            last.mean_loss
+        );
+        let acc = learner.evaluate(&data);
+        assert!(acc > 0.5, "training-set accuracy {acc}");
+    }
+
+    #[test]
+    fn weights_roundtrip_through_wire_form() {
+        let (cs, _) = small_data();
+        let hyper = TrainHyper::for_model(ModelSpec::Lstm);
+        let learner = Learner::new(ModelSpec::Lstm, cs.vocab().len(), 36, hyper, 5);
+        let w = learner.export_weights();
+        let mut other = Learner::new(ModelSpec::Lstm, cs.vocab().len(), 36, hyper, 99);
+        assert_ne!(other.export_weights(), w, "different seeds differ");
+        other.load_weights(&w);
+        assert_eq!(other.export_weights(), w);
+    }
+
+    #[test]
+    fn fedprox_keeps_weights_near_anchor() {
+        let (cs, data) = small_data();
+        let mut hyper = TrainHyper::for_model(ModelSpec::Lstm);
+        hyper.batch_size = 16;
+        // Plain local training vs heavily-proximal training from the same
+        // start: the proximal run must stay closer to the anchor.
+        let drift = |mu: Option<f32>| -> f32 {
+            let mut l = Learner::new(ModelSpec::Lstm, cs.vocab().len(), 36, hyper, 11);
+            if let Some(mu) = mu {
+                l.set_prox(mu);
+            }
+            let anchor = l.export_weights();
+            l.load_weights(&anchor);
+            l.train_epoch(&data);
+            let after = l.export_weights();
+            anchor
+                .iter()
+                .map(|(name, t)| {
+                    t.data
+                        .iter()
+                        .zip(&after[name].data)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f32>()
+                })
+                .sum::<f32>()
+                .sqrt()
+        };
+        let free = drift(None);
+        let proximal = drift(Some(10.0));
+        assert!(
+            proximal < free,
+            "prox drift {proximal} should be below free drift {free}"
+        );
+    }
+
+    #[test]
+    fn evaluate_report_is_consistent_with_accuracy() {
+        let (cs, data) = small_data();
+        let hyper = TrainHyper::for_model(ModelSpec::Lstm);
+        let learner = Learner::new(ModelSpec::Lstm, cs.vocab().len(), 36, hyper, 2);
+        let report = learner.evaluate_report(&data);
+        assert_eq!(report.confusion.total() as usize, data.len());
+        assert!(report.auc >= 0.0 && report.auc <= 1.0);
+    }
+
+    #[test]
+    fn evaluate_on_empty_dataset_is_zero() {
+        let (cs, _) = small_data();
+        let hyper = TrainHyper::for_model(ModelSpec::Lstm);
+        let learner = Learner::new(ModelSpec::Lstm, cs.vocab().len(), 36, hyper, 1);
+        let empty = ClassifyDataset::from_examples(vec![], 36);
+        assert_eq!(learner.evaluate(&empty), 0.0);
+    }
+}

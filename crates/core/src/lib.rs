@@ -1,0 +1,50 @@
+//! # clinfl
+//!
+//! The integrated pipeline of *"Multi-Site Clinical Federated Learning
+//! using Recursive and Attentive Models and NVFlare"* (ICDCS 2023),
+//! assembled from the workspace substrates:
+//!
+//! * [`clinfl_tensor`] — autograd engine (replaces PyTorch),
+//! * [`clinfl_text`] — tokenizer + MLM masking,
+//! * [`clinfl_data`] — synthetic clopidogrel/ADR cohort (replaces the
+//!   proprietary EHR) and the paper's 8-site partitions,
+//! * [`clinfl_models`] — LSTM, BERT, BERT-mini (paper Table II),
+//! * [`clinfl_flare`] — the NVFlare-workalike federated runtime.
+//!
+//! Following the paper's Fig. 1 pipeline, this crate provides:
+//!
+//! * [`PipelineConfig`] — Table I parameters with a scale knob,
+//! * [`Learner`] — local training/evaluation around any
+//!   [`clinfl_models::SequenceClassifier`],
+//! * [`ClinicalExecutor`] / [`MlmExecutor`] — the NVFlare executors
+//!   (the `CiBertLearner` of the paper's Fig. 3),
+//! * [`drivers`] — centralized / standalone / federated fine-tuning and
+//!   the four MLM pretraining schemes,
+//! * [`experiments`] — typed runners regenerating Table III and Fig. 2.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use clinfl::{drivers, ModelSpec, PipelineConfig};
+//!
+//! let cfg = PipelineConfig::fast_demo();
+//! let outcome = drivers::train_federated(&cfg, ModelSpec::Lstm).unwrap();
+//! println!("FL LSTM top-1 accuracy: {:.1}%", 100.0 * outcome.accuracy);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod checkpoint;
+mod config;
+pub mod drivers;
+pub mod experiments;
+mod executor;
+mod learner;
+pub mod metrics;
+mod weights;
+
+pub use config::{ModelSpec, PipelineConfig, TrainHyper};
+pub use executor::{ClinicalExecutor, MlmExecutor};
+pub use learner::{EpochStats, Learner, MlmLearner};
+pub use weights::{params_to_weights, weights_to_params};

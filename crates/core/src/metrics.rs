@@ -1,0 +1,225 @@
+//! Clinical classification metrics beyond Top-1 accuracy.
+//!
+//! The paper reports only Top-1 accuracy (Table III); a deployable
+//! clinical system also needs sensitivity/specificity-style numbers, so
+//! this module provides the standard binary-classification report computed
+//! from model scores.
+
+/// Confusion counts for a binary task (positive class = 1, the ADR /
+/// treatment-failure outcome).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: u64,
+    /// False positives.
+    pub fp: u64,
+    /// True negatives.
+    pub tn: u64,
+    /// False negatives.
+    pub fn_: u64,
+}
+
+impl Confusion {
+    /// Tallies predictions against labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn from_predictions(preds: &[usize], labels: &[i32]) -> Self {
+        assert_eq!(preds.len(), labels.len(), "prediction/label length");
+        let mut c = Confusion::default();
+        for (&p, &l) in preds.iter().zip(labels) {
+            match (p == 1, l == 1) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Total examples tallied.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// `(tp + tn) / total`.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    /// Positive predictive value `tp / (tp + fp)`; 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        let d = self.tp + self.fp;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// Sensitivity `tp / (tp + fn)`; 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        let d = self.tp + self.fn_;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// Specificity `tn / (tn + fp)`; 0 when undefined.
+    pub fn specificity(&self) -> f64 {
+        let d = self.tn + self.fp;
+        if d == 0 {
+            0.0
+        } else {
+            self.tn as f64 / d as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; 0 when undefined.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Area under the ROC curve from positive-class scores, computed via the
+/// Mann–Whitney U statistic (ties counted as half).
+///
+/// Returns 0.5 when either class is absent (no ranking information).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn roc_auc(scores: &[f32], labels: &[i32]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "score/label length");
+    let mut pos: Vec<f32> = Vec::new();
+    let mut neg: Vec<f32> = Vec::new();
+    for (&s, &l) in scores.iter().zip(labels) {
+        if l == 1 {
+            pos.push(s);
+        } else {
+            neg.push(s);
+        }
+    }
+    if pos.is_empty() || neg.is_empty() {
+        return 0.5;
+    }
+    let mut u = 0.0f64;
+    for &p in &pos {
+        for &n in &neg {
+            u += if p > n {
+                1.0
+            } else if p == n {
+                0.5
+            } else {
+                0.0
+            };
+        }
+    }
+    u / (pos.len() as f64 * neg.len() as f64)
+}
+
+/// Full binary-classification report.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClassificationReport {
+    /// Confusion counts.
+    pub confusion: Confusion,
+    /// Area under the ROC curve.
+    pub auc: f64,
+}
+
+impl ClassificationReport {
+    /// Builds the report from positive-class scores and labels, thresholding
+    /// scores at 0.5 for the confusion counts.
+    pub fn from_scores(scores: &[f32], labels: &[i32]) -> Self {
+        let preds: Vec<usize> = scores.iter().map(|&s| (s >= 0.5) as usize).collect();
+        ClassificationReport {
+            confusion: Confusion::from_predictions(&preds, labels),
+            auc: roc_auc(scores, labels),
+        }
+    }
+}
+
+impl std::fmt::Display for ClassificationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = &self.confusion;
+        write!(
+            f,
+            "acc={:.3} prec={:.3} rec={:.3} spec={:.3} f1={:.3} auc={:.3} (n={})",
+            c.accuracy(),
+            c.precision(),
+            c.recall(),
+            c.specificity(),
+            c.f1(),
+            self.auc,
+            c.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let preds = [1, 1, 0, 0, 1];
+        let labels = [1, 0, 0, 1, 1];
+        let c = Confusion::from_predictions(&preds, &labels);
+        assert_eq!((c.tp, c.fp, c.tn, c.fn_), (2, 1, 1, 1));
+        assert_eq!(c.total(), 5);
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.specificity() - 0.5).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_confusions_are_zero_not_nan() {
+        let c = Confusion::default();
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let labels = [0, 0, 1, 1];
+        assert_eq!(roc_auc(&[0.1, 0.2, 0.8, 0.9], &labels), 1.0);
+        assert_eq!(roc_auc(&[0.9, 0.8, 0.2, 0.1], &labels), 0.0);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        assert_eq!(roc_auc(&[0.5, 0.5, 0.5, 0.5], &[0, 1, 0, 1]), 0.5);
+        // Single-class degenerate case.
+        assert_eq!(roc_auc(&[0.1, 0.9], &[1, 1]), 0.5);
+    }
+
+    #[test]
+    fn report_thresholds_at_half() {
+        let scores = [0.9f32, 0.4, 0.6, 0.1];
+        let labels = [1, 1, 0, 0];
+        let r = ClassificationReport::from_scores(&scores, &labels);
+        assert_eq!(r.confusion.tp, 1);
+        assert_eq!(r.confusion.fn_, 1);
+        assert_eq!(r.confusion.fp, 1);
+        assert_eq!(r.confusion.tn, 1);
+        assert!((r.auc - 0.75).abs() < 1e-12);
+        assert!(r.to_string().contains("auc=0.750"));
+    }
+}

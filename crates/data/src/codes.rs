@@ -1,0 +1,204 @@
+//! Synthetic clinical code system (drug + diagnosis vocabulary).
+
+use clinfl_text::Vocab;
+
+/// Configuration of the synthetic code system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CodeSystemSpec {
+    /// Number of condition clusters (e.g. cardiac, GI, renal …).
+    pub clusters: usize,
+    /// Diagnosis codes per cluster.
+    pub dx_per_cluster: usize,
+    /// Drug codes per cluster.
+    pub rx_per_cluster: usize,
+}
+
+impl Default for CodeSystemSpec {
+    fn default() -> Self {
+        CodeSystemSpec {
+            clusters: 12,
+            dx_per_cluster: 10,
+            rx_per_cluster: 8,
+        }
+    }
+}
+
+/// The deterministic synthetic clinical vocabulary.
+///
+/// Codes come in two families mirroring real EHR coding: `DX:Cxx.Ryy`
+/// (ICD-like diagnoses) and `RX:Cxx.Ryy` (ATC-like prescriptions), grouped
+/// into condition *clusters* whose members co-occur within a visit — the
+/// statistical structure the MLM objective learns. On top of the clusters
+/// sit a handful of **named codes** that drive the ADR outcome model:
+/// clopidogrel itself, the interacting CYP2C19-inhibitor, the
+/// dose-escalation code, and the risk diagnoses.
+///
+/// Construction is fully deterministic, so every federated site builds an
+/// identical vocabulary without any coordination — the same property real
+/// deployments get from a shared terminology (ICD/ATC).
+#[derive(Clone, Debug)]
+pub struct CodeSystem {
+    spec: CodeSystemSpec,
+    vocab: Vocab,
+    cluster_dx: Vec<Vec<String>>,
+    cluster_rx: Vec<Vec<String>>,
+}
+
+impl CodeSystem {
+    /// The index drug of the paper's cohort.
+    pub const CLOPIDOGREL: &'static str = "RX:CLOPIDOGREL_75";
+    /// Dose-escalated clopidogrel (a treatment-intensification signal).
+    pub const CLOPIDOGREL_HIGH: &'static str = "RX:CLOPIDOGREL_150";
+    /// Interacting co-prescription (CYP2C19 inhibitor).
+    pub const INTERACTING: &'static str = "RX:OMEPRAZOLE_20";
+    /// Risk diagnosis: type-2 diabetes.
+    pub const RISK_DM2: &'static str = "DX:E11.9";
+    /// Risk diagnosis: chronic kidney disease.
+    pub const RISK_CKD: &'static str = "DX:N18.3";
+    /// Index event: acute coronary syndrome (why clopidogrel is given).
+    pub const INDEX_ACS: &'static str = "DX:I21.4";
+
+    /// Builds the code system with the default spec.
+    pub fn new() -> Self {
+        Self::with_spec(CodeSystemSpec::default())
+    }
+
+    /// Builds the code system with a custom spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any spec field is zero.
+    pub fn with_spec(spec: CodeSystemSpec) -> Self {
+        assert!(
+            spec.clusters > 0 && spec.dx_per_cluster > 0 && spec.rx_per_cluster > 0,
+            "CodeSystemSpec fields must be positive: {spec:?}"
+        );
+        let mut vocab = Vocab::new();
+        for named in Self::named_codes() {
+            vocab.add(named);
+        }
+        let mut cluster_dx = Vec::with_capacity(spec.clusters);
+        let mut cluster_rx = Vec::with_capacity(spec.clusters);
+        for c in 0..spec.clusters {
+            let dx: Vec<String> = (0..spec.dx_per_cluster)
+                .map(|i| format!("DX:C{c:02}.{i:02}"))
+                .collect();
+            let rx: Vec<String> = (0..spec.rx_per_cluster)
+                .map(|i| format!("RX:C{c:02}.{i:02}"))
+                .collect();
+            for t in dx.iter().chain(rx.iter()) {
+                vocab.add(t);
+            }
+            cluster_dx.push(dx);
+            cluster_rx.push(rx);
+        }
+        CodeSystem {
+            spec,
+            vocab,
+            cluster_dx,
+            cluster_rx,
+        }
+    }
+
+    /// The outcome-driving named codes, in a fixed order.
+    pub fn named_codes() -> [&'static str; 6] {
+        [
+            Self::CLOPIDOGREL,
+            Self::CLOPIDOGREL_HIGH,
+            Self::INTERACTING,
+            Self::RISK_DM2,
+            Self::RISK_CKD,
+            Self::INDEX_ACS,
+        ]
+    }
+
+    /// The spec this system was built from.
+    pub fn spec(&self) -> &CodeSystemSpec {
+        &self.spec
+    }
+
+    /// The shared vocabulary (special tokens + named codes + clusters).
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Number of condition clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.spec.clusters
+    }
+
+    /// Diagnosis codes of a cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn dx_codes(&self, cluster: usize) -> &[String] {
+        &self.cluster_dx[cluster]
+    }
+
+    /// Drug codes of a cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn rx_codes(&self, cluster: usize) -> &[String] {
+        &self.cluster_rx[cluster]
+    }
+}
+
+impl Default for CodeSystem {
+    fn default() -> Self {
+        CodeSystem::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_construction() {
+        let a = CodeSystem::new();
+        let b = CodeSystem::new();
+        assert_eq!(a.vocab(), b.vocab());
+    }
+
+    #[test]
+    fn vocab_contains_named_and_cluster_codes() {
+        let cs = CodeSystem::new();
+        assert!(cs.vocab().id(CodeSystem::CLOPIDOGREL).is_some());
+        assert!(cs.vocab().id(CodeSystem::INTERACTING).is_some());
+        assert!(cs.vocab().id("DX:C00.00").is_some());
+        assert!(cs.vocab().id("RX:C11.07").is_some());
+    }
+
+    #[test]
+    fn vocab_size_matches_spec() {
+        let spec = CodeSystemSpec {
+            clusters: 3,
+            dx_per_cluster: 2,
+            rx_per_cluster: 2,
+        };
+        let cs = CodeSystem::with_spec(spec);
+        // 5 specials + 6 named + 3 * (2 + 2)
+        assert_eq!(cs.vocab().len(), 5 + 6 + 12);
+    }
+
+    #[test]
+    fn cluster_accessors() {
+        let cs = CodeSystem::new();
+        assert_eq!(cs.dx_codes(0).len(), cs.spec().dx_per_cluster);
+        assert_eq!(cs.rx_codes(5).len(), cs.spec().rx_per_cluster);
+        assert_eq!(cs.num_clusters(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_spec_panics() {
+        CodeSystem::with_spec(CodeSystemSpec {
+            clusters: 0,
+            dx_per_cluster: 1,
+            rx_per_cluster: 1,
+        });
+    }
+}

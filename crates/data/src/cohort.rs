@@ -1,0 +1,320 @@
+//! Synthetic clopidogrel cohort with an order-sensitive ADR outcome.
+
+use crate::codes::CodeSystem;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Specification of the synthetic fine-tuning cohort.
+///
+/// Defaults mirror the paper's Table I: 8,638 patients with a ≈ 21%
+/// treatment-failure rate (1,824 / 8,638), which the fine-tuning split
+/// divides 80/20 into 6,927 train / 1,732 validation (modulo rounding,
+/// exactly the paper's counts).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CohortSpec {
+    /// Number of patients to generate.
+    pub n_patients: usize,
+    /// Minimum number of events per record.
+    pub min_events: usize,
+    /// Maximum number of events per record.
+    pub max_events: usize,
+    /// Probability an interacting drug appears at all in a record.
+    pub interacting_presence: f64,
+    /// Probability the interacting drug lands *after* clopidogrel
+    /// initiation, given it is present (the outcome-driving order signal).
+    pub interacting_after_given_presence: f64,
+    /// Probability of a dose-escalation event after initiation.
+    pub escalation_prob: f64,
+    /// Per-risk-diagnosis presence probability (two risk diagnoses exist).
+    pub risk_dx_prob: f64,
+    /// Label-noise rate: each rule label flips with this probability,
+    /// bounding the best achievable accuracy at `1 - label_noise`.
+    pub label_noise: f64,
+    /// Master seed; the whole cohort is deterministic in it.
+    pub seed: u64,
+}
+
+impl Default for CohortSpec {
+    fn default() -> Self {
+        CohortSpec {
+            n_patients: 8_638,
+            min_events: 6,
+            max_events: 18,
+            interacting_presence: 0.40,
+            interacting_after_given_presence: 0.25,
+            escalation_prob: 0.15,
+            risk_dx_prob: 0.30,
+            label_noise: 0.08,
+            seed: 20230,
+        }
+    }
+}
+
+impl CohortSpec {
+    /// A reduced cohort for fast tests / CI (same distributions, fewer
+    /// patients).
+    pub fn small(n_patients: usize, seed: u64) -> Self {
+        CohortSpec {
+            n_patients,
+            seed,
+            ..CohortSpec::default()
+        }
+    }
+}
+
+/// One synthetic patient record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Patient {
+    /// Stable patient identifier within the cohort.
+    pub id: u32,
+    /// Chronologically ordered clinical event codes.
+    pub events: Vec<String>,
+    /// Treatment-failure (ADR) outcome label.
+    pub adr: bool,
+}
+
+/// A generated cohort.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cohort {
+    /// All patients, in generation order.
+    pub patients: Vec<Patient>,
+}
+
+impl Cohort {
+    /// Number of patients.
+    pub fn len(&self) -> usize {
+        self.patients.len()
+    }
+
+    /// True if the cohort has no patients.
+    pub fn is_empty(&self) -> bool {
+        self.patients.is_empty()
+    }
+
+    /// Fraction of positive (ADR) labels.
+    pub fn positive_rate(&self) -> f64 {
+        if self.patients.is_empty() {
+            return 0.0;
+        }
+        self.patients.iter().filter(|p| p.adr).count() as f64 / self.patients.len() as f64
+    }
+}
+
+/// Generates the synthetic clopidogrel cohort.
+///
+/// ## Outcome model
+///
+/// Treatment failure fires (before label noise) when either:
+///
+/// 1. the interacting CYP2C19 inhibitor is prescribed **after** clopidogrel
+///    initiation (order-sensitive — presence alone carries almost no
+///    signal because "before" placements are as common), or
+/// 2. the dose was escalated **and** at least one risk diagnosis
+///    (diabetes / CKD) is on record.
+///
+/// Each label then flips with probability [`CohortSpec::label_noise`], so
+/// the Bayes-optimal accuracy is `1 - label_noise` (default 92%) — leaving
+/// headroom for the paper's best model (LSTM, 87.9%) while keeping the
+/// task non-trivial.
+///
+/// # Panics
+///
+/// Panics if `min_events < 4` or `min_events > max_events`.
+pub fn generate_cohort(cs: &CodeSystem, spec: &CohortSpec) -> Cohort {
+    assert!(
+        spec.min_events >= 4 && spec.min_events <= spec.max_events,
+        "invalid event-count range {}..={}",
+        spec.min_events,
+        spec.max_events
+    );
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut patients = Vec::with_capacity(spec.n_patients);
+    for id in 0..spec.n_patients {
+        patients.push(generate_patient(cs, spec, id as u32, &mut rng));
+    }
+    Cohort { patients }
+}
+
+fn generate_patient(cs: &CodeSystem, spec: &CohortSpec, id: u32, rng: &mut StdRng) -> Patient {
+    let n_events = rng.random_range(spec.min_events..=spec.max_events);
+
+    // Background: draw visit-structured filler from 2-3 condition clusters,
+    // mirroring how the pretraining corpus is built so domain statistics
+    // match between the two stages.
+    let n_clusters = rng.random_range(2..=3usize);
+    let clusters: Vec<usize> = (0..n_clusters)
+        .map(|_| rng.random_range(0..cs.num_clusters()))
+        .collect();
+    let mut events: Vec<String> = Vec::with_capacity(n_events + 6);
+    while events.len() < n_events {
+        let c = clusters[rng.random_range(0..clusters.len())];
+        if rng.random::<f64>() < 0.5 {
+            events.push(cs.dx_codes(c)[rng.random_range(0..cs.dx_codes(c).len())].clone());
+        } else {
+            events.push(cs.rx_codes(c)[rng.random_range(0..cs.rx_codes(c).len())].clone());
+        }
+    }
+
+    // Clopidogrel initiation (preceded by its index diagnosis) somewhere in
+    // the first half of the record.
+    let init_pos = rng.random_range(1..=(events.len() / 2).max(1));
+    events.insert(init_pos, CodeSystem::CLOPIDOGREL.to_string());
+    events.insert(init_pos, CodeSystem::INDEX_ACS.to_string());
+    let init_pos = init_pos + 1; // clopidogrel's actual index
+
+    // Interacting drug: equally plausible before or mostly before; the
+    // "after" placement is the outcome signal.
+    let mut interacting_after = false;
+    if rng.random::<f64>() < spec.interacting_presence {
+        interacting_after = rng.random::<f64>() < spec.interacting_after_given_presence;
+        let pos = if interacting_after {
+            rng.random_range(init_pos + 1..=events.len())
+        } else {
+            rng.random_range(0..=init_pos)
+        };
+        events.insert(pos, CodeSystem::INTERACTING.to_string());
+    }
+
+    // Dose escalation always happens after initiation if it happens.
+    let escalated = rng.random::<f64>() < spec.escalation_prob;
+    if escalated {
+        let lo = init_pos + 2; // after clopidogrel (+ any interacting insert)
+        let pos = rng.random_range(lo.min(events.len())..=events.len());
+        events.insert(pos, CodeSystem::CLOPIDOGREL_HIGH.to_string());
+    }
+
+    // Risk diagnoses can appear anywhere.
+    let mut n_risk = 0;
+    for risk in [CodeSystem::RISK_DM2, CodeSystem::RISK_CKD] {
+        if rng.random::<f64>() < spec.risk_dx_prob {
+            n_risk += 1;
+            let pos = rng.random_range(0..=events.len());
+            events.insert(pos, risk.to_string());
+        }
+    }
+
+    let rule = interacting_after || (escalated && n_risk >= 1);
+    let flip = rng.random::<f64>() < spec.label_noise;
+    Patient {
+        id,
+        events,
+        adr: rule != flip,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (CodeSystem, Cohort) {
+        let cs = CodeSystem::new();
+        let cohort = generate_cohort(&cs, &CohortSpec::small(2000, 7));
+        (cs, cohort)
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cs = CodeSystem::new();
+        let a = generate_cohort(&cs, &CohortSpec::small(100, 1));
+        let b = generate_cohort(&cs, &CohortSpec::small(100, 1));
+        assert_eq!(a, b);
+        let c = generate_cohort(&cs, &CohortSpec::small(100, 2));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn positive_rate_near_paper() {
+        let (_, cohort) = small();
+        let rate = cohort.positive_rate();
+        // Paper: 1824/8638 = 21.1%. Allow a band for the synthetic model.
+        assert!((0.15..0.30).contains(&rate), "positive rate {rate}");
+    }
+
+    #[test]
+    fn every_patient_has_clopidogrel_after_index_dx() {
+        let (_, cohort) = small();
+        for p in &cohort.patients {
+            let idx_dx = p
+                .events
+                .iter()
+                .position(|e| e == CodeSystem::INDEX_ACS)
+                .expect("index diagnosis present");
+            let idx_rx = p
+                .events
+                .iter()
+                .position(|e| e == CodeSystem::CLOPIDOGREL)
+                .expect("clopidogrel present");
+            // Other events (risk dx, early interacting drug) may be
+            // inserted between, but initiation never precedes its
+            // indication.
+            assert!(idx_rx > idx_dx, "initiation follows index dx");
+        }
+    }
+
+    #[test]
+    fn order_signal_dominates_presence() {
+        // Among patients WITH the interacting drug, "after" placements are
+        // far more often positive than "before" placements.
+        let (_, cohort) = small();
+        let mut after_pos = 0usize;
+        let mut after_tot = 0usize;
+        let mut before_pos = 0usize;
+        let mut before_tot = 0usize;
+        for p in &cohort.patients {
+            let clop = p
+                .events
+                .iter()
+                .position(|e| e == CodeSystem::CLOPIDOGREL)
+                .unwrap();
+            if let Some(ipos) = p.events.iter().position(|e| e == CodeSystem::INTERACTING) {
+                if ipos > clop {
+                    after_tot += 1;
+                    after_pos += p.adr as usize;
+                } else {
+                    before_tot += 1;
+                    before_pos += p.adr as usize;
+                }
+            }
+        }
+        assert!(after_tot > 20 && before_tot > 20, "enough samples");
+        let after_rate = after_pos as f64 / after_tot as f64;
+        let before_rate = before_pos as f64 / before_tot as f64;
+        assert!(
+            after_rate > 0.8 && before_rate < 0.35,
+            "after {after_rate:.2} vs before {before_rate:.2}"
+        );
+    }
+
+    #[test]
+    fn event_counts_within_bounds() {
+        let (_, cohort) = small();
+        for p in &cohort.patients {
+            // Base events plus at most 6 inserted outcome codes.
+            assert!(p.events.len() >= 6 && p.events.len() <= 24);
+        }
+    }
+
+    #[test]
+    fn all_codes_in_vocab() {
+        let (cs, cohort) = small();
+        for p in cohort.patients.iter().take(200) {
+            for e in &p.events {
+                assert!(cs.vocab().id(e).is_some(), "code {e} missing from vocab");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid event-count range")]
+    fn bad_range_panics() {
+        let cs = CodeSystem::new();
+        generate_cohort(
+            &cs,
+            &CohortSpec {
+                min_events: 50,
+                max_events: 10,
+                ..CohortSpec::default()
+            },
+        );
+    }
+}

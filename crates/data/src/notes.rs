@@ -1,0 +1,125 @@
+//! Synthetic free-text clinical notes paired with the coded cohort.
+//!
+//! The paper motivates its framework with "clinical notes and other
+//! text-based health information"; its dataset is coded events, but this
+//! module renders each synthetic patient's record as a short narrative so
+//! the word-level pipeline ([`clinfl_text::NoteTokenizer`]) has realistic
+//! input. The narrative carries the same outcome signal as the code
+//! sequence (drug order is verbalized), so either representation can train
+//! the same classifiers.
+
+use crate::codes::CodeSystem;
+use crate::cohort::Patient;
+
+/// Renders one patient's event sequence as a narrative note.
+///
+/// Deterministic in the patient: the note is a sentence-per-event
+/// transcription with a templated header, so tests (and tokenizers) see
+/// stable text.
+pub fn render_note(patient: &Patient) -> String {
+    let mut out = String::with_capacity(patient.events.len() * 24 + 64);
+    out.push_str(&format!(
+        "patient {} presented for antiplatelet management.",
+        patient.id
+    ));
+    for event in &patient.events {
+        out.push(' ');
+        out.push_str(&describe_event(event));
+    }
+    out
+}
+
+fn describe_event(code: &str) -> String {
+    match code {
+        CodeSystem::CLOPIDOGREL => "started clopidogrel 75mg daily.".to_string(),
+        CodeSystem::CLOPIDOGREL_HIGH => "clopidogrel dose escalated to 150mg.".to_string(),
+        CodeSystem::INTERACTING => "omeprazole 20mg added for gastric protection.".to_string(),
+        CodeSystem::RISK_DM2 => "history of type 2 diabetes noted.".to_string(),
+        CodeSystem::RISK_CKD => "chronic kidney disease stage 3 on record.".to_string(),
+        CodeSystem::INDEX_ACS => "admitted with acute coronary syndrome.".to_string(),
+        other => {
+            // Cluster codes render as generic diagnosis / prescription
+            // sentences carrying the code for traceability.
+            if other.starts_with("DX:") {
+                format!("documented diagnosis {}.", &other[3..])
+            } else if other.starts_with("RX:") {
+                format!("prescribed {}.", &other[3..])
+            } else {
+                format!("noted {other}.")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cohort::{generate_cohort, CohortSpec};
+    use clinfl_text::{tokenize_words, NoteTokenizer, WordVocabBuilder};
+
+    #[test]
+    fn note_is_deterministic_and_mentions_key_events() {
+        let cs = CodeSystem::new();
+        let cohort = generate_cohort(&cs, &CohortSpec::small(50, 9));
+        let p = &cohort.patients[0];
+        let a = render_note(p);
+        let b = render_note(p);
+        assert_eq!(a, b);
+        assert!(a.contains("clopidogrel 75mg"), "{a}");
+        assert!(a.contains("acute coronary syndrome"));
+    }
+
+    #[test]
+    fn note_order_matches_event_order() {
+        let cs = CodeSystem::new();
+        let cohort = generate_cohort(&cs, &CohortSpec::small(300, 10));
+        // Find a patient with the interacting drug after initiation and
+        // verify the narrative preserves that order.
+        let p = cohort
+            .patients
+            .iter()
+            .find(|p| {
+                let clop = p.events.iter().position(|e| e == CodeSystem::CLOPIDOGREL);
+                let omep = p.events.iter().position(|e| e == CodeSystem::INTERACTING);
+                matches!((clop, omep), (Some(c), Some(o)) if o > c)
+            })
+            .expect("such a patient exists in 300");
+        let note = render_note(p);
+        let clop_at = note.find("started clopidogrel").unwrap();
+        let omep_at = note.find("omeprazole 20mg added").unwrap();
+        assert!(omep_at > clop_at);
+    }
+
+    #[test]
+    fn notes_feed_word_pipeline() {
+        let cs = CodeSystem::new();
+        let cohort = generate_cohort(&cs, &CohortSpec::small(40, 11));
+        let mut builder = WordVocabBuilder::new(2);
+        for p in &cohort.patients {
+            builder.feed(&render_note(p));
+        }
+        let vocab = builder.build();
+        assert!(vocab.id("clopidogrel").is_some());
+        let tok = NoteTokenizer::new(vocab, 48);
+        let e = tok.encode(&render_note(&cohort.patients[0]));
+        assert_eq!(e.ids.len(), 48);
+        assert!(e.real_len() > 10);
+    }
+
+    #[test]
+    fn every_event_renders_a_sentence() {
+        let cs = CodeSystem::new();
+        let cohort = generate_cohort(&cs, &CohortSpec::small(5, 12));
+        for p in &cohort.patients {
+            let note = render_note(p);
+            let sentences = note.matches('.').count();
+            assert!(
+                sentences >= p.events.len(),
+                "{} sentences for {} events",
+                sentences,
+                p.events.len()
+            );
+            assert!(!tokenize_words(&note).is_empty());
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Multi-site data partitioners (balanced, paper-imbalanced, label-skew).
+
+use crate::dataset::ClassifyDataset;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The paper's 8-client imbalanced split ratios (§IV-B1): each federated
+/// site receives this fraction of the pooled data.
+pub const PAPER_IMBALANCED_RATIOS: [f64; 8] = [0.29, 0.22, 0.17, 0.14, 0.09, 0.04, 0.03, 0.02];
+
+/// Strategy for dividing a pooled dataset across federated sites.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SitePartitioner {
+    /// Equal share per site (the paper's "balanced data" scheme).
+    Balanced {
+        /// Number of sites.
+        n_sites: usize,
+    },
+    /// Explicit per-site fractions (the paper's "imbalanced data" scheme
+    /// uses [`PAPER_IMBALANCED_RATIOS`]).
+    Ratios(Vec<f64>),
+    /// Label-skewed: site `i` receives `bias` of its examples from one
+    /// class preferentially (extension for aggregator ablations; not in
+    /// the paper).
+    LabelSkew {
+        /// Number of sites.
+        n_sites: usize,
+        /// In `[0, 1]`: 0 = uniform, 1 = fully single-class sites.
+        bias: f64,
+    },
+}
+
+impl SitePartitioner {
+    /// The paper's imbalanced 8-site partitioner.
+    pub fn paper_imbalanced() -> Self {
+        SitePartitioner::Ratios(PAPER_IMBALANCED_RATIOS.to_vec())
+    }
+
+    /// Number of sites this partitioner produces.
+    pub fn n_sites(&self) -> usize {
+        match self {
+            SitePartitioner::Balanced { n_sites } => *n_sites,
+            SitePartitioner::Ratios(r) => r.len(),
+            SitePartitioner::LabelSkew { n_sites, .. } => *n_sites,
+        }
+    }
+
+    /// Splits `dataset` into per-site shards (deterministic in `seed`).
+    ///
+    /// Every example lands in exactly one shard; shard sizes follow the
+    /// strategy (the last site absorbs rounding remainders).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy is degenerate (zero sites, ratios that do not
+    /// sum to ≈ 1, bias outside `[0, 1]`).
+    pub fn partition(&self, dataset: &ClassifyDataset, seed: u64) -> Vec<ClassifyDataset> {
+        match self {
+            SitePartitioner::Balanced { n_sites } => {
+                assert!(*n_sites > 0, "need at least one site");
+                let ratios = vec![1.0 / *n_sites as f64; *n_sites];
+                partition_by_ratios(dataset, &ratios, seed)
+            }
+            SitePartitioner::Ratios(ratios) => {
+                assert!(!ratios.is_empty(), "need at least one site");
+                let sum: f64 = ratios.iter().sum();
+                assert!(
+                    (sum - 1.0).abs() < 1e-6,
+                    "ratios must sum to 1, got {sum}"
+                );
+                assert!(
+                    ratios.iter().all(|&r| r > 0.0),
+                    "ratios must be positive: {ratios:?}"
+                );
+                partition_by_ratios(dataset, ratios, seed)
+            }
+            SitePartitioner::LabelSkew { n_sites, bias } => {
+                assert!(*n_sites > 0, "need at least one site");
+                assert!(
+                    (0.0..=1.0).contains(bias),
+                    "bias must be in [0,1], got {bias}"
+                );
+                partition_label_skew(dataset, *n_sites, *bias, seed)
+            }
+        }
+    }
+}
+
+fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..idx.len()).rev() {
+        let j = rng.random_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+fn partition_by_ratios(
+    dataset: &ClassifyDataset,
+    ratios: &[f64],
+    seed: u64,
+) -> Vec<ClassifyDataset> {
+    let idx = shuffled_indices(dataset.len(), seed);
+    let n = dataset.len();
+    let mut shards = Vec::with_capacity(ratios.len());
+    let mut start = 0usize;
+    for (s, &r) in ratios.iter().enumerate() {
+        let end = if s + 1 == ratios.len() {
+            n
+        } else {
+            (start + (n as f64 * r).round() as usize).min(n)
+        };
+        let examples = idx[start..end]
+            .iter()
+            .map(|&i| dataset.examples()[i].clone())
+            .collect();
+        shards.push(ClassifyDataset::from_examples(examples, dataset.seq_len()));
+        start = end;
+    }
+    shards
+}
+
+fn partition_label_skew(
+    dataset: &ClassifyDataset,
+    n_sites: usize,
+    bias: f64,
+    seed: u64,
+) -> Vec<ClassifyDataset> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let idx = shuffled_indices(dataset.len(), seed.wrapping_add(1));
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n_sites];
+    for &i in &idx {
+        let label = dataset.examples()[i].label as usize;
+        let site = if rng.random::<f64>() < bias {
+            // Biased assignment: positives to the low half, negatives high.
+            let half = (n_sites / 2).max(1);
+            if label == 1 {
+                rng.random_range(0..half)
+            } else {
+                rng.random_range(half.min(n_sites - 1)..n_sites)
+            }
+        } else {
+            rng.random_range(0..n_sites)
+        };
+        buckets[site].push(i);
+    }
+    buckets
+        .into_iter()
+        .map(|b| {
+            ClassifyDataset::from_examples(
+                b.into_iter()
+                    .map(|i| dataset.examples()[i].clone())
+                    .collect(),
+                dataset.seq_len(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes::CodeSystem;
+    use crate::cohort::{generate_cohort, CohortSpec};
+    use clinfl_text::ClinicalTokenizer;
+
+    fn dataset(n: usize) -> ClassifyDataset {
+        let cs = CodeSystem::new();
+        let cohort = generate_cohort(&cs, &CohortSpec::small(n, 5));
+        let tok = ClinicalTokenizer::new(cs.vocab().clone(), 24);
+        ClassifyDataset::from_cohort(&cohort, &tok)
+    }
+
+    #[test]
+    fn paper_ratios_sum_to_one() {
+        let sum: f64 = PAPER_IMBALANCED_RATIOS.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_split_sizes() {
+        let d = dataset(800);
+        let shards = SitePartitioner::Balanced { n_sites: 8 }.partition(&d, 1);
+        assert_eq!(shards.len(), 8);
+        assert!(shards.iter().all(|s| s.len() == 100));
+    }
+
+    #[test]
+    fn imbalanced_split_matches_ratios() {
+        let d = dataset(1000);
+        let shards = SitePartitioner::paper_imbalanced().partition(&d, 2);
+        let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 1000);
+        for (size, ratio) in sizes.iter().zip(PAPER_IMBALANCED_RATIOS) {
+            let expected = 1000.0 * ratio;
+            assert!(
+                (*size as f64 - expected).abs() <= 2.0,
+                "size {size} vs expected {expected}"
+            );
+        }
+        // Monotone decreasing, like the paper's ratio list.
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "{sizes:?}");
+    }
+
+    #[test]
+    fn partition_conserves_examples() {
+        let d = dataset(333);
+        for p in [
+            SitePartitioner::Balanced { n_sites: 5 },
+            SitePartitioner::paper_imbalanced(),
+            SitePartitioner::LabelSkew {
+                n_sites: 4,
+                bias: 0.7,
+            },
+        ] {
+            let shards = p.partition(&d, 7);
+            let total: usize = shards.iter().map(|s| s.len()).sum();
+            assert_eq!(total, d.len(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn partition_deterministic() {
+        let d = dataset(100);
+        let a = SitePartitioner::paper_imbalanced().partition(&d, 3);
+        let b = SitePartitioner::paper_imbalanced().partition(&d, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn label_skew_biases_positive_rates() {
+        let d = dataset(2000);
+        let shards = SitePartitioner::LabelSkew {
+            n_sites: 4,
+            bias: 0.9,
+        }
+        .partition(&d, 11);
+        let lo = shards[0].positive_rate();
+        let hi = shards[3].positive_rate();
+        assert!(
+            lo > hi + 0.2,
+            "expected skew: site0 {lo:.2} vs site3 {hi:.2}"
+        );
+    }
+
+    #[test]
+    fn zero_bias_is_roughly_uniform() {
+        let d = dataset(2000);
+        let shards = SitePartitioner::LabelSkew {
+            n_sites: 4,
+            bias: 0.0,
+        }
+        .partition(&d, 11);
+        let base = d.positive_rate();
+        for s in &shards {
+            assert!((s.positive_rate() - base).abs() < 0.08);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_ratios_panic() {
+        SitePartitioner::Ratios(vec![0.5, 0.2]).partition(&dataset(10), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Admin/status API (NVFlare's admin-console equivalent).
+//!
+//! NVFlare deployments ship an admin client (`check_status`,
+//! `list_clients`, `abort_job`, …). This module provides the same
+//! introspection surface over a running workflow: a shared
+//! [`RunStatus`] that the controller updates and any observer thread can
+//! query, plus typed [`AdminCommand`]s with formatted replies.
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Lifecycle phase of a federated run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunPhase {
+    /// Provisioned, waiting for client registrations.
+    WaitingForClients,
+    /// A training round is in flight.
+    Training {
+        /// Current round (0-based).
+        round: u32,
+        /// Total rounds.
+        total: u32,
+    },
+    /// Aggregating / validating / persisting between rounds.
+    Aggregating {
+        /// Round being aggregated.
+        round: u32,
+    },
+    /// Workflow finished successfully.
+    Finished,
+    /// Workflow aborted with an error.
+    Aborted,
+}
+
+impl std::fmt::Display for RunPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunPhase::WaitingForClients => write!(f, "waiting_for_clients"),
+            RunPhase::Training { round, total } => write!(f, "training round {round}/{total}"),
+            RunPhase::Aggregating { round } => write!(f, "aggregating round {round}"),
+            RunPhase::Finished => write!(f, "finished"),
+            RunPhase::Aborted => write!(f, "aborted"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct StatusInner {
+    phase: RunPhase,
+    clients: Vec<(String, bool)>,
+    last_metric: Option<f64>,
+    started: Instant,
+}
+
+/// Shared, thread-safe view of a run's live status.
+///
+/// Cheap to clone (it is an `Arc` handle); the workflow side calls the
+/// `set_*` methods, observers call the getters or issue
+/// [`AdminCommand`]s via [`RunStatus::execute`].
+#[derive(Clone, Debug)]
+pub struct RunStatus {
+    inner: Arc<RwLock<StatusInner>>,
+}
+
+impl RunStatus {
+    /// New status in the waiting phase.
+    pub fn new() -> Self {
+        RunStatus {
+            inner: Arc::new(RwLock::new(StatusInner {
+                phase: RunPhase::WaitingForClients,
+                clients: Vec::new(),
+                last_metric: None,
+                started: Instant::now(),
+            })),
+        }
+    }
+
+    /// Updates the lifecycle phase.
+    pub fn set_phase(&self, phase: RunPhase) {
+        self.inner.write().phase = phase;
+    }
+
+    /// Registers or updates a client's liveness.
+    pub fn set_client(&self, site: &str, alive: bool) {
+        let mut inner = self.inner.write();
+        if let Some(c) = inner.clients.iter_mut().find(|(s, _)| s == site) {
+            c.1 = alive;
+        } else {
+            inner.clients.push((site.to_string(), alive));
+        }
+    }
+
+    /// Records the latest global validation metric.
+    pub fn set_metric(&self, metric: f64) {
+        self.inner.write().last_metric = Some(metric);
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> RunPhase {
+        self.inner.read().phase
+    }
+
+    /// `(site, alive)` pairs.
+    pub fn clients(&self) -> Vec<(String, bool)> {
+        self.inner.read().clients.clone()
+    }
+
+    /// Latest global metric, if any.
+    pub fn last_metric(&self) -> Option<f64> {
+        self.inner.read().last_metric
+    }
+
+    /// Executes an admin command, returning the formatted reply.
+    pub fn execute(&self, cmd: AdminCommand) -> String {
+        let inner = self.inner.read();
+        match cmd {
+            AdminCommand::CheckStatus => format!(
+                "phase: {} | uptime: {:.1}s | last_metric: {}",
+                inner.phase,
+                inner.started.elapsed().as_secs_f64(),
+                inner
+                    .last_metric
+                    .map(|m| format!("{m:.4}"))
+                    .unwrap_or_else(|| "n/a".into()),
+            ),
+            AdminCommand::ListClients => {
+                if inner.clients.is_empty() {
+                    "no clients registered".to_string()
+                } else {
+                    inner
+                        .clients
+                        .iter()
+                        .map(|(s, alive)| {
+                            format!("{s}: {}", if *alive { "alive" } else { "dead" })
+                        })
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                }
+            }
+        }
+    }
+}
+
+impl Default for RunStatus {
+    fn default() -> Self {
+        RunStatus::new()
+    }
+}
+
+/// Admin-console commands (a subset of NVFlare's).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdminCommand {
+    /// Server + workflow status summary.
+    CheckStatus,
+    /// Per-client liveness listing.
+    ListClients,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_transitions_render() {
+        let s = RunStatus::new();
+        assert_eq!(s.phase(), RunPhase::WaitingForClients);
+        s.set_phase(RunPhase::Training { round: 2, total: 10 });
+        assert!(s.execute(AdminCommand::CheckStatus).contains("training round 2/10"));
+        s.set_phase(RunPhase::Finished);
+        assert_eq!(s.phase(), RunPhase::Finished);
+    }
+
+    #[test]
+    fn client_listing() {
+        let s = RunStatus::new();
+        assert!(s.execute(AdminCommand::ListClients).contains("no clients"));
+        s.set_client("site-1", true);
+        s.set_client("site-2", true);
+        s.set_client("site-2", false);
+        let listing = s.execute(AdminCommand::ListClients);
+        assert!(listing.contains("site-1: alive"));
+        assert!(listing.contains("site-2: dead"));
+        assert_eq!(s.clients().len(), 2);
+    }
+
+    #[test]
+    fn metric_recorded() {
+        let s = RunStatus::new();
+        assert_eq!(s.last_metric(), None);
+        s.set_metric(0.875);
+        assert_eq!(s.last_metric(), Some(0.875));
+        assert!(s.execute(AdminCommand::CheckStatus).contains("0.8750"));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let s = RunStatus::new();
+        let s2 = s.clone();
+        s2.set_metric(1.0);
+        assert_eq!(s.last_metric(), Some(1.0));
+    }
+}

@@ -1,0 +1,320 @@
+//! Server-side aggregation of client updates.
+//!
+//! The paper's runs use NVFlare's default weighted federated averaging
+//! (its Fig. 3 shows the `DXOAggregator` "aggregating 8 update(s)"); the
+//! robust aggregators are extensions used by the ablation benches.
+
+use crate::dxo::{Dxo, WeightTensor, Weights};
+use crate::FlareError;
+
+/// An aggregation rule combining per-site updates into a new global model.
+pub trait Aggregator: Send {
+    /// Combines `updates` (site name + DXO) given the current global model
+    /// `reference`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations reject empty update sets and malformed updates.
+    fn aggregate(&self, updates: &[(String, Dxo)], reference: &Weights)
+        -> Result<Weights, FlareError>;
+
+    /// Human-readable rule name (for logs and bench tables).
+    fn name(&self) -> &'static str;
+}
+
+fn check_updates(updates: &[(String, Dxo)], reference: &Weights) -> Result<(), FlareError> {
+    if updates.is_empty() {
+        return Err(FlareError::NotEnoughClients { got: 0, needed: 1 });
+    }
+    for (site, dxo) in updates {
+        dxo.validate(Some(reference))
+            .map_err(|e| FlareError::RejectedUpdate(format!("{site}: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Example-count-weighted federated averaging (McMahan et al.'s FedAvg,
+/// NVFlare's default): `w = Σ nᵢ wᵢ / Σ nᵢ`.
+///
+/// Sites reporting `n_examples == 0` participate with weight 1 so a
+/// metrics-less site cannot zero out a round.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WeightedFedAvg;
+
+impl Aggregator for WeightedFedAvg {
+    fn aggregate(
+        &self,
+        updates: &[(String, Dxo)],
+        reference: &Weights,
+    ) -> Result<Weights, FlareError> {
+        check_updates(updates, reference)?;
+        let weights: Vec<f64> = updates
+            .iter()
+            .map(|(_, d)| if d.n_examples == 0 { 1.0 } else { d.n_examples as f64 })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut out = Weights::new();
+        for (name, ref_t) in reference {
+            let mut acc = vec![0.0f64; ref_t.numel()];
+            for ((_, dxo), &w) in updates.iter().zip(&weights) {
+                let t = &dxo.weights[name];
+                for (a, &v) in acc.iter_mut().zip(&t.data) {
+                    *a += w * v as f64;
+                }
+            }
+            let data: Vec<f32> = acc.into_iter().map(|v| (v / total) as f32).collect();
+            out.insert(name.clone(), WeightTensor::new(ref_t.dims.clone(), data));
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "WeightedFedAvg"
+    }
+}
+
+/// Masked-sum aggregation for the secure-aggregation filter: sums the
+/// (mask-cancelling) client payloads and divides by the total example
+/// count. Clients must pre-multiply their weights by `n_examples`
+/// (see [`crate::filters::SecureAggMask`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaskedSum;
+
+impl Aggregator for MaskedSum {
+    fn aggregate(
+        &self,
+        updates: &[(String, Dxo)],
+        reference: &Weights,
+    ) -> Result<Weights, FlareError> {
+        if updates.is_empty() {
+            return Err(FlareError::NotEnoughClients { got: 0, needed: 1 });
+        }
+        // Masked payloads are intentionally perturbed; validate shapes only.
+        for (site, dxo) in updates {
+            if dxo.weights.len() != reference.len() {
+                return Err(FlareError::RejectedUpdate(format!(
+                    "{site}: tensor count mismatch"
+                )));
+            }
+        }
+        let total: f64 = updates.iter().map(|(_, d)| d.n_examples as f64).sum();
+        if total == 0.0 {
+            return Err(FlareError::RejectedUpdate(
+                "masked-sum requires positive example counts".into(),
+            ));
+        }
+        let mut out = Weights::new();
+        for (name, ref_t) in reference {
+            let mut acc = vec![0.0f64; ref_t.numel()];
+            for (_, dxo) in updates {
+                let t = dxo.weights.get(name).ok_or_else(|| {
+                    FlareError::RejectedUpdate(format!("missing tensor {name:?}"))
+                })?;
+                for (a, &v) in acc.iter_mut().zip(&t.data) {
+                    *a += v as f64;
+                }
+            }
+            let data: Vec<f32> = acc.into_iter().map(|v| (v / total) as f32).collect();
+            out.insert(name.clone(), WeightTensor::new(ref_t.dims.clone(), data));
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "MaskedSum"
+    }
+}
+
+/// Coordinate-wise median: robust to a minority of corrupted updates
+/// (extension; ablation bench).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoordinateMedian;
+
+impl Aggregator for CoordinateMedian {
+    fn aggregate(
+        &self,
+        updates: &[(String, Dxo)],
+        reference: &Weights,
+    ) -> Result<Weights, FlareError> {
+        check_updates(updates, reference)?;
+        let mut out = Weights::new();
+        let mut column: Vec<f32> = Vec::with_capacity(updates.len());
+        for (name, ref_t) in reference {
+            let mut data = Vec::with_capacity(ref_t.numel());
+            for i in 0..ref_t.numel() {
+                column.clear();
+                column.extend(updates.iter().map(|(_, d)| d.weights[name].data[i]));
+                column.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+                let mid = column.len() / 2;
+                let median = if column.len() % 2 == 1 {
+                    column[mid]
+                } else {
+                    0.5 * (column[mid - 1] + column[mid])
+                };
+                data.push(median);
+            }
+            out.insert(name.clone(), WeightTensor::new(ref_t.dims.clone(), data));
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "CoordinateMedian"
+    }
+}
+
+/// Trimmed mean: drops the `trim` highest and lowest values per coordinate
+/// before averaging (extension; ablation bench).
+#[derive(Clone, Copy, Debug)]
+pub struct TrimmedMean {
+    /// Values trimmed from each end (must leave at least one value).
+    pub trim: usize,
+}
+
+impl Aggregator for TrimmedMean {
+    fn aggregate(
+        &self,
+        updates: &[(String, Dxo)],
+        reference: &Weights,
+    ) -> Result<Weights, FlareError> {
+        check_updates(updates, reference)?;
+        if updates.len() <= 2 * self.trim {
+            return Err(FlareError::RejectedUpdate(format!(
+                "trimmed mean needs more than {} updates, got {}",
+                2 * self.trim,
+                updates.len()
+            )));
+        }
+        let mut out = Weights::new();
+        let mut column: Vec<f32> = Vec::with_capacity(updates.len());
+        for (name, ref_t) in reference {
+            let mut data = Vec::with_capacity(ref_t.numel());
+            for i in 0..ref_t.numel() {
+                column.clear();
+                column.extend(updates.iter().map(|(_, d)| d.weights[name].data[i]));
+                column.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+                let kept = &column[self.trim..column.len() - self.trim];
+                data.push(kept.iter().sum::<f32>() / kept.len() as f32);
+            }
+            out.insert(name.clone(), WeightTensor::new(ref_t.dims.clone(), data));
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "TrimmedMean"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(v: f32) -> Weights {
+        let mut m = Weights::new();
+        m.insert("p".into(), WeightTensor::new(vec![2], vec![v, v * 2.0]));
+        m
+    }
+
+    fn update(site: &str, v: f32, n: u64) -> (String, Dxo) {
+        (site.to_string(), Dxo::from_weights(w(v), n))
+    }
+
+    #[test]
+    fn fedavg_weighted_mean() {
+        // (1*1 + 3*3) / 4 = 2.5
+        let updates = vec![update("a", 1.0, 1), update("b", 3.0, 3)];
+        let out = WeightedFedAvg.aggregate(&updates, &w(0.0)).unwrap();
+        assert_eq!(out["p"].data, vec![2.5, 5.0]);
+    }
+
+    #[test]
+    fn fedavg_equal_when_counts_equal() {
+        let updates = vec![update("a", 2.0, 5), update("b", 4.0, 5)];
+        let out = WeightedFedAvg.aggregate(&updates, &w(0.0)).unwrap();
+        assert_eq!(out["p"].data, vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn fedavg_zero_count_treated_as_one() {
+        let updates = vec![update("a", 0.0, 0), update("b", 4.0, 0)];
+        let out = WeightedFedAvg.aggregate(&updates, &w(0.0)).unwrap();
+        assert_eq!(out["p"].data, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn fedavg_rejects_empty() {
+        assert!(WeightedFedAvg.aggregate(&[], &w(0.0)).is_err());
+    }
+
+    #[test]
+    fn fedavg_rejects_nan_update() {
+        let mut bad = w(1.0);
+        bad.get_mut("p").unwrap().data[0] = f32::NAN;
+        let updates = vec![("a".to_string(), Dxo::from_weights(bad, 1))];
+        let err = WeightedFedAvg.aggregate(&updates, &w(0.0)).unwrap_err();
+        assert!(err.to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn fedavg_rejects_shape_mismatch() {
+        let mut bad = Weights::new();
+        bad.insert("p".into(), WeightTensor::new(vec![3], vec![0.0; 3]));
+        let updates = vec![("a".to_string(), Dxo::from_weights(bad, 1))];
+        assert!(WeightedFedAvg.aggregate(&updates, &w(0.0)).is_err());
+    }
+
+    #[test]
+    fn median_ignores_outlier() {
+        let updates = vec![
+            update("a", 1.0, 1),
+            update("b", 1.2, 1),
+            update("evil", 1000.0, 1),
+        ];
+        let out = CoordinateMedian.aggregate(&updates, &w(0.0)).unwrap();
+        assert_eq!(out["p"].data[0], 1.2);
+    }
+
+    #[test]
+    fn median_even_count_averages_middle() {
+        let updates = vec![update("a", 1.0, 1), update("b", 3.0, 1)];
+        let out = CoordinateMedian.aggregate(&updates, &w(0.0)).unwrap();
+        assert_eq!(out["p"].data[0], 2.0);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        let updates = vec![
+            update("a", -100.0, 1),
+            update("b", 1.0, 1),
+            update("c", 2.0, 1),
+            update("d", 3.0, 1),
+            update("evil", 500.0, 1),
+        ];
+        let out = TrimmedMean { trim: 1 }.aggregate(&updates, &w(0.0)).unwrap();
+        assert_eq!(out["p"].data[0], 2.0);
+    }
+
+    #[test]
+    fn trimmed_mean_needs_enough_updates() {
+        let updates = vec![update("a", 1.0, 1), update("b", 2.0, 1)];
+        assert!(TrimmedMean { trim: 1 }.aggregate(&updates, &w(0.0)).is_err());
+    }
+
+    #[test]
+    fn masked_sum_divides_by_total() {
+        // Clients send n_i * w_i; sum / Σn is the weighted mean.
+        let updates = vec![update("a", 2.0, 2), update("b", 9.0, 3)];
+        // payloads: 2.0 (pretend = 2*1.0), 9.0 (= 3*3.0) → (2+9)/5 = 2.2
+        let out = MaskedSum.aggregate(&updates, &w(0.0)).unwrap();
+        assert!((out["p"].data[0] - 2.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(WeightedFedAvg.name(), "WeightedFedAvg");
+        assert_eq!(CoordinateMedian.name(), "CoordinateMedian");
+        assert_eq!(TrimmedMean { trim: 1 }.name(), "TrimmedMean");
+        assert_eq!(MaskedSum.name(), "MaskedSum");
+    }
+}

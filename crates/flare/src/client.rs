@@ -1,0 +1,193 @@
+//! The federated client: registration, encrypted session, task loop.
+
+use crate::dxo::DxoKind;
+use crate::executor::{Executor, TaskContext};
+use crate::filters::FilterChain;
+use crate::log::EventLog;
+use crate::messages::{ClientMessage, ServerMessage, TaskAssignment};
+use crate::provision::SitePackage;
+use crate::security::{DhKeyPair, SecureChannel};
+use crate::transport::Connection;
+use crate::wire::{WireDecode, WireEncode};
+use crate::FlareError;
+use std::time::Duration;
+
+/// Failure-injection knobs for testing runtime resilience.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ClientBehavior {
+    /// Crash (stop responding, no goodbye) when asked to train this round.
+    pub drop_at_round: Option<u32>,
+    /// Sleep this long before every training task (straggler simulation).
+    pub straggle: Option<Duration>,
+}
+
+/// A connected, registered federated client (paper Fig. 3's
+/// `FederatedClient`).
+pub struct FlClient {
+    site: String,
+    conn: Connection,
+    seal: SecureChannel,
+    open: SecureChannel,
+    session: String,
+    log: EventLog,
+    filters: FilterChain,
+    recv_timeout: Duration,
+}
+
+impl std::fmt::Debug for FlClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlClient")
+            .field("site", &self.site)
+            .field("session", &self.session)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FlClient {
+    /// Registers with the server over `conn` using the provisioned
+    /// `package`, performing the token check and key agreement.
+    ///
+    /// # Errors
+    ///
+    /// [`FlareError::InvalidToken`] if the server rejects the registration,
+    /// transport/codec errors otherwise.
+    pub fn register(
+        mut conn: Connection,
+        package: &SitePackage,
+        dh_secret: u64,
+        log: EventLog,
+    ) -> Result<Self, FlareError> {
+        let keys = DhKeyPair::from_secret(dh_secret);
+        let register = ClientMessage::Register {
+            site: package.site_name.clone(),
+            token: package.token.clone(),
+            dh_public: keys.public,
+        };
+        conn.tx.send(&register.to_frame())?;
+        let frame = conn.rx.recv(Duration::from_secs(30))?;
+        let msg = ServerMessage::from_frame(&frame)?;
+        let ServerMessage::RegisterAck {
+            accepted,
+            session,
+            dh_public,
+        } = msg
+        else {
+            return Err(FlareError::Codec("expected RegisterAck".into()));
+        };
+        if !accepted {
+            return Err(FlareError::InvalidToken {
+                site: package.site_name.clone(),
+            });
+        }
+        let key = keys.shared_key(dh_public);
+        log.info(
+            "FederatedClient",
+            format!(
+                "Successfully registered client:{} for project simulator_server. Token:{session}",
+                package.site_name
+            ),
+        );
+        Ok(FlClient {
+            site: package.site_name.clone(),
+            conn,
+            seal: SecureChannel::new(key, 0),
+            open: SecureChannel::new(key, 1 << 32),
+            session,
+            log,
+            filters: FilterChain::new(),
+            recv_timeout: Duration::from_secs(3600),
+        })
+    }
+
+    /// The site name.
+    pub fn site(&self) -> &str {
+        &self.site
+    }
+
+    /// The server-issued session token.
+    pub fn session(&self) -> &str {
+        &self.session
+    }
+
+    /// Installs an outgoing filter chain (DP noise, pruning, secure-agg
+    /// masks).
+    pub fn set_filters(&mut self, filters: FilterChain) {
+        self.filters = filters;
+    }
+
+    /// Overrides how long the client waits for the next task.
+    pub fn set_recv_timeout(&mut self, timeout: Duration) {
+        self.recv_timeout = timeout;
+    }
+
+    fn send(&mut self, msg: &ClientMessage) -> Result<(), FlareError> {
+        let sealed = self.seal.seal(&msg.to_frame());
+        self.conn.tx.send(&sealed)
+    }
+
+    /// Runs the task loop with the given executor until the server sends
+    /// `Finish` (or a failure-injection behavior triggers).
+    ///
+    /// Returns the number of training rounds completed.
+    ///
+    /// # Errors
+    ///
+    /// Transport or codec failures; executor panics propagate.
+    pub fn run(
+        &mut self,
+        executor: &mut dyn Executor,
+        behavior: ClientBehavior,
+    ) -> Result<u32, FlareError> {
+        let mut trained = 0u32;
+        loop {
+            let frame = self.conn.rx.recv(self.recv_timeout)?;
+            let plain = self.open.open(&frame)?;
+            let msg = ServerMessage::from_frame(&plain)?;
+            let ServerMessage::Task(task) = msg else {
+                continue;
+            };
+            match task {
+                TaskAssignment::Train {
+                    round,
+                    total_rounds,
+                    weights,
+                } => {
+                    if behavior.drop_at_round == Some(round) {
+                        self.log.warn(
+                            "FederatedClient",
+                            format!("{} simulating crash at round {round}", self.site),
+                        );
+                        return Ok(trained);
+                    }
+                    if let Some(d) = behavior.straggle {
+                        std::thread::sleep(d);
+                    }
+                    let ctx = TaskContext {
+                        site: self.site.clone(),
+                        round,
+                        total_rounds,
+                    };
+                    let mut dxo = executor.train(&weights, &ctx);
+                    dxo = self.filters.apply(dxo, &weights, round);
+                    debug_assert!(matches!(dxo.kind, DxoKind::Weights | DxoKind::WeightDiff));
+                    self.send(&ClientMessage::Submit { round, dxo })?;
+                    trained += 1;
+                }
+                TaskAssignment::Validate { round, weights } => {
+                    let ctx = TaskContext {
+                        site: self.site.clone(),
+                        round,
+                        total_rounds: 0,
+                    };
+                    let metric = executor.validate(&weights, &ctx);
+                    self.send(&ClientMessage::ValidateReport { round, metric })?;
+                }
+                TaskAssignment::Finish => {
+                    let site = self.site.clone();
+                    self.send(&ClientMessage::Bye { site })?;
+                    return Ok(trained);
+                }
+            }
+        }
+    }
+}

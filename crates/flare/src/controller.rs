@@ -1,0 +1,459 @@
+//! The ScatterAndGather workflow controller (NVFlare's SAG, shown in the
+//! paper's Fig. 3 round loop).
+
+use crate::aggregator::Aggregator;
+use crate::dxo::{Dxo, Weights};
+use crate::log::EventLog;
+use crate::messages::TaskAssignment;
+use crate::persistor::Persistor;
+use crate::FlareError;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Server-side view of the client fleet, implemented by
+/// [`crate::server::FlServer`] and by mocks in tests.
+pub trait ClientGateway {
+    /// Names of currently registered, alive clients.
+    fn client_sites(&self) -> Vec<String>;
+
+    /// Sends a task to every alive client; returns the delivered count.
+    fn broadcast(&mut self, task: &TaskAssignment) -> usize;
+
+    /// Collects `Submit` updates for `round` until `expected` arrive or
+    /// `timeout` elapses.
+    fn collect_submissions(
+        &mut self,
+        round: u32,
+        expected: usize,
+        timeout: Duration,
+    ) -> Vec<(String, Dxo)>;
+
+    /// Collects `ValidateReport` metrics for `round`.
+    fn collect_validations(
+        &mut self,
+        round: u32,
+        expected: usize,
+        timeout: Duration,
+    ) -> Vec<(String, f64)>;
+}
+
+/// Configuration of the ScatterAndGather workflow.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SagConfig {
+    /// Number of communication rounds `E`.
+    pub rounds: u32,
+    /// Minimum client updates needed to aggregate a round.
+    pub min_clients: usize,
+    /// Deadline for gathering one round's updates.
+    pub round_timeout: Duration,
+    /// Whether to run a client-side validation pass on each new global
+    /// model (the paper validates the aggregated model every round).
+    pub validate_global: bool,
+}
+
+impl Default for SagConfig {
+    fn default() -> Self {
+        SagConfig {
+            rounds: 10,
+            min_clients: 1,
+            round_timeout: Duration::from_secs(600),
+            validate_global: true,
+        }
+    }
+}
+
+/// Outcome of one round.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoundSummary {
+    /// Round index (0-based).
+    pub round: u32,
+    /// Sites whose updates were aggregated.
+    pub contributors: Vec<String>,
+    /// Per-site training metrics reported with the updates.
+    pub client_metrics: BTreeMap<String, BTreeMap<String, f64>>,
+    /// Mean validation metric of the aggregated global model (if
+    /// `validate_global`).
+    pub global_metric: Option<f64>,
+}
+
+/// Result of a completed workflow.
+#[derive(Clone, Debug)]
+pub struct WorkflowResult {
+    /// The final aggregated global model.
+    pub final_weights: Weights,
+    /// Per-round summaries.
+    pub rounds: Vec<RoundSummary>,
+}
+
+impl WorkflowResult {
+    /// The last round's global validation metric, if any.
+    pub fn final_metric(&self) -> Option<f64> {
+        self.rounds.iter().rev().find_map(|r| r.global_metric)
+    }
+
+    /// The best global validation metric across rounds, if any.
+    pub fn best_metric(&self) -> Option<f64> {
+        self.rounds
+            .iter()
+            .filter_map(|r| r.global_metric)
+            .fold(None, |acc, m| Some(acc.map_or(m, |a: f64| a.max(m))))
+    }
+}
+
+/// The ScatterAndGather controller: for each round, scatter the global
+/// model, gather client updates, aggregate, persist, optionally validate.
+#[derive(Debug)]
+pub struct ScatterAndGather {
+    config: SagConfig,
+    log: EventLog,
+    status: crate::admin::RunStatus,
+}
+
+impl ScatterAndGather {
+    /// Creates the controller.
+    pub fn new(config: SagConfig, log: EventLog) -> Self {
+        ScatterAndGather {
+            config,
+            log,
+            status: crate::admin::RunStatus::new(),
+        }
+    }
+
+    /// Attaches a shared [`crate::admin::RunStatus`] for admin-console
+    /// observation of the run.
+    pub fn with_status(mut self, status: crate::admin::RunStatus) -> Self {
+        self.status = status;
+        self
+    }
+
+    /// The live status handle.
+    pub fn status(&self) -> &crate::admin::RunStatus {
+        &self.status
+    }
+
+    /// Runs the full workflow to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`FlareError::NotEnoughClients`] if any round gathers fewer than
+    /// `min_clients` updates before the timeout.
+    pub fn run(
+        &self,
+        gateway: &mut dyn ClientGateway,
+        aggregator: &dyn Aggregator,
+        persistor: &mut dyn Persistor,
+        initial: Weights,
+    ) -> Result<WorkflowResult, FlareError> {
+        let tag = "ScatterAndGather";
+        let mut global = initial;
+        let mut rounds = Vec::with_capacity(self.config.rounds as usize);
+        for site in gateway.client_sites() {
+            self.status.set_client(&site, true);
+        }
+        for round in 0..self.config.rounds {
+            self.status.set_phase(crate::admin::RunPhase::Training {
+                round,
+                total: self.config.rounds,
+            });
+            self.log.info(tag, format!("Round {round} started."));
+            let expected = gateway.client_sites().len();
+            let sent = gateway.broadcast(&TaskAssignment::Train {
+                round,
+                total_rounds: self.config.rounds,
+                weights: global.clone(),
+            });
+            self.log
+                .info(tag, format!("Scattered global model to {sent} client(s)."));
+            let updates =
+                gateway.collect_submissions(round, expected, self.config.round_timeout);
+            for (site, _) in &updates {
+                self.log
+                    .info(tag, format!("Contribution from {site} received."));
+            }
+            self.status
+                .set_phase(crate::admin::RunPhase::Aggregating { round });
+            if updates.len() < self.config.min_clients {
+                self.status.set_phase(crate::admin::RunPhase::Aborted);
+                self.log.warn(
+                    tag,
+                    format!(
+                        "Round {round} aborted: {} update(s) < min_clients {}",
+                        updates.len(),
+                        self.config.min_clients
+                    ),
+                );
+                return Err(FlareError::NotEnoughClients {
+                    got: updates.len(),
+                    needed: self.config.min_clients,
+                });
+            }
+            self.log.info(
+                tag,
+                format!(
+                    "aggregating {} update(s) at round {round} [{}]",
+                    updates.len(),
+                    aggregator.name()
+                ),
+            );
+            global = aggregator.aggregate(&updates, &global)?;
+            self.log.info(tag, "End aggregation.");
+
+            let global_metric = if self.config.validate_global {
+                let expected = gateway.client_sites().len();
+                gateway.broadcast(&TaskAssignment::Validate {
+                    round,
+                    weights: global.clone(),
+                });
+                let reports =
+                    gateway.collect_validations(round, expected, self.config.round_timeout);
+                if reports.is_empty() {
+                    None
+                } else {
+                    let mean = reports.iter().map(|(_, m)| m).sum::<f64>() / reports.len() as f64;
+                    self.status.set_metric(mean);
+                    self.log.info(
+                        tag,
+                        format!("Global model valid_acc={mean:.3} over {} site(s)", reports.len()),
+                    );
+                    Some(mean)
+                }
+            } else {
+                None
+            };
+
+            self.log.info(tag, "Start persist model on server.");
+            persistor.save(round, &global, global_metric);
+            self.log.info(tag, "End persist model on server.");
+            self.log.info(tag, format!("Round {round} finished."));
+
+            rounds.push(RoundSummary {
+                round,
+                contributors: updates.iter().map(|(s, _)| s.clone()).collect(),
+                client_metrics: updates
+                    .iter()
+                    .map(|(s, d)| (s.clone(), d.metrics.clone()))
+                    .collect(),
+                global_metric,
+            });
+        }
+        gateway.broadcast(&TaskAssignment::Finish);
+        self.status.set_phase(crate::admin::RunPhase::Finished);
+        self.log.info(tag, "Workflow finished; Finish broadcast.");
+        Ok(WorkflowResult {
+            final_weights: global,
+            rounds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregator::WeightedFedAvg;
+    use crate::dxo::WeightTensor;
+    use crate::persistor::InMemoryPersistor;
+
+    /// A mock fleet: every client adds its `delta` to the global weights.
+    struct MockGateway {
+        deltas: Vec<f32>,
+        /// Clients that stop responding from a given round on.
+        dead_from: Vec<Option<u32>>,
+        current_global: Weights,
+        pending_round: Option<u32>,
+    }
+
+    impl MockGateway {
+        fn new(deltas: Vec<f32>) -> Self {
+            let n = deltas.len();
+            MockGateway {
+                deltas,
+                dead_from: vec![None; n],
+                current_global: Weights::new(),
+                pending_round: None,
+            }
+        }
+    }
+
+    impl ClientGateway for MockGateway {
+        fn client_sites(&self) -> Vec<String> {
+            (0..self.deltas.len()).map(|i| format!("site-{}", i + 1)).collect()
+        }
+
+        fn broadcast(&mut self, task: &TaskAssignment) -> usize {
+            if let TaskAssignment::Train { round, weights, .. } = task {
+                self.current_global = weights.clone();
+                self.pending_round = Some(*round);
+            }
+            self.deltas.len()
+        }
+
+        fn collect_submissions(
+            &mut self,
+            round: u32,
+            _expected: usize,
+            _timeout: Duration,
+        ) -> Vec<(String, Dxo)> {
+            assert_eq!(self.pending_round, Some(round));
+            self.deltas
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| self.dead_from[*i].map(|d| round < d).unwrap_or(true))
+                .map(|(i, &d)| {
+                    let mut w = self.current_global.clone();
+                    for t in w.values_mut() {
+                        for v in t.data.iter_mut() {
+                            *v += d;
+                        }
+                    }
+                    (format!("site-{}", i + 1), Dxo::from_weights(w, 10))
+                })
+                .collect()
+        }
+
+        fn collect_validations(
+            &mut self,
+            _round: u32,
+            expected: usize,
+            _timeout: Duration,
+        ) -> Vec<(String, f64)> {
+            (0..expected).map(|i| (format!("site-{}", i + 1), 0.5)).collect()
+        }
+    }
+
+    fn initial() -> Weights {
+        let mut w = Weights::new();
+        w.insert("p".into(), WeightTensor::new(vec![2], vec![0.0, 0.0]));
+        w
+    }
+
+    #[test]
+    fn full_run_aggregates_each_round() {
+        let mut gw = MockGateway::new(vec![1.0, 3.0]);
+        let sag = ScatterAndGather::new(
+            SagConfig {
+                rounds: 4,
+                min_clients: 2,
+                validate_global: true,
+                ..SagConfig::default()
+            },
+            EventLog::new(),
+        );
+        let mut pers = InMemoryPersistor::new();
+        let res = sag
+            .run(&mut gw, &WeightedFedAvg, &mut pers, initial())
+            .unwrap();
+        // Each round adds mean(1,3) = 2 to every weight.
+        assert_eq!(res.final_weights["p"].data, vec![8.0, 8.0]);
+        assert_eq!(res.rounds.len(), 4);
+        assert_eq!(res.final_metric(), Some(0.5));
+        assert!(pers.latest().is_some());
+    }
+
+    #[test]
+    fn tolerates_dropout_above_min_clients() {
+        let mut gw = MockGateway::new(vec![1.0, 1.0, 1.0]);
+        gw.dead_from[2] = Some(1); // site-3 dies after round 0
+        let sag = ScatterAndGather::new(
+            SagConfig {
+                rounds: 3,
+                min_clients: 2,
+                validate_global: false,
+                ..SagConfig::default()
+            },
+            EventLog::new(),
+        );
+        let res = sag
+            .run(&mut gw, &WeightedFedAvg, &mut InMemoryPersistor::new(), initial())
+            .unwrap();
+        assert_eq!(res.rounds[0].contributors.len(), 3);
+        assert_eq!(res.rounds[1].contributors.len(), 2);
+        assert_eq!(res.rounds[2].contributors.len(), 2);
+    }
+
+    #[test]
+    fn aborts_below_min_clients() {
+        let mut gw = MockGateway::new(vec![1.0, 1.0]);
+        gw.dead_from = vec![Some(1), Some(1)];
+        let sag = ScatterAndGather::new(
+            SagConfig {
+                rounds: 3,
+                min_clients: 1,
+                validate_global: false,
+                ..SagConfig::default()
+            },
+            EventLog::new(),
+        );
+        let err = sag
+            .run(&mut gw, &WeightedFedAvg, &mut InMemoryPersistor::new(), initial())
+            .unwrap_err();
+        assert!(matches!(err, FlareError::NotEnoughClients { got: 0, needed: 1 }));
+    }
+
+    #[test]
+    fn log_mirrors_fig3_phrases() {
+        let log = EventLog::new();
+        let mut gw = MockGateway::new(vec![1.0]);
+        let sag = ScatterAndGather::new(
+            SagConfig {
+                rounds: 1,
+                min_clients: 1,
+                validate_global: false,
+                ..SagConfig::default()
+            },
+            log.clone(),
+        );
+        sag.run(&mut gw, &WeightedFedAvg, &mut InMemoryPersistor::new(), initial())
+            .unwrap();
+        for phrase in [
+            "Round 0 started.",
+            "aggregating 1 update(s) at round 0",
+            "End aggregation.",
+            "Start persist model on server.",
+            "End persist model on server.",
+            "Round 0 finished.",
+        ] {
+            assert!(log.contains(phrase), "missing log phrase {phrase:?}");
+        }
+    }
+
+    #[test]
+    fn status_reflects_run_lifecycle() {
+        use crate::admin::{AdminCommand, RunPhase, RunStatus};
+        let status = RunStatus::new();
+        let mut gw = MockGateway::new(vec![1.0, 2.0]);
+        let sag = ScatterAndGather::new(
+            SagConfig {
+                rounds: 2,
+                min_clients: 1,
+                validate_global: true,
+                ..SagConfig::default()
+            },
+            EventLog::new(),
+        )
+        .with_status(status.clone());
+        sag.run(&mut gw, &WeightedFedAvg, &mut InMemoryPersistor::new(), initial())
+            .unwrap();
+        assert_eq!(status.phase(), RunPhase::Finished);
+        assert_eq!(status.clients().len(), 2);
+        assert_eq!(status.last_metric(), Some(0.5));
+        assert!(status
+            .execute(AdminCommand::CheckStatus)
+            .contains("finished"));
+    }
+
+    #[test]
+    fn best_metric_tracks_max() {
+        let r = |round, m| RoundSummary {
+            round,
+            contributors: vec![],
+            client_metrics: BTreeMap::new(),
+            global_metric: m,
+        };
+        let res = WorkflowResult {
+            final_weights: Weights::new(),
+            rounds: vec![r(0, Some(0.4)), r(1, Some(0.9)), r(2, Some(0.7)), r(3, None)],
+        };
+        assert_eq!(res.best_metric(), Some(0.9));
+        assert_eq!(res.final_metric(), Some(0.7));
+    }
+}

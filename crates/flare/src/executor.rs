@@ -1,0 +1,89 @@
+//! The client-side training interface (NVFlare's `Executor`/`Learner`).
+
+use crate::dxo::{Dxo, Weights};
+
+/// Context passed to an executor with every task.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskContext {
+    /// Site name (e.g. `site-3`).
+    pub site: String,
+    /// Current communication round (0-based).
+    pub round: u32,
+    /// Total rounds `E` in the workflow.
+    pub total_rounds: u32,
+}
+
+/// Local training/validation logic plugged into an [`crate::simulator`]
+/// client (the paper's `CiBertLearner` in Fig. 3).
+///
+/// Implementations load the broadcast global weights, run local epochs on
+/// site-private data, and return the updated weights with metrics and the
+/// number of examples used (the FedAvg aggregation weight).
+pub trait Executor: Send {
+    /// One local-training task. Returns the update to submit.
+    fn train(&mut self, global: &Weights, ctx: &TaskContext) -> Dxo;
+
+    /// Validates `global` on the site's validation split; returns the
+    /// metric (top-1 accuracy in the paper).
+    fn validate(&mut self, global: &Weights, ctx: &TaskContext) -> f64;
+}
+
+/// A trivial executor for runtime tests: "training" adds `delta` to every
+/// weight; validation returns the mean of the first tensor.
+#[derive(Clone, Debug)]
+pub struct ArithmeticExecutor {
+    /// Value added to every coordinate per round.
+    pub delta: f32,
+    /// Reported example count.
+    pub n_examples: u64,
+}
+
+impl Executor for ArithmeticExecutor {
+    fn train(&mut self, global: &Weights, _ctx: &TaskContext) -> Dxo {
+        let mut w = global.clone();
+        for t in w.values_mut() {
+            for v in t.data.iter_mut() {
+                *v += self.delta;
+            }
+        }
+        let mut metrics = std::collections::BTreeMap::new();
+        metrics.insert("train_loss".to_string(), 1.0 / (1.0 + self.delta as f64));
+        Dxo {
+            metrics,
+            ..Dxo::from_weights(w, self.n_examples)
+        }
+    }
+
+    fn validate(&mut self, global: &Weights, _ctx: &TaskContext) -> f64 {
+        global
+            .values()
+            .next()
+            .map(|t| t.data.iter().copied().sum::<f32>() as f64 / t.numel() as f64)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dxo::WeightTensor;
+
+    #[test]
+    fn arithmetic_executor_adds_delta() {
+        let mut w = Weights::new();
+        w.insert("p".into(), WeightTensor::new(vec![2], vec![1.0, 2.0]));
+        let mut ex = ArithmeticExecutor {
+            delta: 0.5,
+            n_examples: 7,
+        };
+        let ctx = TaskContext {
+            site: "site-1".into(),
+            round: 0,
+            total_rounds: 1,
+        };
+        let dxo = ex.train(&w, &ctx);
+        assert_eq!(dxo.weights["p"].data, vec![1.5, 2.5]);
+        assert_eq!(dxo.n_examples, 7);
+        assert!((ex.validate(&w, &ctx) - 1.5).abs() < 1e-6);
+    }
+}

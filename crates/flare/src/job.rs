@@ -1,0 +1,244 @@
+//! Declarative job configuration (NVFlare's `job.json`/`config_fed_server`
+//! equivalent).
+//!
+//! NVFlare deployments describe a run — workflow, rounds, aggregator,
+//! filters — in a static config shipped to the server. This module gives
+//! `clinfl-flare` the same operational surface: a typed [`JobConfig`]
+//! parsed from a simple `key = value` text format (no external
+//! serialization crates are available offline), from which the runtime
+//! objects are constructed.
+//!
+//! ```text
+//! # adr-finetune.job
+//! name        = adr-finetune
+//! rounds      = 10
+//! min_clients = 8
+//! timeout_s   = 600
+//! validate    = true
+//! aggregator  = weighted_fedavg
+//! ```
+
+use crate::aggregator::{Aggregator, CoordinateMedian, MaskedSum, TrimmedMean, WeightedFedAvg};
+use crate::controller::SagConfig;
+use crate::FlareError;
+use std::time::Duration;
+
+/// Aggregation rule selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggregatorKind {
+    /// Example-count-weighted FedAvg (default).
+    WeightedFedAvg,
+    /// Coordinate-wise median.
+    CoordinateMedian,
+    /// Trimmed mean, dropping one value per end.
+    TrimmedMean,
+    /// Masked sum for secure aggregation.
+    MaskedSum,
+}
+
+impl AggregatorKind {
+    /// Instantiates the aggregator.
+    pub fn build(self) -> Box<dyn Aggregator> {
+        match self {
+            AggregatorKind::WeightedFedAvg => Box::new(WeightedFedAvg),
+            AggregatorKind::CoordinateMedian => Box::new(CoordinateMedian),
+            AggregatorKind::TrimmedMean => Box::new(TrimmedMean { trim: 1 }),
+            AggregatorKind::MaskedSum => Box::new(MaskedSum),
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, FlareError> {
+        match s {
+            "weighted_fedavg" | "fedavg" => Ok(AggregatorKind::WeightedFedAvg),
+            "coordinate_median" | "median" => Ok(AggregatorKind::CoordinateMedian),
+            "trimmed_mean" => Ok(AggregatorKind::TrimmedMean),
+            "masked_sum" | "secure_sum" => Ok(AggregatorKind::MaskedSum),
+            other => Err(FlareError::Codec(format!(
+                "unknown aggregator {other:?} (expected weighted_fedavg, coordinate_median, trimmed_mean, masked_sum)"
+            ))),
+        }
+    }
+}
+
+/// A parsed federated job description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobConfig {
+    /// Job name (for logs and result files).
+    pub name: String,
+    /// ScatterAndGather rounds.
+    pub rounds: u32,
+    /// Minimum client updates per round.
+    pub min_clients: usize,
+    /// Per-round gather deadline.
+    pub round_timeout: Duration,
+    /// Whether to validate the global model each round.
+    pub validate_global: bool,
+    /// Aggregation rule.
+    pub aggregator: AggregatorKind,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        JobConfig {
+            name: "job".to_string(),
+            rounds: 10,
+            min_clients: 1,
+            round_timeout: Duration::from_secs(600),
+            validate_global: true,
+            aggregator: AggregatorKind::WeightedFedAvg,
+        }
+    }
+}
+
+impl JobConfig {
+    /// Parses the `key = value` job format. Unknown keys are rejected
+    /// (config typos must fail loudly, not silently fall back to
+    /// defaults); blank lines and `#` comments are ignored.
+    ///
+    /// ```
+    /// use clinfl_flare::job::JobConfig;
+    /// let job = JobConfig::parse("rounds = 5\nmin_clients = 8\n")?;
+    /// assert_eq!(job.sag_config().rounds, 5);
+    /// # Ok::<(), clinfl_flare::FlareError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`FlareError::Codec`] with a line-numbered message on any malformed
+    /// or unknown entry.
+    pub fn parse(text: &str) -> Result<Self, FlareError> {
+        let mut cfg = JobConfig::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(FlareError::Codec(format!(
+                    "line {}: expected `key = value`, got {line:?}",
+                    lineno + 1
+                )));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let bad = |what: &str| {
+                FlareError::Codec(format!("line {}: invalid {what}: {value:?}", lineno + 1))
+            };
+            match key {
+                "name" => cfg.name = value.to_string(),
+                "rounds" => cfg.rounds = value.parse().map_err(|_| bad("rounds"))?,
+                "min_clients" => {
+                    cfg.min_clients = value.parse().map_err(|_| bad("min_clients"))?
+                }
+                "timeout_s" => {
+                    cfg.round_timeout =
+                        Duration::from_secs(value.parse().map_err(|_| bad("timeout_s"))?)
+                }
+                "validate" => {
+                    cfg.validate_global = match value {
+                        "true" | "yes" | "1" => true,
+                        "false" | "no" | "0" => false,
+                        _ => return Err(bad("validate")),
+                    }
+                }
+                "aggregator" => cfg.aggregator = AggregatorKind::parse(value)?,
+                other => {
+                    return Err(FlareError::Codec(format!(
+                        "line {}: unknown job key {other:?}",
+                        lineno + 1
+                    )))
+                }
+            }
+        }
+        if cfg.rounds == 0 {
+            return Err(FlareError::Codec("rounds must be at least 1".into()));
+        }
+        Ok(cfg)
+    }
+
+    /// The ScatterAndGather settings this job describes.
+    pub fn sag_config(&self) -> SagConfig {
+        SagConfig {
+            rounds: self.rounds,
+            min_clients: self.min_clients,
+            round_timeout: self.round_timeout,
+            validate_global: self.validate_global,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_job() {
+        let cfg = JobConfig::parse(
+            "# ADR fine-tune job\n\
+             name = adr-finetune\n\
+             rounds = 10\n\
+             min_clients = 8\n\
+             timeout_s = 120\n\
+             validate = true\n\
+             aggregator = weighted_fedavg\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.name, "adr-finetune");
+        assert_eq!(cfg.rounds, 10);
+        assert_eq!(cfg.min_clients, 8);
+        assert_eq!(cfg.round_timeout, Duration::from_secs(120));
+        assert!(cfg.validate_global);
+        assert_eq!(cfg.aggregator, AggregatorKind::WeightedFedAvg);
+        let sag = cfg.sag_config();
+        assert_eq!(sag.rounds, 10);
+        assert_eq!(sag.min_clients, 8);
+    }
+
+    #[test]
+    fn defaults_fill_missing_keys() {
+        let cfg = JobConfig::parse("rounds = 3\n").unwrap();
+        assert_eq!(cfg.rounds, 3);
+        assert_eq!(cfg.min_clients, 1);
+        assert!(cfg.validate_global);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let cfg = JobConfig::parse("\n# only comments\n\n").unwrap();
+        assert_eq!(cfg, JobConfig::default());
+    }
+
+    #[test]
+    fn unknown_key_rejected_with_line_number() {
+        let err = JobConfig::parse("rounds = 2\nbogus = 7\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn malformed_values_rejected() {
+        assert!(JobConfig::parse("rounds = many").is_err());
+        assert!(JobConfig::parse("validate = maybe").is_err());
+        assert!(JobConfig::parse("not a kv line").is_err());
+        assert!(JobConfig::parse("rounds = 0").is_err());
+    }
+
+    #[test]
+    fn aggregator_aliases() {
+        for (alias, kind) in [
+            ("fedavg", AggregatorKind::WeightedFedAvg),
+            ("median", AggregatorKind::CoordinateMedian),
+            ("trimmed_mean", AggregatorKind::TrimmedMean),
+            ("secure_sum", AggregatorKind::MaskedSum),
+        ] {
+            let cfg = JobConfig::parse(&format!("aggregator = {alias}")).unwrap();
+            assert_eq!(cfg.aggregator, kind);
+        }
+        assert!(JobConfig::parse("aggregator = quantum").is_err());
+    }
+
+    #[test]
+    fn build_produces_named_aggregators() {
+        assert_eq!(AggregatorKind::WeightedFedAvg.build().name(), "WeightedFedAvg");
+        assert_eq!(AggregatorKind::MaskedSum.build().name(), "MaskedSum");
+    }
+}

@@ -1,0 +1,60 @@
+//! # clinfl-flare
+//!
+//! A federated-learning runtime modelled on **NVFlare** (NVIDIA's FL
+//! framework, v2.2 in the paper), built from scratch for the `clinfl`
+//! reproduction of *"Multi-Site Clinical Federated Learning using Recursive
+//! and Attentive Models and NVFlare"* (ICDCS 2023).
+//!
+//! It reproduces the pipeline of the paper's Fig. 1 and the run-loop its
+//! Fig. 3 demonstrates:
+//!
+//! 1. **Provision** ([`provision`]) — a [`provision::Project`] is expanded
+//!    into a server config and per-site packages carrying the registration
+//!    *token* and key material (the paper's "preparation of public and
+//!    secure keys").
+//! 2. **Registration** — each client opens a transport, registers with its
+//!    token, and establishes an encrypted session (toy Diffie–Hellman +
+//!    stream cipher; see [`security`] for the explicit security caveat).
+//! 3. **ScatterAndGather** ([`controller::ScatterAndGather`]) — for `E`
+//!    communication rounds: broadcast global weights → local training on
+//!    each site ([`executor::Executor`]) → gather updates → weighted
+//!    aggregation ([`aggregator`]) → persist ([`persistor`]) → repeat.
+//! 4. **Results** — the best global model and per-round metrics.
+//!
+//! The [`simulator::SimulatorRunner`] mirrors NVFlare's simulator mode used
+//! in the paper (one process, one thread per site), while
+//! [`transport::TcpTransport`] runs the identical byte protocol across real
+//! sockets for multi-process deployments.
+//!
+//! Optional [`filters`] implement NVFlare's filter concept: differential-
+//! privacy noise, magnitude pruning, and pairwise secure-aggregation masks.
+//!
+//! The crate is model-agnostic: weights travel as named dense tensors
+//! ([`Weights`]), so any training stack can plug in via the
+//! [`executor::Executor`] trait.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod admin;
+pub mod aggregator;
+pub mod client;
+pub mod controller;
+mod dxo;
+mod error;
+pub mod executor;
+pub mod filters;
+pub mod job;
+mod log;
+pub mod messages;
+pub mod persistor;
+pub mod provision;
+pub mod security;
+pub mod server;
+pub mod simulator;
+pub mod transport;
+pub mod wire;
+
+pub use dxo::{Dxo, DxoKind, WeightTensor, Weights};
+pub use error::FlareError;
+pub use log::{EventLog, LogLevel};

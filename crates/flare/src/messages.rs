@@ -1,0 +1,363 @@
+//! The client/server message protocol and its wire encodings.
+
+use crate::dxo::{Dxo, DxoKind, WeightTensor, Weights};
+use crate::wire::{WireDecode, WireEncode, WireReader};
+use crate::FlareError;
+use std::collections::BTreeMap;
+
+/// Messages sent from a client to the server.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientMessage {
+    /// Registration with the provisioned token (sent in the clear, before
+    /// the encrypted session exists — mirrors NVFlare's join flow in
+    /// Fig. 3: "New client site-1@… joined. Sent token: …").
+    Register {
+        /// Site name from the provision package.
+        site: String,
+        /// Registration token from the provision package.
+        token: String,
+        /// Client's ephemeral Diffie–Hellman public value.
+        dh_public: u64,
+    },
+    /// A local training result for a round.
+    Submit {
+        /// Round the update belongs to.
+        round: u32,
+        /// The update payload.
+        dxo: Dxo,
+    },
+    /// Result of validating the broadcast global model locally.
+    ValidateReport {
+        /// Round validated.
+        round: u32,
+        /// Metric value (top-1 accuracy).
+        metric: f64,
+    },
+    /// Graceful disconnect.
+    Bye {
+        /// Site name.
+        site: String,
+    },
+}
+
+/// Messages sent from the server to a client.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServerMessage {
+    /// Reply to [`ClientMessage::Register`].
+    RegisterAck {
+        /// Whether the token was accepted.
+        accepted: bool,
+        /// Session identifier (the "Token: …" line of Fig. 3).
+        session: String,
+        /// Server's ephemeral Diffie–Hellman public value.
+        dh_public: u64,
+    },
+    /// A task assignment.
+    Task(TaskAssignment),
+}
+
+/// The unit of work the ScatterAndGather controller assigns.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TaskAssignment {
+    /// Train locally starting from `weights`.
+    Train {
+        /// Current round (0-based).
+        round: u32,
+        /// Total rounds `E`.
+        total_rounds: u32,
+        /// Global model weights.
+        weights: Weights,
+    },
+    /// Validate `weights` locally and report the metric.
+    Validate {
+        /// Round being validated.
+        round: u32,
+        /// Global model weights.
+        weights: Weights,
+    },
+    /// Workflow finished; disconnect.
+    Finish,
+}
+
+// ---------------------------------------------------------------------
+// Wire encodings
+// ---------------------------------------------------------------------
+
+impl WireEncode for WeightTensor {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.dims.encode(out);
+        self.data.encode(out);
+    }
+}
+
+impl WireDecode for WeightTensor {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FlareError> {
+        let dims: Vec<usize> = Vec::decode(r)?;
+        let data: Vec<f32> = Vec::decode(r)?;
+        let expect: usize = dims.iter().product();
+        if expect != data.len() {
+            return Err(FlareError::Codec(format!(
+                "weight tensor dims {dims:?} disagree with {} data values",
+                data.len()
+            )));
+        }
+        Ok(WeightTensor { dims, data })
+    }
+}
+
+impl WireEncode for DxoKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let b: u8 = match self {
+            DxoKind::Weights => 0,
+            DxoKind::WeightDiff => 1,
+            DxoKind::Metrics => 2,
+        };
+        b.encode(out);
+    }
+}
+
+impl WireDecode for DxoKind {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FlareError> {
+        match u8::decode(r)? {
+            0 => Ok(DxoKind::Weights),
+            1 => Ok(DxoKind::WeightDiff),
+            2 => Ok(DxoKind::Metrics),
+            b => Err(FlareError::Codec(format!("invalid DxoKind byte {b}"))),
+        }
+    }
+}
+
+impl WireEncode for Dxo {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.kind.encode(out);
+        self.weights.encode(out);
+        self.metrics.encode(out);
+        self.n_examples.encode(out);
+    }
+}
+
+impl WireDecode for Dxo {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FlareError> {
+        Ok(Dxo {
+            kind: DxoKind::decode(r)?,
+            weights: BTreeMap::decode(r)?,
+            metrics: BTreeMap::decode(r)?,
+            n_examples: u64::decode(r)?,
+        })
+    }
+}
+
+impl WireEncode for ClientMessage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ClientMessage::Register {
+                site,
+                token,
+                dh_public,
+            } => {
+                0u8.encode(out);
+                site.encode(out);
+                token.encode(out);
+                dh_public.encode(out);
+            }
+            ClientMessage::Submit { round, dxo } => {
+                1u8.encode(out);
+                round.encode(out);
+                dxo.encode(out);
+            }
+            ClientMessage::ValidateReport { round, metric } => {
+                2u8.encode(out);
+                round.encode(out);
+                metric.encode(out);
+            }
+            ClientMessage::Bye { site } => {
+                3u8.encode(out);
+                site.encode(out);
+            }
+        }
+    }
+}
+
+impl WireDecode for ClientMessage {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FlareError> {
+        match u8::decode(r)? {
+            0 => Ok(ClientMessage::Register {
+                site: String::decode(r)?,
+                token: String::decode(r)?,
+                dh_public: u64::decode(r)?,
+            }),
+            1 => Ok(ClientMessage::Submit {
+                round: u32::decode(r)?,
+                dxo: Dxo::decode(r)?,
+            }),
+            2 => Ok(ClientMessage::ValidateReport {
+                round: u32::decode(r)?,
+                metric: f64::decode(r)?,
+            }),
+            3 => Ok(ClientMessage::Bye {
+                site: String::decode(r)?,
+            }),
+            b => Err(FlareError::Codec(format!("invalid ClientMessage tag {b}"))),
+        }
+    }
+}
+
+impl WireEncode for TaskAssignment {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            TaskAssignment::Train {
+                round,
+                total_rounds,
+                weights,
+            } => {
+                0u8.encode(out);
+                round.encode(out);
+                total_rounds.encode(out);
+                weights.encode(out);
+            }
+            TaskAssignment::Validate { round, weights } => {
+                1u8.encode(out);
+                round.encode(out);
+                weights.encode(out);
+            }
+            TaskAssignment::Finish => 2u8.encode(out),
+        }
+    }
+}
+
+impl WireDecode for TaskAssignment {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FlareError> {
+        match u8::decode(r)? {
+            0 => Ok(TaskAssignment::Train {
+                round: u32::decode(r)?,
+                total_rounds: u32::decode(r)?,
+                weights: BTreeMap::decode(r)?,
+            }),
+            1 => Ok(TaskAssignment::Validate {
+                round: u32::decode(r)?,
+                weights: BTreeMap::decode(r)?,
+            }),
+            2 => Ok(TaskAssignment::Finish),
+            b => Err(FlareError::Codec(format!("invalid TaskAssignment tag {b}"))),
+        }
+    }
+}
+
+impl WireEncode for ServerMessage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ServerMessage::RegisterAck {
+                accepted,
+                session,
+                dh_public,
+            } => {
+                0u8.encode(out);
+                accepted.encode(out);
+                session.encode(out);
+                dh_public.encode(out);
+            }
+            ServerMessage::Task(t) => {
+                1u8.encode(out);
+                t.encode(out);
+            }
+        }
+    }
+}
+
+impl WireDecode for ServerMessage {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FlareError> {
+        match u8::decode(r)? {
+            0 => Ok(ServerMessage::RegisterAck {
+                accepted: bool::decode(r)?,
+                session: String::decode(r)?,
+                dh_public: u64::decode(r)?,
+            }),
+            1 => Ok(ServerMessage::Task(TaskAssignment::decode(r)?)),
+            b => Err(FlareError::Codec(format!("invalid ServerMessage tag {b}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights() -> Weights {
+        let mut w = Weights::new();
+        w.insert(
+            "layer.w".into(),
+            WeightTensor::new(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]),
+        );
+        w.insert("layer.b".into(), WeightTensor::new(vec![3], vec![0.; 3]));
+        w
+    }
+
+    fn roundtrip<T: WireEncode + WireDecode + PartialEq + std::fmt::Debug>(v: T) {
+        assert_eq!(v, T::from_frame(&v.to_frame()).expect("decode"));
+    }
+
+    #[test]
+    fn client_messages_roundtrip() {
+        roundtrip(ClientMessage::Register {
+            site: "site-1".into(),
+            token: "2c15ddc6".into(),
+            dh_public: 123456789,
+        });
+        let mut metrics = BTreeMap::new();
+        metrics.insert("train_loss".to_string(), 0.919);
+        metrics.insert("valid_acc".to_string(), 0.496);
+        roundtrip(ClientMessage::Submit {
+            round: 3,
+            dxo: Dxo {
+                kind: DxoKind::Weights,
+                weights: weights(),
+                metrics,
+                n_examples: 866,
+            },
+        });
+        roundtrip(ClientMessage::ValidateReport {
+            round: 9,
+            metric: 0.875,
+        });
+        roundtrip(ClientMessage::Bye {
+            site: "site-8".into(),
+        });
+    }
+
+    #[test]
+    fn server_messages_roundtrip() {
+        roundtrip(ServerMessage::RegisterAck {
+            accepted: true,
+            session: "64245db0".into(),
+            dh_public: 42,
+        });
+        roundtrip(ServerMessage::Task(TaskAssignment::Train {
+            round: 0,
+            total_rounds: 10,
+            weights: weights(),
+        }));
+        roundtrip(ServerMessage::Task(TaskAssignment::Validate {
+            round: 1,
+            weights: weights(),
+        }));
+        roundtrip(ServerMessage::Task(TaskAssignment::Finish));
+    }
+
+    #[test]
+    fn tensor_dims_mismatch_rejected() {
+        let mut out = crate::wire::FRAME_MAGIC.to_vec();
+        vec![2usize, 3].encode(&mut out);
+        vec![1.0f32; 5].encode(&mut out); // should be 6
+        assert!(WeightTensor::from_frame(&out).is_err());
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        let mut out = crate::wire::FRAME_MAGIC.to_vec();
+        9u8.encode(&mut out);
+        assert!(ClientMessage::from_frame(&out).is_err());
+        assert!(ServerMessage::from_frame(&out).is_err());
+        assert!(TaskAssignment::from_frame(&out).is_err());
+        assert!(DxoKind::from_frame(&out).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! Global-model persistence (NVFlare's "persist model on server" step,
+//! visible in the paper's Fig. 3 round log).
+
+use crate::dxo::Weights;
+use crate::wire::{WireDecode, WireEncode};
+use crate::FlareError;
+use std::path::{Path, PathBuf};
+
+/// Stores global model snapshots per round and tracks the best one.
+pub trait Persistor: Send {
+    /// Persists the round's aggregated model and its validation metric (if
+    /// the workflow validated it).
+    fn save(&mut self, round: u32, weights: &Weights, metric: Option<f64>);
+
+    /// The best model saved so far (highest metric; falls back to latest
+    /// when no metrics were reported).
+    fn best(&self) -> Option<(Weights, Option<f64>)>;
+
+    /// The most recently saved model.
+    fn latest(&self) -> Option<Weights>;
+}
+
+/// Keeps snapshots in memory (simulator default).
+#[derive(Debug, Default)]
+pub struct InMemoryPersistor {
+    latest: Option<Weights>,
+    best: Option<(Weights, f64)>,
+}
+
+impl InMemoryPersistor {
+    /// Creates an empty persistor.
+    pub fn new() -> Self {
+        InMemoryPersistor::default()
+    }
+}
+
+impl Persistor for InMemoryPersistor {
+    fn save(&mut self, _round: u32, weights: &Weights, metric: Option<f64>) {
+        self.latest = Some(weights.clone());
+        if let Some(m) = metric {
+            let better = self.best.as_ref().map(|(_, b)| m > *b).unwrap_or(true);
+            if better {
+                self.best = Some((weights.clone(), m));
+            }
+        }
+    }
+
+    fn best(&self) -> Option<(Weights, Option<f64>)> {
+        match (&self.best, &self.latest) {
+            (Some((w, m)), _) => Some((w.clone(), Some(*m))),
+            (None, Some(w)) => Some((w.clone(), None)),
+            (None, None) => None,
+        }
+    }
+
+    fn latest(&self) -> Option<Weights> {
+        self.latest.clone()
+    }
+}
+
+/// Persists each round's model to `<dir>/round_<n>.cfw` using the wire
+/// codec, plus `best.cfw` (the paper's "obtaining optimal global models").
+#[derive(Debug)]
+pub struct FilePersistor {
+    dir: PathBuf,
+    memory: InMemoryPersistor,
+}
+
+impl FilePersistor {
+    /// Creates the directory if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory cannot be created.
+    pub fn new(dir: impl AsRef<Path>) -> Result<Self, FlareError> {
+        std::fs::create_dir_all(dir.as_ref())?;
+        Ok(FilePersistor {
+            dir: dir.as_ref().to_path_buf(),
+            memory: InMemoryPersistor::new(),
+        })
+    }
+
+    /// Loads a previously saved model file.
+    ///
+    /// # Errors
+    ///
+    /// I/O or codec errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Weights, FlareError> {
+        let bytes = std::fs::read(path.as_ref())?;
+        Weights::from_frame(&bytes)
+    }
+
+    fn write(&self, name: &str, weights: &Weights) {
+        let path = self.dir.join(name);
+        // Persistence failures must not abort a training run; they are
+        // logged by the workflow via the returned state instead.
+        let _ = std::fs::write(path, weights.to_frame());
+    }
+}
+
+impl Persistor for FilePersistor {
+    fn save(&mut self, round: u32, weights: &Weights, metric: Option<f64>) {
+        self.write(&format!("round_{round}.cfw"), weights);
+        let prev_best = self.memory.best.as_ref().map(|(_, m)| *m);
+        self.memory.save(round, weights, metric);
+        let is_new_best = match (metric, prev_best) {
+            (Some(m), Some(b)) => m > b,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if is_new_best {
+            self.write("best.cfw", weights);
+        }
+    }
+
+    fn best(&self) -> Option<(Weights, Option<f64>)> {
+        self.memory.best()
+    }
+
+    fn latest(&self) -> Option<Weights> {
+        self.memory.latest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dxo::WeightTensor;
+
+    fn w(v: f32) -> Weights {
+        let mut m = Weights::new();
+        m.insert("p".into(), WeightTensor::new(vec![2], vec![v, v]));
+        m
+    }
+
+    #[test]
+    fn in_memory_tracks_best_and_latest() {
+        let mut p = InMemoryPersistor::new();
+        assert!(p.best().is_none());
+        p.save(0, &w(1.0), Some(0.5));
+        p.save(1, &w(2.0), Some(0.9));
+        p.save(2, &w(3.0), Some(0.7));
+        assert_eq!(p.latest().unwrap()["p"].data, vec![3.0, 3.0]);
+        let (best, m) = p.best().unwrap();
+        assert_eq!(best["p"].data, vec![2.0, 2.0]);
+        assert_eq!(m, Some(0.9));
+    }
+
+    #[test]
+    fn in_memory_without_metrics_falls_back_to_latest() {
+        let mut p = InMemoryPersistor::new();
+        p.save(0, &w(1.0), None);
+        let (best, m) = p.best().unwrap();
+        assert_eq!(best["p"].data, vec![1.0, 1.0]);
+        assert_eq!(m, None);
+    }
+
+    #[test]
+    fn file_persistor_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("clinfl-pers-{}", std::process::id()));
+        let mut p = FilePersistor::new(&dir).unwrap();
+        p.save(0, &w(4.0), Some(0.8));
+        p.save(1, &w(5.0), Some(0.6));
+        let loaded = FilePersistor::load(dir.join("round_0.cfw")).unwrap();
+        assert_eq!(loaded["p"].data, vec![4.0, 4.0]);
+        let best = FilePersistor::load(dir.join("best.cfw")).unwrap();
+        assert_eq!(best["p"].data, vec![4.0, 4.0]);
+        let latest = p.latest().unwrap();
+        assert_eq!(latest["p"].data, vec![5.0, 5.0]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,168 @@
+//! Provisioning: turning a project description into server and site
+//! startup packages (the paper's "NVFlare provision" stage, Fig. 1).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Declarative description of a federated project.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Project {
+    /// Project name (NVFlare's `simulator_server` in the paper's Fig. 3).
+    pub name: String,
+    /// Site names, e.g. `site-1 … site-8`.
+    pub sites: Vec<String>,
+    /// Seed for token/key generation — provisioning is deterministic so
+    /// tests and paired deployments can reproduce it.
+    pub seed: u64,
+}
+
+impl Project {
+    /// A project with `n` sites named `site-1 … site-n` (the paper uses
+    /// eight).
+    pub fn with_n_sites(name: impl Into<String>, n: usize, seed: u64) -> Self {
+        Project {
+            name: name.into(),
+            sites: (1..=n).map(|i| format!("site-{i}")).collect(),
+            seed,
+        }
+    }
+
+    /// Expands the project into startup packages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the project has no sites or duplicate site names.
+    pub fn provision(&self) -> Provisioned {
+        assert!(!self.sites.is_empty(), "project needs at least one site");
+        let mut names = self.sites.clone();
+        names.sort();
+        names.dedup();
+        assert_eq!(
+            names.len(),
+            self.sites.len(),
+            "duplicate site names in project"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let sites = self
+            .sites
+            .iter()
+            .map(|s| SitePackage {
+                site_name: s.clone(),
+                token: generate_token(&mut rng),
+            })
+            .collect::<Vec<_>>();
+        let server = ServerConfig {
+            project: self.name.clone(),
+            expected_tokens: sites
+                .iter()
+                .map(|p| (p.site_name.clone(), p.token.clone()))
+                .collect(),
+        };
+        Provisioned { server, sites }
+    }
+}
+
+/// UUID-like token, e.g. `2c15ddc6-d8d3-4a98-8243-d850f27ac052` — the
+/// format shown in the paper's Fig. 3 registration log.
+fn generate_token(rng: &mut StdRng) -> String {
+    let b: Vec<u8> = (0..16).map(|_| rng.random::<u8>()).collect();
+    format!(
+        "{:02x}{:02x}{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}{:02x}{:02x}{:02x}{:02x}",
+        b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7], b[8], b[9], b[10], b[11], b[12], b[13],
+        b[14], b[15]
+    )
+}
+
+/// The startup material for one site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SitePackage {
+    /// The site this package belongs to.
+    pub site_name: String,
+    /// Registration token presented to the server.
+    pub token: String,
+}
+
+/// The server's provisioned state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Project name.
+    pub project: String,
+    /// `(site, token)` pairs the server will accept.
+    pub expected_tokens: Vec<(String, String)>,
+}
+
+impl ServerConfig {
+    /// Checks a registration attempt, returning `true` when `(site, token)`
+    /// matches the provision.
+    pub fn verify(&self, site: &str, token: &str) -> bool {
+        self.expected_tokens
+            .iter()
+            .any(|(s, t)| s == site && t == token)
+    }
+}
+
+/// Output of [`Project::provision`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Provisioned {
+    /// Server startup config.
+    pub server: ServerConfig,
+    /// Per-site packages (distributed out-of-band in a real deployment).
+    pub sites: Vec<SitePackage>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_site_project() {
+        let p = Project::with_n_sites("simulator_server", 8, 1);
+        assert_eq!(p.sites.len(), 8);
+        assert_eq!(p.sites[0], "site-1");
+        assert_eq!(p.sites[7], "site-8");
+    }
+
+    #[test]
+    fn tokens_unique_and_uuid_shaped() {
+        let prov = Project::with_n_sites("p", 8, 2).provision();
+        let mut tokens: Vec<&str> = prov.sites.iter().map(|s| s.token.as_str()).collect();
+        for t in &tokens {
+            assert_eq!(t.len(), 36);
+            assert_eq!(t.matches('-').count(), 4);
+        }
+        tokens.sort_unstable();
+        tokens.dedup();
+        assert_eq!(tokens.len(), 8, "tokens must be unique");
+    }
+
+    #[test]
+    fn provisioning_deterministic_in_seed() {
+        let a = Project::with_n_sites("p", 4, 9).provision();
+        let b = Project::with_n_sites("p", 4, 9).provision();
+        assert_eq!(a, b);
+        let c = Project::with_n_sites("p", 4, 10).provision();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn verify_accepts_only_matching_pairs() {
+        let prov = Project::with_n_sites("p", 2, 3).provision();
+        let s0 = &prov.sites[0];
+        let s1 = &prov.sites[1];
+        assert!(prov.server.verify(&s0.site_name, &s0.token));
+        assert!(!prov.server.verify(&s0.site_name, &s1.token));
+        assert!(!prov.server.verify("site-99", &s0.token));
+        assert!(!prov.server.verify(&s0.site_name, "bogus"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate site names")]
+    fn duplicate_sites_panic() {
+        Project {
+            name: "p".into(),
+            sites: vec!["a".into(), "a".into()],
+            seed: 0,
+        }
+        .provision();
+    }
+}

@@ -1,0 +1,227 @@
+//! Session security: key agreement, stream encryption, authentication.
+//!
+//! # Security caveat — simulation grade only
+//!
+//! Real NVFlare provisions X.509 certificates and runs mutual-TLS between
+//! server and clients. No TLS stack exists in the offline dependency set,
+//! so this module implements the *shape* of that flow — ephemeral key
+//! agreement at registration, then encrypt-and-MAC on every frame — with
+//! textbook primitives over 64-bit groups and a xorshift keystream.
+//! **It is not cryptographically secure** and exists so the runtime
+//! exercises the same code paths (key exchange, sealed frames, tamper
+//! rejection) that a production deployment would.
+
+use crate::FlareError;
+
+/// A safe-prime modulus (2^61 - 1, a Mersenne prime) for the toy
+/// Diffie–Hellman group.
+pub const DH_MODULUS: u64 = (1 << 61) - 1;
+/// Group generator.
+pub const DH_GENERATOR: u64 = 5;
+
+/// Modular exponentiation `base^exp mod m` via square-and-multiply.
+fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc: u128 = 1;
+    let mut b: u128 = base as u128 % m as u128;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * b % m as u128;
+        }
+        b = b * b % m as u128;
+        exp >>= 1;
+    }
+    let _ = &mut base;
+    acc as u64
+}
+
+/// One side's ephemeral Diffie–Hellman key pair.
+#[derive(Clone, Copy, Debug)]
+pub struct DhKeyPair {
+    secret: u64,
+    /// Public value `g^secret mod p`, sent in the registration exchange.
+    pub public: u64,
+}
+
+impl DhKeyPair {
+    /// Derives a key pair from secret entropy (callers pass an RNG draw;
+    /// determinism in tests comes from seeding that RNG).
+    pub fn from_secret(secret: u64) -> Self {
+        let secret = secret % (DH_MODULUS - 2) + 1;
+        DhKeyPair {
+            secret,
+            public: pow_mod(DH_GENERATOR, secret, DH_MODULUS),
+        }
+    }
+
+    /// Computes the shared session key from the peer's public value.
+    pub fn shared_key(&self, peer_public: u64) -> SessionKey {
+        SessionKey(pow_mod(peer_public, self.secret, DH_MODULUS))
+    }
+}
+
+/// The derived symmetric session key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionKey(u64);
+
+/// xorshift64* keystream generator.
+fn keystream(mut state: u64) -> impl FnMut() -> u8 {
+    if state == 0 {
+        state = 0x9E3779B97F4A7C15;
+    }
+    let mut buffer: u64 = 0;
+    let mut left = 0u32;
+    move || {
+        if left == 0 {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            buffer = state.wrapping_mul(0x2545F4914F6CDD1D);
+            left = 8;
+        }
+        let b = (buffer & 0xff) as u8;
+        buffer >>= 8;
+        left -= 1;
+        b
+    }
+}
+
+/// FNV-1a based MAC over key + nonce + data (again: structural stand-in,
+/// not a real MAC).
+fn mac(key: u64, nonce: u64, data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for chunk in [key.to_le_bytes(), nonce.to_le_bytes()] {
+        for b in chunk {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+    }
+    for &b in data {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// An encrypt-and-authenticate channel over a shared [`SessionKey`].
+///
+/// Frames are `nonce (8) ‖ ciphertext ‖ mac (8)`; the nonce increments per
+/// sealed frame so identical plaintexts never produce identical frames.
+#[derive(Debug)]
+pub struct SecureChannel {
+    key: SessionKey,
+    next_nonce: u64,
+}
+
+impl SecureChannel {
+    /// Creates a channel; `nonce_base` separates the two directions
+    /// (convention: client→server starts at 0, server→client at 2^32).
+    pub fn new(key: SessionKey, nonce_base: u64) -> Self {
+        SecureChannel {
+            key,
+            next_nonce: nonce_base,
+        }
+    }
+
+    /// Encrypts and authenticates a plaintext frame.
+    pub fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
+        let nonce = self.next_nonce;
+        self.next_nonce += 1;
+        let mut out = Vec::with_capacity(plaintext.len() + 16);
+        out.extend_from_slice(&nonce.to_le_bytes());
+        let mut ks = keystream(self.key.0 ^ nonce.wrapping_mul(0x9E3779B97F4A7C15));
+        out.extend(plaintext.iter().map(|&b| b ^ ks()));
+        let tag = mac(self.key.0, nonce, &out[8..]);
+        out.extend_from_slice(&tag.to_le_bytes());
+        out
+    }
+
+    /// Verifies and decrypts a sealed frame.
+    ///
+    /// # Errors
+    ///
+    /// [`FlareError::AuthFailure`] when the MAC does not verify;
+    /// [`FlareError::Codec`] when the frame is too short.
+    pub fn open(&self, sealed: &[u8]) -> Result<Vec<u8>, FlareError> {
+        if sealed.len() < 16 {
+            return Err(FlareError::Codec("sealed frame too short".into()));
+        }
+        let nonce = u64::from_le_bytes(sealed[..8].try_into().expect("8 bytes"));
+        let (body, tag_bytes) = sealed[8..].split_at(sealed.len() - 16);
+        let tag = u64::from_le_bytes(tag_bytes.try_into().expect("8 bytes"));
+        if mac(self.key.0, nonce, body) != tag {
+            return Err(FlareError::AuthFailure);
+        }
+        let mut ks = keystream(self.key.0 ^ nonce.wrapping_mul(0x9E3779B97F4A7C15));
+        Ok(body.iter().map(|&b| b ^ ks()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dh_agreement_matches() {
+        let a = DhKeyPair::from_secret(0x1234_5678_9abc);
+        let b = DhKeyPair::from_secret(0xfeed_beef_cafe);
+        assert_eq!(a.shared_key(b.public), b.shared_key(a.public));
+        assert_ne!(a.public, b.public);
+    }
+
+    #[test]
+    fn different_peers_different_keys() {
+        let a = DhKeyPair::from_secret(1111);
+        let b = DhKeyPair::from_secret(2222);
+        let c = DhKeyPair::from_secret(3333);
+        assert_ne!(a.shared_key(b.public), a.shared_key(c.public));
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let key = SessionKey(0xdead_beef);
+        let mut tx = SecureChannel::new(key, 0);
+        let rx = SecureChannel::new(key, 0);
+        for msg in [b"hello".as_slice(), b"", &[0u8; 1000]] {
+            let sealed = tx.seal(msg);
+            assert_eq!(rx.open(&sealed).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn nonce_changes_ciphertext() {
+        let key = SessionKey(7);
+        let mut tx = SecureChannel::new(key, 0);
+        let a = tx.seal(b"same");
+        let b = tx.seal(b"same");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let key = SessionKey(99);
+        let mut tx = SecureChannel::new(key, 0);
+        let rx = SecureChannel::new(key, 0);
+        let mut sealed = tx.seal(b"payload");
+        sealed[10] ^= 1;
+        assert!(matches!(rx.open(&sealed), Err(FlareError::AuthFailure)));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut tx = SecureChannel::new(SessionKey(1), 0);
+        let rx = SecureChannel::new(SessionKey(2), 0);
+        assert!(rx.open(&tx.seal(b"payload")).is_err());
+    }
+
+    #[test]
+    fn short_frame_rejected() {
+        let rx = SecureChannel::new(SessionKey(1), 0);
+        assert!(rx.open(&[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext() {
+        let mut tx = SecureChannel::new(SessionKey(0xabc), 0);
+        let sealed = tx.seal(b"confidential patient data");
+        let window = &sealed[8..sealed.len() - 8];
+        assert_ne!(window, b"confidential patient data");
+    }
+}

@@ -1,0 +1,340 @@
+//! The federated server: client management and the gateway the
+//! ScatterAndGather controller drives.
+
+use crate::controller::ClientGateway;
+use crate::dxo::Dxo;
+use crate::log::EventLog;
+use crate::messages::{ClientMessage, ServerMessage, TaskAssignment};
+use crate::provision::ServerConfig;
+use crate::security::{DhKeyPair, SecureChannel};
+use crate::transport::Connection;
+use crate::wire::{WireDecode, WireEncode};
+use crate::FlareError;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Nonce base for server→client frames (client→server uses 0).
+const SERVER_NONCE_BASE: u64 = 1 << 32;
+
+struct ClientSlot {
+    site: String,
+    session: String,
+    tx: Box<dyn crate::transport::FrameTx>,
+    seal: SecureChannel,
+    alive: bool,
+}
+
+/// The federated-learning server (NVFlare's `ServerRunner`/`ClientManager`
+/// pair): accepts registrations, maintains encrypted sessions, and exposes
+/// the [`ClientGateway`] interface to the workflow controller.
+pub struct FlServer {
+    config: ServerConfig,
+    log: EventLog,
+    slots: Arc<Mutex<Vec<ClientSlot>>>,
+    inbox_tx: mpsc::Sender<(usize, ClientMessage)>,
+    inbox_rx: mpsc::Receiver<(usize, ClientMessage)>,
+    handler_threads: Vec<JoinHandle<()>>,
+    stopping: Arc<AtomicBool>,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for FlServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlServer")
+            .field("project", &self.config.project)
+            .field("clients", &self.slots.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FlServer {
+    /// Creates a server for a provisioned project.
+    pub fn new(config: ServerConfig, log: EventLog, seed: u64) -> Self {
+        let (inbox_tx, inbox_rx) = mpsc::channel();
+        FlServer {
+            config,
+            log,
+            slots: Arc::new(Mutex::new(Vec::new())),
+            inbox_tx,
+            inbox_rx,
+            handler_threads: Vec::new(),
+            stopping: Arc::new(AtomicBool::new(false)),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of registered (ever-joined) clients.
+    pub fn num_registered(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    /// Accepts one connection: performs the token/key handshake on a
+    /// handler thread, then forwards decrypted client messages into the
+    /// server inbox.
+    pub fn serve_connection(&mut self, mut conn: Connection) {
+        let config = self.config.clone();
+        let log = self.log.clone();
+        let slots = Arc::clone(&self.slots);
+        let inbox = self.inbox_tx.clone();
+        let stopping = Arc::clone(&self.stopping);
+        let dh_secret: u64 = self.rng.random();
+        let session_bits: (u64, u64) = (self.rng.random(), self.rng.random());
+        let handle = std::thread::spawn(move || {
+            // --- Handshake (plaintext, like NVFlare's join) ---
+            let frame = match conn.rx.recv(Duration::from_secs(30)) {
+                Ok(f) => f,
+                Err(e) => {
+                    log.warn("ClientManager", format!("connection dropped pre-register: {e}"));
+                    return;
+                }
+            };
+            let msg = match ClientMessage::from_frame(&frame) {
+                Ok(m) => m,
+                Err(e) => {
+                    log.warn("ClientManager", format!("bad register frame: {e}"));
+                    return;
+                }
+            };
+            let ClientMessage::Register { site, token, dh_public } = msg else {
+                log.warn("ClientManager", "first frame was not Register");
+                return;
+            };
+            let accepted = config.verify(&site, &token)
+                && !slots.lock().iter().any(|s| s.site == site && s.alive);
+            let keys = DhKeyPair::from_secret(dh_secret);
+            // UUID-shaped session token, as in the paper's Fig. 3 log.
+            let (hi, lo) = session_bits;
+            let session_str = format!(
+                "{:08x}-{:04x}-{:04x}-{:04x}-{:012x}",
+                (hi >> 32) as u32,
+                (hi >> 16) & 0xffff,
+                hi & 0xffff,
+                (lo >> 48) & 0xffff,
+                lo & 0xffff_ffff_ffff
+            );
+            let ack = ServerMessage::RegisterAck {
+                accepted,
+                session: session_str.clone(),
+                dh_public: keys.public,
+            };
+            if conn.tx.send(&ack.to_frame()).is_err() || !accepted {
+                if !accepted {
+                    log.warn(
+                        "ClientManager",
+                        format!("Client {site} rejected: invalid token or duplicate"),
+                    );
+                }
+                return;
+            }
+            let key = keys.shared_key(dh_public);
+            let slot_idx = {
+                let mut guard = slots.lock();
+                guard.push(ClientSlot {
+                    site: site.clone(),
+                    session: session_str.clone(),
+                    tx: conn.tx,
+                    seal: SecureChannel::new(key, SERVER_NONCE_BASE),
+                    alive: true,
+                });
+                guard.len() - 1
+            };
+            log.info(
+                "ClientManager",
+                format!(
+                    "Client: New client {site}@127.0.0.1 joined. Sent token: {session_str}. Total clients: {}",
+                    slot_idx + 1
+                ),
+            );
+            log.info(
+                "FederatedClient",
+                format!(
+                    "Successfully registered client:{site} for project {}. Token:{session_str}",
+                    config.project
+                ),
+            );
+
+            // --- Session loop: decrypt and forward ---
+            // Receive in short slices so the handler notices server
+            // shutdown promptly even while a quiet client stays connected.
+            let open = SecureChannel::new(key, 0);
+            loop {
+                if stopping.load(Ordering::Relaxed) {
+                    return;
+                }
+                match conn.rx.recv(Duration::from_millis(200)) {
+                    Ok(frame) => {
+                        let plain = match open.open(&frame) {
+                            Ok(p) => p,
+                            Err(e) => {
+                                log.warn("ClientManager", format!("{site}: rejected frame: {e}"));
+                                continue;
+                            }
+                        };
+                        match ClientMessage::from_frame(&plain) {
+                            Ok(ClientMessage::Bye { .. }) => {
+                                slots.lock()[slot_idx].alive = false;
+                                log.info("ClientManager", format!("{site} disconnected."));
+                                return;
+                            }
+                            Ok(msg) => {
+                                if inbox.send((slot_idx, msg)).is_err() {
+                                    return; // server gone
+                                }
+                            }
+                            Err(e) => {
+                                log.warn("ClientManager", format!("{site}: bad message: {e}"))
+                            }
+                        }
+                    }
+                    Err(FlareError::Timeout) => continue,
+                    Err(e) => {
+                        slots.lock()[slot_idx].alive = false;
+                        log.warn("ClientManager", format!("{site} connection lost: {e}"));
+                        return;
+                    }
+                }
+            }
+        });
+        self.handler_threads.push(handle);
+    }
+
+    /// Blocks until `n` clients have registered or `timeout` passes.
+    /// Returns the registered count.
+    pub fn wait_for_clients(&self, n: usize, timeout: Duration) -> usize {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            let count = self.slots.lock().len();
+            if count >= n {
+                return count;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.slots.lock().len()
+    }
+
+    /// Signals handler threads to stop and waits for them. Idempotent;
+    /// safe to call while clients are still connected (their sessions are
+    /// abandoned server-side).
+    pub fn shutdown(&mut self) {
+        self.stopping.store(true, Ordering::Relaxed);
+        for h in self.handler_threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    fn send_to_slot(slot: &mut ClientSlot, msg: &ServerMessage, log: &EventLog) -> bool {
+        let sealed = slot.seal.seal(&msg.to_frame());
+        match slot.tx.send(&sealed) {
+            Ok(()) => true,
+            Err(e) => {
+                slot.alive = false;
+                log.warn("ServerRunner", format!("{}: send failed: {e}", slot.site));
+                false
+            }
+        }
+    }
+}
+
+impl ClientGateway for FlServer {
+    fn client_sites(&self) -> Vec<String> {
+        self.slots
+            .lock()
+            .iter()
+            .filter(|s| s.alive)
+            .map(|s| s.site.clone())
+            .collect()
+    }
+
+    fn broadcast(&mut self, task: &TaskAssignment) -> usize {
+        let msg = ServerMessage::Task(task.clone());
+        let mut sent = 0;
+        for slot in self.slots.lock().iter_mut().filter(|s| s.alive) {
+            if Self::send_to_slot(slot, &msg, &self.log) {
+                sent += 1;
+            }
+        }
+        sent
+    }
+
+    fn collect_submissions(
+        &mut self,
+        round: u32,
+        expected: usize,
+        timeout: Duration,
+    ) -> Vec<(String, Dxo)> {
+        let deadline = Instant::now() + timeout;
+        let mut out: Vec<(String, Dxo)> = Vec::new();
+        while out.len() < expected {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match self.inbox_rx.recv_timeout(remaining) {
+                Ok((slot, ClientMessage::Submit { round: r, dxo })) if r == round => {
+                    let site = self.slots.lock()[slot].site.clone();
+                    if out.iter().any(|(s, _)| *s == site) {
+                        self.log
+                            .warn("ServerRunner", format!("duplicate submit from {site}"));
+                        continue;
+                    }
+                    out.push((site, dxo));
+                }
+                Ok((slot, msg)) => {
+                    let site = self.slots.lock()[slot].site.clone();
+                    self.log.warn(
+                        "ServerRunner",
+                        format!("{site}: out-of-phase message during round {round}: {msg:?}"),
+                    );
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => break,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        out
+    }
+
+    fn collect_validations(
+        &mut self,
+        round: u32,
+        expected: usize,
+        timeout: Duration,
+    ) -> Vec<(String, f64)> {
+        let deadline = Instant::now() + timeout;
+        let mut out: Vec<(String, f64)> = Vec::new();
+        while out.len() < expected {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match self.inbox_rx.recv_timeout(remaining) {
+                Ok((slot, ClientMessage::ValidateReport { round: r, metric })) if r == round => {
+                    let site = self.slots.lock()[slot].site.clone();
+                    if !out.iter().any(|(s, _)| *s == site) {
+                        out.push((site, metric));
+                    }
+                }
+                Ok(_) => {} // stale submit etc.
+                Err(_) => break,
+            }
+        }
+        out
+    }
+}
+
+/// Read access to per-session metadata for demos and tests.
+impl FlServer {
+    /// `(site, session-token)` pairs in registration order.
+    pub fn sessions(&self) -> Vec<(String, String)> {
+        self.slots
+            .lock()
+            .iter()
+            .map(|s| (s.site.clone(), s.session.clone()))
+            .collect()
+    }
+}

@@ -1,0 +1,373 @@
+//! The simulator: whole federations in one process (NVFlare's
+//! `SimulatorRunner`, the mode the paper's Fig. 3 demonstrates).
+
+use crate::aggregator::Aggregator;
+use crate::client::{ClientBehavior, FlClient};
+use crate::controller::{SagConfig, ScatterAndGather, WorkflowResult};
+use crate::dxo::Weights;
+use crate::executor::Executor;
+use crate::filters::FilterChain;
+use crate::log::EventLog;
+use crate::persistor::InMemoryPersistor;
+use crate::provision::Project;
+use crate::server::FlServer;
+use crate::transport::in_proc_pair;
+use crate::FlareError;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Configuration of a simulated federation.
+#[derive(Clone, Debug)]
+pub struct SimulatorConfig {
+    /// Number of simulated sites (the paper uses 8).
+    pub n_clients: usize,
+    /// ScatterAndGather workflow settings.
+    pub sag: SagConfig,
+    /// Provisioning / session seed.
+    pub seed: u64,
+    /// Per-client failure injection, keyed by 0-based site index.
+    pub behaviors: BTreeMap<usize, ClientBehavior>,
+}
+
+impl SimulatorConfig {
+    /// A paper-like default: 8 clients, `rounds` rounds, everyone healthy.
+    pub fn paper(rounds: u32) -> Self {
+        SimulatorConfig {
+            n_clients: 8,
+            sag: SagConfig {
+                rounds,
+                min_clients: 1,
+                ..SagConfig::default()
+            },
+            seed: 2023,
+            behaviors: BTreeMap::new(),
+        }
+    }
+}
+
+/// Result of a simulator run: the workflow outcome plus the collected
+/// event log (the content of the paper's Fig. 3).
+#[derive(Debug)]
+pub struct SimulationResult {
+    /// Workflow result (final weights, per-round summaries).
+    pub workflow: WorkflowResult,
+    /// Rounds each client completed before exiting.
+    pub client_rounds: Vec<u32>,
+    /// The run log.
+    pub log: EventLog,
+}
+
+/// Builds and runs an in-process federation: provision → server → client
+/// threads → ScatterAndGather → results.
+pub struct SimulatorRunner {
+    config: SimulatorConfig,
+    log: EventLog,
+}
+
+impl std::fmt::Debug for SimulatorRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulatorRunner")
+            .field("n_clients", &self.config.n_clients)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimulatorRunner {
+    /// Creates a runner with a silent log.
+    pub fn new(config: SimulatorConfig) -> Self {
+        Self::with_log(config, EventLog::new())
+    }
+
+    /// Creates a runner that logs into `log` (use [`EventLog::echoing`]
+    /// for live Fig. 3-style output).
+    pub fn with_log(config: SimulatorConfig, log: EventLog) -> Self {
+        SimulatorRunner { config, log }
+    }
+
+    /// The shared event log.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Runs the federation to completion.
+    ///
+    /// `make_executor` is called once per site (with its index and name)
+    /// on the launching thread; the produced executor moves to that site's
+    /// thread. `make_filters` may return a per-site outgoing filter chain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workflow failures (e.g.
+    /// [`FlareError::NotEnoughClients`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a client thread panicked (executor bugs should surface,
+    /// not hang the run).
+    pub fn run(
+        &self,
+        initial: Weights,
+        mut make_executor: impl FnMut(usize, &str) -> Box<dyn Executor>,
+        aggregator: &dyn Aggregator,
+        mut make_filters: impl FnMut(usize) -> FilterChain,
+    ) -> Result<SimulationResult, FlareError> {
+        let log = self.log.clone();
+        log.info("SimulatorRunner", "Create the simulate clients.");
+        let project = Project::with_n_sites("simulator_server", self.config.n_clients, self.config.seed);
+        let provisioned = project.provision();
+        let mut server = FlServer::new(provisioned.server.clone(), log.clone(), self.config.seed);
+
+        let mut client_threads = Vec::with_capacity(self.config.n_clients);
+        for (i, package) in provisioned.sites.iter().enumerate() {
+            let (server_side, client_side) = in_proc_pair();
+            server.serve_connection(server_side);
+            let package = package.clone();
+            let behavior = self.config.behaviors.get(&i).copied().unwrap_or_default();
+            let mut executor = make_executor(i, &package.site_name);
+            let filters = make_filters(i);
+            let clog = log.clone();
+            let dh_secret = self.config.seed.wrapping_mul(0x9E3779B97F4A7C15) ^ (i as u64 + 1);
+            client_threads.push(std::thread::spawn(move || -> Result<u32, FlareError> {
+                let mut client = FlClient::register(client_side, &package, dh_secret, clog)?;
+                client.set_filters(filters);
+                client.run(executor.as_mut(), behavior)
+            }));
+        }
+
+        let joined = server.wait_for_clients(self.config.n_clients, Duration::from_secs(30));
+        if joined < self.config.n_clients {
+            log.warn(
+                "SimulatorRunner",
+                format!("only {joined}/{} clients registered", self.config.n_clients),
+            );
+        }
+
+        let sag = ScatterAndGather::new(self.config.sag.clone(), log.clone());
+        let mut persistor = InMemoryPersistor::new();
+        let workflow = sag.run(&mut server, aggregator, &mut persistor, initial);
+
+        // Join clients regardless of workflow outcome so threads never leak.
+        let mut client_rounds = Vec::with_capacity(client_threads.len());
+        for t in client_threads {
+            match t.join().expect("client thread panicked") {
+                Ok(rounds) => client_rounds.push(rounds),
+                Err(e) => {
+                    log.warn("SimulatorRunner", format!("client exited with error: {e}"));
+                    client_rounds.push(0);
+                }
+            }
+        }
+        server.shutdown();
+        let workflow = workflow?;
+        log.info("SimulatorRunner", "Simulation complete.");
+        Ok(SimulationResult {
+            workflow,
+            client_rounds,
+            log,
+        })
+    }
+
+    /// Convenience wrapper: healthy clients, no filters.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SimulatorRunner::run`].
+    pub fn run_simple(
+        &self,
+        initial: Weights,
+        make_executor: impl FnMut(usize, &str) -> Box<dyn Executor>,
+        aggregator: &dyn Aggregator,
+    ) -> Result<SimulationResult, FlareError> {
+        self.run(initial, make_executor, aggregator, |_| FilterChain::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregator::WeightedFedAvg;
+    use crate::dxo::WeightTensor;
+    use crate::executor::ArithmeticExecutor;
+
+    fn initial() -> Weights {
+        let mut w = Weights::new();
+        w.insert("p".into(), WeightTensor::new(vec![3], vec![0.0; 3]));
+        w
+    }
+
+    fn sim(n: usize, rounds: u32) -> SimulatorRunner {
+        SimulatorRunner::new(SimulatorConfig {
+            n_clients: n,
+            sag: SagConfig {
+                rounds,
+                min_clients: 1,
+                round_timeout: Duration::from_secs(10),
+                validate_global: true,
+            },
+            seed: 7,
+            behaviors: BTreeMap::new(),
+        })
+    }
+
+    #[test]
+    fn full_simulation_converges_weights() {
+        // Clients add 1.0 and 3.0; FedAvg weighted by n (equal) → +2/round.
+        let res = sim(2, 3)
+            .run_simple(
+                initial(),
+                |i, _| {
+                    Box::new(ArithmeticExecutor {
+                        delta: if i == 0 { 1.0 } else { 3.0 },
+                        n_examples: 10,
+                    })
+                },
+                &WeightedFedAvg,
+            )
+            .unwrap();
+        let final_w = &res.workflow.final_weights["p"];
+        for v in &final_w.data {
+            assert!((v - 6.0).abs() < 1e-5, "expected 6.0 got {v}");
+        }
+        assert_eq!(res.client_rounds, vec![3, 3]);
+        assert_eq!(res.workflow.rounds.len(), 3);
+    }
+
+    #[test]
+    fn log_contains_fig3_structure() {
+        let res = sim(2, 1)
+            .run_simple(
+                initial(),
+                |_, _| Box::new(ArithmeticExecutor { delta: 1.0, n_examples: 1 }),
+                &WeightedFedAvg,
+            )
+            .unwrap();
+        for phrase in [
+            "Create the simulate clients.",
+            "New client site-1@127.0.0.1 joined",
+            "Successfully registered client:site-2",
+            "aggregating 2 update(s) at round 0",
+            "Round 0 finished.",
+            "Simulation complete.",
+        ] {
+            assert!(res.log.contains(phrase), "missing phrase {phrase:?}");
+        }
+    }
+
+    #[test]
+    fn dropout_client_tolerated() {
+        let mut cfg = SimulatorConfig {
+            n_clients: 3,
+            sag: SagConfig {
+                rounds: 3,
+                min_clients: 2,
+                round_timeout: Duration::from_millis(1500),
+                validate_global: false,
+            },
+            seed: 11,
+            behaviors: BTreeMap::new(),
+        };
+        cfg.behaviors.insert(
+            2,
+            ClientBehavior {
+                drop_at_round: Some(1),
+                straggle: None,
+            },
+        );
+        let res = SimulatorRunner::new(cfg)
+            .run_simple(
+                initial(),
+                |_, _| Box::new(ArithmeticExecutor { delta: 1.0, n_examples: 5 }),
+                &WeightedFedAvg,
+            )
+            .unwrap();
+        assert_eq!(res.workflow.rounds[0].contributors.len(), 3);
+        assert_eq!(res.workflow.rounds[1].contributors.len(), 2);
+        // The dropped client trained exactly one round.
+        assert_eq!(res.client_rounds[2], 1);
+    }
+
+    #[test]
+    fn straggler_still_contributes() {
+        let mut cfg = SimulatorConfig {
+            n_clients: 2,
+            sag: SagConfig {
+                rounds: 2,
+                min_clients: 2,
+                round_timeout: Duration::from_secs(10),
+                validate_global: false,
+            },
+            seed: 13,
+            behaviors: BTreeMap::new(),
+        };
+        cfg.behaviors.insert(
+            1,
+            ClientBehavior {
+                drop_at_round: None,
+                straggle: Some(Duration::from_millis(100)),
+            },
+        );
+        let res = SimulatorRunner::new(cfg)
+            .run_simple(
+                initial(),
+                |_, _| Box::new(ArithmeticExecutor { delta: 2.0, n_examples: 5 }),
+                &WeightedFedAvg,
+            )
+            .unwrap();
+        assert_eq!(res.workflow.rounds.len(), 2);
+        assert!(res.workflow.rounds.iter().all(|r| r.contributors.len() == 2));
+    }
+
+    #[test]
+    fn too_many_dropouts_abort() {
+        let mut cfg = SimulatorConfig {
+            n_clients: 2,
+            sag: SagConfig {
+                rounds: 3,
+                min_clients: 2,
+                round_timeout: Duration::from_millis(800),
+                validate_global: false,
+            },
+            seed: 17,
+            behaviors: BTreeMap::new(),
+        };
+        cfg.behaviors.insert(0, ClientBehavior { drop_at_round: Some(1), straggle: None });
+        cfg.behaviors.insert(1, ClientBehavior { drop_at_round: Some(1), straggle: None });
+        let err = SimulatorRunner::new(cfg)
+            .run_simple(
+                initial(),
+                |_, _| Box::new(ArithmeticExecutor { delta: 1.0, n_examples: 5 }),
+                &WeightedFedAvg,
+            )
+            .unwrap_err();
+        assert!(matches!(err, FlareError::NotEnoughClients { .. }));
+    }
+
+    #[test]
+    fn secure_aggregation_end_to_end() {
+        use crate::aggregator::MaskedSum;
+        use crate::filters::SecureAggMask;
+        let n = 4;
+        let runner = sim(n, 2);
+        let res = runner
+            .run(
+                initial(),
+                |_, _| Box::new(ArithmeticExecutor { delta: 1.0, n_examples: 10 }),
+                &MaskedSum,
+                |i| {
+                    let mut chain = FilterChain::new();
+                    chain.push(Box::new(SecureAggMask {
+                        site_index: i,
+                        n_sites: n,
+                        session_seed: 42,
+                    }));
+                    chain
+                },
+            )
+            .unwrap();
+        // All clients move +1 per round; masked sum must recover it.
+        let final_w = &res.workflow.final_weights["p"];
+        for v in &final_w.data {
+            assert!((v - 2.0).abs() < 1e-2, "expected ≈2.0 got {v}");
+        }
+    }
+}

@@ -1,0 +1,599 @@
+//! The attentive model: a BERT-style transformer encoder with MLM and
+//! classification heads.
+
+use crate::config::BertConfig;
+use crate::model::{SequenceClassifier, TokenBatch};
+use clinfl_tensor::{Graph, Init, ParamId, Params, Tensor, Var};
+
+/// Additive attention-mask value for padded key positions. `-1e4` (rather
+/// than `-inf`) keeps `f32` softmax numerically safe.
+const NEG_ATTN: f32 = -1.0e4;
+
+#[derive(Clone, Debug)]
+struct BlockParams {
+    ln1_g: ParamId,
+    ln1_b: ParamId,
+    wq: ParamId,
+    bq: ParamId,
+    wk: ParamId,
+    bk: ParamId,
+    wv: ParamId,
+    bv: ParamId,
+    wo: ParamId,
+    bo: ParamId,
+    ln2_g: ParamId,
+    ln2_b: ParamId,
+    w_ff1: ParamId,
+    b_ff1: ParamId,
+    w_ff2: ParamId,
+    b_ff2: ParamId,
+}
+
+/// BERT encoder with both of the paper's heads.
+///
+/// Architecture (pre-LN variant, chosen for optimization stability at the
+/// paper's large learning rate — see DESIGN.md):
+///
+/// ```text
+/// token-emb + position-emb → LN → dropout
+/// × layers: x += MHA(LN(x));  x += FFN(LN(x))
+/// final LN
+/// heads: [CLS] → linear (classification)   |   dense+GELU → decoder (MLM)
+/// ```
+///
+/// When `hidden` is not divisible by `heads` (the paper's BERT: 128 / 6),
+/// each head uses `ceil(hidden/heads)` dimensions and the attention output
+/// is projected back from `heads * head_dim` to `hidden`.
+#[derive(Clone, Debug)]
+pub struct BertModel {
+    config: BertConfig,
+    params: Params,
+    tok_emb: ParamId,
+    pos_emb: ParamId,
+    emb_ln_g: ParamId,
+    emb_ln_b: ParamId,
+    blocks: Vec<BlockParams>,
+    final_ln_g: ParamId,
+    final_ln_b: ParamId,
+    cls_w: ParamId,
+    cls_b: ParamId,
+    mlm_dense_w: ParamId,
+    mlm_dense_b: ParamId,
+    mlm_ln_g: ParamId,
+    mlm_ln_b: ParamId,
+    mlm_dec_b: ParamId,
+}
+
+impl BertModel {
+    /// Builds the model with deterministic initialization in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid (see [`BertConfig::validate`]).
+    pub fn new(config: &BertConfig, seed: u64) -> Self {
+        config.validate();
+        let mut params = Params::new();
+        let h = config.hidden;
+        let inner = config.attn_inner();
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s
+        };
+        let norm = Init::Normal(0.02);
+        let tok_emb = params.register(
+            "bert.embeddings.token",
+            norm.tensor(&[config.vocab_size, h], next()),
+        );
+        let pos_emb = params.register(
+            "bert.embeddings.position",
+            norm.tensor(&[config.max_seq_len, h], next()),
+        );
+        let emb_ln_g = params.register("bert.embeddings.ln.gain", Tensor::ones(&[h]));
+        let emb_ln_b = params.register("bert.embeddings.ln.bias", Tensor::zeros(&[h]));
+        let mut blocks = Vec::with_capacity(config.layers);
+        for l in 0..config.layers {
+            let p = |params: &mut Params, name: &str, dims: &[usize], seed: u64| {
+                params.register(format!("bert.layer{l}.{name}"), norm.tensor(dims, seed))
+            };
+            let z = |params: &mut Params, name: &str, dims: &[usize]| {
+                params.register(format!("bert.layer{l}.{name}"), Tensor::zeros(dims))
+            };
+            let o = |params: &mut Params, name: &str, dims: &[usize]| {
+                params.register(format!("bert.layer{l}.{name}"), Tensor::ones(dims))
+            };
+            blocks.push(BlockParams {
+                ln1_g: o(&mut params, "ln1.gain", &[h]),
+                ln1_b: z(&mut params, "ln1.bias", &[h]),
+                wq: p(&mut params, "attn.wq", &[h, inner], next()),
+                bq: z(&mut params, "attn.bq", &[inner]),
+                wk: p(&mut params, "attn.wk", &[h, inner], next()),
+                bk: z(&mut params, "attn.bk", &[inner]),
+                wv: p(&mut params, "attn.wv", &[h, inner], next()),
+                bv: z(&mut params, "attn.bv", &[inner]),
+                wo: p(&mut params, "attn.wo", &[inner, h], next()),
+                bo: z(&mut params, "attn.bo", &[h]),
+                ln2_g: o(&mut params, "ln2.gain", &[h]),
+                ln2_b: z(&mut params, "ln2.bias", &[h]),
+                w_ff1: p(&mut params, "ffn.w1", &[h, config.ffn], next()),
+                b_ff1: z(&mut params, "ffn.b1", &[config.ffn]),
+                w_ff2: p(&mut params, "ffn.w2", &[config.ffn, h], next()),
+                b_ff2: z(&mut params, "ffn.b2", &[h]),
+            });
+        }
+        let final_ln_g = params.register("bert.final_ln.gain", Tensor::ones(&[h]));
+        let final_ln_b = params.register("bert.final_ln.bias", Tensor::zeros(&[h]));
+        let cls_w = params.register(
+            "bert.cls_head.w",
+            Init::XavierUniform.tensor(&[h, config.num_classes], next()),
+        );
+        let cls_b = params.register("bert.cls_head.b", Tensor::zeros(&[config.num_classes]));
+        let mlm_dense_w = params.register("bert.mlm_head.dense.w", norm.tensor(&[h, h], next()));
+        let mlm_dense_b = params.register("bert.mlm_head.dense.b", Tensor::zeros(&[h]));
+        let mlm_ln_g = params.register("bert.mlm_head.ln.gain", Tensor::ones(&[h]));
+        let mlm_ln_b = params.register("bert.mlm_head.ln.bias", Tensor::zeros(&[h]));
+        // The MLM decoder weight is tied to the token-embedding table (as
+        // in BERT); only its bias is a separate parameter.
+        let mlm_dec_b = params.register("bert.mlm_head.decoder.b", Tensor::zeros(&[config.vocab_size]));
+        BertModel {
+            config: *config,
+            params,
+            tok_emb,
+            pos_emb,
+            emb_ln_g,
+            emb_ln_b,
+            blocks,
+            final_ln_g,
+            final_ln_b,
+            cls_w,
+            cls_b,
+            mlm_dense_w,
+            mlm_dense_b,
+            mlm_ln_g,
+            mlm_ln_b,
+            mlm_dec_b,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BertConfig {
+        &self.config
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.params.num_elements()
+    }
+
+    /// Number of parameters in the encoder backbone (without either head),
+    /// the set exchanged during MLM pretraining-then-finetune transfer.
+    pub fn num_backbone_parameters(&self) -> usize {
+        self.params
+            .iter()
+            .filter(|(_, name, _)| !name.contains("cls_head") && !name.contains("mlm_head"))
+            .map(|(_, _, t)| t.numel())
+            .sum()
+    }
+
+    fn layer_norm(&self, g: &mut Graph, x: Var, gain: ParamId, bias: ParamId) -> Var {
+        let n = g.normalize_last(x, 1e-5);
+        let gain = g.param(&self.params, gain);
+        let bias = g.param(&self.params, bias);
+        let scaled = g.mul(n, gain);
+        g.add(scaled, bias)
+    }
+
+    /// Builds the additive attention mask `[B, heads, S, S]` from the key
+    /// padding mask.
+    fn attention_mask(&self, batch: &TokenBatch<'_>) -> Tensor {
+        let (b, s, heads) = (batch.batch_size, batch.seq_len, self.config.heads);
+        let mut t = Tensor::zeros(&[b, heads, s, s]);
+        let data = t.data_mut();
+        for bi in 0..b {
+            for key in 0..s {
+                if batch.mask[bi * s + key] == 0 {
+                    for hd in 0..heads {
+                        for q in 0..s {
+                            data[((bi * heads + hd) * s + q) * s + key] = NEG_ATTN;
+                        }
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Builds the encoder forward pass, returning hidden states
+    /// `[B, S, hidden]`.
+    fn encode(&self, g: &mut Graph, batch: &TokenBatch<'_>) -> Var {
+        batch.validate();
+        let (b, s, h) = (batch.batch_size, batch.seq_len, self.config.hidden);
+        assert!(
+            s <= self.config.max_seq_len,
+            "sequence length {s} exceeds max_seq_len {}",
+            self.config.max_seq_len
+        );
+        let heads = self.config.heads;
+        let dh = self.config.head_dim();
+        let inner = self.config.attn_inner();
+        let p = self.config.dropout;
+
+        let tok_table = g.param(&self.params, self.tok_emb);
+        let tok = g.embedding(tok_table, batch.ids);
+        let tok = g.reshape(tok, &[b, s, h]);
+        let pos_ids: Vec<u32> = (0..b as u32)
+            .flat_map(|_| (0..s as u32).collect::<Vec<_>>())
+            .collect();
+        let pos_table = g.param(&self.params, self.pos_emb);
+        let pos = g.embedding(pos_table, &pos_ids);
+        let pos = g.reshape(pos, &[b, s, h]);
+        let x = g.add(tok, pos);
+        let x = self.layer_norm(g, x, self.emb_ln_g, self.emb_ln_b);
+        let mut x = g.dropout(x, p);
+
+        let amask = g.input(self.attention_mask(batch));
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        for blk in &self.blocks {
+            // --- Multi-head self-attention sublayer (pre-LN) ---
+            let hn = self.layer_norm(g, x, blk.ln1_g, blk.ln1_b);
+            let proj = |g: &mut Graph, model: &Self, w, bias| {
+                let wv = g.param(&model.params, w);
+                let bv = g.param(&model.params, bias);
+                let y = g.matmul(hn, wv);
+                let y = g.add(y, bv);
+                let y = g.reshape(y, &[b, s, heads, dh]);
+                g.swap_axes12(y) // [B, heads, S, dh]
+            };
+            let q = proj(g, self, blk.wq, blk.bq);
+            let k = proj(g, self, blk.wk, blk.bk);
+            let v = proj(g, self, blk.wv, blk.bv);
+            let kt = g.transpose_last2(k); // [B, heads, dh, S]
+            let scores = g.matmul(q, kt); // [B, heads, S, S]
+            let scores = g.scale(scores, scale);
+            let scores = g.add(scores, amask);
+            let attn = g.softmax(scores);
+            let attn = g.dropout(attn, p);
+            let ctx = g.matmul(attn, v); // [B, heads, S, dh]
+            let ctx = g.swap_axes12(ctx); // [B, S, heads, dh]
+            let ctx = g.reshape(ctx, &[b, s, inner]);
+            let wo = g.param(&self.params, blk.wo);
+            let bo = g.param(&self.params, blk.bo);
+            let out = g.matmul(ctx, wo);
+            let out = g.add(out, bo);
+            let out = g.dropout(out, p);
+            x = g.add(x, out);
+
+            // --- Feed-forward sublayer (pre-LN) ---
+            let hn2 = self.layer_norm(g, x, blk.ln2_g, blk.ln2_b);
+            let w1 = g.param(&self.params, blk.w_ff1);
+            let b1 = g.param(&self.params, blk.b_ff1);
+            let f = g.matmul(hn2, w1);
+            let f = g.add(f, b1);
+            let f = g.gelu(f);
+            let w2 = g.param(&self.params, blk.w_ff2);
+            let b2 = g.param(&self.params, blk.b_ff2);
+            let f = g.matmul(f, w2);
+            let f = g.add(f, b2);
+            let f = g.dropout(f, p);
+            x = g.add(x, f);
+        }
+        self.layer_norm(g, x, self.final_ln_g, self.final_ln_b)
+    }
+
+    fn cls_logits(&self, g: &mut Graph, batch: &TokenBatch<'_>) -> Var {
+        let enc = self.encode(g, batch);
+        let cls = g.select_axis1(enc, 0);
+        let cls = g.dropout(cls, self.config.dropout);
+        let w = g.param(&self.params, self.cls_w);
+        let bias = g.param(&self.params, self.cls_b);
+        let logits = g.matmul(cls, w);
+        g.add(logits, bias)
+    }
+
+    /// Masked-language-model loss (the paper's pretraining objective).
+    ///
+    /// `mlm_labels` has one entry per token position (`batch * seq_len`),
+    /// holding the original token id at corrupted positions and
+    /// [`clinfl_text::IGNORE_INDEX`] elsewhere — exactly the output of
+    /// [`clinfl_text::MlmMasker::mask`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mlm_labels.len() != batch_size * seq_len`.
+    pub fn mlm_loss(&self, g: &mut Graph, batch: &TokenBatch<'_>, mlm_labels: &[i32]) -> Var {
+        assert_eq!(
+            mlm_labels.len(),
+            batch.batch_size * batch.seq_len,
+            "one MLM label per token position"
+        );
+        let (b, s, h) = (batch.batch_size, batch.seq_len, self.config.hidden);
+        let enc = self.encode(g, batch);
+        let flat = g.reshape(enc, &[b * s, h]);
+        let dw = g.param(&self.params, self.mlm_dense_w);
+        let db = g.param(&self.params, self.mlm_dense_b);
+        let d = g.matmul(flat, dw);
+        let d = g.add(d, db);
+        let d = g.gelu(d);
+        let d = self.layer_norm(g, d, self.mlm_ln_g, self.mlm_ln_b);
+        // Tied decoder: project back through the transposed token-embedding
+        // table, so MLM gradients also shape the embeddings directly.
+        let table = g.param(&self.params, self.tok_emb);
+        let dec_w = g.transpose_last2(table); // [H, V]
+        let dec_b = g.param(&self.params, self.mlm_dec_b);
+        let logits = g.matmul(d, dec_w);
+        let logits = g.add(logits, dec_b);
+        g.cross_entropy(logits, mlm_labels, clinfl_text::IGNORE_INDEX)
+    }
+}
+
+impl SequenceClassifier for BertModel {
+    fn params(&self) -> &Params {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut Params {
+        &mut self.params
+    }
+
+    fn classification_loss(&self, g: &mut Graph, batch: &TokenBatch<'_>, labels: &[i32]) -> Var {
+        assert_eq!(labels.len(), batch.batch_size, "one label per sequence");
+        let logits = self.cls_logits(g, batch);
+        g.cross_entropy(logits, labels, clinfl_text::IGNORE_INDEX)
+    }
+
+    fn predict(&self, batch: &TokenBatch<'_>) -> Vec<usize> {
+        let mut g = Graph::new();
+        g.set_training(false);
+        let logits = self.cls_logits(&mut g, batch);
+        g.value(logits).argmax_rows()
+    }
+
+    fn predict_proba(&self, batch: &TokenBatch<'_>) -> Vec<Vec<f32>> {
+        let mut g = Graph::new();
+        g.set_training(false);
+        let logits = self.cls_logits(&mut g, batch);
+        let probs = g.softmax(logits);
+        let classes = self.config.num_classes;
+        g.value(probs)
+            .data()
+            .chunks(classes)
+            .map(<[f32]>::to_vec)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clinfl_tensor::{Adam, Optimizer};
+    use clinfl_text::IGNORE_INDEX;
+
+    fn tiny_config() -> BertConfig {
+        BertConfig {
+            vocab_size: 30,
+            hidden: 12,
+            heads: 3,
+            layers: 2,
+            ffn: 24,
+            max_seq_len: 8,
+            dropout: 0.0,
+            num_classes: 2,
+        }
+    }
+
+    fn batch_data(b: usize, s: usize) -> (Vec<u32>, Vec<u8>) {
+        let ids: Vec<u32> = (0..b * s).map(|i| 5 + (i as u32 % 20)).collect();
+        let mask = vec![1u8; b * s];
+        (ids, mask)
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = BertModel::new(&tiny_config(), 2);
+        let b = BertModel::new(&tiny_config(), 2);
+        assert_eq!(a.params().to_named(), b.params().to_named());
+    }
+
+    #[test]
+    fn paper_param_counts_match_formula() {
+        let vocab = 443;
+        let seq = 36;
+        for (cfg, name) in [
+            (BertConfig::bert(vocab, seq), "BERT"),
+            (BertConfig::bert_mini(vocab, seq), "BERT-mini"),
+        ] {
+            let m = BertModel::new(&cfg, 1);
+            let h = cfg.hidden;
+            let inner = cfg.attn_inner();
+            let per_block = 2 * h + 2 * h             // two layer norms
+                + 3 * (h * inner + inner)             // q, k, v
+                + inner * h + h                       // output proj
+                + h * cfg.ffn + cfg.ffn               // ffn in
+                + cfg.ffn * h + h; // ffn out
+            let expected = vocab * h + seq * h + 2 * h // embeddings + emb LN
+                + cfg.layers * per_block
+                + 2 * h                                // final LN
+                + h * 2 + 2                            // cls head
+                + h * h + h + 2 * h                    // mlm dense + head LN
+                + vocab; // mlm decoder bias (weight tied to embeddings)
+            assert_eq!(m.num_parameters(), expected, "{name}");
+            assert!(m.num_backbone_parameters() < m.num_parameters());
+        }
+    }
+
+    #[test]
+    fn bert_has_more_parameters_than_mini() {
+        let b = BertModel::new(&BertConfig::bert(443, 36), 1);
+        let m = BertModel::new(&BertConfig::bert_mini(443, 36), 1);
+        assert!(b.num_parameters() > 3 * m.num_parameters());
+    }
+
+    #[test]
+    fn predict_shape() {
+        let m = BertModel::new(&tiny_config(), 3);
+        let (ids, mask) = batch_data(4, 8);
+        let preds = m.predict(&TokenBatch {
+            ids: &ids,
+            mask: &mask,
+            batch_size: 4,
+            seq_len: 8,
+        });
+        assert_eq!(preds.len(), 4);
+        assert!(preds.iter().all(|&p| p < 2));
+    }
+
+    #[test]
+    fn padded_keys_are_ignored() {
+        // Changing token ids at padded positions must not affect logits.
+        let m = BertModel::new(&tiny_config(), 3);
+        let mut ids = vec![2, 5, 6, 3, 0, 0, 0, 0];
+        let mask = vec![1, 1, 1, 1, 0, 0, 0, 0];
+        let batch = |ids: &[u32]| {
+            let mut g = Graph::new();
+            g.set_training(false);
+            let b = TokenBatch {
+                ids,
+                mask: &mask,
+                batch_size: 1,
+                seq_len: 8,
+            };
+            let l = m.cls_logits(&mut g, &b);
+            g.value(l).data().to_vec()
+        };
+        let before = batch(&ids);
+        ids[5] = 17;
+        ids[7] = 9;
+        let after = batch(&ids);
+        for (a, b) in before.iter().zip(&after) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn predict_proba_rows_are_distributions() {
+        let m = BertModel::new(&tiny_config(), 3);
+        let (ids, mask) = batch_data(2, 8);
+        let probs = m.predict_proba(&TokenBatch {
+            ids: &ids,
+            mask: &mask,
+            batch_size: 2,
+            seq_len: 8,
+        });
+        assert_eq!(probs.len(), 2);
+        for row in &probs {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn mlm_loss_starts_near_log_vocab() {
+        let m = BertModel::new(&tiny_config(), 4);
+        let (ids, mask) = batch_data(2, 8);
+        let labels: Vec<i32> = (0..16)
+            .map(|i| if i % 3 == 0 { 6 } else { IGNORE_INDEX })
+            .collect();
+        let mut g = Graph::new();
+        g.set_training(false);
+        let loss = m.mlm_loss(
+            &mut g,
+            &TokenBatch {
+                ids: &ids,
+                mask: &mask,
+                batch_size: 2,
+                seq_len: 8,
+            },
+            &labels,
+        );
+        let expected = (30.0f32).ln();
+        let got = g.value(loss).item();
+        assert!(
+            (got - expected).abs() < 1.0,
+            "initial MLM loss {got} should be near ln|V| = {expected}"
+        );
+    }
+
+    #[test]
+    fn mlm_loss_decreases_with_training() {
+        let mut m = BertModel::new(&tiny_config(), 5);
+        let ids: Vec<u32> = vec![2, 5, 6, 7, 8, 9, 10, 3, 2, 5, 6, 7, 8, 9, 10, 3];
+        let mask = vec![1u8; 16];
+        // Predict position 3 (always token 7) and position 5 (always 9).
+        let mut labels = vec![IGNORE_INDEX; 16];
+        labels[3] = 7;
+        labels[5] = 9;
+        labels[11] = 7;
+        labels[13] = 9;
+        let mut masked = ids.clone();
+        masked[3] = 4;
+        masked[5] = 4;
+        masked[11] = 4;
+        masked[13] = 4;
+        let batch = TokenBatch {
+            ids: &masked,
+            mask: &mask,
+            batch_size: 2,
+            seq_len: 8,
+        };
+        let mut opt = Adam::with_lr(0.01);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..40 {
+            let mut g = Graph::new();
+            let loss = m.mlm_loss(&mut g, &batch, &labels);
+            last = g.value(loss).item();
+            first.get_or_insert(last);
+            g.backward(loss);
+            g.grads_into(m.params_mut());
+            opt.step(m.params_mut());
+        }
+        assert!(
+            last < first.unwrap() * 0.3,
+            "MLM loss did not fall: {:?} -> {last}",
+            first
+        );
+    }
+
+    #[test]
+    fn classification_learns_order_task() {
+        let mut m = BertModel::new(&tiny_config(), 6);
+        let seqs: Vec<(Vec<u32>, i32)> = vec![
+            (vec![2, 5, 6, 3], 1),
+            (vec![2, 6, 5, 3], 0),
+            (vec![2, 7, 5, 6], 1),
+            (vec![2, 6, 7, 5], 0),
+        ];
+        let ids: Vec<u32> = seqs.iter().flat_map(|(s, _)| s.clone()).collect();
+        let mask = vec![1u8; 16];
+        let labels: Vec<i32> = seqs.iter().map(|(_, l)| *l).collect();
+        let batch = TokenBatch {
+            ids: &ids,
+            mask: &mask,
+            batch_size: 4,
+            seq_len: 4,
+        };
+        let mut opt = Adam::with_lr(0.005);
+        for _ in 0..80 {
+            let mut g = Graph::new();
+            let loss = m.classification_loss(&mut g, &batch, &labels);
+            g.backward(loss);
+            g.grads_into(m.params_mut());
+            opt.step(m.params_mut());
+        }
+        assert_eq!(m.predict(&batch), vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_seq_len")]
+    fn too_long_sequence_panics() {
+        let m = BertModel::new(&tiny_config(), 3);
+        let (ids, mask) = batch_data(1, 16);
+        m.predict(&TokenBatch {
+            ids: &ids,
+            mask: &mask,
+            batch_size: 1,
+            seq_len: 16,
+        });
+    }
+}

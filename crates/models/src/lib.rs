@@ -1,0 +1,46 @@
+//! # clinfl-models
+//!
+//! The three clinical NLP models evaluated in *"Multi-Site Clinical
+//! Federated Learning using Recursive and Attentive Models and NVFlare"*
+//! (ICDCS 2023), built on the [`clinfl_tensor`] autograd engine:
+//!
+//! | Spec (paper Table II) | BERT | BERT-mini | LSTM |
+//! |---|---|---|---|
+//! | Hidden dimension      | 128  | 50        | 128  |
+//! | Attention heads       | 6    | 2         | —    |
+//! | Hidden layers         | 12   | 6         | 3    |
+//!
+//! * [`LstmClassifier`] — the *recursive* model: embedding → stacked LSTM
+//!   (backpropagation through time) → final hidden state → linear head.
+//! * [`BertModel`] — the *attentive* model: token + position embeddings →
+//!   pre-LN transformer blocks → either a `[CLS]` classification head
+//!   ([`BertModel::classification_loss`]) or an MLM head
+//!   ([`BertModel::mlm_loss`]) for the paper's pretraining stage.
+//!
+//! All models implement [`SequenceClassifier`], the interface the
+//! federated-learning executors train against, and expose their weights
+//! through [`clinfl_tensor::Params`] for FL weight exchange.
+//!
+//! ```
+//! use clinfl_models::{LstmClassifier, LstmConfig, SequenceClassifier, TokenBatch};
+//!
+//! let mut model = LstmClassifier::new(&LstmConfig { vocab_size: 50, ..LstmConfig::paper() }, 1);
+//! let ids = vec![2, 5, 6, 3, 0, 0, 2, 7, 8, 3, 0, 0];
+//! let mask = vec![1, 1, 1, 1, 0, 0, 1, 1, 1, 1, 0, 0];
+//! let batch = TokenBatch { ids: &ids, mask: &mask, batch_size: 2, seq_len: 6 };
+//! let preds = model.predict(&batch);
+//! assert_eq!(preds.len(), 2);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod bert;
+mod config;
+mod lstm;
+mod model;
+
+pub use bert::BertModel;
+pub use config::{BertConfig, LstmConfig};
+pub use lstm::LstmClassifier;
+pub use model::{ModelKind, SequenceClassifier, TokenBatch};

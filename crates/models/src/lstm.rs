@@ -1,0 +1,414 @@
+//! The recursive model: a stacked LSTM sequence classifier.
+
+use crate::config::LstmConfig;
+use crate::model::{SequenceClassifier, TokenBatch};
+use clinfl_tensor::{Graph, Init, ParamId, Params, Tensor, Var};
+
+/// Per-layer LSTM parameter handles (separate matrices per gate).
+#[derive(Clone, Debug)]
+struct LstmLayerParams {
+    /// Input weights per gate `[in_dim, hidden]`, order i, f, g, o.
+    w_x: [ParamId; 4],
+    /// Recurrent weights per gate `[hidden, hidden]`.
+    w_h: [ParamId; 4],
+    /// Biases per gate `[hidden]`.
+    b: [ParamId; 4],
+}
+
+/// The paper's LSTM-based diagnosis classifier (Table II: hidden 128,
+/// 3 layers): embedding → stacked LSTM → final hidden state → linear head.
+///
+/// Padding is handled by carrying the previous hidden/cell state through
+/// masked timesteps, so the "final" state is the state at each sequence's
+/// last real token — the recurrent-model equivalent of `[CLS]` pooling.
+#[derive(Clone, Debug)]
+pub struct LstmClassifier {
+    config: LstmConfig,
+    params: Params,
+    embedding: ParamId,
+    layers: Vec<LstmLayerParams>,
+    head_w: ParamId,
+    head_b: ParamId,
+}
+
+const GATE_NAMES: [&str; 4] = ["i", "f", "g", "o"];
+
+impl LstmClassifier {
+    /// Builds the classifier with deterministic initialization in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid (see [`LstmConfig::validate`]).
+    pub fn new(config: &LstmConfig, seed: u64) -> Self {
+        config.validate();
+        let mut params = Params::new();
+        let h = config.hidden;
+        let mut s = seed;
+        let mut next_seed = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s
+        };
+        // Unlike BERT (whose LayerNorm rescales tiny embeddings), the LSTM
+        // consumes embeddings raw: N(0, 0.02) would leave the gates pinned
+        // near their bias values and stall learning, so use a conventional
+        // recurrent-model scale.
+        let embedding = params.register(
+            "lstm.embedding",
+            Init::Normal(0.2).tensor(&[config.vocab_size, h], next_seed()),
+        );
+        let mut layers = Vec::with_capacity(config.layers);
+        for l in 0..config.layers {
+            let make = |params: &mut Params, kind: &str, gate: &str, dims: &[usize], seed: u64| {
+                params.register(
+                    format!("lstm.l{l}.{kind}_{gate}"),
+                    Init::XavierUniform.tensor(dims, seed),
+                )
+            };
+            let w_x = GATE_NAMES.map(|gd| make(&mut params, "wx", gd, &[h, h], next_seed()));
+            let w_h = GATE_NAMES.map(|gd| make(&mut params, "wh", gd, &[h, h], next_seed()));
+            let b = GATE_NAMES.map(|gd| {
+                // Forget-gate bias starts at 1.0 (standard LSTM practice) so
+                // early training does not forget everything.
+                let init = if gd == "f" {
+                    Tensor::ones(&[h])
+                } else {
+                    Tensor::zeros(&[h])
+                };
+                params.register(format!("lstm.l{l}.b_{gd}"), init)
+            });
+            layers.push(LstmLayerParams { w_x, w_h, b });
+        }
+        let head_w = params.register(
+            "lstm.head.w",
+            Init::XavierUniform.tensor(&[h, config.num_classes], next_seed()),
+        );
+        let head_b = params.register("lstm.head.b", Tensor::zeros(&[config.num_classes]));
+        LstmClassifier {
+            config: *config,
+            params,
+            embedding,
+            layers,
+            head_w,
+            head_b,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LstmConfig {
+        &self.config
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.params.num_elements()
+    }
+
+    /// Builds the encoder forward pass, returning the final hidden state of
+    /// the top layer, shape `[batch, hidden]`.
+    fn encode(&self, g: &mut Graph, batch: &TokenBatch<'_>) -> Var {
+        batch.validate();
+        let (b, s, h) = (batch.batch_size, batch.seq_len, self.config.hidden);
+        let table = g.param(&self.params, self.embedding);
+
+        // Per-timestep token embeddings: x_t = embed(ids[:, t])  [B, H].
+        let mut xs: Vec<Var> = Vec::with_capacity(s);
+        let mut keep_masks: Vec<(Var, Var)> = Vec::with_capacity(s);
+        for t in 0..s {
+            let ids_t: Vec<u32> = (0..b).map(|bi| batch.ids[bi * s + t]).collect();
+            xs.push(g.embedding(table, &ids_t));
+            // Expanded carry masks: keep = m, hold = 1 - m, both [B, H].
+            let mut keep = Tensor::zeros(&[b, h]);
+            let mut hold = Tensor::zeros(&[b, h]);
+            for bi in 0..b {
+                let m = batch.mask[bi * s + t] as f32;
+                keep.data_mut()[bi * h..(bi + 1) * h].fill(m);
+                hold.data_mut()[bi * h..(bi + 1) * h].fill(1.0 - m);
+            }
+            keep_masks.push((g.input(keep), g.input(hold)));
+        }
+
+        let mut layer_input = xs;
+        let mut last_h = None;
+        for (li, layer) in self.layers.iter().enumerate() {
+            let wx = layer.w_x.map(|id| g.param(&self.params, id));
+            let wh = layer.w_h.map(|id| g.param(&self.params, id));
+            let bias = layer.b.map(|id| g.param(&self.params, id));
+            let mut h_prev = g.input(Tensor::zeros(&[b, h]));
+            let mut c_prev = g.input(Tensor::zeros(&[b, h]));
+            let mut outputs = Vec::with_capacity(s);
+            for (t, &x_t) in layer_input.iter().enumerate() {
+                let gate = |g: &mut Graph, k: usize| {
+                    let xz = g.matmul(x_t, wx[k]);
+                    let hz = g.matmul(h_prev, wh[k]);
+                    let z = g.add(xz, hz);
+                    g.add(z, bias[k])
+                };
+                let zi = gate(g, 0);
+                let i_g = g.sigmoid(zi);
+                let zf = gate(g, 1);
+                let f_g = g.sigmoid(zf);
+                let zg = gate(g, 2);
+                let g_g = g.tanh(zg);
+                let zo = gate(g, 3);
+                let o_g = g.sigmoid(zo);
+                let fc = g.mul(f_g, c_prev);
+                let ig = g.mul(i_g, g_g);
+                let c_new = g.add(fc, ig);
+                let c_tanh = g.tanh(c_new);
+                let h_new = g.mul(o_g, c_tanh);
+                // Carry state through padded positions.
+                let (keep, hold) = keep_masks[t];
+                let hk = g.mul(h_new, keep);
+                let hh = g.mul(h_prev, hold);
+                let h_t = g.add(hk, hh);
+                let ck = g.mul(c_new, keep);
+                let ch = g.mul(c_prev, hold);
+                let c_t = g.add(ck, ch);
+                h_prev = h_t;
+                c_prev = c_t;
+                outputs.push(h_t);
+            }
+            // Inter-layer dropout (not after the top layer; the head has
+            // its own dropout).
+            if li + 1 < self.layers.len() {
+                layer_input = outputs
+                    .iter()
+                    .map(|&o| g.dropout(o, self.config.dropout))
+                    .collect();
+            }
+            last_h = Some(h_prev);
+        }
+        last_h.expect("at least one layer")
+    }
+
+    fn logits(&self, g: &mut Graph, batch: &TokenBatch<'_>) -> Var {
+        let enc = self.encode(g, batch);
+        let enc = g.dropout(enc, self.config.dropout);
+        let w = g.param(&self.params, self.head_w);
+        let bias = g.param(&self.params, self.head_b);
+        let proj = g.matmul(enc, w);
+        g.add(proj, bias)
+    }
+}
+
+impl SequenceClassifier for LstmClassifier {
+    fn params(&self) -> &Params {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut Params {
+        &mut self.params
+    }
+
+    fn classification_loss(&self, g: &mut Graph, batch: &TokenBatch<'_>, labels: &[i32]) -> Var {
+        assert_eq!(labels.len(), batch.batch_size, "one label per sequence");
+        let logits = self.logits(g, batch);
+        g.cross_entropy(logits, labels, clinfl_text::IGNORE_INDEX)
+    }
+
+    fn predict(&self, batch: &TokenBatch<'_>) -> Vec<usize> {
+        let mut g = Graph::new();
+        g.set_training(false);
+        let logits = self.logits(&mut g, batch);
+        g.value(logits).argmax_rows()
+    }
+
+    fn predict_proba(&self, batch: &TokenBatch<'_>) -> Vec<Vec<f32>> {
+        let mut g = Graph::new();
+        g.set_training(false);
+        let logits = self.logits(&mut g, batch);
+        let probs = g.softmax(logits);
+        let classes = self.config.num_classes;
+        g.value(probs)
+            .data()
+            .chunks(classes)
+            .map(<[f32]>::to_vec)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clinfl_tensor::{Adam, Optimizer};
+
+    fn tiny_config() -> LstmConfig {
+        LstmConfig {
+            vocab_size: 20,
+            hidden: 8,
+            layers: 2,
+            dropout: 0.0,
+            num_classes: 2,
+        }
+    }
+
+    fn batch_data(b: usize, s: usize) -> (Vec<u32>, Vec<u8>) {
+        let ids: Vec<u32> = (0..b * s).map(|i| 5 + (i as u32 % 10)).collect();
+        let mask = vec![1u8; b * s];
+        (ids, mask)
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = LstmClassifier::new(&tiny_config(), 7);
+        let b = LstmClassifier::new(&tiny_config(), 7);
+        assert_eq!(a.params().to_named(), b.params().to_named());
+        let c = LstmClassifier::new(&tiny_config(), 8);
+        assert_ne!(a.params().to_named(), c.params().to_named());
+    }
+
+    #[test]
+    fn paper_param_count() {
+        // Table II LSTM: hidden 128, 3 layers, over a 443-token vocab.
+        let cfg = LstmConfig::with_vocab(443);
+        let m = LstmClassifier::new(&cfg, 1);
+        let h = 128usize;
+        let expected = 443 * h                     // embedding
+            + 3 * (4 * h * h + 4 * h * h + 4 * h)  // 3 layers of gates
+            + h * 2 + 2; // head
+        assert_eq!(m.num_parameters(), expected);
+    }
+
+    #[test]
+    fn predict_shape_and_range() {
+        let m = LstmClassifier::new(&tiny_config(), 3);
+        let (ids, mask) = batch_data(4, 6);
+        let preds = m.predict(&TokenBatch {
+            ids: &ids,
+            mask: &mask,
+            batch_size: 4,
+            seq_len: 6,
+        });
+        assert_eq!(preds.len(), 4);
+        assert!(preds.iter().all(|&p| p < 2));
+    }
+
+    #[test]
+    fn padding_does_not_change_prediction() {
+        // Appending padded timesteps must not alter the final state.
+        let m = LstmClassifier::new(&tiny_config(), 3);
+        let ids_short: Vec<u32> = vec![5, 6, 7, 8];
+        let mask_short = vec![1u8; 4];
+        let mut g1 = Graph::new();
+        g1.set_training(false);
+        let h1 = m.encode(
+            &mut g1,
+            &TokenBatch {
+                ids: &ids_short,
+                mask: &mask_short,
+                batch_size: 1,
+                seq_len: 4,
+            },
+        );
+        let ids_padded: Vec<u32> = vec![5, 6, 7, 8, 0, 0];
+        let mask_padded = vec![1, 1, 1, 1, 0, 0];
+        let mut g2 = Graph::new();
+        g2.set_training(false);
+        let h2 = m.encode(
+            &mut g2,
+            &TokenBatch {
+                ids: &ids_padded,
+                mask: &mask_padded,
+                batch_size: 1,
+                seq_len: 6,
+            },
+        );
+        let a = g1.value(h1).data();
+        let b = g2.value(h2).data();
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn predict_proba_rows_are_distributions() {
+        let m = LstmClassifier::new(&tiny_config(), 3);
+        let (ids, mask) = batch_data(3, 5);
+        let probs = m.predict_proba(&TokenBatch {
+            ids: &ids,
+            mask: &mask,
+            batch_size: 3,
+            seq_len: 5,
+        });
+        assert_eq!(probs.len(), 3);
+        for row in &probs {
+            assert_eq!(row.len(), 2);
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row sums to {sum}");
+            assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+        // argmax of proba agrees with predict.
+        let preds = m.predict(&TokenBatch {
+            ids: &ids,
+            mask: &mask,
+            batch_size: 3,
+            seq_len: 5,
+        });
+        for (p, row) in preds.iter().zip(&probs) {
+            let am = if row[1] > row[0] { 1 } else { 0 };
+            assert_eq!(*p, am);
+        }
+    }
+
+    #[test]
+    fn loss_decreases_with_training() {
+        // Order-sensitive toy task: label = 1 iff token 5 appears before
+        // token 6.
+        let m_cfg = tiny_config();
+        let mut model = LstmClassifier::new(&m_cfg, 5);
+        let seqs: Vec<(Vec<u32>, i32)> = vec![
+            (vec![5, 6, 7, 7], 1),
+            (vec![6, 5, 7, 7], 0),
+            (vec![7, 5, 6, 7], 1),
+            (vec![7, 6, 7, 5], 0),
+            (vec![5, 7, 6, 7], 1),
+            (vec![6, 7, 5, 7], 0),
+        ];
+        let ids: Vec<u32> = seqs.iter().flat_map(|(s, _)| s.clone()).collect();
+        let mask = vec![1u8; ids.len()];
+        let labels: Vec<i32> = seqs.iter().map(|(_, l)| *l).collect();
+        let batch = TokenBatch {
+            ids: &ids,
+            mask: &mask,
+            batch_size: 6,
+            seq_len: 4,
+        };
+        let mut opt = Adam::with_lr(0.02);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..60 {
+            let mut g = Graph::new();
+            let loss = model.classification_loss(&mut g, &batch, &labels);
+            last = g.value(loss).item();
+            first.get_or_insert(last);
+            g.backward(loss);
+            g.grads_into(model.params_mut());
+            opt.step(model.params_mut());
+        }
+        let first = first.unwrap();
+        assert!(
+            last < first * 0.5,
+            "loss did not decrease: {first} -> {last}"
+        );
+        // And the model now classifies the training set correctly.
+        assert_eq!(model.predict(&batch), vec![1, 0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per sequence")]
+    fn wrong_label_count_panics() {
+        let m = LstmClassifier::new(&tiny_config(), 3);
+        let (ids, mask) = batch_data(2, 4);
+        let mut g = Graph::new();
+        m.classification_loss(
+            &mut g,
+            &TokenBatch {
+                ids: &ids,
+                mask: &mask,
+                batch_size: 2,
+                seq_len: 4,
+            },
+            &[0],
+        );
+    }
+}

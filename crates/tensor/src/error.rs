@@ -1,0 +1,37 @@
+//! Error type for fallible tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible `clinfl-tensor` operations (serialization,
+/// validated constructors).
+///
+/// Most shape errors in this crate are programming errors and panic with a
+/// descriptive message instead (documented per-method under "Panics"),
+/// mirroring the behaviour of mainstream tensor libraries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// A shape was inconsistent with the provided data length.
+    ShapeDataMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A serialized tensor payload was malformed.
+    MalformedPayload(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { expected, actual } => write!(
+                f,
+                "shape implies {expected} elements but {actual} were provided"
+            ),
+            TensorError::MalformedPayload(msg) => write!(f, "malformed tensor payload: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {}

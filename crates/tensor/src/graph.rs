@@ -1,0 +1,946 @@
+//! The autograd tape: forward-op construction and reverse-mode backward.
+
+use crate::kernels;
+use crate::ops::{accumulate, backward_node, Broadcast, Node, Op};
+use crate::optim::{ParamId, Params};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Handle to a node on a [`Graph`] tape.
+///
+/// A `Var` is only meaningful for the graph that produced it; using it with
+/// another graph is a logic error (caught by index panics in debug).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// A reverse-mode automatic-differentiation tape.
+///
+/// A `Graph` is built fresh for every forward pass (the "define-by-run"
+/// style): each operation appends a node holding its result, and
+/// [`Graph::backward`] walks the tape in reverse applying each node's
+/// gradient rule. Parameters enter the graph via [`Graph::param`], and their
+/// gradients are exported back to the [`Params`] store with
+/// [`Graph::grads_into`].
+///
+/// # Example
+///
+/// ```
+/// use clinfl_tensor::{Graph, Tensor};
+/// let mut g = Graph::new();
+/// let x = g.input(Tensor::from_vec(&[2], vec![3.0, 4.0])?);
+/// let sq = g.mul(x, x);
+/// let loss = g.sum(sq); // x0^2 + x1^2
+/// g.backward(loss);
+/// assert_eq!(g.grad(x).unwrap().data(), &[6.0, 8.0]); // d/dx = 2x
+/// # Ok::<(), clinfl_tensor::TensorError>(())
+/// ```
+#[derive(Debug)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Tensor>>,
+    param_links: Vec<(usize, ParamId)>,
+    training: bool,
+    rng: StdRng,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// Creates an empty tape in training mode (dropout active) with a fixed
+    /// default seed for dropout masks.
+    pub fn new() -> Self {
+        Graph {
+            nodes: Vec::new(),
+            grads: Vec::new(),
+            param_links: Vec::new(),
+            training: true,
+            rng: StdRng::seed_from_u64(0x5eed),
+        }
+    }
+
+    /// Creates an empty tape with an explicit dropout seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Graph {
+            rng: StdRng::seed_from_u64(seed),
+            ..Graph::new()
+        }
+    }
+
+    /// Switches between training mode (dropout active) and evaluation mode
+    /// (dropout is the identity).
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    /// Whether the tape is in training mode.
+    pub fn is_training(&self) -> bool {
+        self.training
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, op: Op, inputs: Vec<usize>, value: Tensor) -> Var {
+        self.nodes.push(Node { op, inputs, value });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Forward value of a variable.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Gradient of a leaf variable after [`Graph::backward`]; `None` if the
+    /// variable did not receive a gradient.
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.grads.get(v.0).and_then(|g| g.as_ref())
+    }
+
+    // ------------------------------------------------------------------
+    // Leaves
+    // ------------------------------------------------------------------
+
+    /// Adds a constant input (leaf) to the tape.
+    pub fn input(&mut self, t: Tensor) -> Var {
+        self.push(Op::Leaf, vec![], t)
+    }
+
+    /// Adds a parameter (leaf) to the tape, copying its current value from
+    /// the store and remembering the link so [`Graph::grads_into`] can route
+    /// the gradient back.
+    pub fn param(&mut self, params: &Params, id: ParamId) -> Var {
+        let v = self.push(Op::Leaf, vec![], params.value(id).clone());
+        self.param_links.push((v.0, id));
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Element-wise & scalar ops
+    // ------------------------------------------------------------------
+
+    fn broadcast_kind(&self, a: Var, b: Var, what: &str) -> Broadcast {
+        let sa = self.nodes[a.0].value.shape();
+        let sb = self.nodes[b.0].value.shape();
+        if sa == sb {
+            Broadcast::None
+        } else if sb.numel() == 1 {
+            Broadcast::Scalar
+        } else if sb.rank() == 1 && sb.last_dim() == sa.last_dim() {
+            Broadcast::Row
+        } else {
+            panic!("{what}: cannot broadcast {sb} onto {sa}");
+        }
+    }
+
+    fn apply_broadcast(
+        a: &Tensor,
+        b: &Tensor,
+        bcast: Broadcast,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Tensor {
+        let mut out = a.clone();
+        match bcast {
+            Broadcast::None => {
+                for (o, &bv) in out.data_mut().iter_mut().zip(b.data()) {
+                    *o = f(*o, bv);
+                }
+            }
+            Broadcast::Scalar => {
+                let bv = b.data()[0];
+                for o in out.data_mut() {
+                    *o = f(*o, bv);
+                }
+            }
+            Broadcast::Row => {
+                let width = a.shape().last_dim();
+                for row in out.data_mut().chunks_mut(width) {
+                    for (o, &bv) in row.iter_mut().zip(b.data()) {
+                        *o = f(*o, bv);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `a + b`. `b` may be the same shape, a scalar, or a last-dim vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are not broadcast-compatible.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let bcast = self.broadcast_kind(a, b, "add");
+        let value = Self::apply_broadcast(
+            &self.nodes[a.0].value,
+            &self.nodes[b.0].value,
+            bcast,
+            |x, y| x + y,
+        );
+        self.push(Op::Add(bcast), vec![a.0, b.0], value)
+    }
+
+    /// `a - b`, with the same broadcasting rules as [`Graph::add`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are not broadcast-compatible.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let bcast = self.broadcast_kind(a, b, "sub");
+        let value = Self::apply_broadcast(
+            &self.nodes[a.0].value,
+            &self.nodes[b.0].value,
+            bcast,
+            |x, y| x - y,
+        );
+        self.push(Op::Sub(bcast), vec![a.0, b.0], value)
+    }
+
+    /// Element-wise `a * b`, with the same broadcasting rules as
+    /// [`Graph::add`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are not broadcast-compatible.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let bcast = self.broadcast_kind(a, b, "mul");
+        let value = Self::apply_broadcast(
+            &self.nodes[a.0].value,
+            &self.nodes[b.0].value,
+            bcast,
+            |x, y| x * y,
+        );
+        self.push(Op::Mul(bcast), vec![a.0, b.0], value)
+    }
+
+    /// `-a`.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.scaled(-1.0);
+        self.push(Op::Neg, vec![a.0], value)
+    }
+
+    /// `a * c` for a constant.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let value = self.nodes[a.0].value.scaled(c);
+        self.push(Op::Scale(c), vec![a.0], value)
+    }
+
+    /// `a + c` for a constant.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let value = self.nodes[a.0].value.map(|v| v + c);
+        self.push(Op::AddScalar, vec![a.0], value)
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra & shape
+    // ------------------------------------------------------------------
+
+    /// Batched matrix product (see [`Tensor::matmul`] for the shape rules).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension or batch mismatch.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        let rhs_broadcast = self.nodes[b.0].value.shape().rank() == 2
+            && self.nodes[a.0].value.shape().rank() > 2;
+        self.push(Op::Matmul { rhs_broadcast }, vec![a.0, b.0], value)
+    }
+
+    /// Transposes the last two dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is < 2.
+    pub fn transpose_last2(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.transposed_last2();
+        self.push(Op::TransposeLast2, vec![a.0], value)
+    }
+
+    /// Swaps axes 1 and 2 of a rank-4 tensor (`[B, S, H, D]` →
+    /// `[B, H, S, D]`), used to split/merge attention heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is not 4.
+    pub fn swap_axes12(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.swapped_axes12();
+        self.push(Op::SwapAxes12, vec![a.0], value)
+    }
+
+    /// Reshapes to `dims` (same element count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element count changes.
+    pub fn reshape(&mut self, a: Var, dims: &[usize]) -> Var {
+        let value = self.nodes[a.0].value.reshaped(dims);
+        self.push(Op::Reshape, vec![a.0], value)
+    }
+
+    /// Selects `[:, index, :]` from a rank-3 tensor (`[B, S, H] -> [B, H]`),
+    /// e.g. the `[CLS]` position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank-3 or `index` is out of bounds.
+    pub fn select_axis1(&mut self, a: Var, index: usize) -> Var {
+        let src = &self.nodes[a.0].value;
+        let dims = src.dims();
+        assert_eq!(dims.len(), 3, "select_axis1 requires rank-3 input");
+        let (b, s, h) = (dims[0], dims[1], dims[2]);
+        assert!(index < s, "select_axis1 index {index} out of bounds {s}");
+        let mut out = Tensor::zeros(&[b, h]);
+        for bi in 0..b {
+            out.data_mut()[bi * h..(bi + 1) * h]
+                .copy_from_slice(&src.data()[(bi * s + index) * h..(bi * s + index + 1) * h]);
+        }
+        self.push(
+            Op::Select {
+                index,
+                axis_len: s,
+            },
+            vec![a.0],
+            out,
+        )
+    }
+
+    /// Concatenates two tensors along the last dimension. All leading
+    /// dimensions must match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the leading dimensions differ.
+    pub fn concat_last(&mut self, a: Var, b: Var) -> Var {
+        let (sa, sb) = (
+            self.nodes[a.0].value.shape().clone(),
+            self.nodes[b.0].value.shape().clone(),
+        );
+        assert_eq!(
+            sa.dims()[..sa.rank() - 1],
+            sb.dims()[..sb.rank() - 1],
+            "concat_last leading dims differ: {sa} vs {sb}"
+        );
+        let (wa, wb) = (sa.last_dim(), sb.last_dim());
+        let mut dims = sa.dims().to_vec();
+        *dims.last_mut().expect("rank >= 1") = wa + wb;
+        let mut out = Tensor::zeros(&dims);
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[b.0].value;
+        for ((row, ra), rb) in out
+            .data_mut()
+            .chunks_mut(wa + wb)
+            .zip(av.data().chunks(wa))
+            .zip(bv.data().chunks(wb))
+        {
+            row[..wa].copy_from_slice(ra);
+            row[wa..].copy_from_slice(rb);
+        }
+        self.push(Op::ConcatLast, vec![a.0, b.0], out)
+    }
+
+    /// Takes columns `start..start+len` of the last dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the last dimension.
+    pub fn slice_last(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let src = &self.nodes[a.0].value;
+        let width = src.shape().last_dim();
+        assert!(
+            start + len <= width && len > 0,
+            "slice_last {start}..{} out of 0..{width}",
+            start + len
+        );
+        let mut dims = src.dims().to_vec();
+        *dims.last_mut().expect("rank >= 1") = len;
+        let mut out = Tensor::zeros(&dims);
+        for (orow, srow) in out
+            .data_mut()
+            .chunks_mut(len)
+            .zip(src.data().chunks(width))
+        {
+            orow.copy_from_slice(&srow[start..start + len]);
+        }
+        self.push(
+            Op::SliceLast {
+                start,
+                src_width: width,
+            },
+            vec![a.0],
+            out,
+        )
+    }
+
+    /// Sums over the last dimension (`[.., D]` → `[..]`).
+    pub fn sum_last(&mut self, a: Var) -> Var {
+        let src = &self.nodes[a.0].value;
+        let width = src.shape().last_dim().max(1);
+        let dims: Vec<usize> = src.dims()[..src.dims().len().saturating_sub(1)].to_vec();
+        let data: Vec<f32> = src.data().chunks(width).map(|r| r.iter().sum()).collect();
+        let out = Tensor::from_vec(&dims, data).expect("sum_last shape");
+        self.push(Op::SumLast, vec![a.0], out)
+    }
+
+    /// Mean over axis 1 of a rank-3 tensor (`[B, S, H]` → `[B, H]`):
+    /// sequence mean pooling.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the input is rank-3.
+    pub fn mean_axis1(&mut self, a: Var) -> Var {
+        let src = &self.nodes[a.0].value;
+        let dims = src.dims();
+        assert_eq!(dims.len(), 3, "mean_axis1 requires rank-3 input");
+        let (b, s, h) = (dims[0], dims[1], dims[2]);
+        let mut out = Tensor::zeros(&[b, h]);
+        for bi in 0..b {
+            let orow = &mut out.data_mut()[bi * h..(bi + 1) * h];
+            for si in 0..s {
+                let srow = &src.data()[(bi * s + si) * h..(bi * s + si + 1) * h];
+                for (o, &v) in orow.iter_mut().zip(srow) {
+                    *o += v;
+                }
+            }
+            for o in orow.iter_mut() {
+                *o /= s as f32;
+            }
+        }
+        self.push(Op::MeanAxis1 { axis_len: s }, vec![a.0], out)
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements (scalar output).
+    pub fn sum(&mut self, a: Var) -> Var {
+        let value = Tensor::scalar(self.nodes[a.0].value.sum());
+        self.push(Op::Sum, vec![a.0], value)
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean(&mut self, a: Var) -> Var {
+        let value = Tensor::scalar(self.nodes[a.0].value.mean());
+        self.push(Op::Mean, vec![a.0], value)
+    }
+
+    // ------------------------------------------------------------------
+    // Nonlinearities
+    // ------------------------------------------------------------------
+
+    /// Softmax over the last dimension.
+    pub fn softmax(&mut self, a: Var) -> Var {
+        let mut value = self.nodes[a.0].value.clone();
+        let width = value.shape().last_dim();
+        kernels::softmax_rows(value.data_mut(), width);
+        self.push(Op::Softmax, vec![a.0], value)
+    }
+
+    /// Log-softmax over the last dimension.
+    pub fn log_softmax(&mut self, a: Var) -> Var {
+        let mut value = self.nodes[a.0].value.clone();
+        let width = value.shape().last_dim();
+        kernels::log_softmax_rows(value.data_mut(), width);
+        self.push(Op::LogSoftmax, vec![a.0], value)
+    }
+
+    /// `tanh(a)` (fast Padé approximation; see
+    /// [`kernels::tanh_fast`](crate::kernels::tanh_fast)).
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(kernels::tanh_fast);
+        self.push(Op::Tanh, vec![a.0], value)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(kernels::sigmoid);
+        self.push(Op::Sigmoid, vec![a.0], value)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(|v| v.max(0.0));
+        self.push(Op::Relu, vec![a.0], value)
+    }
+
+    /// GELU (tanh approximation, as in BERT).
+    pub fn gelu(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(kernels::gelu);
+        self.push(Op::Gelu, vec![a.0], value)
+    }
+
+    /// Inverted dropout with probability `p`. Identity in evaluation mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1)`.
+    pub fn dropout(&mut self, a: Var, p: f32) -> Var {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
+        if !self.training || p == 0.0 {
+            return a;
+        }
+        let keep = 1.0 - p;
+        let scale = 1.0 / keep;
+        let n = self.nodes[a.0].value.numel();
+        // Mask generation is on the hot path (every activation tensor in a
+        // transformer); a xorshift64* stream seeded from the graph RNG is
+        // an order of magnitude faster than drawing each element from
+        // StdRng while remaining deterministic per graph seed.
+        let mut state: u64 = self.rng.random::<u64>() | 1;
+        let threshold = (keep as f64 * (1u64 << 32) as f64) as u64;
+        let mask: Vec<f32> = (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                if (state >> 32) < threshold {
+                    scale
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut value = self.nodes[a.0].value.clone();
+        for (v, &m) in value.data_mut().iter_mut().zip(&mask) {
+            *v *= m;
+        }
+        self.push(Op::Dropout { mask }, vec![a.0], value)
+    }
+
+    // ------------------------------------------------------------------
+    // NN-specific ops
+    // ------------------------------------------------------------------
+
+    /// Gathers rows of an embedding table.
+    ///
+    /// `table` must be a `[V, H]` matrix; the output is `[ids.len(), H]`
+    /// (callers typically [`Graph::reshape`] to `[B, S, H]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is not rank-2 or an id is out of range.
+    pub fn embedding(&mut self, table: Var, ids: &[u32]) -> Var {
+        let t = &self.nodes[table.0].value;
+        assert_eq!(t.shape().rank(), 2, "embedding table must be rank-2");
+        let v = t.dims()[0];
+        let h = t.dims()[1];
+        let mut out = Tensor::zeros(&[ids.len(), h]);
+        for (pos, &id) in ids.iter().enumerate() {
+            assert!(
+                (id as usize) < v,
+                "embedding id {id} out of range for table with {v} rows"
+            );
+            out.data_mut()[pos * h..(pos + 1) * h]
+                .copy_from_slice(&t.data()[id as usize * h..(id as usize + 1) * h]);
+        }
+        self.push(
+            Op::Embedding { ids: ids.to_vec() },
+            vec![table.0],
+            out,
+        )
+    }
+
+    /// Normalizes the last dimension to zero mean and unit variance (the
+    /// non-affine core of layer normalization). Combine with broadcast
+    /// [`Graph::mul`]/[`Graph::add`] for the learned gain and bias.
+    pub fn normalize_last(&mut self, a: Var, eps: f32) -> Var {
+        let mut value = self.nodes[a.0].value.clone();
+        let width = value.shape().last_dim();
+        let (_means, rstd) = kernels::layer_norm_rows(value.data_mut(), width, eps);
+        self.push(Op::NormalizeLast { rstd }, vec![a.0], value)
+    }
+
+    /// Mean cross-entropy of logits against integer class targets.
+    ///
+    /// `logits` is reshaped internally to `[N, C]` where `C` is the last
+    /// dimension. `targets` has one entry per row; rows whose target equals
+    /// `ignore_index` contribute neither to the loss nor to gradients (used
+    /// for non-masked MLM positions and padding).
+    ///
+    /// Returns a scalar. If every row is ignored the loss is 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len()` differs from the number of rows, or a
+    /// non-ignored target is outside `[0, C)`.
+    pub fn cross_entropy(&mut self, logits: Var, targets: &[i32], ignore_index: i32) -> Var {
+        let lv = &self.nodes[logits.0].value;
+        let classes = lv.shape().last_dim();
+        let rows = lv.numel() / classes;
+        assert_eq!(
+            targets.len(),
+            rows,
+            "cross_entropy: {} targets for {rows} rows",
+            targets.len()
+        );
+        let mut probs = lv.data().to_vec();
+        kernels::softmax_rows(&mut probs, classes);
+        let mut loss = 0.0f64;
+        let mut n_valid = 0usize;
+        for (row, &t) in targets.iter().enumerate() {
+            if t == ignore_index {
+                continue;
+            }
+            assert!(
+                (0..classes as i32).contains(&t),
+                "cross_entropy target {t} out of range 0..{classes}"
+            );
+            let p = probs[row * classes + t as usize].max(1e-12);
+            loss -= (p as f64).ln();
+            n_valid += 1;
+        }
+        let mean = if n_valid == 0 {
+            0.0
+        } else {
+            (loss / n_valid as f64) as f32
+        };
+        self.push(
+            Op::CrossEntropy {
+                targets: targets.to_vec(),
+                ignore_index,
+                n_valid,
+                probs,
+            },
+            vec![logits.0],
+            Tensor::scalar(mean),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Backward
+    // ------------------------------------------------------------------
+
+    /// Runs reverse-mode differentiation from `loss` (must be scalar).
+    ///
+    /// After this call, [`Graph::grad`] returns gradients for leaves and
+    /// [`Graph::grads_into`] exports parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a scalar (single-element) variable.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.nodes[loss.0].value.numel(),
+            1,
+            "backward requires a scalar loss"
+        );
+        self.grads = (0..self.nodes.len()).map(|_| None).collect();
+        accumulate(&mut self.grads, loss.0, Tensor::scalar(1.0));
+        for id in (0..=loss.0).rev() {
+            backward_node(&self.nodes, &mut self.grads, id);
+        }
+    }
+
+    /// Adds the gradients of parameter leaves into the [`Params`] store
+    /// (accumulating, so several graphs can contribute to one step).
+    pub fn grads_into(&self, params: &mut Params) {
+        for &(node_id, pid) in &self.param_links {
+            if let Some(g) = self.grads.get(node_id).and_then(|g| g.as_ref()) {
+                params.grad_mut(pid).axpy(1.0, g);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(dims: &[usize], data: &[f32]) -> Tensor {
+        Tensor::from_vec(dims, data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn add_backward_same_shape() {
+        let mut g = Graph::new();
+        let a = g.input(t(&[2], &[1.0, 2.0]));
+        let b = g.input(t(&[2], &[3.0, 4.0]));
+        let s = g.add(a, b);
+        let loss = g.sum(s);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().data(), &[1.0, 1.0]);
+        assert_eq!(g.grad(b).unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn add_row_broadcast_backward_reduces() {
+        let mut g = Graph::new();
+        let a = g.input(t(&[2, 3], &[0.; 6]));
+        let b = g.input(t(&[3], &[1., 2., 3.]));
+        let s = g.add(a, b);
+        assert_eq!(g.value(s).data(), &[1., 2., 3., 1., 2., 3.]);
+        let loss = g.sum(s);
+        g.backward(loss);
+        assert_eq!(g.grad(b).unwrap().data(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn mul_scalar_broadcast() {
+        let mut g = Graph::new();
+        let a = g.input(t(&[2], &[3.0, 5.0]));
+        let c = g.input(Tensor::scalar(2.0));
+        let m = g.mul(a, c);
+        assert_eq!(g.value(m).data(), &[6.0, 10.0]);
+        let loss = g.sum(m);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().data(), &[2.0, 2.0]);
+        assert_eq!(g.grad(c).unwrap().item(), 8.0);
+    }
+
+    #[test]
+    fn matmul_backward_matches_manual() {
+        // loss = sum(A B); dA = 1 * B^T, dB = A^T * 1
+        let mut g = Graph::new();
+        let a = g.input(t(&[2, 2], &[1., 2., 3., 4.]));
+        let b = g.input(t(&[2, 2], &[5., 6., 7., 8.]));
+        let c = g.matmul(a, b);
+        let loss = g.sum(c);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().data(), &[11., 15., 11., 15.]);
+        assert_eq!(g.grad(b).unwrap().data(), &[4., 4., 6., 6.]);
+    }
+
+    #[test]
+    fn matmul_broadcast_rhs_accumulates_batch() {
+        let mut g = Graph::new();
+        let a = g.input(t(&[2, 1, 2], &[1., 2., 3., 4.]));
+        let w = g.input(t(&[2, 1], &[1., 1.]));
+        let c = g.matmul(a, w);
+        let loss = g.sum(c);
+        g.backward(loss);
+        // dW = sum over batch of a^T = [1+3, 2+4]
+        assert_eq!(g.grad(w).unwrap().data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn softmax_rows_and_backward_shape() {
+        let mut g = Graph::new();
+        let x = g.input(t(&[1, 3], &[1.0, 2.0, 3.0]));
+        let s = g.softmax(x);
+        let sum: f32 = g.value(s).data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        let loss = g.sum(s);
+        g.backward(loss);
+        // Softmax rows sum to 1 regardless of input, so d(sum)/dx = 0.
+        assert!(g.grad(x).unwrap().data().iter().all(|v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[2, 4]));
+        let loss = g.cross_entropy(x, &[0, 3], -100);
+        assert!((g.value(loss).item() - (4.0f32).ln()).abs() < 1e-5);
+        g.backward(loss);
+        let gx = g.grad(x).unwrap();
+        // Gradient: (p - y)/N with p = 0.25.
+        assert!((gx.data()[0] - (0.25 - 1.0) / 2.0).abs() < 1e-6);
+        assert!((gx.data()[1] - 0.25 / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_ignore_index() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[2, 4]));
+        let loss = g.cross_entropy(x, &[1, -100], -100);
+        assert!((g.value(loss).item() - (4.0f32).ln()).abs() < 1e-5);
+        g.backward(loss);
+        let gx = g.grad(x).unwrap();
+        // Second row fully ignored.
+        assert!(gx.data()[4..].iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn cross_entropy_all_ignored_is_zero() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[1, 4]));
+        let loss = g.cross_entropy(x, &[-100], -100);
+        assert_eq!(g.value(loss).item(), 0.0);
+        g.backward(loss);
+        assert!(g.grad(x).unwrap().data().iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn embedding_gather_and_scatter() {
+        let mut g = Graph::new();
+        let table = g.input(t(&[3, 2], &[1., 2., 3., 4., 5., 6.]));
+        let e = g.embedding(table, &[2, 0, 2]);
+        assert_eq!(g.value(e).data(), &[5., 6., 1., 2., 5., 6.]);
+        let loss = g.sum(e);
+        g.backward(loss);
+        // Row 2 used twice, row 0 once, row 1 never.
+        assert_eq!(g.grad(table).unwrap().data(), &[1., 1., 0., 0., 2., 2.]);
+    }
+
+    #[test]
+    fn select_axis1_cls() {
+        let mut g = Graph::new();
+        let x = g.input(t(&[2, 2, 2], &[1., 2., 3., 4., 5., 6., 7., 8.]));
+        let cls = g.select_axis1(x, 0);
+        assert_eq!(g.value(cls).data(), &[1., 2., 5., 6.]);
+        let loss = g.sum(cls);
+        g.backward(loss);
+        assert_eq!(
+            g.grad(x).unwrap().data(),
+            &[1., 1., 0., 0., 1., 1., 0., 0.]
+        );
+    }
+
+    #[test]
+    fn swap_axes12_roundtrip_and_grad() {
+        let mut g = Graph::new();
+        // [1, 2, 2, 1]: values 1..4 laid out as (s, h) = (0,0),(0,1),(1,0),(1,1)
+        let x = g.input(t(&[1, 2, 2, 1], &[1., 2., 3., 4.]));
+        let y = g.swap_axes12(x);
+        assert_eq!(g.value(y).dims(), &[1, 2, 2, 1]);
+        assert_eq!(g.value(y).data(), &[1., 3., 2., 4.]);
+        let z = g.swap_axes12(y);
+        assert_eq!(g.value(z).data(), g.value(x).data());
+        let w = g.input(t(&[1, 2, 2, 1], &[1., 10., 100., 1000.]));
+        let prod = g.mul(y, w);
+        let loss = g.sum(prod);
+        g.backward(loss);
+        // dy/dx routes gradient through the permutation.
+        assert_eq!(g.grad(x).unwrap().data(), &[1., 100., 10., 1000.]);
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut g = Graph::new();
+        g.set_training(false);
+        let x = g.input(t(&[4], &[1., 2., 3., 4.]));
+        let d = g.dropout(x, 0.5);
+        assert_eq!(d, x);
+    }
+
+    #[test]
+    fn dropout_train_scales_kept() {
+        let mut g = Graph::with_seed(3);
+        let x = g.input(Tensor::ones(&[1000]));
+        let d = g.dropout(x, 0.5);
+        let vals = g.value(d).data();
+        let kept = vals.iter().filter(|&&v| v != 0.0).count();
+        assert!(vals.iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        assert!((350..650).contains(&kept), "kept {kept}");
+    }
+
+    #[test]
+    fn normalize_last_statistics() {
+        let mut g = Graph::new();
+        let x = g.input(t(&[2, 4], &[1., 2., 3., 4., -1., 0., 1., 2.]));
+        let n = g.normalize_last(x, 1e-5);
+        for row in g.value(n).data().chunks(4) {
+            let m: f32 = row.iter().sum::<f32>() / 4.0;
+            assert!(m.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn reshape_grad_flows() {
+        let mut g = Graph::new();
+        let x = g.input(t(&[2, 2], &[1., 2., 3., 4.]));
+        let r = g.reshape(x, &[4]);
+        let sq = g.mul(r, r);
+        let loss = g.sum(sq);
+        g.backward(loss);
+        assert_eq!(g.grad(x).unwrap().data(), &[2., 4., 6., 8.]);
+        assert_eq!(g.grad(x).unwrap().dims(), &[2, 2]);
+    }
+
+    #[test]
+    fn concat_last_values_and_grads() {
+        let mut g = Graph::new();
+        let a = g.input(t(&[2, 2], &[1., 2., 3., 4.]));
+        let b = g.input(t(&[2, 1], &[10., 20.]));
+        let c = g.concat_last(a, b);
+        assert_eq!(g.value(c).dims(), &[2, 3]);
+        assert_eq!(g.value(c).data(), &[1., 2., 10., 3., 4., 20.]);
+        let w = g.input(t(&[2, 3], &[1., 1., 5., 1., 1., 7.]));
+        let p = g.mul(c, w);
+        let loss = g.sum(p);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().data(), &[1., 1., 1., 1.]);
+        assert_eq!(g.grad(b).unwrap().data(), &[5., 7.]);
+    }
+
+    #[test]
+    fn slice_last_values_and_grads() {
+        let mut g = Graph::new();
+        let x = g.input(t(&[2, 3], &[1., 2., 3., 4., 5., 6.]));
+        let s = g.slice_last(x, 1, 2);
+        assert_eq!(g.value(s).data(), &[2., 3., 5., 6.]);
+        let loss = g.sum(s);
+        g.backward(loss);
+        assert_eq!(g.grad(x).unwrap().data(), &[0., 1., 1., 0., 1., 1.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn slice_last_out_of_range_panics() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[2, 3]));
+        g.slice_last(x, 2, 2);
+    }
+
+    #[test]
+    fn sum_last_values_and_grads() {
+        let mut g = Graph::new();
+        let x = g.input(t(&[2, 3], &[1., 2., 3., 4., 5., 6.]));
+        let s = g.sum_last(x);
+        assert_eq!(g.value(s).dims(), &[2]);
+        assert_eq!(g.value(s).data(), &[6., 15.]);
+        let w = g.input(t(&[2], &[1., 10.]));
+        let p = g.mul(s, w);
+        let loss = g.sum(p);
+        g.backward(loss);
+        assert_eq!(g.grad(x).unwrap().data(), &[1., 1., 1., 10., 10., 10.]);
+    }
+
+    #[test]
+    fn mean_axis1_pools_sequence() {
+        let mut g = Graph::new();
+        let x = g.input(t(&[1, 2, 2], &[1., 2., 3., 4.]));
+        let m = g.mean_axis1(x);
+        assert_eq!(g.value(m).dims(), &[1, 2]);
+        assert_eq!(g.value(m).data(), &[2., 3.]);
+        let loss = g.sum(m);
+        g.backward(loss);
+        assert!(g
+            .grad(x)
+            .unwrap()
+            .data()
+            .iter()
+            .all(|&v| (v - 0.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn grad_reused_var_accumulates() {
+        // loss = sum(x * x) uses x twice.
+        let mut g = Graph::new();
+        let x = g.input(t(&[2], &[3.0, -2.0]));
+        let sq = g.mul(x, x);
+        let loss = g.sum(sq);
+        g.backward(loss);
+        assert_eq!(g.grad(x).unwrap().data(), &[6.0, -4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_non_scalar_panics() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[2]));
+        g.backward(x);
+    }
+}

@@ -1,0 +1,466 @@
+//! Operation records for the autograd tape and their backward rules.
+
+use crate::kernels;
+use crate::tensor::Tensor;
+
+/// How the right-hand operand of an element-wise op is broadcast onto the
+/// left-hand operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Broadcast {
+    /// Identical shapes.
+    None,
+    /// RHS is a vector matching the last dimension of LHS (bias add).
+    Row,
+    /// RHS is a single element.
+    Scalar,
+}
+
+/// A recorded operation. Each variant stores whatever forward-pass state its
+/// backward rule needs (e.g. dropout masks, layer-norm reciprocal stddevs).
+#[derive(Debug)]
+pub(crate) enum Op {
+    /// Graph input or parameter copy; no backward.
+    Leaf,
+    /// `a + b` with RHS broadcast.
+    Add(Broadcast),
+    /// `a - b` with RHS broadcast.
+    Sub(Broadcast),
+    /// `a * b` (element-wise) with RHS broadcast.
+    Mul(Broadcast),
+    /// `-a`.
+    Neg,
+    /// `a * c` for a constant `c`.
+    Scale(f32),
+    /// `a + c` for a constant `c`.
+    AddScalar,
+    /// Batched matrix product; `rhs_broadcast` is true when the RHS was a
+    /// rank-2 matrix shared across the batch.
+    Matmul {
+        /// RHS was rank-2 and shared across the whole batch.
+        rhs_broadcast: bool,
+    },
+    /// Swap of the last two dimensions.
+    TransposeLast2,
+    /// Swap of axes 1 and 2 of a rank-4 tensor (attention head split).
+    SwapAxes12,
+    /// Shape change over the same data.
+    Reshape,
+    /// Concatenation of two tensors along the last dimension.
+    ConcatLast,
+    /// Contiguous slice along the last dimension.
+    SliceLast {
+        /// First kept column.
+        start: usize,
+        /// Extent of the input's last dimension.
+        src_width: usize,
+    },
+    /// Sum over the last dimension (`[.., D]` → `[..]`).
+    SumLast,
+    /// Mean over axis 1 of a rank-3 tensor (`[B, S, H]` → `[B, H]`),
+    /// i.e. mean pooling over sequence positions.
+    MeanAxis1 {
+        /// Extent of axis 1 in the input.
+        axis_len: usize,
+    },
+    /// Sum of all elements to a scalar.
+    Sum,
+    /// Mean of all elements to a scalar.
+    Mean,
+    /// Selection of one index along axis 1 of a rank-3 tensor
+    /// (`[B, S, H] -> [B, H]`), used for `[CLS]` pooling.
+    Select {
+        /// Selected index along axis 1.
+        index: usize,
+        /// Extent of axis 1 in the input.
+        axis_len: usize,
+    },
+    /// Softmax over the last dimension (output saved on the node).
+    Softmax,
+    /// Log-softmax over the last dimension (output saved on the node).
+    LogSoftmax,
+    /// Mean cross-entropy from logits `[N, C]` against integer targets.
+    CrossEntropy {
+        /// Per-row class targets; rows equal to `ignore_index` are skipped.
+        targets: Vec<i32>,
+        /// Target value marking rows excluded from the loss.
+        ignore_index: i32,
+        /// Number of rows that participated in the loss.
+        n_valid: usize,
+        /// Softmax probabilities saved from the forward pass.
+        probs: Vec<f32>,
+    },
+    /// Embedding-table row gather; input 0 is the `[V, H]` table.
+    Embedding {
+        /// Row index per output position.
+        ids: Vec<u32>,
+    },
+    /// Zero-mean/unit-variance normalization of the last dimension
+    /// (non-affine part of layer norm).
+    NormalizeLast {
+        /// Per-row reciprocal standard deviations from the forward pass.
+        rstd: Vec<f32>,
+    },
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Rectified linear unit.
+    Relu,
+    /// Gaussian error linear unit (tanh approximation).
+    Gelu,
+    /// Inverted dropout; the mask already includes the `1/(1-p)` scale.
+    Dropout {
+        /// Multiplicative mask applied in the forward pass.
+        mask: Vec<f32>,
+    },
+}
+
+/// A node on the tape: the operation, its input node ids, and the computed
+/// forward value.
+#[derive(Debug)]
+pub(crate) struct Node {
+    pub(crate) op: Op,
+    pub(crate) inputs: Vec<usize>,
+    pub(crate) value: Tensor,
+}
+
+/// Adds `contrib` into the gradient slot for node `id`.
+pub(crate) fn accumulate(grads: &mut [Option<Tensor>], id: usize, contrib: Tensor) {
+    match &mut grads[id] {
+        Some(g) => g.axpy(1.0, &contrib),
+        slot @ None => *slot = Some(contrib),
+    }
+}
+
+/// Reduces a full-shape gradient back to the shape of a broadcast RHS.
+fn reduce_for_broadcast(full: &Tensor, bcast: Broadcast, rhs_shape: &[usize]) -> Tensor {
+    match bcast {
+        Broadcast::None => full.clone(),
+        Broadcast::Scalar => {
+            let mut t = Tensor::zeros(rhs_shape);
+            t.data_mut()[0] = full.sum();
+            t
+        }
+        Broadcast::Row => {
+            let width = full.shape().last_dim();
+            let mut acc = vec![0.0f32; width];
+            for row in full.data().chunks(width) {
+                for (a, &v) in acc.iter_mut().zip(row) {
+                    *a += v;
+                }
+            }
+            Tensor::from_vec(rhs_shape, acc).expect("row-broadcast grad shape")
+        }
+    }
+}
+
+/// Applies the backward rule of node `id`, accumulating into the gradients
+/// of its inputs. `grads[id]` must already contain the upstream gradient.
+pub(crate) fn backward_node(nodes: &[Node], grads: &mut [Option<Tensor>], id: usize) {
+    let node = &nodes[id];
+    let dy = match grads[id].take() {
+        Some(g) => g,
+        None => return,
+    };
+    let ins = &node.inputs;
+    match &node.op {
+        Op::Leaf => {
+            // Restore: leaves keep their gradient for later retrieval.
+            grads[id] = Some(dy);
+        }
+        Op::Add(bcast) => {
+            let rhs_dims = nodes[ins[1]].value.dims().to_vec();
+            accumulate(grads, ins[1], reduce_for_broadcast(&dy, *bcast, &rhs_dims));
+            accumulate(grads, ins[0], dy);
+        }
+        Op::Sub(bcast) => {
+            let rhs_dims = nodes[ins[1]].value.dims().to_vec();
+            let neg = dy.scaled(-1.0);
+            accumulate(grads, ins[1], reduce_for_broadcast(&neg, *bcast, &rhs_dims));
+            accumulate(grads, ins[0], dy);
+        }
+        Op::Mul(bcast) => {
+            let a = &nodes[ins[0]].value;
+            let b = &nodes[ins[1]].value;
+            // da = dy * b (with b broadcast), db = reduce(dy * a)
+            let da = match bcast {
+                Broadcast::None => {
+                    let mut t = dy.clone();
+                    for (x, &bv) in t.data_mut().iter_mut().zip(b.data()) {
+                        *x *= bv;
+                    }
+                    t
+                }
+                Broadcast::Scalar => dy.scaled(b.data()[0]),
+                Broadcast::Row => {
+                    let width = a.shape().last_dim();
+                    let mut t = dy.clone();
+                    for row in t.data_mut().chunks_mut(width) {
+                        for (x, &bv) in row.iter_mut().zip(b.data()) {
+                            *x *= bv;
+                        }
+                    }
+                    t
+                }
+            };
+            let mut dyxa = dy.clone();
+            for (x, &av) in dyxa.data_mut().iter_mut().zip(a.data()) {
+                *x *= av;
+            }
+            let rhs_dims = b.dims().to_vec();
+            accumulate(grads, ins[1], reduce_for_broadcast(&dyxa, *bcast, &rhs_dims));
+            accumulate(grads, ins[0], da);
+        }
+        Op::Neg => accumulate(grads, ins[0], dy.scaled(-1.0)),
+        Op::Scale(c) => accumulate(grads, ins[0], dy.scaled(*c)),
+        Op::AddScalar => accumulate(grads, ins[0], dy),
+        Op::Matmul { rhs_broadcast } => {
+            let a = &nodes[ins[0]].value;
+            let b = &nodes[ins[1]].value;
+            let (batch, m, k) = a.shape().as_batched_matrix();
+            let n = b.shape().last_dim();
+            // da[b] = dy[b] . b[b]^T ; db[b] = a[b]^T . dy[b].
+            // The dy·b^T product is computed as a plain `ikj` matmul against
+            // an explicitly transposed RHS: the transpose is O(k·n) while
+            // the dot-product formulation of `a·b^T` vectorizes far worse
+            // than the streaming kernel.
+            let bt = b.transposed_last2(); // [.., n, k]
+            let mut da = Tensor::zeros(a.dims());
+            let mut db = Tensor::zeros(b.dims());
+            for bi in 0..batch {
+                let dyb = &dy.data()[bi * m * n..(bi + 1) * m * n];
+                let ab = &a.data()[bi * m * k..(bi + 1) * m * k];
+                let btb = if *rhs_broadcast {
+                    &bt.data()[..]
+                } else {
+                    &bt.data()[bi * k * n..(bi + 1) * k * n]
+                };
+                kernels::matmul_acc(
+                    dyb,
+                    btb,
+                    &mut da.data_mut()[bi * m * k..(bi + 1) * m * k],
+                    m,
+                    n,
+                    k,
+                );
+                let db_slice = if *rhs_broadcast {
+                    &mut db.data_mut()[..]
+                } else {
+                    &mut db.data_mut()[bi * k * n..(bi + 1) * k * n]
+                };
+                kernels::matmul_at_b_acc(ab, dyb, db_slice, k, m, n);
+            }
+            accumulate(grads, ins[0], da);
+            accumulate(grads, ins[1], db);
+        }
+        Op::TransposeLast2 => accumulate(grads, ins[0], dy.transposed_last2()),
+        Op::SwapAxes12 => accumulate(grads, ins[0], dy.swapped_axes12()),
+        Op::Reshape => {
+            let in_dims = nodes[ins[0]].value.dims().to_vec();
+            accumulate(grads, ins[0], dy.reshaped(&in_dims));
+        }
+        Op::ConcatLast => {
+            let a = &nodes[ins[0]].value;
+            let b = &nodes[ins[1]].value;
+            let wa = a.shape().last_dim();
+            let wb = b.shape().last_dim();
+            let mut da = Tensor::zeros(a.dims());
+            let mut db = Tensor::zeros(b.dims());
+            for (row, (dra, drb)) in dy
+                .data()
+                .chunks(wa + wb)
+                .zip(da.data_mut().chunks_mut(wa).zip(db.data_mut().chunks_mut(wb)))
+            {
+                dra.copy_from_slice(&row[..wa]);
+                drb.copy_from_slice(&row[wa..]);
+            }
+            accumulate(grads, ins[0], da);
+            accumulate(grads, ins[1], db);
+        }
+        Op::SliceLast { start, src_width } => {
+            let src = &nodes[ins[0]].value;
+            let width = dy.shape().last_dim();
+            let mut dx = Tensor::zeros(src.dims());
+            for (drow, dyrow) in dx
+                .data_mut()
+                .chunks_mut(*src_width)
+                .zip(dy.data().chunks(width))
+            {
+                drow[*start..*start + width].copy_from_slice(dyrow);
+            }
+            accumulate(grads, ins[0], dx);
+        }
+        Op::SumLast => {
+            let src = &nodes[ins[0]].value;
+            let width = src.shape().last_dim();
+            let mut dx = Tensor::zeros(src.dims());
+            for (drow, &g) in dx.data_mut().chunks_mut(width).zip(dy.data()) {
+                drow.fill(g);
+            }
+            accumulate(grads, ins[0], dx);
+        }
+        Op::MeanAxis1 { axis_len } => {
+            let src = &nodes[ins[0]].value;
+            let dims = src.dims();
+            let (b, s, h) = (dims[0], dims[1], dims[2]);
+            debug_assert_eq!(s, *axis_len);
+            let scale = 1.0 / s as f32;
+            let mut dx = Tensor::zeros(dims);
+            for bi in 0..b {
+                let g = &dy.data()[bi * h..(bi + 1) * h];
+                for si in 0..s {
+                    let drow = &mut dx.data_mut()[(bi * s + si) * h..(bi * s + si + 1) * h];
+                    for (d, &gv) in drow.iter_mut().zip(g) {
+                        *d = gv * scale;
+                    }
+                }
+            }
+            accumulate(grads, ins[0], dx);
+        }
+        Op::Sum => {
+            let g = dy.item();
+            let in_dims = nodes[ins[0]].value.dims().to_vec();
+            accumulate(grads, ins[0], Tensor::full(&in_dims, g));
+        }
+        Op::Mean => {
+            let src = &nodes[ins[0]].value;
+            let g = dy.item() / src.numel() as f32;
+            accumulate(grads, ins[0], Tensor::full(src.dims(), g));
+        }
+        Op::Select { index, axis_len } => {
+            let src = &nodes[ins[0]].value;
+            let dims = src.dims();
+            let (b, s, h) = (dims[0], dims[1], dims[2]);
+            debug_assert_eq!(s, *axis_len);
+            let mut dx = Tensor::zeros(dims);
+            for bi in 0..b {
+                let dst = &mut dx.data_mut()[(bi * s + index) * h..(bi * s + index + 1) * h];
+                dst.copy_from_slice(&dy.data()[bi * h..(bi + 1) * h]);
+            }
+            accumulate(grads, ins[0], dx);
+        }
+        Op::Softmax => {
+            // dx = y * (dy - sum(dy * y)) per row, y = saved output.
+            let y = &node.value;
+            let width = y.shape().last_dim();
+            let mut dx = Tensor::zeros(y.dims());
+            for ((yrow, dyrow), dxrow) in y
+                .data()
+                .chunks(width)
+                .zip(dy.data().chunks(width))
+                .zip(dx.data_mut().chunks_mut(width))
+            {
+                let dot: f32 = yrow.iter().zip(dyrow).map(|(a, b)| a * b).sum();
+                for ((d, &yv), &dyv) in dxrow.iter_mut().zip(yrow).zip(dyrow) {
+                    *d = yv * (dyv - dot);
+                }
+            }
+            accumulate(grads, ins[0], dx);
+        }
+        Op::LogSoftmax => {
+            // dx = dy - softmax(x) * sum(dy) per row; softmax = exp(saved y).
+            let y = &node.value;
+            let width = y.shape().last_dim();
+            let mut dx = Tensor::zeros(y.dims());
+            for ((yrow, dyrow), dxrow) in y
+                .data()
+                .chunks(width)
+                .zip(dy.data().chunks(width))
+                .zip(dx.data_mut().chunks_mut(width))
+            {
+                let sum_dy: f32 = dyrow.iter().sum();
+                for ((d, &yv), &dyv) in dxrow.iter_mut().zip(yrow).zip(dyrow) {
+                    *d = dyv - yv.exp() * sum_dy;
+                }
+            }
+            accumulate(grads, ins[0], dx);
+        }
+        Op::CrossEntropy {
+            targets,
+            ignore_index,
+            n_valid,
+            probs,
+        } => {
+            let logits = &nodes[ins[0]].value;
+            let classes = logits.shape().last_dim();
+            let scale = dy.item() / (*n_valid).max(1) as f32;
+            let mut dx = Tensor::zeros(logits.dims());
+            for (row, &t) in targets.iter().enumerate() {
+                if t == *ignore_index {
+                    continue;
+                }
+                let p = &probs[row * classes..(row + 1) * classes];
+                let d = &mut dx.data_mut()[row * classes..(row + 1) * classes];
+                for (j, (dv, &pv)) in d.iter_mut().zip(p).enumerate() {
+                    let y = if j as i32 == t { 1.0 } else { 0.0 };
+                    *dv = (pv - y) * scale;
+                }
+            }
+            accumulate(grads, ins[0], dx);
+        }
+        Op::Embedding { ids } => {
+            let table = &nodes[ins[0]].value;
+            let h = table.shape().last_dim();
+            let mut dt = Tensor::zeros(table.dims());
+            for (pos, &id) in ids.iter().enumerate() {
+                let dst = &mut dt.data_mut()[id as usize * h..(id as usize + 1) * h];
+                let src = &dy.data()[pos * h..(pos + 1) * h];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += s;
+                }
+            }
+            accumulate(grads, ins[0], dt);
+        }
+        Op::NormalizeLast { rstd } => {
+            let y = &node.value;
+            let width = y.shape().last_dim();
+            let mut dx = Tensor::zeros(y.dims());
+            kernels::layer_norm_rows_backward(y.data(), rstd, dy.data(), dx.data_mut(), width);
+            accumulate(grads, ins[0], dx);
+        }
+        Op::Tanh => {
+            // Differentiates the tanh_fast approximant (from the saved
+            // input), keeping analytic and numeric gradients consistent.
+            let x = &nodes[ins[0]].value;
+            let mut dx = dy;
+            for (d, &xv) in dx.data_mut().iter_mut().zip(x.data()) {
+                *d *= kernels::tanh_fast_grad(xv);
+            }
+            accumulate(grads, ins[0], dx);
+        }
+        Op::Sigmoid => {
+            // sigmoid(x) = (1 + tanh_fast(x/2)) / 2 → s'(x) = P'(x/2) / 4.
+            let x = &nodes[ins[0]].value;
+            let mut dx = dy;
+            for (d, &xv) in dx.data_mut().iter_mut().zip(x.data()) {
+                *d *= 0.25 * kernels::tanh_fast_grad(0.5 * xv);
+            }
+            accumulate(grads, ins[0], dx);
+        }
+        Op::Relu => {
+            let x = &nodes[ins[0]].value;
+            let mut dx = dy;
+            for (d, &xv) in dx.data_mut().iter_mut().zip(x.data()) {
+                if xv <= 0.0 {
+                    *d = 0.0;
+                }
+            }
+            accumulate(grads, ins[0], dx);
+        }
+        Op::Gelu => {
+            let x = &nodes[ins[0]].value;
+            let mut dx = dy;
+            for (d, &xv) in dx.data_mut().iter_mut().zip(x.data()) {
+                *d *= kernels::gelu_grad(xv);
+            }
+            accumulate(grads, ins[0], dx);
+        }
+        Op::Dropout { mask } => {
+            let mut dx = dy;
+            for (d, &m) in dx.data_mut().iter_mut().zip(mask) {
+                *d *= m;
+            }
+            accumulate(grads, ins[0], dx);
+        }
+    }
+}

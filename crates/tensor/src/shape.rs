@@ -1,0 +1,173 @@
+//! Shape utilities shared by [`crate::Tensor`] and the autograd graph.
+
+use std::fmt;
+
+/// A tensor shape: the extent of each dimension, row-major.
+///
+/// `Shape` is a thin, cheaply clonable wrapper around a `Vec<usize>` with
+/// helpers for the broadcasting and batching rules this crate supports.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    ///
+    /// A zero-dimensional shape (`&[]`) denotes a scalar with one element.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Extent of the last dimension, or 1 for a scalar.
+    pub fn last_dim(&self) -> usize {
+        self.0.last().copied().unwrap_or(1)
+    }
+
+    /// Number of rows when the tensor is viewed as a `[numel/last, last]`
+    /// matrix, or 1 for a scalar.
+    pub fn leading(&self) -> usize {
+        if self.0.is_empty() {
+            1
+        } else {
+            self.numel() / self.last_dim().max(1)
+        }
+    }
+
+    /// For rank >= 2: `(batch, rows, cols)` where `batch` is the product of
+    /// all leading dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is < 2.
+    pub fn as_batched_matrix(&self) -> (usize, usize, usize) {
+        assert!(
+            self.rank() >= 2,
+            "as_batched_matrix requires rank >= 2, got shape {self}"
+        );
+        let n = self.rank();
+        let rows = self.0[n - 2];
+        let cols = self.0[n - 1];
+        let batch: usize = self.0[..n - 2].iter().product();
+        (batch, rows, cols)
+    }
+
+    /// Shape with the last two dimensions swapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is < 2.
+    pub fn transposed_last2(&self) -> Shape {
+        assert!(self.rank() >= 2, "transpose requires rank >= 2, got {self}");
+        let mut d = self.0.clone();
+        let n = d.len();
+        d.swap(n - 2, n - 1);
+        Shape(d)
+    }
+
+    /// Whether `other` can broadcast onto `self` under this crate's rules:
+    /// identical shape, a scalar, or a vector matching the last dimension.
+    pub fn broadcasts_from(&self, other: &Shape) -> bool {
+        other == self
+            || other.numel() == 1
+            || (other.rank() == 1 && other.last_dim() == self.last_dim())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.last_dim(), 4);
+        assert_eq!(s.leading(), 6);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.last_dim(), 1);
+        assert_eq!(s.leading(), 1);
+    }
+
+    #[test]
+    fn batched_matrix_view() {
+        let s = Shape::new(&[2, 3, 4, 5]);
+        assert_eq!(s.as_batched_matrix(), (6, 4, 5));
+        let m = Shape::new(&[4, 5]);
+        assert_eq!(m.as_batched_matrix(), (1, 4, 5));
+    }
+
+    #[test]
+    fn transpose_last2() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.transposed_last2(), Shape::new(&[2, 4, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank >= 2")]
+    fn transpose_rank1_panics() {
+        Shape::new(&[3]).transposed_last2();
+    }
+
+    #[test]
+    fn broadcast_rules() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert!(s.broadcasts_from(&Shape::new(&[2, 3, 4])));
+        assert!(s.broadcasts_from(&Shape::new(&[4])));
+        assert!(s.broadcasts_from(&Shape::new(&[1])));
+        assert!(s.broadcasts_from(&Shape::new(&[])));
+        assert!(!s.broadcasts_from(&Shape::new(&[3])));
+        assert!(!s.broadcasts_from(&Shape::new(&[3, 4])));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2, 3]");
+        assert_eq!(Shape::new(&[]).to_string(), "[]");
+    }
+}

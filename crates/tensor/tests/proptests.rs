@@ -1,0 +1,238 @@
+//! Property-based gradient checks over every differentiable op.
+
+use clinfl_tensor::{gradcheck, Graph, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn add_broadcast_row_grad(seed in 0u64..1000) {
+        let x = Tensor::randn(&[3, 4], 1.0, seed);
+        let b = Tensor::randn(&[4], 1.0, seed ^ 1);
+        let r = gradcheck(&[x, b], |g, v| {
+            let s = g.add(v[0], v[1]);
+            let sq = g.mul(s, s);
+            g.sum(sq)
+        });
+        prop_assert!(r.passes(2e-2), "{r:?}");
+    }
+
+    #[test]
+    fn sub_scalar_broadcast_grad(seed in 0u64..1000) {
+        let x = Tensor::randn(&[2, 3], 1.0, seed);
+        let c = Tensor::randn(&[1], 1.0, seed ^ 2);
+        let r = gradcheck(&[x, c], |g, v| {
+            let s = g.sub(v[0], v[1]);
+            let t = g.tanh(s);
+            g.sum(t)
+        });
+        prop_assert!(r.passes(2e-2), "{r:?}");
+    }
+
+    #[test]
+    fn mul_same_shape_grad(seed in 0u64..1000) {
+        let x = Tensor::randn(&[6], 1.0, seed);
+        let y = Tensor::randn(&[6], 1.0, seed ^ 3);
+        let r = gradcheck(&[x, y], |g, v| {
+            let m = g.mul(v[0], v[1]);
+            g.sum(m)
+        });
+        prop_assert!(r.passes(2e-2), "{r:?}");
+    }
+
+    #[test]
+    fn batched_matmul_grad(seed in 0u64..500) {
+        let a = Tensor::randn(&[2, 2, 3], 0.8, seed);
+        let b = Tensor::randn(&[2, 3, 2], 0.8, seed ^ 4);
+        let r = gradcheck(&[a, b], |g, v| {
+            let m = g.matmul(v[0], v[1]);
+            let sq = g.mul(m, m);
+            g.sum(sq)
+        });
+        prop_assert!(r.passes(3e-2), "{r:?}");
+    }
+
+    #[test]
+    fn broadcast_rhs_matmul_grad(seed in 0u64..500) {
+        let a = Tensor::randn(&[2, 2, 3], 0.8, seed);
+        let w = Tensor::randn(&[3, 2], 0.8, seed ^ 5);
+        let r = gradcheck(&[a, w], |g, v| {
+            let m = g.matmul(v[0], v[1]);
+            g.sum(m)
+        });
+        prop_assert!(r.passes(3e-2), "{r:?}");
+    }
+
+    #[test]
+    fn transpose_and_swap_grads(seed in 0u64..500) {
+        let a = Tensor::randn(&[1, 2, 2, 3], 1.0, seed);
+        let r = gradcheck(&[a], |g, v| {
+            let s = g.swap_axes12(v[0]);
+            let t = g.transpose_last2(s);
+            let sq = g.mul(t, t);
+            g.sum(sq)
+        });
+        prop_assert!(r.passes(2e-2), "{r:?}");
+    }
+
+    #[test]
+    fn select_axis1_grad(seed in 0u64..500, index in 0usize..3) {
+        let a = Tensor::randn(&[2, 3, 4], 1.0, seed);
+        let r = gradcheck(&[a], |g, v| {
+            let s = g.select_axis1(v[0], index);
+            let sq = g.mul(s, s);
+            g.sum(sq)
+        });
+        prop_assert!(r.passes(2e-2), "{r:?}");
+    }
+
+    #[test]
+    fn softmax_weighted_grad(seed in 0u64..500) {
+        let x = Tensor::randn(&[2, 5], 1.0, seed);
+        let w = Tensor::randn(&[2, 5], 1.0, seed ^ 6);
+        let r = gradcheck(&[x, w], |g, v| {
+            let s = g.softmax(v[0]);
+            let m = g.mul(s, v[1]);
+            g.sum(m)
+        });
+        prop_assert!(r.passes(3e-2), "{r:?}");
+    }
+
+    #[test]
+    fn log_softmax_grad(seed in 0u64..500) {
+        let x = Tensor::randn(&[2, 4], 1.0, seed);
+        let w = Tensor::randn(&[2, 4], 1.0, seed ^ 7);
+        let r = gradcheck(&[x, w], |g, v| {
+            let s = g.log_softmax(v[0]);
+            let m = g.mul(s, v[1]);
+            g.sum(m)
+        });
+        prop_assert!(r.passes(3e-2), "{r:?}");
+    }
+
+    #[test]
+    fn embedding_grad(seed in 0u64..500) {
+        let table = Tensor::randn(&[5, 3], 1.0, seed);
+        let r = gradcheck(&[table], |g, v| {
+            let e = g.embedding(v[0], &[0, 4, 2, 2]);
+            let sq = g.mul(e, e);
+            g.sum(sq)
+        });
+        prop_assert!(r.passes(2e-2), "{r:?}");
+    }
+
+    #[test]
+    fn normalize_affine_stack_grad(seed in 0u64..500) {
+        let x = Tensor::randn(&[2, 5], 1.0, seed);
+        let gamma = Tensor::randn(&[5], 0.5, seed ^ 8);
+        let beta = Tensor::randn(&[5], 0.5, seed ^ 9);
+        let r = gradcheck(&[x, gamma, beta], |g, v| {
+            let n = g.normalize_last(v[0], 1e-5);
+            let s = g.mul(n, v[1]);
+            let s = g.add(s, v[2]);
+            let sq = g.mul(s, s);
+            g.sum(sq)
+        });
+        prop_assert!(r.passes(5e-2), "{r:?}");
+    }
+
+    #[test]
+    fn relu_gelu_sigmoid_chain_grad(seed in 0u64..500) {
+        let x = Tensor::randn(&[8], 2.0, seed);
+        let r = gradcheck(&[x], |g, v| {
+            let a = g.relu(v[0]);
+            let b = g.gelu(a);
+            let c = g.sigmoid(b);
+            g.mean(c)
+        });
+        prop_assert!(r.passes(3e-2), "{r:?}");
+    }
+
+    #[test]
+    fn scale_neg_add_scalar_grad(seed in 0u64..500, c in -2.0f32..2.0) {
+        let x = Tensor::randn(&[5], 1.0, seed);
+        let r = gradcheck(&[x], |g, v| {
+            let a = g.scale(v[0], c);
+            let b = g.neg(a);
+            let d = g.add_scalar(b, 0.5);
+            let sq = g.mul(d, d);
+            g.mean(sq)
+        });
+        prop_assert!(r.passes(3e-2), "{r:?}");
+    }
+
+    #[test]
+    fn reshape_preserves_grad_flow(seed in 0u64..500) {
+        let x = Tensor::randn(&[2, 6], 1.0, seed);
+        let r = gradcheck(&[x], |g, v| {
+            let a = g.reshape(v[0], &[3, 4]);
+            let b = g.reshape(a, &[12]);
+            let sq = g.mul(b, b);
+            g.sum(sq)
+        });
+        prop_assert!(r.passes(2e-2), "{r:?}");
+    }
+
+    #[test]
+    fn concat_slice_gradcheck(seed in 0u64..500) {
+        let a = Tensor::randn(&[2, 3], 1.0, seed);
+        let b = Tensor::randn(&[2, 2], 1.0, seed ^ 11);
+        let r = gradcheck(&[a, b], |g, v| {
+            let c = g.concat_last(v[0], v[1]);
+            let s = g.slice_last(c, 1, 3);
+            let sq = g.mul(s, s);
+            g.sum(sq)
+        });
+        prop_assert!(r.passes(2e-2), "{r:?}");
+    }
+
+    #[test]
+    fn sum_last_mean_axis1_gradcheck(seed in 0u64..500) {
+        let x = Tensor::randn(&[2, 3, 4], 1.0, seed);
+        let r = gradcheck(&[x], |g, v| {
+            let m = g.mean_axis1(v[0]); // [2, 4]
+            let s = g.sum_last(m); // [2]
+            let sq = g.mul(s, s);
+            g.sum(sq)
+        });
+        prop_assert!(r.passes(2e-2), "{r:?}");
+    }
+
+    #[test]
+    fn matmul_forward_matches_reference(
+        m in 1usize..4, k in 1usize..4, n in 1usize..4, seed in 0u64..100,
+    ) {
+        let a = Tensor::randn(&[m, k], 1.0, seed);
+        let b = Tensor::randn(&[k, n], 1.0, seed ^ 10);
+        let c = a.matmul(&b);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a.data()[i * k + p] * b.data()[p * n + j];
+                }
+                prop_assert!((c.data()[i * n + j] - acc).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(b in 1usize..3, m in 1usize..5, n in 1usize..5, seed in 0u64..100) {
+        let t = Tensor::randn(&[b, m, n], 1.0, seed);
+        prop_assert_eq!(t.transposed_last2().transposed_last2(), t);
+    }
+
+    #[test]
+    fn dropout_eval_mode_deterministic(seed in 0u64..100) {
+        let x = Tensor::randn(&[16], 1.0, seed);
+        let run = |t: &Tensor| {
+            let mut g = Graph::with_seed(seed);
+            g.set_training(false);
+            let v = g.input(t.clone());
+            let d = g.dropout(v, 0.5);
+            g.value(d).clone()
+        };
+        prop_assert_eq!(run(&x), x);
+    }
+}

@@ -1,0 +1,249 @@
+//! BERT-style masked-language-model input corruption.
+
+use crate::vocab::{SpecialToken, Vocab};
+use crate::IGNORE_INDEX;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A masked training example produced by [`MlmMasker::mask`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MaskedSequence {
+    /// Corrupted input ids fed to the model.
+    pub input_ids: Vec<u32>,
+    /// Per-position targets: the original token id at selected positions,
+    /// [`IGNORE_INDEX`] everywhere else.
+    pub labels: Vec<i32>,
+}
+
+impl MaskedSequence {
+    /// Number of positions that participate in the loss.
+    pub fn num_targets(&self) -> usize {
+        self.labels.iter().filter(|&&l| l != IGNORE_INDEX).count()
+    }
+}
+
+/// The masked-language-model corruption procedure from BERT, with the
+/// paper's parameters as defaults.
+///
+/// Each non-special position is independently selected with probability
+/// `select_prob` (paper: 0.15). A selected position is then, per the BERT
+/// recipe the paper follows:
+///
+/// * replaced by `[MASK]` with probability `mask_frac` (0.8),
+/// * replaced by a random regular token with probability `random_frac` (0.1),
+/// * **left unchanged but still included in the loss** with the remaining
+///   probability (0.1) — the paper's "10% of the tokens were not masked but
+///   were included in the loss calculation".
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MlmMasker {
+    /// Probability a position is selected for prediction (paper: 0.15).
+    pub select_prob: f32,
+    /// Fraction of selected positions replaced by `[MASK]`.
+    pub mask_frac: f32,
+    /// Fraction of selected positions replaced by a random token.
+    pub random_frac: f32,
+}
+
+impl Default for MlmMasker {
+    fn default() -> Self {
+        MlmMasker {
+            select_prob: 0.15,
+            mask_frac: 0.8,
+            random_frac: 0.1,
+        }
+    }
+}
+
+impl MlmMasker {
+    /// Creates a masker with a custom selection probability and the
+    /// standard 80/10/10 split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `select_prob` is outside `(0, 1]`.
+    pub fn with_select_prob(select_prob: f32) -> Self {
+        assert!(
+            select_prob > 0.0 && select_prob <= 1.0,
+            "select_prob must be in (0, 1], got {select_prob}"
+        );
+        MlmMasker {
+            select_prob,
+            ..MlmMasker::default()
+        }
+    }
+
+    /// Applies MLM corruption to one sequence, deterministic in `seed`.
+    ///
+    /// Special tokens (`[CLS]`, `[SEP]`, `[PAD]`, …) are never selected.
+    /// If by chance no position is selected, the first regular position is
+    /// forcibly selected so every example contributes to the loss (standard
+    /// practice to avoid zero-loss batches on short sequences).
+    pub fn mask(&self, ids: &[u32], vocab: &Vocab, seed: u64) -> MaskedSequence {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut input_ids = ids.to_vec();
+        let mut labels = vec![IGNORE_INDEX; ids.len()];
+        let regular = vocab.regular_ids();
+        let mut any = false;
+        let mut first_regular: Option<usize> = None;
+        for (i, &id) in ids.iter().enumerate() {
+            if vocab.is_special(id) {
+                continue;
+            }
+            if first_regular.is_none() {
+                first_regular = Some(i);
+            }
+            if rng.random::<f32>() >= self.select_prob {
+                continue;
+            }
+            any = true;
+            self.corrupt(&mut input_ids, &mut labels, i, id, &regular, &mut rng);
+        }
+        if !any {
+            if let Some(i) = first_regular {
+                let id = ids[i];
+                self.corrupt(&mut input_ids, &mut labels, i, id, &regular, &mut rng);
+            }
+        }
+        MaskedSequence { input_ids, labels }
+    }
+
+    fn corrupt(
+        &self,
+        input_ids: &mut [u32],
+        labels: &mut [i32],
+        i: usize,
+        original: u32,
+        regular: &std::ops::Range<u32>,
+        rng: &mut StdRng,
+    ) {
+        labels[i] = original as i32;
+        let roll: f32 = rng.random();
+        if roll < self.mask_frac {
+            input_ids[i] = SpecialToken::Mask.id();
+        } else if roll < self.mask_frac + self.random_frac && regular.start < regular.end {
+            input_ids[i] = rng.random_range(regular.clone());
+        }
+        // else: keep the original token, but labels[i] stays set — the
+        // position is included in the loss.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab() -> Vocab {
+        Vocab::from_tokens((0..100).map(|i| format!("T{i}")))
+    }
+
+    fn ids() -> Vec<u32> {
+        // [CLS] t… [SEP] with 64 regular tokens.
+        let mut v = vec![SpecialToken::Cls.id()];
+        v.extend(5..69u32);
+        v.push(SpecialToken::Sep.id());
+        v
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let m = MlmMasker::default();
+        let v = vocab();
+        assert_eq!(m.mask(&ids(), &v, 7), m.mask(&ids(), &v, 7));
+    }
+
+    #[test]
+    fn specials_never_selected() {
+        let m = MlmMasker::with_select_prob(1.0);
+        let v = vocab();
+        let out = m.mask(&ids(), &v, 1);
+        assert_eq!(out.labels[0], IGNORE_INDEX);
+        assert_eq!(*out.labels.last().unwrap(), IGNORE_INDEX);
+        assert_eq!(out.input_ids[0], SpecialToken::Cls.id());
+    }
+
+    #[test]
+    fn full_selection_targets_all_regular() {
+        let m = MlmMasker::with_select_prob(1.0);
+        let v = vocab();
+        let out = m.mask(&ids(), &v, 1);
+        assert_eq!(out.num_targets(), 64);
+    }
+
+    #[test]
+    fn selection_rate_close_to_p() {
+        let m = MlmMasker::default();
+        let v = vocab();
+        let mut total = 0usize;
+        for seed in 0..200 {
+            total += m.mask(&ids(), &v, seed).num_targets();
+        }
+        let rate = total as f32 / (200.0 * 64.0);
+        assert!((rate - 0.15).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn eighty_ten_ten_split_roughly_holds() {
+        let m = MlmMasker::with_select_prob(1.0);
+        let v = vocab();
+        let original = ids();
+        let (mut masked, mut random, mut kept) = (0usize, 0usize, 0usize);
+        for seed in 0..50 {
+            let out = m.mask(&original, &v, seed);
+            for (i, &l) in out.labels.iter().enumerate() {
+                if l == IGNORE_INDEX {
+                    continue;
+                }
+                if out.input_ids[i] == SpecialToken::Mask.id() {
+                    masked += 1;
+                } else if out.input_ids[i] == original[i] {
+                    kept += 1;
+                } else {
+                    random += 1;
+                }
+            }
+        }
+        let total = (masked + random + kept) as f32;
+        assert!((masked as f32 / total - 0.8).abs() < 0.05);
+        // A "random" replacement can coincide with the original token, so
+        // kept absorbs a small part of random's mass.
+        assert!((kept as f32 / total - 0.1).abs() < 0.05);
+        assert!((random as f32 / total - 0.1).abs() < 0.05);
+    }
+
+    #[test]
+    fn labels_hold_original_ids() {
+        let m = MlmMasker::with_select_prob(1.0);
+        let v = vocab();
+        let original = ids();
+        let out = m.mask(&original, &v, 3);
+        for (i, &l) in out.labels.iter().enumerate() {
+            if l != IGNORE_INDEX {
+                assert_eq!(l as u32, original[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn short_sequence_always_has_a_target() {
+        let m = MlmMasker::with_select_prob(0.01);
+        let v = vocab();
+        let short = vec![SpecialToken::Cls.id(), 5, SpecialToken::Sep.id()];
+        for seed in 0..20 {
+            assert!(m.mask(&short, &v, seed).num_targets() >= 1);
+        }
+    }
+
+    #[test]
+    fn all_special_sequence_has_no_targets() {
+        let m = MlmMasker::default();
+        let v = vocab();
+        let pads = vec![SpecialToken::Cls.id(), SpecialToken::Sep.id(), 0, 0];
+        assert_eq!(m.mask(&pads, &v, 5).num_targets(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "select_prob")]
+    fn zero_select_prob_panics() {
+        MlmMasker::with_select_prob(0.0);
+    }
+}

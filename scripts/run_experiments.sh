@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper and archives the outputs
+# under results/. Scales are the single-core CPU defaults; pass-through
+# arguments are forwarded to each binary.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+run() {
+  local name="$1"; shift
+  echo "=== $name ==="
+  cargo run --release -p clinfl-bench --bin "$name" -- "$@" | tee "results/$name.txt"
+}
+
+cargo build --release -p clinfl-bench
+
+run table1_parameters
+run table2_models
+run table3_accuracy
+run fig2_mlm_loss
+run fig3_demo
+# Ablations (extensions; smaller scales keep the full sweep tractable):
+run ablation_partition --scale 16
+run ablation_aggregators --scale 24
+run ablation_privacy --scale 24
+run ablation_fedprox --scale 24
+run ablation_pretrain --scale 24

@@ -1,0 +1,11 @@
+//! `clinfl-suite` — umbrella package hosting the cross-crate integration
+//! tests (`tests/`) and runnable examples (`examples/`) for the `clinfl`
+//! workspace. It re-exports the workspace crates so examples and tests can
+//! use a single dependency root.
+
+pub use clinfl;
+pub use clinfl_data;
+pub use clinfl_flare;
+pub use clinfl_models;
+pub use clinfl_tensor;
+pub use clinfl_text;

@@ -1,0 +1,172 @@
+//! Property-based tests over the core invariants of the stack: wire-codec
+//! roundtrips, secure-channel integrity, gradient correctness, masking
+//! bounds, and partition conservation.
+
+use clinfl_data::{ClassifyDataset, SitePartitioner};
+use clinfl_flare::messages::{ClientMessage, ServerMessage, TaskAssignment};
+use clinfl_flare::security::{DhKeyPair, SecureChannel};
+use clinfl_flare::wire::{WireDecode, WireEncode};
+use clinfl_flare::{Dxo, WeightTensor, Weights};
+use clinfl_tensor::{gradcheck, Tensor};
+use clinfl_text::{ClinicalTokenizer, Encoded, MlmMasker, Vocab, IGNORE_INDEX};
+use proptest::prelude::*;
+
+fn arb_weights() -> impl Strategy<Value = Weights> {
+    proptest::collection::btree_map(
+        "[a-z]{1,8}(\\.[a-z]{1,8})?",
+        (1usize..5, 1usize..5).prop_flat_map(|(r, c)| {
+            proptest::collection::vec(-1e3f32..1e3, r * c)
+                .prop_map(move |data| WeightTensor::new(vec![r, c], data))
+        }),
+        0..4,
+    )
+}
+
+fn arb_dxo() -> impl Strategy<Value = Dxo> {
+    (
+        arb_weights(),
+        proptest::collection::btree_map("[a-z_]{1,10}", -1e6f64..1e6, 0..4),
+        any::<u64>(),
+    )
+        .prop_map(|(weights, metrics, n)| Dxo {
+            metrics,
+            n_examples: n,
+            ..Dxo::from_weights(weights, 0)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn client_submit_roundtrips(round in any::<u32>(), dxo in arb_dxo()) {
+        let msg = ClientMessage::Submit { round, dxo };
+        let back = ClientMessage::from_frame(&msg.to_frame()).unwrap();
+        prop_assert_eq!(msg, back);
+    }
+
+    #[test]
+    fn train_task_roundtrips(round in any::<u32>(), total in any::<u32>(), w in arb_weights()) {
+        let msg = ServerMessage::Task(TaskAssignment::Train { round, total_rounds: total, weights: w });
+        let back = ServerMessage::from_frame(&msg.to_frame()).unwrap();
+        prop_assert_eq!(msg, back);
+    }
+
+    #[test]
+    fn codec_rejects_random_noise(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Random bytes must never decode silently into a valid frame unless
+        // they genuinely carry the magic; decoding must not panic either way.
+        let _ = ClientMessage::from_frame(&bytes);
+        let _ = ServerMessage::from_frame(&bytes);
+    }
+
+    #[test]
+    fn secure_channel_roundtrips_any_payload(
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        key_a in any::<u64>(),
+    ) {
+        let a = DhKeyPair::from_secret(key_a);
+        let b = DhKeyPair::from_secret(key_a ^ 0x1234_5678);
+        let key = a.shared_key(b.public);
+        let mut tx = SecureChannel::new(key, 0);
+        let rx = SecureChannel::new(key, 0);
+        let sealed = tx.seal(&payload);
+        prop_assert_eq!(rx.open(&sealed).unwrap(), payload);
+    }
+
+    #[test]
+    fn secure_channel_detects_any_single_flip(
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        flip in any::<proptest::sample::Index>(),
+    ) {
+        let key = DhKeyPair::from_secret(7).shared_key(DhKeyPair::from_secret(9).public);
+        let mut tx = SecureChannel::new(key, 0);
+        let rx = SecureChannel::new(key, 0);
+        let mut sealed = tx.seal(&payload);
+        let at = flip.index(sealed.len() - 8) + 8; // skip nonce (tested ok), hit body/mac
+        sealed[at] ^= 0x40;
+        prop_assert!(rx.open(&sealed).is_err());
+    }
+
+    #[test]
+    fn tanh_sigmoid_matmul_gradcheck(seed in 0u64..500) {
+        let x = Tensor::randn(&[2, 3], 1.0, seed);
+        let w = Tensor::randn(&[3, 2], 0.7, seed ^ 0xFF);
+        let report = gradcheck(&[x, w], |g, v| {
+            let h = g.matmul(v[0], v[1]);
+            let t = g.tanh(h);
+            let s = g.sigmoid(t);
+            g.sum(s)
+        });
+        prop_assert!(report.passes(3e-2), "{report:?}");
+    }
+
+    #[test]
+    fn softmax_ce_gradcheck(seed in 0u64..500) {
+        let x = Tensor::randn(&[3, 4], 1.0, seed);
+        let report = gradcheck(&[x], |g, v| {
+            g.cross_entropy(v[0], &[0, 2, 3], -100)
+        });
+        prop_assert!(report.passes(3e-2), "{report:?}");
+    }
+
+    #[test]
+    fn layernorm_gelu_gradcheck(seed in 0u64..500) {
+        let x = Tensor::randn(&[2, 6], 1.0, seed);
+        let report = gradcheck(&[x], |g, v| {
+            let n = g.normalize_last(v[0], 1e-5);
+            let a = g.gelu(n);
+            let sq = g.mul(a, a);
+            g.sum(sq)
+        });
+        prop_assert!(report.passes(5e-2), "{report:?}");
+    }
+
+    #[test]
+    fn masker_selects_only_regular_positions(
+        n_tokens in 1usize..40,
+        p in 0.05f32..0.9,
+        seed in any::<u64>(),
+    ) {
+        let vocab = Vocab::from_tokens((0..50).map(|i| format!("T{i}")));
+        let tok = ClinicalTokenizer::new(vocab.clone(), n_tokens + 2);
+        let events: Vec<String> = (0..n_tokens).map(|i| format!("T{}", i % 50)).collect();
+        let enc = tok.encode(&events);
+        let masker = MlmMasker::with_select_prob(p);
+        let out = masker.mask(&enc.ids, &vocab, seed);
+        prop_assert_eq!(out.input_ids.len(), enc.ids.len());
+        for (i, (&orig, &label)) in enc.ids.iter().zip(&out.labels).enumerate() {
+            if vocab.is_special(orig) {
+                prop_assert_eq!(label, IGNORE_INDEX, "special selected at {}", i);
+                prop_assert_eq!(out.input_ids[i], orig, "special mutated at {}", i);
+            } else if label != IGNORE_INDEX {
+                prop_assert_eq!(label as u32, orig, "label holds original id");
+            } else {
+                prop_assert_eq!(out.input_ids[i], orig, "unselected token mutated");
+            }
+        }
+        prop_assert!(out.num_targets() >= 1);
+    }
+
+    #[test]
+    fn partitioner_conserves_examples(
+        n in 16usize..200,
+        n_sites in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let seq_len = 6;
+        let examples: Vec<clinfl_data::Example> = (0..n)
+            .map(|i| clinfl_data::Example {
+                encoded: Encoded {
+                    ids: vec![2, 5, 6, 7, 3, 0],
+                    attention_mask: vec![1, 1, 1, 1, 1, 0],
+                },
+                label: (i % 2) as u8,
+            })
+            .collect();
+        let ds = ClassifyDataset::from_examples(examples, seq_len);
+        let shards = SitePartitioner::Balanced { n_sites }.partition(&ds, seed);
+        prop_assert_eq!(shards.len(), n_sites);
+        prop_assert_eq!(shards.iter().map(|s| s.len()).sum::<usize>(), n);
+    }
+}
