@@ -12,6 +12,7 @@ use clinfl_flare::controller::SagConfig;
 use clinfl_flare::simulator::{SimulatorConfig, SimulatorRunner};
 use clinfl_flare::{EventLog, FlareError};
 use clinfl_models::BertConfig;
+use clinfl_tensor::LrSchedule;
 use clinfl_text::{ClinicalTokenizer, Encoded};
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -101,14 +102,21 @@ pub fn train_standalone(cfg: &PipelineConfig, spec: ModelSpec) -> StandaloneOutc
     let shards = cfg
         .imbalanced_partitioner()
         .partition(&data.train, cfg.seed ^ 0xA17);
-    let per_site: Vec<f64> = shards
-        .iter()
-        .enumerate()
-        .map(|(i, shard)| {
-            centralized_on(cfg, spec, shard, &data.valid, cfg.seed.wrapping_add(i as u64))
-                .accuracy
-        })
-        .collect();
+    // Sites are independent, so train them on their own threads; each one
+    // holds a compute permit, bounding concurrency to CLINFL_THREADS (and
+    // restoring the serial order of work with a budget of 1). Results are
+    // keyed by site index, so the output never depends on the schedule.
+    let mut per_site = vec![0.0f64; shards.len()];
+    std::thread::scope(|s| {
+        for (i, (shard, slot)) in shards.iter().zip(per_site.iter_mut()).enumerate() {
+            let valid = &data.valid;
+            s.spawn(move || {
+                let _permit = clinfl_tensor::pool::compute_permit();
+                *slot = centralized_on(cfg, spec, shard, valid, cfg.seed.wrapping_add(i as u64))
+                    .accuracy;
+            });
+        }
+    });
     let mean_accuracy = per_site.iter().sum::<f64>() / per_site.len().max(1) as f64;
     StandaloneOutcome {
         per_site,
@@ -300,6 +308,7 @@ pub fn pretrain_mlm(
                 }
             };
             let mut learner = MlmLearner::new(&bert, CodeSystem::new().vocab().clone(), hyper, cfg.seed);
+            learner.set_schedule(mlm_warmup(cfg, train.len(), hyper.batch_size));
             let mut curve = vec![learner.eval_loss(&data.valid)];
             for _ in 0..cfg.pretrain_rounds {
                 learner.train_epoch(&train);
@@ -327,8 +336,9 @@ pub fn pretrain_mlm(
             let result = runner.run_simple(
                 initial,
                 |i, _| {
-                    let learner =
+                    let mut learner =
                         MlmLearner::new(&bert, CodeSystem::new().vocab().clone(), hyper, cfg.seed);
+                    learner.set_schedule(mlm_warmup(cfg, shards[i].len(), hyper.batch_size));
                     Box::new(MlmExecutor::new(
                         learner,
                         shards[i].clone(),
@@ -349,6 +359,18 @@ pub fn pretrain_mlm(
             );
             Ok(curve)
         }
+    }
+}
+
+/// Warmup sized to the planned step budget: the standard 64 steps at
+/// experiment scale, but never more than a quarter of the total steps so
+/// scaled-down runs (tests, demos) still spend most of training at full
+/// rate.
+fn mlm_warmup(cfg: &PipelineConfig, n_train: usize, batch_size: usize) -> LrSchedule {
+    let steps_per_epoch = n_train.div_ceil(batch_size).max(1) as u64;
+    let total_steps = steps_per_epoch * u64::from(cfg.pretrain_rounds);
+    LrSchedule::LinearWarmup {
+        warmup_steps: 64.min((total_steps / 4).max(1)),
     }
 }
 

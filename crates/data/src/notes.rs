@@ -40,10 +40,10 @@ fn describe_event(code: &str) -> String {
         other => {
             // Cluster codes render as generic diagnosis / prescription
             // sentences carrying the code for traceability.
-            if other.starts_with("DX:") {
-                format!("documented diagnosis {}.", &other[3..])
-            } else if other.starts_with("RX:") {
-                format!("prescribed {}.", &other[3..])
+            if let Some(code) = other.strip_prefix("DX:") {
+                format!("documented diagnosis {code}.")
+            } else if let Some(code) = other.strip_prefix("RX:") {
+                format!("prescribed {code}.")
             } else {
                 format!("noted {other}.")
             }

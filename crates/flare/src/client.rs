@@ -167,7 +167,11 @@ impl FlClient {
                         round,
                         total_rounds,
                     };
+                    // At most CLINFL_THREADS sites compute at once; with a
+                    // budget of 1 the round schedule is strictly sequential.
+                    let permit = clinfl_tensor::pool::compute_permit();
                     let mut dxo = executor.train(&weights, &ctx);
+                    drop(permit);
                     dxo = self.filters.apply(dxo, &weights, round);
                     debug_assert!(matches!(dxo.kind, DxoKind::Weights | DxoKind::WeightDiff));
                     self.send(&ClientMessage::Submit { round, dxo })?;
@@ -179,7 +183,9 @@ impl FlClient {
                         round,
                         total_rounds: 0,
                     };
+                    let permit = clinfl_tensor::pool::compute_permit();
                     let metric = executor.validate(&weights, &ctx);
+                    drop(permit);
                     self.send(&ClientMessage::ValidateReport { round, metric })?;
                 }
                 TaskAssignment::Finish => {

@@ -164,8 +164,12 @@ impl ScatterAndGather {
             });
             self.log
                 .info(tag, format!("Scattered global model to {sent} client(s)."));
-            let updates =
+            let mut updates =
                 gateway.collect_submissions(round, expected, self.config.round_timeout);
+            // Sites train concurrently and submit in arrival order; sort by
+            // site name so aggregation order (and the floating-point result)
+            // is independent of the thread schedule.
+            updates.sort_by(|(a, _), (b, _)| a.cmp(b));
             for (site, _) in &updates {
                 self.log
                     .info(tag, format!("Contribution from {site} received."));
@@ -204,8 +208,9 @@ impl ScatterAndGather {
                     round,
                     weights: global.clone(),
                 });
-                let reports =
+                let mut reports =
                     gateway.collect_validations(round, expected, self.config.round_timeout);
+                reports.sort_by(|(a, _), (b, _)| a.cmp(b));
                 if reports.is_empty() {
                     None
                 } else {

@@ -4,12 +4,24 @@
 //! [`crate::Tensor`] convenience methods, the autograd backward
 //! implementations in `ops`, and the Criterion micro-benchmarks without any
 //! graph overhead. All layouts are row-major.
+//!
+//! The matrix and row kernels parallelize over contiguous blocks of output
+//! rows through [`crate::pool`] when the operation is large enough.
+//! Every output element is accumulated in the same floating-point order
+//! regardless of thread count, so results are bit-identical from
+//! `CLINFL_THREADS=1` to the full budget (see the pool module's threading
+//! model).
+
+use crate::pool;
 
 /// `c[m, n] += a[m, k] * b[k, n]` (single matrix, accumulate).
 ///
-/// Uses an `i-k-j` loop order so the innermost loop streams both `b` and `c`
-/// rows sequentially, which is the main cache-friendliness lever available
-/// without unsafe SIMD.
+/// The serial inner loops use an `i-k-j` order so the innermost loop
+/// streams both `b` and `c` rows sequentially — the main single-thread
+/// cache-friendliness lever without unsafe SIMD — and blocks of `c` rows
+/// run on pool threads, which is where the multi-core speedup comes from.
+/// Zero entries of `a` skip their row-update entirely (common under
+/// dropout and padding masks).
 ///
 /// # Panics
 ///
@@ -18,120 +30,254 @@ pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: us
     assert_eq!(a.len(), m * k, "matmul lhs length");
     assert_eq!(b.len(), k * n, "matmul rhs length");
     assert_eq!(c.len(), m * n, "matmul out length");
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (p, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                *cv += av * bv;
-            }
-        }
+    if m == 0 || n == 0 {
+        return;
     }
+    let w = pool::workers_for(m, 2 * k * n);
+    let block_rows = m.div_ceil(w);
+    let jobs: Vec<_> = c
+        .chunks_mut(block_rows * n)
+        .enumerate()
+        .map(|(blk, c_block)| {
+            move || {
+                let i0 = blk * block_rows;
+                for (r, c_row) in c_block.chunks_mut(n).enumerate() {
+                    let i = i0 + r;
+                    let a_row = &a[i * k..(i + 1) * k];
+                    for (p, &av) in a_row.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[p * n..(p + 1) * n];
+                        for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                            *cv += av * bv;
+                        }
+                    }
+                }
+            }
+        })
+        .collect();
+    pool::run_jobs(jobs);
 }
 
 /// `c[m, n] += a[k, m]^T * b[k, n]` — matmul with the left operand
 /// transposed, used by backward passes (`dW = x^T dy`).
+///
+/// The serial path keeps the cache-friendly `p`-outer order (streaming `a`
+/// and `b` once). The parallel path partitions `c` rows and accumulates
+/// each row over ascending `p` — the same per-element addition order as
+/// the serial loop, so both paths produce bit-identical results.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `k*m`, `k*n`, `m*n`.
 pub fn matmul_at_b_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), k * m, "matmul_at lhs length");
     assert_eq!(b.len(), k * n, "matmul_at rhs length");
     assert_eq!(c.len(), m * n, "matmul_at out length");
-    for p in 0..k {
-        let a_row = &a[p * m..(p + 1) * m];
-        let b_row = &b[p * n..(p + 1) * n];
-        for (i, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                *cv += av * bv;
+    if m == 0 || n == 0 {
+        return;
+    }
+    let w = pool::workers_for(m, 2 * k * n);
+    if w <= 1 {
+        for p in 0..k {
+            let a_row = &a[p * m..(p + 1) * m];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (i, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += av * bv;
+                }
             }
         }
+        return;
     }
+    let block_rows = m.div_ceil(w);
+    let jobs: Vec<_> = c
+        .chunks_mut(block_rows * n)
+        .enumerate()
+        .map(|(blk, c_block)| {
+            move || {
+                let i0 = blk * block_rows;
+                for (r, c_row) in c_block.chunks_mut(n).enumerate() {
+                    let i = i0 + r;
+                    for p in 0..k {
+                        let av = a[p * m + i];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[p * n..(p + 1) * n];
+                        for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                            *cv += av * bv;
+                        }
+                    }
+                }
+            }
+        })
+        .collect();
+    pool::run_jobs(jobs);
 }
 
 /// `c[m, k] += a[m, n] * b[k, n]^T` — matmul with the right operand
-/// transposed, used by backward passes (`dx = dy W^T`).
+/// transposed, used by backward passes (`dx = dy W^T`). Each output
+/// element is an independent dot product, so `c` rows parallelize
+/// directly.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `m*n`, `k*n`, `m*k`.
 pub fn matmul_a_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
     assert_eq!(a.len(), m * n, "matmul_bt lhs length");
     assert_eq!(b.len(), k * n, "matmul_bt rhs length");
     assert_eq!(c.len(), m * k, "matmul_bt out length");
-    for i in 0..m {
-        let a_row = &a[i * n..(i + 1) * n];
-        let c_row = &mut c[i * k..(i + 1) * k];
-        for (j, cv) in c_row.iter_mut().enumerate() {
-            let b_row = &b[j * n..(j + 1) * n];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
-            }
-            *cv += acc;
-        }
+    if m == 0 || k == 0 {
+        return;
     }
+    let w = pool::workers_for(m, 2 * k * n);
+    let block_rows = m.div_ceil(w);
+    let jobs: Vec<_> = c
+        .chunks_mut(block_rows * k)
+        .enumerate()
+        .map(|(blk, c_block)| {
+            move || {
+                let i0 = blk * block_rows;
+                for (r, c_row) in c_block.chunks_mut(k).enumerate() {
+                    let i = i0 + r;
+                    let a_row = &a[i * n..(i + 1) * n];
+                    for (j, cv) in c_row.iter_mut().enumerate() {
+                        let b_row = &b[j * n..(j + 1) * n];
+                        let mut acc = 0.0f32;
+                        for (&av, &bv) in a_row.iter().zip(b_row) {
+                            acc += av * bv;
+                        }
+                        *cv += acc;
+                    }
+                }
+            }
+        })
+        .collect();
+    pool::run_jobs(jobs);
 }
 
-/// In-place numerically-stable softmax over contiguous rows of width `width`.
+/// In-place numerically-stable softmax over contiguous rows of width
+/// `width`. Rows are independent and run on pool threads in blocks.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or does not divide `data.len()`.
 pub fn softmax_rows(data: &mut [f32], width: usize) {
     assert!(width > 0, "softmax row width must be > 0");
     assert_eq!(data.len() % width, 0, "softmax data not a multiple of width");
-    for row in data.chunks_mut(width) {
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
-        }
-        let inv = 1.0 / sum;
-        for v in row.iter_mut() {
-            *v *= inv;
-        }
-    }
+    let rows = data.len() / width;
+    let w = pool::workers_for(rows, 8 * width);
+    let block_rows = rows.div_ceil(w).max(1);
+    let jobs: Vec<_> = data
+        .chunks_mut(block_rows * width)
+        .map(|block| {
+            move || {
+                for row in block.chunks_mut(width) {
+                    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let mut sum = 0.0;
+                    for v in row.iter_mut() {
+                        *v = (*v - max).exp();
+                        sum += *v;
+                    }
+                    let inv = 1.0 / sum;
+                    for v in row.iter_mut() {
+                        *v *= inv;
+                    }
+                }
+            }
+        })
+        .collect();
+    pool::run_jobs(jobs);
 }
 
-/// In-place log-softmax over contiguous rows of width `width`.
+/// In-place log-softmax over contiguous rows of width `width`. Rows are
+/// independent and run on pool threads in blocks.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or does not divide `data.len()`.
 pub fn log_softmax_rows(data: &mut [f32], width: usize) {
     assert!(width > 0, "log_softmax row width must be > 0");
     assert_eq!(data.len() % width, 0, "log_softmax data not a multiple of width");
-    for row in data.chunks_mut(width) {
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0f32;
-        for v in row.iter() {
-            sum += (*v - max).exp();
-        }
-        let log_z = max + sum.ln();
-        for v in row.iter_mut() {
-            *v -= log_z;
-        }
-    }
+    let rows = data.len() / width;
+    let w = pool::workers_for(rows, 8 * width);
+    let block_rows = rows.div_ceil(w).max(1);
+    let jobs: Vec<_> = data
+        .chunks_mut(block_rows * width)
+        .map(|block| {
+            move || {
+                for row in block.chunks_mut(width) {
+                    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let mut sum = 0.0f32;
+                    for v in row.iter() {
+                        sum += (*v - max).exp();
+                    }
+                    let log_z = max + sum.ln();
+                    for v in row.iter_mut() {
+                        *v -= log_z;
+                    }
+                }
+            }
+        })
+        .collect();
+    pool::run_jobs(jobs);
 }
 
 /// Normalizes each row to zero mean / unit variance; returns `(mean, rstd)`
-/// per row for use by the backward pass.
+/// per row for use by the backward pass. Row blocks run on pool threads,
+/// each writing its own span of the `mean` / `rstd` outputs.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or does not divide `data.len()`.
 pub fn layer_norm_rows(data: &mut [f32], width: usize, eps: f32) -> (Vec<f32>, Vec<f32>) {
     assert!(width > 0, "layer_norm row width must be > 0");
     assert_eq!(data.len() % width, 0, "layer_norm data not a multiple of width");
     let rows = data.len() / width;
-    let mut means = Vec::with_capacity(rows);
-    let mut rstds = Vec::with_capacity(rows);
-    for row in data.chunks_mut(width) {
-        let mean = row.iter().sum::<f32>() / width as f32;
-        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / width as f32;
-        let rstd = 1.0 / (var + eps).sqrt();
-        for v in row.iter_mut() {
-            *v = (*v - mean) * rstd;
-        }
-        means.push(mean);
-        rstds.push(rstd);
-    }
+    let mut means = vec![0.0f32; rows];
+    let mut rstds = vec![0.0f32; rows];
+    let w = pool::workers_for(rows, 6 * width);
+    let block_rows = rows.div_ceil(w).max(1);
+    let jobs: Vec<_> = data
+        .chunks_mut(block_rows * width)
+        .zip(means.chunks_mut(block_rows).zip(rstds.chunks_mut(block_rows)))
+        .map(|(block, (mean_block, rstd_block))| {
+            move || {
+                for ((row, mv), rv) in block
+                    .chunks_mut(width)
+                    .zip(mean_block)
+                    .zip(rstd_block)
+                {
+                    let mean = row.iter().sum::<f32>() / width as f32;
+                    let var =
+                        row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / width as f32;
+                    let rstd = 1.0 / (var + eps).sqrt();
+                    for v in row.iter_mut() {
+                        *v = (*v - mean) * rstd;
+                    }
+                    *mv = mean;
+                    *rv = rstd;
+                }
+            }
+        })
+        .collect();
+    pool::run_jobs(jobs);
     (means, rstds)
 }
 
 /// Backward of [`layer_norm_rows`]: given normalized outputs `y`, per-row
-/// `rstd` and upstream gradient `dy`, accumulates `dx` into `dx_acc`.
+/// `rstd` and upstream gradient `dy`, accumulates `dx` into `dx_acc`. Row
+/// blocks run on pool threads.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `y.len()` and `width`.
 pub fn layer_norm_rows_backward(
     y: &[f32],
     rstd: &[f32],
@@ -144,16 +290,137 @@ pub fn layer_norm_rows_backward(
     assert_eq!(dy.len(), y.len(), "layer_norm backward dy length");
     assert_eq!(dx_acc.len(), y.len(), "layer_norm backward dx length");
     let w = width as f32;
-    for r in 0..rows {
-        let ys = &y[r * width..(r + 1) * width];
-        let dys = &dy[r * width..(r + 1) * width];
-        let dxs = &mut dx_acc[r * width..(r + 1) * width];
-        let sum_dy: f32 = dys.iter().sum();
-        let sum_dy_y: f32 = dys.iter().zip(ys).map(|(a, b)| a * b).sum();
-        for ((dx, &yv), &dyv) in dxs.iter_mut().zip(ys).zip(dys) {
-            *dx += rstd[r] * (dyv - sum_dy / w - yv * sum_dy_y / w);
+    let workers = pool::workers_for(rows, 8 * width);
+    let block_rows = rows.div_ceil(workers).max(1);
+    let jobs: Vec<_> = dx_acc
+        .chunks_mut(block_rows * width)
+        .enumerate()
+        .map(|(blk, dx_block)| {
+            move || {
+                let r0 = blk * block_rows;
+                for (local, dxs) in dx_block.chunks_mut(width).enumerate() {
+                    let r = r0 + local;
+                    let ys = &y[r * width..(r + 1) * width];
+                    let dys = &dy[r * width..(r + 1) * width];
+                    let sum_dy: f32 = dys.iter().sum();
+                    let sum_dy_y: f32 = dys.iter().zip(ys).map(|(a, b)| a * b).sum();
+                    for ((dx, &yv), &dyv) in dxs.iter_mut().zip(ys).zip(dys) {
+                        *dx += rstd[r] * (dyv - sum_dy / w - yv * sum_dy_y / w);
+                    }
+                }
+            }
+        })
+        .collect();
+    pool::run_jobs(jobs);
+}
+
+/// `dst[i] = f(src[i])` for every element, on pool threads for large
+/// slices. `work_hint` is the approximate work units each application of
+/// `f` costs (used by the pool's spawn threshold; e.g. ~16 for
+/// [`tanh_fast`]-family activations).
+///
+/// # Panics
+///
+/// Panics if `src` and `dst` lengths differ.
+pub fn map_into(src: &[f32], dst: &mut [f32], work_hint: usize, f: impl Fn(f32) -> f32 + Sync) {
+    assert_eq!(src.len(), dst.len(), "map_into length mismatch");
+    pool::for_blocks(dst, work_hint, |offset, block| {
+        let len = block.len();
+        for (d, &s) in block.iter_mut().zip(&src[offset..offset + len]) {
+            *d = f(s);
         }
-    }
+    });
+}
+
+/// `d[i] *= f(x[i])` for every element — the shape of the elementwise
+/// backward rules (`dx = dy ⊙ f'(x)`) — on pool threads for large slices.
+/// `work_hint` is the per-element cost of `f` in work units.
+///
+/// # Panics
+///
+/// Panics if `x` and `d` lengths differ.
+pub fn mul_map_inplace(
+    x: &[f32],
+    d: &mut [f32],
+    work_hint: usize,
+    f: impl Fn(f32) -> f32 + Sync,
+) {
+    assert_eq!(x.len(), d.len(), "mul_map_inplace length mismatch");
+    pool::for_blocks(d, work_hint, |offset, block| {
+        let len = block.len();
+        for (dv, &xv) in block.iter_mut().zip(&x[offset..offset + len]) {
+            *dv *= f(xv);
+        }
+    });
+}
+
+/// Backward of [`softmax_rows`]: `dx = y ⊙ (dy - Σ(dy ⊙ y))` per row,
+/// where `y` is the saved softmax output. Row blocks run on pool threads.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or the slice lengths disagree.
+pub fn softmax_rows_backward(y: &[f32], dy: &[f32], dx: &mut [f32], width: usize) {
+    assert!(width > 0, "softmax backward width must be > 0");
+    assert_eq!(dy.len(), y.len(), "softmax backward dy length");
+    assert_eq!(dx.len(), y.len(), "softmax backward dx length");
+    let rows = y.len() / width;
+    let w = pool::workers_for(rows, 4 * width);
+    let block_rows = rows.div_ceil(w).max(1);
+    let jobs: Vec<_> = dx
+        .chunks_mut(block_rows * width)
+        .enumerate()
+        .map(|(blk, dx_block)| {
+            move || {
+                let r0 = blk * block_rows * width;
+                for (local, dxrow) in dx_block.chunks_mut(width).enumerate() {
+                    let at = r0 + local * width;
+                    let yrow = &y[at..at + width];
+                    let dyrow = &dy[at..at + width];
+                    let dot: f32 = yrow.iter().zip(dyrow).map(|(a, b)| a * b).sum();
+                    for ((d, &yv), &dyv) in dxrow.iter_mut().zip(yrow).zip(dyrow) {
+                        *d = yv * (dyv - dot);
+                    }
+                }
+            }
+        })
+        .collect();
+    pool::run_jobs(jobs);
+}
+
+/// Backward of [`log_softmax_rows`]: `dx = dy - exp(y) * Σdy` per row,
+/// where `y` is the saved log-softmax output. Row blocks run on pool
+/// threads.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or the slice lengths disagree.
+pub fn log_softmax_rows_backward(y: &[f32], dy: &[f32], dx: &mut [f32], width: usize) {
+    assert!(width > 0, "log_softmax backward width must be > 0");
+    assert_eq!(dy.len(), y.len(), "log_softmax backward dy length");
+    assert_eq!(dx.len(), y.len(), "log_softmax backward dx length");
+    let rows = y.len() / width;
+    let w = pool::workers_for(rows, 6 * width);
+    let block_rows = rows.div_ceil(w).max(1);
+    let jobs: Vec<_> = dx
+        .chunks_mut(block_rows * width)
+        .enumerate()
+        .map(|(blk, dx_block)| {
+            move || {
+                let r0 = blk * block_rows * width;
+                for (local, dxrow) in dx_block.chunks_mut(width).enumerate() {
+                    let at = r0 + local * width;
+                    let yrow = &y[at..at + width];
+                    let dyrow = &dy[at..at + width];
+                    let sum_dy: f32 = dyrow.iter().sum();
+                    for ((d, &yv), &dyv) in dxrow.iter_mut().zip(yrow).zip(dyrow) {
+                        *d = dyv - yv.exp() * sum_dy;
+                    }
+                }
+            }
+        })
+        .collect();
+    pool::run_jobs(jobs);
 }
 
 /// Fast `tanh` via the order-7 continued-fraction rational
@@ -191,14 +458,14 @@ pub fn tanh_fast_grad(x: f32) -> f32 {
 
 /// GELU activation (tanh approximation, as used by BERT).
 pub fn gelu(x: f32) -> f32 {
-    const C: f32 = 0.797_884_56; // sqrt(2/pi)
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
     0.5 * x * (1.0 + tanh_fast(C * (x + 0.044715 * x * x * x)))
 }
 
 /// Derivative of [`gelu`] (differentiating the implemented approximant, so
 /// analytic and numeric gradients agree).
 pub fn gelu_grad(x: f32) -> f32 {
-    const C: f32 = 0.797_884_56;
+    const C: f32 = 0.797_884_6;
     let x3 = 0.044715 * x * x * x;
     let u = C * (x + x3);
     let t = tanh_fast(u);

@@ -59,6 +59,7 @@ mod init;
 pub mod kernels;
 mod ops;
 mod optim;
+pub mod pool;
 mod shape;
 mod tensor;
 

@@ -231,7 +231,7 @@ pub(crate) fn backward_node(nodes: &[Node], grads: &mut [Option<Tensor>], id: us
                 let dyb = &dy.data()[bi * m * n..(bi + 1) * m * n];
                 let ab = &a.data()[bi * m * k..(bi + 1) * m * k];
                 let btb = if *rhs_broadcast {
-                    &bt.data()[..]
+                    bt.data()
                 } else {
                     &bt.data()[bi * k * n..(bi + 1) * k * n]
                 };
@@ -344,17 +344,7 @@ pub(crate) fn backward_node(nodes: &[Node], grads: &mut [Option<Tensor>], id: us
             let y = &node.value;
             let width = y.shape().last_dim();
             let mut dx = Tensor::zeros(y.dims());
-            for ((yrow, dyrow), dxrow) in y
-                .data()
-                .chunks(width)
-                .zip(dy.data().chunks(width))
-                .zip(dx.data_mut().chunks_mut(width))
-            {
-                let dot: f32 = yrow.iter().zip(dyrow).map(|(a, b)| a * b).sum();
-                for ((d, &yv), &dyv) in dxrow.iter_mut().zip(yrow).zip(dyrow) {
-                    *d = yv * (dyv - dot);
-                }
-            }
+            kernels::softmax_rows_backward(y.data(), dy.data(), dx.data_mut(), width);
             accumulate(grads, ins[0], dx);
         }
         Op::LogSoftmax => {
@@ -362,17 +352,7 @@ pub(crate) fn backward_node(nodes: &[Node], grads: &mut [Option<Tensor>], id: us
             let y = &node.value;
             let width = y.shape().last_dim();
             let mut dx = Tensor::zeros(y.dims());
-            for ((yrow, dyrow), dxrow) in y
-                .data()
-                .chunks(width)
-                .zip(dy.data().chunks(width))
-                .zip(dx.data_mut().chunks_mut(width))
-            {
-                let sum_dy: f32 = dyrow.iter().sum();
-                for ((d, &yv), &dyv) in dxrow.iter_mut().zip(yrow).zip(dyrow) {
-                    *d = dyv - yv.exp() * sum_dy;
-                }
-            }
+            kernels::log_softmax_rows_backward(y.data(), dy.data(), dx.data_mut(), width);
             accumulate(grads, ins[0], dx);
         }
         Op::CrossEntropy {
@@ -423,43 +403,46 @@ pub(crate) fn backward_node(nodes: &[Node], grads: &mut [Option<Tensor>], id: us
             // input), keeping analytic and numeric gradients consistent.
             let x = &nodes[ins[0]].value;
             let mut dx = dy;
-            for (d, &xv) in dx.data_mut().iter_mut().zip(x.data()) {
-                *d *= kernels::tanh_fast_grad(xv);
-            }
+            kernels::mul_map_inplace(x.data(), dx.data_mut(), 16, kernels::tanh_fast_grad);
             accumulate(grads, ins[0], dx);
         }
         Op::Sigmoid => {
             // sigmoid(x) = (1 + tanh_fast(x/2)) / 2 → s'(x) = P'(x/2) / 4.
             let x = &nodes[ins[0]].value;
             let mut dx = dy;
-            for (d, &xv) in dx.data_mut().iter_mut().zip(x.data()) {
-                *d *= 0.25 * kernels::tanh_fast_grad(0.5 * xv);
-            }
+            kernels::mul_map_inplace(x.data(), dx.data_mut(), 16, |xv| {
+                0.25 * kernels::tanh_fast_grad(0.5 * xv)
+            });
             accumulate(grads, ins[0], dx);
         }
         Op::Relu => {
             let x = &nodes[ins[0]].value;
             let mut dx = dy;
-            for (d, &xv) in dx.data_mut().iter_mut().zip(x.data()) {
-                if xv <= 0.0 {
-                    *d = 0.0;
+            let xs = x.data();
+            crate::pool::for_blocks(dx.data_mut(), 2, |offset, block| {
+                let len = block.len();
+                for (d, &xv) in block.iter_mut().zip(&xs[offset..offset + len]) {
+                    if xv <= 0.0 {
+                        *d = 0.0;
+                    }
                 }
-            }
+            });
             accumulate(grads, ins[0], dx);
         }
         Op::Gelu => {
             let x = &nodes[ins[0]].value;
             let mut dx = dy;
-            for (d, &xv) in dx.data_mut().iter_mut().zip(x.data()) {
-                *d *= kernels::gelu_grad(xv);
-            }
+            kernels::mul_map_inplace(x.data(), dx.data_mut(), 32, kernels::gelu_grad);
             accumulate(grads, ins[0], dx);
         }
         Op::Dropout { mask } => {
             let mut dx = dy;
-            for (d, &m) in dx.data_mut().iter_mut().zip(mask) {
-                *d *= m;
-            }
+            crate::pool::for_blocks(dx.data_mut(), 2, |offset, block| {
+                let len = block.len();
+                for (d, &m) in block.iter_mut().zip(&mask[offset..offset + len]) {
+                    *d *= m;
+                }
+            });
             accumulate(grads, ins[0], dx);
         }
     }

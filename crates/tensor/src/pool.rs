@@ -1,0 +1,303 @@
+//! Shared worker-pool layer: one global thread budget for every parallel
+//! region in the workspace.
+//!
+//! # Threading model
+//!
+//! A single budget of `CLINFL_THREADS` compute threads (default: the
+//! machine's available parallelism) is shared by **both** levels of
+//! parallelism in the stack:
+//!
+//! * **Kernel level** — the hot tensor kernels ([`crate::kernels`]) split
+//!   their output rows into contiguous blocks and run the blocks on scoped
+//!   threads via [`run_jobs`]. Row blocks are independent and each output
+//!   element is accumulated in exactly the same floating-point order as the
+//!   serial loop, so results are **bit-identical for every thread count**.
+//! * **Site level** — each simulated federated site trains on its own
+//!   thread (see `clinfl-flare`), but heavy compute is bracketed by a
+//!   [`compute_permit`], a counting semaphore with `CLINFL_THREADS`
+//!   permits. With `CLINFL_THREADS=1` site training is fully serialized,
+//!   restoring the sequential round schedule.
+//!
+//! The two levels cooperate through a global active-worker count:
+//! [`workers_for`] plans each parallel region against
+//! `CLINFL_THREADS - active_workers()`, so kernels running inside several
+//! concurrently-permitted sites automatically shrink toward serial instead
+//! of oversubscribing the machine.
+//!
+//! Regions below [`WORK_PER_SPAWN`] work units per extra thread stay
+//! serial: scoped threads are spawned per region (no persistent pool), so
+//! fan-out only pays off once a block is worth far more than a thread
+//! spawn (~10 µs).
+//!
+//! # Configuration
+//!
+//! * `CLINFL_THREADS=N` — cap the budget to `N` threads (`1` = serial).
+//!   Read once, lazily.
+//! * [`set_threads`] — programmatic override, e.g. from tests or the
+//!   bench harness; takes precedence over the environment from then on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Approximate work units (inner-loop multiply-adds) a block must carry
+/// before it is worth one extra scoped thread.
+pub const WORK_PER_SPAWN: usize = 32_768;
+
+/// Configured thread budget; 0 means "not yet resolved".
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Threads currently executing compute: held site permits plus extra
+/// kernel workers inside active [`run_jobs`] regions.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// The configured thread budget.
+///
+/// Resolution order: a prior [`set_threads`] call, else the
+/// `CLINFL_THREADS` environment variable, else
+/// [`std::thread::available_parallelism`]. Always at least 1.
+pub fn num_threads() -> usize {
+    let t = THREADS.load(Ordering::Relaxed);
+    if t != 0 {
+        return t;
+    }
+    let resolved = std::env::var("CLINFL_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    // Racing initializers resolve to the same value, so a plain store is
+    // fine.
+    THREADS.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Overrides the thread budget (minimum 1), e.g. to compare serial and
+/// parallel execution within one process. Threads blocked on
+/// [`compute_permit`] re-evaluate against the new budget immediately.
+///
+/// # Panics
+///
+/// Panics if `n` is 0.
+pub fn set_threads(n: usize) {
+    assert!(n >= 1, "thread budget must be at least 1");
+    THREADS.store(n, Ordering::Relaxed);
+    permit_state().notify_all();
+}
+
+/// Number of threads currently executing compute under this pool's
+/// accounting (site permits + extra kernel workers).
+pub fn active_workers() -> usize {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Plans a parallel region: how many workers to use for `units`
+/// independent work items of roughly `work_per_unit` work units each.
+///
+/// The result is bounded by the remaining thread budget
+/// (`num_threads() - active_workers()`, at least 1), by `units`, and by
+/// the total work divided by [`WORK_PER_SPAWN`] so small regions stay
+/// serial. Always at least 1.
+pub fn workers_for(units: usize, work_per_unit: usize) -> usize {
+    let budget = num_threads()
+        .saturating_sub(ACTIVE.load(Ordering::Relaxed))
+        .max(1);
+    let by_work = units
+        .saturating_mul(work_per_unit)
+        .checked_div(WORK_PER_SPAWN)
+        .unwrap_or(0)
+        .max(1);
+    budget.min(units.max(1)).min(by_work)
+}
+
+/// Runs pre-partitioned jobs of one parallel region.
+///
+/// One job runs inline on the calling thread; the rest run on scoped
+/// threads (registered as active workers for the duration, so nested
+/// regions plan against a reduced budget). An empty job list is a no-op;
+/// a single job runs inline with no threading machinery at all.
+pub fn run_jobs<F: FnOnce() + Send>(jobs: Vec<F>) {
+    let mut jobs = jobs.into_iter();
+    let Some(first) = jobs.next() else { return };
+    let rest: Vec<F> = jobs.collect();
+    if rest.is_empty() {
+        first();
+        return;
+    }
+    let extra = rest.len();
+    ACTIVE.fetch_add(extra, Ordering::Relaxed);
+    std::thread::scope(|s| {
+        for job in rest {
+            s.spawn(job);
+        }
+        first();
+    });
+    ACTIVE.fetch_sub(extra, Ordering::Relaxed);
+}
+
+/// Splits `data` into per-worker blocks and runs
+/// `f(offset, block)` for each, in parallel when the region is large
+/// enough. `offset` is the index of the block's first element within
+/// `data`, letting `f` read companion slices at matching positions.
+pub fn for_blocks<T, F>(data: &mut [T], work_per_item: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    let w = workers_for(data.len(), work_per_item);
+    let block = data.len().div_ceil(w);
+    let jobs: Vec<_> = data
+        .chunks_mut(block)
+        .enumerate()
+        .map(|(j, chunk)| {
+            let f = &f;
+            move || f(j * block, chunk)
+        })
+        .collect();
+    run_jobs(jobs);
+}
+
+/// Counting-semaphore state for site-level compute permits.
+struct PermitState {
+    in_use: Mutex<usize>,
+    available: Condvar,
+}
+
+impl PermitState {
+    fn lock(&self) -> MutexGuard<'_, usize> {
+        self.in_use.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn notify_all(&self) {
+        self.available.notify_all();
+    }
+}
+
+fn permit_state() -> &'static PermitState {
+    static STATE: std::sync::OnceLock<PermitState> = std::sync::OnceLock::new();
+    STATE.get_or_init(|| PermitState {
+        in_use: Mutex::new(0),
+        available: Condvar::new(),
+    })
+}
+
+/// RAII guard for one unit of the site-level compute budget; released on
+/// drop. See [`compute_permit`].
+#[must_use = "the permit serializes compute only while it is held"]
+pub struct ComputePermit(());
+
+impl Drop for ComputePermit {
+    fn drop(&mut self) {
+        let state = permit_state();
+        let mut in_use = state.lock();
+        *in_use = in_use.saturating_sub(1);
+        ACTIVE.fetch_sub(1, Ordering::Relaxed);
+        drop(in_use);
+        state.available.notify_one();
+    }
+}
+
+/// Blocks until one of the `CLINFL_THREADS` compute permits is free, then
+/// claims it for the returned guard's lifetime.
+///
+/// Federated site threads take a permit around local training /
+/// validation, so at most `CLINFL_THREADS` sites compute concurrently —
+/// with a budget of 1 the round degenerates to the strict sequential
+/// schedule. Permit holders count as active workers, shrinking the budget
+/// kernel regions plan against.
+pub fn compute_permit() -> ComputePermit {
+    let state = permit_state();
+    let mut in_use = state.lock();
+    while *in_use >= num_threads() {
+        in_use = state
+            .available
+            .wait(in_use)
+            .unwrap_or_else(|e| e.into_inner());
+    }
+    *in_use += 1;
+    ACTIVE.fetch_add(1, Ordering::Relaxed);
+    ComputePermit(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    /// Serializes tests that reconfigure the global budget.
+    fn config_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn budget_override_roundtrips() {
+        let _guard = config_lock();
+        set_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_threads(1);
+        assert_eq!(num_threads(), 1);
+        set_threads(4);
+    }
+
+    #[test]
+    fn workers_respect_units_work_and_budget() {
+        let _guard = config_lock();
+        set_threads(4);
+        // Tiny region: serial.
+        assert_eq!(workers_for(8, 4), 1);
+        // Large region: capped by the budget.
+        assert_eq!(workers_for(1 << 20, 64), 4);
+        // Fewer units than budget: capped by units.
+        assert_eq!(workers_for(2, WORK_PER_SPAWN), 2);
+        set_threads(1);
+        assert_eq!(workers_for(1 << 20, 64), 1);
+        set_threads(4);
+    }
+
+    #[test]
+    fn for_blocks_covers_every_element_once() {
+        let _guard = config_lock();
+        set_threads(4);
+        let mut data = vec![0u32; 10_000];
+        for_blocks(&mut data, WORK_PER_SPAWN, |offset, block| {
+            for (i, v) in block.iter_mut().enumerate() {
+                *v += (offset + i) as u32;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32));
+    }
+
+    #[test]
+    fn permits_bound_concurrency() {
+        let _guard = config_lock();
+        set_threads(2);
+        let peak = Arc::new(AtomicUsize::new(0));
+        let live = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let peak = Arc::clone(&peak);
+                let live = Arc::clone(&live);
+                std::thread::spawn(move || {
+                    let _permit = compute_permit();
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2, "peak {peak:?}");
+        set_threads(4);
+    }
+}

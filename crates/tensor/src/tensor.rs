@@ -203,15 +203,37 @@ impl Tensor {
         let mut out_dims: Vec<usize> = self.shape.dims()[..self.shape.rank() - 1].to_vec();
         out_dims.push(n);
         let mut out = vec![0.0f32; lb * m * n];
-        for b in 0..lb {
-            let a = &self.data[b * m * k..(b + 1) * m * k];
-            let bslice = if rhs_broadcast {
-                &rhs.data[..]
-            } else {
-                &rhs.data[b * k * n..(b + 1) * k * n]
+        if out.is_empty() {
+            return Tensor {
+                shape: Shape::from(out_dims),
+                data: out,
             };
-            kernels::matmul_acc(a, bslice, &mut out[b * m * n..(b + 1) * m * n], m, k, n);
         }
+        // Parallel over the batch; each matmul plans nested workers against
+        // the remaining budget, so small batches still split by rows.
+        let w = crate::pool::workers_for(lb, 2 * m * k * n);
+        let block = lb.div_ceil(w.max(1)).max(1);
+        let jobs: Vec<_> = out
+            .chunks_mut(block * m * n)
+            .enumerate()
+            .map(|(blk, out_block)| {
+                let a_all = &self.data;
+                let b_all = &rhs.data;
+                move || {
+                    for (bi, c) in out_block.chunks_mut(m * n).enumerate() {
+                        let b = blk * block + bi;
+                        let a = &a_all[b * m * k..(b + 1) * m * k];
+                        let bslice = if rhs_broadcast {
+                            &b_all[..]
+                        } else {
+                            &b_all[b * k * n..(b + 1) * k * n]
+                        };
+                        kernels::matmul_acc(a, bslice, c, m, k, n);
+                    }
+                }
+            })
+            .collect();
+        crate::pool::run_jobs(jobs);
         Tensor {
             shape: Shape::from(out_dims),
             data: out,
@@ -267,11 +289,13 @@ impl Tensor {
         }
     }
 
-    /// Element-wise map.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+    /// Element-wise map, parallel across the worker pool for large tensors.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut data = vec![0.0f32; self.data.len()];
+        kernels::map_into(&self.data, &mut data, 16, f);
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data,
         }
     }
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Full local CI gate: offline release build, the whole test suite under
+# both the serial (CLINFL_THREADS=1) and default parallel thread budgets,
+# and clippy with warnings denied.
+#
+# Usage: scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test (CLINFL_THREADS=1, serial)"
+CLINFL_THREADS=1 cargo test --workspace --release -q
+
+echo "==> cargo test (default thread budget)"
+cargo test --workspace --release -q
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> all checks passed"

@@ -1,0 +1,124 @@
+//! Offline stand-in for the slice of `crossbeam` this workspace uses:
+//! [`channel::bounded`] MPSC channels with timeout receive. Backed by
+//! `std::sync::mpsc::sync_channel`, which provides the same backpressure
+//! semantics (send blocks when the buffer is full) that the in-process
+//! federation transport relies on.
+
+#![deny(missing_docs)]
+
+/// Bounded multi-producer single-consumer channels.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// The sending half; cloneable across threads.
+    #[derive(Clone, Debug)]
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    /// The receiving half.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned by [`Sender::send`] when the receiver is gone;
+    /// carries the unsent value like crossbeam's.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with no message.
+        Timeout,
+        /// All senders disconnected and the buffer is drained.
+        Disconnected,
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while the buffer is full.
+        ///
+        /// # Errors
+        ///
+        /// [`SendError`] if the receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives one message, waiting up to `timeout`.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] on deadline,
+        /// [`RecvTimeoutError::Disconnected`] when all senders are gone.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Receives one message, blocking indefinitely.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Disconnected`] when all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvTimeoutError> {
+            self.0.recv().map_err(|_| RecvTimeoutError::Disconnected)
+        }
+    }
+
+    /// Creates a channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn roundtrip_and_timeout() {
+            let (tx, rx) = bounded::<u32>(4);
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn cloned_senders_feed_one_receiver() {
+            let (tx, rx) = bounded::<usize>(16);
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || tx.send(i).unwrap())
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            drop(tx);
+            let mut got = vec![];
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        }
+    }
+}

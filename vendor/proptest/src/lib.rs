@@ -1,0 +1,686 @@
+//! Offline stand-in for the slice of `proptest` this workspace uses.
+//!
+//! Implements the [`Strategy`] trait (ranges, tuples, `prop_map` /
+//! `prop_flat_map`, regex-subset string patterns), [`prelude::any`],
+//! [`collection`] strategies, [`sample::Index`], and the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros. Cases are generated from
+//! a deterministic PRNG and failures panic immediately — there is no
+//! shrinking, persistence, or forking, which the in-tree property tests
+//! do not rely on.
+
+#![deny(missing_docs)]
+
+/// The RNG handed to strategies while generating a test case.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Runtime configuration for a [`proptest!`] block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Test-runner internals used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    pub use super::{ProptestConfig, TestRng};
+    use rand::SeedableRng;
+
+    /// Drives a test closure for the configured number of cases.
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// Creates a runner for `config`.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config }
+        }
+
+        /// Runs `case` once per configured case with a per-case
+        /// deterministic RNG, so failures reproduce across runs.
+        pub fn run(&mut self, mut case: impl FnMut(&mut TestRng)) {
+            for i in 0..self.config.cases {
+                let mut rng = TestRng::seed_from_u64(0x9E37_79B9_7F4A_7C15 ^ u64::from(i));
+                case(&mut rng);
+            }
+        }
+    }
+}
+
+/// The [`Strategy`] trait and its combinator adapters.
+pub mod strategy {
+    use super::TestRng;
+    use rand::RngExt;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Derives a follow-up strategy from each generated value.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Adapter returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Adapter returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// A strategy that always yields clones of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident/$idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A/0);
+        (A/0, B/1);
+        (A/0, B/1, C/2);
+        (A/0, B/1, C/2, D/3);
+        (A/0, B/1, C/2, D/3, E/4);
+    }
+
+    /// String patterns act as strategies over a regex subset: literals,
+    /// `\`-escapes, `[a-z_]` classes, `(...)` groups, and the `?`, `*`,
+    /// `+`, `{n}`, `{m,n}` quantifiers.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let nodes = super::pattern::parse(self);
+            let mut out = String::new();
+            super::pattern::generate(&nodes, rng, &mut out);
+            out
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            self.as_str().generate(rng)
+        }
+    }
+}
+
+/// Parser/generator for the regex subset accepted by string strategies.
+mod pattern {
+    use super::TestRng;
+    use rand::RngExt;
+
+    pub(crate) enum Node {
+        Lit(char),
+        Class(Vec<char>),
+        Group(Vec<Node>),
+        Repeat(Box<Node>, u32, u32),
+    }
+
+    pub(crate) fn parse(pattern: &str) -> Vec<Node> {
+        let mut chars = pattern.chars().peekable();
+        let nodes = parse_seq(&mut chars, pattern);
+        assert!(
+            chars.next().is_none(),
+            "unbalanced ')' in pattern {pattern:?}"
+        );
+        nodes
+    }
+
+    fn parse_seq(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> Vec<Node> {
+        let mut nodes = Vec::new();
+        while let Some(&c) = chars.peek() {
+            let node = match c {
+                ')' => break,
+                '(' => {
+                    chars.next();
+                    let inner = parse_seq(chars, pattern);
+                    assert_eq!(chars.next(), Some(')'), "unclosed '(' in {pattern:?}");
+                    Node::Group(inner)
+                }
+                '[' => {
+                    chars.next();
+                    Node::Class(parse_class(chars, pattern))
+                }
+                '\\' => {
+                    chars.next();
+                    let e = chars.next().unwrap_or_else(|| {
+                        panic!("dangling escape in pattern {pattern:?}")
+                    });
+                    match e {
+                        'd' => Node::Class(('0'..='9').collect()),
+                        'w' => Node::Class(
+                            ('a'..='z')
+                                .chain('A'..='Z')
+                                .chain('0'..='9')
+                                .chain(std::iter::once('_'))
+                                .collect(),
+                        ),
+                        's' => Node::Lit(' '),
+                        other => Node::Lit(other),
+                    }
+                }
+                '|' | '.' | '^' | '$' => {
+                    panic!("unsupported regex feature {c:?} in pattern {pattern:?}")
+                }
+                lit => {
+                    chars.next();
+                    Node::Lit(lit)
+                }
+            };
+            nodes.push(apply_quantifier(node, chars, pattern));
+        }
+        nodes
+    }
+
+    fn parse_class(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> Vec<char> {
+        let mut members = Vec::new();
+        loop {
+            match chars.next() {
+                None => panic!("unclosed '[' in pattern {pattern:?}"),
+                Some(']') => break,
+                Some('\\') => members.push(
+                    chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling escape in {pattern:?}")),
+                ),
+                Some(lo) => {
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        match chars.peek() {
+                            Some(&']') | None => members.extend([lo, '-']),
+                            Some(&hi) => {
+                                chars.next();
+                                members.extend(lo..=hi);
+                            }
+                        }
+                    } else {
+                        members.push(lo);
+                    }
+                }
+            }
+        }
+        assert!(!members.is_empty(), "empty class in pattern {pattern:?}");
+        members
+    }
+
+    fn apply_quantifier(
+        node: Node,
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> Node {
+        match chars.peek() {
+            Some('?') => {
+                chars.next();
+                Node::Repeat(Box::new(node), 0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                Node::Repeat(Box::new(node), 0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                Node::Repeat(Box::new(node), 1, 8)
+            }
+            Some('{') => {
+                chars.next();
+                let mut bounds = String::new();
+                loop {
+                    match chars.next() {
+                        Some('}') => break,
+                        Some(c) => bounds.push(c),
+                        None => panic!("unclosed '{{' in pattern {pattern:?}"),
+                    }
+                }
+                let (lo, hi) = match bounds.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repeat lower bound"),
+                        hi.trim().parse().expect("bad repeat upper bound"),
+                    ),
+                    None => {
+                        let n = bounds.trim().parse().expect("bad repeat count");
+                        (n, n)
+                    }
+                };
+                Node::Repeat(Box::new(node), lo, hi)
+            }
+            _ => node,
+        }
+    }
+
+    pub(crate) fn generate(nodes: &[Node], rng: &mut TestRng, out: &mut String) {
+        for node in nodes {
+            match node {
+                Node::Lit(c) => out.push(*c),
+                Node::Class(members) => {
+                    out.push(members[rng.random_range(0..members.len())])
+                }
+                Node::Group(inner) => generate(inner, rng, out),
+                Node::Repeat(inner, lo, hi) => {
+                    let n = rng.random_range(*lo..=*hi);
+                    for _ in 0..n {
+                        generate(std::slice::from_ref(inner), rng, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `any::<T>()` support: uniform whole-domain strategies per type.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::RngCore;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct ArbStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for ArbStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy generating any value of `T`.
+    pub fn any<T: Arbitrary>() -> ArbStrategy<T> {
+        ArbStrategy(PhantomData)
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary_value(rng: &mut TestRng) -> f32 {
+            // Finite values spanning a wide magnitude range.
+            let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+            let exp = (rng.next_u64() % 61) as i32 - 30;
+            (unit - 0.5) * (2.0f32).powi(exp)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            let exp = (rng.next_u64() % 121) as i32 - 60;
+            (unit - 0.5) * (2.0f64).powi(exp)
+        }
+    }
+
+    impl Arbitrary for super::sample::Index {
+        fn arbitrary_value(rng: &mut TestRng) -> super::sample::Index {
+            super::sample::Index::new(rng.next_u64())
+        }
+    }
+}
+
+/// Positional sampling helpers.
+pub mod sample {
+    /// An index drawn independently of any collection, projected onto a
+    /// concrete length via [`Index::index`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub(crate) fn new(raw: u64) -> Self {
+            Index(raw)
+        }
+
+        /// Projects this index onto `0..len`. Panics if `len` is zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::RngExt;
+    use std::collections::BTreeMap;
+
+    /// Inclusive size bounds for a generated collection.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.lo..=self.hi)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec<S::Value>` within the given size bounds.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `BTreeMap<K::Value, V::Value>`. Key collisions
+    /// overwrite, so maps may come out smaller than the drawn size.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// Generates ordered maps from independent key and value strategies.
+    pub fn btree_map<K, V>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = self.size.pick(rng);
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+/// One-stop imports for property tests.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` body runs
+/// once per generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    (@run ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            runner.run(|rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)*
+                $body
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (-2.0f32..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn pattern_strategy_matches_shape() {
+        let mut rng = TestRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let s = "[a-z]{1,8}(\\.[a-z]{1,8})?".generate(&mut rng);
+            let parts: Vec<&str> = s.split('.').collect();
+            assert!(parts.len() <= 2, "{s:?}");
+            for p in parts {
+                assert!((1..=8).contains(&p.len()), "{s:?}");
+                assert!(p.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn collections_and_maps_generate() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let v = crate::collection::vec(0u8..255, 4usize).generate(&mut rng);
+        assert_eq!(v.len(), 4);
+        let m =
+            crate::collection::btree_map("[a-z]{1,4}", 0u32..10, 0..4).generate(&mut rng);
+        assert!(m.len() < 4);
+    }
+
+    #[test]
+    fn flat_map_threads_values() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let strat = (1usize..4, 1usize..4)
+            .prop_flat_map(|(r, c)| crate::collection::vec(0.0f32..1.0, r * c));
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() <= 9);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_draws_args(a in 0u64..100, b in any::<u8>()) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(u64::from(b) & !0xFF, 0);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The workspace annotates wire/config types with
+//! `#[derive(serde::Serialize, serde::Deserialize)]` so they are ready for
+//! a real serde-based export format, but nothing in-tree serializes
+//! through serde today (the federated wire protocol uses the hand-rolled
+//! codec in `clinfl-flare::wire`). Since the build environment cannot
+//! reach crates.io, this crate keeps those annotations compiling: the
+//! traits are markers with blanket impls, and the derives (re-exported
+//! from the companion `serde_derive` proc-macro crate) expand to nothing
+//! while still consuming `#[serde(...)]` attributes.
+//!
+//! Swapping in the real serde later requires only pointing the workspace
+//! dependency back at crates.io; no source changes.
+
+#![deny(missing_docs)]
+
+/// Marker for serializable types. Blanket-implemented for everything so
+/// `T: Serialize` bounds and derives stay satisfied.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Blanket-implemented for everything.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker for owned-deserializable types, as in real serde.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

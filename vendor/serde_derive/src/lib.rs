@@ -1,0 +1,18 @@
+//! No-op `Serialize` / `Deserialize` derives for the vendored serde
+//! facade. The trait impls come from blanket impls in the `serde` stub,
+//! so the derives only need to exist (and claim the `#[serde(...)]`
+//! helper attribute) for annotated types to compile.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` has a blanket impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` has a blanket impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
