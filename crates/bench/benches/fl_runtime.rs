@@ -10,7 +10,6 @@ use clinfl_flare::simulator::{SimulatorConfig, SimulatorRunner};
 use clinfl_flare::wire::{WireDecode, WireEncode};
 use clinfl_flare::{Dxo, WeightTensor, Weights};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -102,9 +101,10 @@ fn bench_full_round(c: &mut Criterion) {
                     min_clients: 8,
                     round_timeout: Duration::from_secs(10),
                     validate_global: false,
+                    ..SagConfig::default()
                 },
                 seed: 1,
-                behaviors: BTreeMap::new(),
+                ..SimulatorConfig::default()
             });
             let mut initial = Weights::new();
             initial.insert("w".into(), WeightTensor::new(vec![256], vec![0.0; 256]));

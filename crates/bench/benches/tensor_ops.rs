@@ -1,8 +1,8 @@
 //! Criterion micro-benchmarks for the autograd substrate: the kernels that
 //! dominate LSTM/BERT training cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use clinfl_tensor::{kernels, Graph, Tensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_matmul(c: &mut Criterion) {

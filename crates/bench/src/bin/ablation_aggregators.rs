@@ -9,14 +9,9 @@ use clinfl_flare::aggregator::{Aggregator, CoordinateMedian, TrimmedMean, Weight
 use clinfl_flare::controller::SagConfig;
 use clinfl_flare::simulator::{SimulatorConfig, SimulatorRunner};
 use clinfl_flare::EventLog;
-use std::collections::BTreeMap;
 use std::time::Duration;
 
-fn run_with(
-    cfg: &PipelineConfig,
-    bias: f64,
-    aggregator: &dyn Aggregator,
-) -> f64 {
+fn run_with(cfg: &PipelineConfig, bias: f64, aggregator: &dyn Aggregator) -> f64 {
     let data = drivers::build_task_data(cfg);
     let partitioner = SitePartitioner::LabelSkew {
         n_sites: cfg.n_clients,
@@ -36,9 +31,10 @@ fn run_with(
                 min_clients: 1,
                 round_timeout: Duration::from_secs(3600),
                 validate_global: false,
+                ..SagConfig::default()
             },
             seed: cfg.seed,
-            behaviors: BTreeMap::new(),
+            ..SimulatorConfig::default()
         },
         log.clone(),
     );

@@ -9,7 +9,6 @@ use clinfl_flare::aggregator::WeightedFedAvg;
 use clinfl_flare::controller::SagConfig;
 use clinfl_flare::simulator::{SimulatorConfig, SimulatorRunner};
 use clinfl_flare::EventLog;
-use std::collections::BTreeMap;
 use std::time::Duration;
 
 fn run(cfg: &PipelineConfig, bias: f64, prox_mu: Option<f32>) -> f64 {
@@ -32,9 +31,10 @@ fn run(cfg: &PipelineConfig, bias: f64, prox_mu: Option<f32>) -> f64 {
                 min_clients: 1,
                 round_timeout: Duration::from_secs(3600),
                 validate_global: false,
+                ..SagConfig::default()
             },
             seed: cfg.seed,
-            behaviors: BTreeMap::new(),
+            ..SimulatorConfig::default()
         },
         log.clone(),
     );
@@ -70,7 +70,10 @@ fn main() {
         "ABLATION — FedProx under label skew (LSTM, {} patients, {} rounds x {} local epochs)\n",
         cfg.cohort.n_patients, cfg.rounds, cfg.local_epochs
     );
-    println!("{:<8} {:>12} {:>18} {:>18}", "bias", "FedAvg", "FedProx mu=0.01", "FedProx mu=0.1");
+    println!(
+        "{:<8} {:>12} {:>18} {:>18}",
+        "bias", "FedAvg", "FedProx mu=0.01", "FedProx mu=0.1"
+    );
     for bias in [0.0, 0.6, 0.9] {
         let plain = run(&cfg, bias, None);
         let prox_small = run(&cfg, bias, Some(0.01));

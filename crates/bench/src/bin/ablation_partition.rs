@@ -26,7 +26,11 @@ fn main() {
         EventLog::new(),
     )
     .expect("balanced run");
-    println!("FL (imbalanced {:?}): {:.1}%", clinfl_data::PAPER_IMBALANCED_RATIOS, 100.0 * imb.accuracy);
+    println!(
+        "FL (imbalanced {:?}): {:.1}%",
+        clinfl_data::PAPER_IMBALANCED_RATIOS,
+        100.0 * imb.accuracy
+    );
     println!("FL (balanced 8 x 12.5%): {:.1}%", 100.0 * bal.accuracy);
     println!(
         "\nPaper expectation (from Fig. 2's MLM curves): with FedAvg weighting by example count,\nimbalanced and balanced splits land close together. Gap here: {:.1} points.",

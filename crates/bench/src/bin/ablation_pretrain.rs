@@ -4,8 +4,8 @@
 
 use clinfl::drivers::{build_mlm_data, build_task_data};
 use clinfl::{Learner, MlmLearner, ModelSpec, PipelineConfig, TrainHyper};
-use clinfl_models::BertConfig;
 use clinfl_data::CodeSystem;
+use clinfl_models::BertConfig;
 
 fn finetune(cfg: &PipelineConfig, init_from: Option<&clinfl_flare::Weights>) -> f64 {
     let data = build_task_data(cfg);

@@ -8,7 +8,6 @@ use clinfl_flare::controller::SagConfig;
 use clinfl_flare::filters::{DpGaussian, FilterChain, SecureAggMask};
 use clinfl_flare::simulator::{SimulatorConfig, SimulatorRunner};
 use clinfl_flare::EventLog;
-use std::collections::BTreeMap;
 use std::time::Duration;
 
 enum Privacy {
@@ -19,10 +18,13 @@ enum Privacy {
 
 fn run(cfg: &PipelineConfig, privacy: &Privacy) -> f64 {
     let data = drivers::build_task_data(cfg);
-    let shards = cfg.imbalanced_partitioner().partition(&data.train, cfg.seed);
+    let shards = cfg
+        .imbalanced_partitioner()
+        .partition(&data.train, cfg.seed);
     let hyper = TrainHyper::for_model(ModelSpec::Lstm);
     let vocab = data.code_system.vocab().len();
-    let initial = Learner::new(ModelSpec::Lstm, vocab, cfg.seq_len, hyper, cfg.seed).export_weights();
+    let initial =
+        Learner::new(ModelSpec::Lstm, vocab, cfg.seq_len, hyper, cfg.seed).export_weights();
     let log = EventLog::new();
     let runner = SimulatorRunner::with_log(
         SimulatorConfig {
@@ -32,9 +34,10 @@ fn run(cfg: &PipelineConfig, privacy: &Privacy) -> f64 {
                 min_clients: cfg.n_clients,
                 round_timeout: Duration::from_secs(3600),
                 validate_global: false,
+                ..SagConfig::default()
             },
             seed: cfg.seed,
-            behaviors: BTreeMap::new(),
+            ..SimulatorConfig::default()
         },
         log.clone(),
     );
@@ -96,7 +99,11 @@ fn main() {
     println!("no filter (plain FedAvg):      {:.1}%", 100.0 * baseline);
     for sigma in [0.0001f32, 0.001, 0.01] {
         let acc = run(&cfg, &Privacy::Dp { sigma });
-        println!("DP-Gaussian sigma={sigma:<7}:      {:.1}%  ({:+.1})", 100.0 * acc, 100.0 * (acc - baseline));
+        println!(
+            "DP-Gaussian sigma={sigma:<7}:      {:.1}%  ({:+.1})",
+            100.0 * acc,
+            100.0 * (acc - baseline)
+        );
     }
     let sec = run(&cfg, &Privacy::SecureAgg);
     println!(

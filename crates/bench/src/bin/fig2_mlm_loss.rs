@@ -44,8 +44,16 @@ fn main() {
     println!("  centralized final {central:.3} | FL-imbalanced {imb:.3} | FL-balanced {bal:.3} | small-data {small:.3}");
     println!(
         "  paper shape: centralized ≈ FL curves ({}), small-data visibly higher ({})",
-        if (central - imb).abs() < 0.5 && (central - bal).abs() < 0.5 { "OK" } else { "DIVERGES" },
-        if small > central + 0.15 { "OK" } else { "DIVERGES" },
+        if (central - imb).abs() < 0.5 && (central - bal).abs() < 0.5 {
+            "OK"
+        } else {
+            "DIVERGES"
+        },
+        if small > central + 0.15 {
+            "OK"
+        } else {
+            "DIVERGES"
+        },
     );
     println!(
         "\n(total wall-clock {:.1}s; EXPERIMENTS.md records the archived run)",

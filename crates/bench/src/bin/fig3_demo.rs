@@ -18,13 +18,9 @@ fn main() {
 
     println!("=== Fig. 3 demonstration: BERT fine-tuning on the federated runtime ===\n");
     let log = EventLog::echoing();
-    let out = drivers::train_federated_with(
-        &cfg,
-        ModelSpec::Bert,
-        &cfg.imbalanced_partitioner(),
-        log,
-    )
-    .expect("federation runs");
+    let out =
+        drivers::train_federated_with(&cfg, ModelSpec::Bert, &cfg.imbalanced_partitioner(), log)
+            .expect("federation runs");
     println!(
         "\nFinal global BERT accuracy {:.1}% after {} rounds (scale {}).",
         100.0 * out.accuracy,

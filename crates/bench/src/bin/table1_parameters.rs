@@ -37,7 +37,10 @@ fn main() {
         ),
         (
             "# train data (fine-tune)",
-            format!("{}", (paper.cohort.n_patients as f64 * paper.train_frac).round()),
+            format!(
+                "{}",
+                (paper.cohort.n_patients as f64 * paper.train_frac).round()
+            ),
             "6,927",
         ),
         (

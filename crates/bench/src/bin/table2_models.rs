@@ -54,11 +54,19 @@ fn main() {
     );
     println!("\nPaper values: hidden 128/50/128, heads 6/2/-, layers 12/6/3 — matched exactly.");
     assert_eq!(
-        (bert.config().hidden, bert.config().heads, bert.config().layers),
+        (
+            bert.config().hidden,
+            bert.config().heads,
+            bert.config().layers
+        ),
         (128, 6, 12)
     );
     assert_eq!(
-        (mini.config().hidden, mini.config().heads, mini.config().layers),
+        (
+            mini.config().hidden,
+            mini.config().heads,
+            mini.config().layers
+        ),
         (50, 2, 6)
     );
     assert_eq!((lstm.config().hidden, lstm.config().layers), (128, 3));

@@ -72,7 +72,10 @@ fn main() {
         pool::set_threads(threads);
         let parallel = f();
         assert!(
-            serial.iter().zip(&parallel).all(|(x, y)| x.to_bits() == y.to_bits()),
+            serial
+                .iter()
+                .zip(&parallel)
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
             "parallel kernel output is not bit-identical to serial"
         );
     };

@@ -52,12 +52,7 @@ fn parse_args() -> Result<Args, ExitCode> {
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
-            "--scale" => {
-                args.scale = argv
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or_else(usage)?
-            }
+            "--scale" => args.scale = argv.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?,
             "--model" => {
                 args.model = match argv.next().as_deref() {
                     Some("lstm") => ModelSpec::Lstm,
@@ -97,7 +92,10 @@ fn main() -> ExitCode {
         "centralized" => {
             let out = drivers::train_centralized(&cfg, args.model);
             for (i, (loss, acc)) in out.history.iter().enumerate() {
-                println!("epoch {:>3}: train_loss={loss:.3} valid_acc={acc:.3}", i + 1);
+                println!(
+                    "epoch {:>3}: train_loss={loss:.3} valid_acc={acc:.3}",
+                    i + 1
+                );
             }
             println!(
                 "{} centralized top-1 accuracy: {:.1}%",

@@ -1,6 +1,9 @@
 //! Pipeline configuration (the paper's Table I, with a scale knob).
 
 use clinfl_data::{CohortSpec, PretrainSpec};
+use clinfl_flare::client::RetryPolicy;
+use clinfl_flare::faults::FaultConfig;
+use std::time::Duration;
 
 /// Which of the paper's three models to build (Table II).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -112,6 +115,39 @@ pub struct PipelineConfig {
     pub pretrain_rounds: u32,
     /// Master seed.
     pub seed: u64,
+    /// Runtime fault-tolerance knobs for the federated phases.
+    pub runtime: RuntimeConfig,
+}
+
+/// Fault-tolerance knobs threaded into the `clinfl-flare` runtime: fault
+/// injection, round quorum, and the client retry policy. The defaults
+/// (no faults, wait for every client) reproduce the pre-fault-layer
+/// behavior exactly.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Deterministic link-fault injection profile.
+    pub faults: FaultConfig,
+    /// Minimum client updates required to aggregate a round.
+    pub min_clients: usize,
+    /// Deadline for gathering one round's updates.
+    pub round_timeout: Duration,
+    /// Once `min_clients` updates arrived, close the round this long
+    /// after the last accepted update (`None` waits for everyone).
+    pub quorum_grace: Option<Duration>,
+    /// Client send/recv retry policy.
+    pub retry: RetryPolicy,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            faults: FaultConfig::none(),
+            min_clients: 1,
+            round_timeout: Duration::from_secs(3600),
+            quorum_grace: None,
+            retry: RetryPolicy::default(),
+        }
+    }
 }
 
 impl PipelineConfig {
@@ -132,6 +168,7 @@ impl PipelineConfig {
             },
             pretrain_rounds: 10,
             seed: 20230,
+            runtime: RuntimeConfig::default(),
         }
     }
 
@@ -208,7 +245,9 @@ mod tests {
 
     #[test]
     fn hyper_defaults_differ_by_model() {
-        assert!(TrainHyper::for_model(ModelSpec::Lstm).lr > TrainHyper::for_model(ModelSpec::Bert).lr);
+        assert!(
+            TrainHyper::for_model(ModelSpec::Lstm).lr > TrainHyper::for_model(ModelSpec::Bert).lr
+        );
     }
 
     #[test]

@@ -4,9 +4,7 @@
 use crate::config::{ModelSpec, PipelineConfig, TrainHyper};
 use crate::executor::{ClinicalExecutor, MlmExecutor};
 use crate::learner::{Learner, MlmLearner};
-use clinfl_data::{
-    generate_cohort, generate_corpus, ClassifyDataset, CodeSystem, SitePartitioner,
-};
+use clinfl_data::{generate_cohort, generate_corpus, ClassifyDataset, CodeSystem, SitePartitioner};
 use clinfl_flare::aggregator::WeightedFedAvg;
 use clinfl_flare::controller::SagConfig;
 use clinfl_flare::simulator::{SimulatorConfig, SimulatorRunner};
@@ -15,7 +13,6 @@ use clinfl_models::BertConfig;
 use clinfl_tensor::LrSchedule;
 use clinfl_text::{ClinicalTokenizer, Encoded};
 use std::collections::BTreeMap;
-use std::time::Duration;
 
 /// Tokenized data for the fine-tuning task.
 #[derive(Clone, Debug)]
@@ -129,12 +126,15 @@ fn simulator_config(cfg: &PipelineConfig) -> SimulatorConfig {
         n_clients: cfg.n_clients,
         sag: SagConfig {
             rounds: cfg.rounds,
-            min_clients: 1,
-            round_timeout: Duration::from_secs(3600),
+            min_clients: cfg.runtime.min_clients,
+            round_timeout: cfg.runtime.round_timeout,
             validate_global: true,
+            quorum_grace: cfg.runtime.quorum_grace,
         },
         seed: cfg.seed,
         behaviors: BTreeMap::new(),
+        faults: cfg.runtime.faults.clone(),
+        retry: cfg.runtime.retry,
     }
 }
 
@@ -307,7 +307,8 @@ pub fn pretrain_mlm(
                     data.train[..per].to_vec()
                 }
             };
-            let mut learner = MlmLearner::new(&bert, CodeSystem::new().vocab().clone(), hyper, cfg.seed);
+            let mut learner =
+                MlmLearner::new(&bert, CodeSystem::new().vocab().clone(), hyper, cfg.seed);
             learner.set_schedule(mlm_warmup(cfg, train.len(), hyper.batch_size));
             let mut curve = vec![learner.eval_loss(&data.valid)];
             for _ in 0..cfg.pretrain_rounds {

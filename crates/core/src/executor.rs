@@ -43,10 +43,8 @@ impl ClinicalExecutor {
         log: EventLog,
     ) -> Self {
         let probe_n = valid.len().min(96);
-        let valid_probe = ClassifyDataset::from_examples(
-            valid.examples()[..probe_n].to_vec(),
-            valid.seq_len(),
-        );
+        let valid_probe =
+            ClassifyDataset::from_examples(valid.examples()[..probe_n].to_vec(), valid.seq_len());
         ClinicalExecutor {
             learner,
             train,

@@ -59,7 +59,10 @@ pub const PAPER_TABLE3: [[f64; 3]; 3] = [
 impl Table3 {
     /// Accuracy cell by scheme/model.
     pub fn get(&self, scheme: Scheme, model: ModelSpec) -> f64 {
-        let si = Scheme::all().iter().position(|s| *s == scheme).expect("scheme");
+        let si = Scheme::all()
+            .iter()
+            .position(|s| *s == scheme)
+            .expect("scheme");
         let mi = ModelSpec::all()
             .iter()
             .position(|m| *m == model)

@@ -65,7 +65,9 @@ impl Learner {
         seed: u64,
     ) -> Self {
         let model: Box<dyn SequenceClassifier + Send> = match spec {
-            ModelSpec::Bert => Box::new(BertModel::new(&BertConfig::bert(vocab_size, seq_len), seed)),
+            ModelSpec::Bert => {
+                Box::new(BertModel::new(&BertConfig::bert(vocab_size, seq_len), seed))
+            }
             ModelSpec::BertMini => Box::new(BertModel::new(
                 &BertConfig::bert_mini(vocab_size, seq_len),
                 seed,
@@ -155,7 +157,11 @@ impl Learner {
             batches += 1;
         }
         EpochStats {
-            mean_loss: if batches == 0 { 0.0 } else { total / batches as f64 },
+            mean_loss: if batches == 0 {
+                0.0
+            } else {
+                total / batches as f64
+            },
             batches,
             seconds: start.elapsed().as_secs_f64(),
         }
@@ -165,7 +171,9 @@ impl Learner {
     /// parameter gradients (equivalent to the μ/2‖w−w₀‖² loss term, without
     /// paying for it on the autograd tape).
     fn apply_prox_gradient(&mut self) {
-        let Some((mu, anchor)) = &self.prox else { return };
+        let Some((mu, anchor)) = &self.prox else {
+            return;
+        };
         let mu = *mu;
         if mu == 0.0 {
             return;
@@ -349,7 +357,11 @@ impl MlmLearner {
             batches += 1;
         }
         EpochStats {
-            mean_loss: if batches == 0 { 0.0 } else { total / batches as f64 },
+            mean_loss: if batches == 0 {
+                0.0
+            } else {
+                total / batches as f64
+            },
             batches,
             seconds: start.elapsed().as_secs_f64(),
         }

@@ -38,8 +38,8 @@
 pub mod checkpoint;
 mod config;
 pub mod drivers;
-pub mod experiments;
 mod executor;
+pub mod experiments;
 mod learner;
 pub mod metrics;
 mod weights;

@@ -55,7 +55,10 @@ mod tests {
         q.register("a", Tensor::zeros(&[3, 2]));
         q.register("b", Tensor::zeros(&[4]));
         assert_eq!(weights_to_params(&w, &mut q), 2);
-        assert_eq!(q.value(q.id_of("a").unwrap()), p.value(p.id_of("a").unwrap()));
+        assert_eq!(
+            q.value(q.id_of("a").unwrap()),
+            p.value(p.id_of("a").unwrap())
+        );
     }
 
     #[test]

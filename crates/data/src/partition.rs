@@ -64,10 +64,7 @@ impl SitePartitioner {
             SitePartitioner::Ratios(ratios) => {
                 assert!(!ratios.is_empty(), "need at least one site");
                 let sum: f64 = ratios.iter().sum();
-                assert!(
-                    (sum - 1.0).abs() < 1e-6,
-                    "ratios must sum to 1, got {sum}"
-                );
+                assert!((sum - 1.0).abs() < 1e-6, "ratios must sum to 1, got {sum}");
                 assert!(
                     ratios.iter().all(|&r| r > 0.0),
                     "ratios must be positive: {ratios:?}"

@@ -131,9 +131,7 @@ impl RunStatus {
                     inner
                         .clients
                         .iter()
-                        .map(|(s, alive)| {
-                            format!("{s}: {}", if *alive { "alive" } else { "dead" })
-                        })
+                        .map(|(s, alive)| format!("{s}: {}", if *alive { "alive" } else { "dead" }))
                         .collect::<Vec<_>>()
                         .join("\n")
                 }
@@ -165,8 +163,13 @@ mod tests {
     fn phase_transitions_render() {
         let s = RunStatus::new();
         assert_eq!(s.phase(), RunPhase::WaitingForClients);
-        s.set_phase(RunPhase::Training { round: 2, total: 10 });
-        assert!(s.execute(AdminCommand::CheckStatus).contains("training round 2/10"));
+        s.set_phase(RunPhase::Training {
+            round: 2,
+            total: 10,
+        });
+        assert!(s
+            .execute(AdminCommand::CheckStatus)
+            .contains("training round 2/10"));
         s.set_phase(RunPhase::Finished);
         assert_eq!(s.phase(), RunPhase::Finished);
     }

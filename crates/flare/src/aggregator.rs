@@ -15,8 +15,11 @@ pub trait Aggregator: Send {
     /// # Errors
     ///
     /// Implementations reject empty update sets and malformed updates.
-    fn aggregate(&self, updates: &[(String, Dxo)], reference: &Weights)
-        -> Result<Weights, FlareError>;
+    fn aggregate(
+        &self,
+        updates: &[(String, Dxo)],
+        reference: &Weights,
+    ) -> Result<Weights, FlareError>;
 
     /// Human-readable rule name (for logs and bench tables).
     fn name(&self) -> &'static str;
@@ -50,7 +53,13 @@ impl Aggregator for WeightedFedAvg {
         check_updates(updates, reference)?;
         let weights: Vec<f64> = updates
             .iter()
-            .map(|(_, d)| if d.n_examples == 0 { 1.0 } else { d.n_examples as f64 })
+            .map(|(_, d)| {
+                if d.n_examples == 0 {
+                    1.0
+                } else {
+                    d.n_examples as f64
+                }
+            })
             .collect();
         let total: f64 = weights.iter().sum();
         let mut out = Weights::new();
@@ -291,14 +300,18 @@ mod tests {
             update("d", 3.0, 1),
             update("evil", 500.0, 1),
         ];
-        let out = TrimmedMean { trim: 1 }.aggregate(&updates, &w(0.0)).unwrap();
+        let out = TrimmedMean { trim: 1 }
+            .aggregate(&updates, &w(0.0))
+            .unwrap();
         assert_eq!(out["p"].data[0], 2.0);
     }
 
     #[test]
     fn trimmed_mean_needs_enough_updates() {
         let updates = vec![update("a", 1.0, 1), update("b", 2.0, 1)];
-        assert!(TrimmedMean { trim: 1 }.aggregate(&updates, &w(0.0)).is_err());
+        assert!(TrimmedMean { trim: 1 }
+            .aggregate(&updates, &w(0.0))
+            .is_err());
     }
 
     #[test]

@@ -1,4 +1,11 @@
 //! The federated client: registration, encrypted session, task loop.
+//!
+//! The task loop is fault-tolerant (PR 2): receives run under a bounded
+//! retry budget with per-message timeouts and exponential backoff,
+//! corrupt frames are rejected and skipped instead of killing the
+//! session, and sends retry transient transport failures. Heartbeats are
+//! emitted while the client waits out a retry so the server's liveness
+//! table can tell "slow" from "gone".
 
 use crate::dxo::DxoKind;
 use crate::executor::{Executor, TaskContext};
@@ -15,10 +22,48 @@ use std::time::Duration;
 /// Failure-injection knobs for testing runtime resilience.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ClientBehavior {
-    /// Crash (stop responding, no goodbye) when asked to train this round.
+    /// Crash (stop responding, no goodbye) when asked to train this round
+    /// or any later one.
     pub drop_at_round: Option<u32>,
     /// Sleep this long before every training task (straggler simulation).
     pub straggle: Option<Duration>,
+}
+
+/// Bounded-retry knobs for the client's send/recv paths.
+///
+/// A logical receive waits up to `message_timeout` per attempt, for at
+/// most `max_attempts` attempts, sleeping an exponentially doubling
+/// backoff (starting at `backoff`) between attempts. The defaults keep
+/// the historical behavior: up to an hour of total patience, which a
+/// slow serial training round needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts per logical send/recv before giving up.
+    pub max_attempts: u32,
+    /// Base backoff between attempts; doubles each retry.
+    pub backoff: Duration,
+    /// Deadline for a single receive attempt.
+    pub message_timeout: Duration,
+    /// Whether to send a keepalive [`ClientMessage::Heartbeat`] after a
+    /// receive attempt times out.
+    pub heartbeat: bool,
+    /// How many copies of each `Submit`/`ValidateReport` to send. A
+    /// sender cannot detect a silently dropped frame, so on lossy links
+    /// redundant copies are the only recovery; the server dedups by site,
+    /// making extras harmless. `1` (the default) sends no extras.
+    pub submit_copies: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            backoff: Duration::from_millis(50),
+            message_timeout: Duration::from_secs(600),
+            heartbeat: true,
+            submit_copies: 1,
+        }
+    }
 }
 
 /// A connected, registered federated client (paper Fig. 3's
@@ -31,7 +76,7 @@ pub struct FlClient {
     session: String,
     log: EventLog,
     filters: FilterChain,
-    recv_timeout: Duration,
+    retry: RetryPolicy,
 }
 
 impl std::fmt::Debug for FlClient {
@@ -95,7 +140,7 @@ impl FlClient {
             session,
             log,
             filters: FilterChain::new(),
-            recv_timeout: Duration::from_secs(3600),
+            retry: RetryPolicy::default(),
         })
     }
 
@@ -115,24 +160,139 @@ impl FlClient {
         self.filters = filters;
     }
 
-    /// Overrides how long the client waits for the next task.
-    pub fn set_recv_timeout(&mut self, timeout: Duration) {
-        self.recv_timeout = timeout;
+    /// Overrides the send/recv retry policy.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
     }
 
-    fn send(&mut self, msg: &ClientMessage) -> Result<(), FlareError> {
+    /// Overrides how long one receive attempt waits for the next task
+    /// (kept for backwards compatibility; see [`RetryPolicy`]).
+    pub fn set_recv_timeout(&mut self, timeout: Duration) {
+        self.retry.message_timeout = timeout;
+    }
+
+    fn send_once(&mut self, msg: &ClientMessage) -> Result<(), FlareError> {
         let sealed = self.seal.seal(&msg.to_frame());
         self.conn.tx.send(&sealed)
+    }
+
+    /// Sends with bounded retries and exponential backoff. Only transport
+    /// failures are retried; each attempt reseals the frame (the secure
+    /// channel accepts any fresh nonce, so a duplicate delivery is
+    /// harmless — the server dedups submissions by site).
+    fn send_with_retry(&mut self, msg: &ClientMessage, op: &str) -> Result<(), FlareError> {
+        let mut backoff = self.retry.backoff;
+        let mut last = String::new();
+        for attempt in 1..=self.retry.max_attempts.max(1) {
+            match self.send_once(msg) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    last = e.to_string();
+                    if attempt < self.retry.max_attempts {
+                        self.log.warn(
+                            "FederatedClient",
+                            format!(
+                                "{}: {op} failed ({last}); retry {attempt}/{} after {backoff:?}",
+                                self.site,
+                                self.retry.max_attempts - 1
+                            ),
+                        );
+                        std::thread::sleep(backoff);
+                        backoff = backoff.saturating_mul(2);
+                    }
+                }
+            }
+        }
+        Err(FlareError::RetriesExhausted {
+            op: op.to_string(),
+            attempts: self.retry.max_attempts.max(1),
+            last,
+        })
+    }
+
+    /// [`Self::send_with_retry`] plus `submit_copies - 1` best-effort
+    /// duplicates (the server dedups by site, so extras are harmless).
+    fn send_redundant(&mut self, msg: &ClientMessage, op: &str) -> Result<(), FlareError> {
+        self.send_with_retry(msg, op)?;
+        for _ in 1..self.retry.submit_copies.max(1) {
+            let _ = self.send_once(msg);
+        }
+        Ok(())
+    }
+
+    /// Sends a keepalive so the server's liveness table sees this site as
+    /// alive even when no task traffic flows.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures from the underlying send.
+    pub fn heartbeat(&mut self) -> Result<(), FlareError> {
+        let site = self.site.clone();
+        self.send_once(&ClientMessage::Heartbeat { site })
+    }
+
+    /// Receives the next frame under the retry policy: each attempt waits
+    /// `message_timeout`; on timeout a heartbeat is sent (if enabled) and
+    /// the attempt is retried after backoff, up to `max_attempts`.
+    fn recv_with_retry(&mut self) -> Result<Vec<u8>, FlareError> {
+        let mut backoff = self.retry.backoff;
+        for attempt in 1..=self.retry.max_attempts.max(1) {
+            match self.conn.rx.recv(self.retry.message_timeout) {
+                Ok(frame) => return Ok(frame),
+                Err(FlareError::Timeout) if attempt < self.retry.max_attempts => {
+                    self.log.warn(
+                        "FederatedClient",
+                        format!(
+                            "{}: no task within {:?}; retry {attempt}/{}",
+                            self.site,
+                            self.retry.message_timeout,
+                            self.retry.max_attempts - 1
+                        ),
+                    );
+                    if self.retry.heartbeat {
+                        let _ = self.heartbeat();
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(FlareError::RetriesExhausted {
+            op: "recv task".to_string(),
+            attempts: self.retry.max_attempts.max(1),
+            last: FlareError::Timeout.to_string(),
+        })
+    }
+
+    /// A "crashed" site: stops participating but keeps its connection
+    /// open (a hung process or partitioned network, which the server
+    /// cannot distinguish from a slow client), draining and ignoring all
+    /// traffic until the server tears the session down. Holding the slot
+    /// alive keeps the controller's expected-site set — and therefore its
+    /// drop/quorum bookkeeping — deterministic across runs.
+    fn hang_until_disconnect(&mut self, trained: u32) -> Result<u32, FlareError> {
+        loop {
+            match self.conn.rx.recv(Duration::from_secs(3600)) {
+                Ok(_) | Err(FlareError::Timeout) => continue,
+                Err(_) => return Ok(trained),
+            }
+        }
     }
 
     /// Runs the task loop with the given executor until the server sends
     /// `Finish` (or a failure-injection behavior triggers).
     ///
-    /// Returns the number of training rounds completed.
+    /// Returns the number of training rounds completed. A transport
+    /// disconnect after at least one completed round is treated as the
+    /// server closing the session (e.g. this client's `Finish` frame was
+    /// lost to a fault) and ends the loop gracefully.
     ///
     /// # Errors
     ///
-    /// Transport or codec failures; executor panics propagate.
+    /// Transport or codec failures before any round completes, or a
+    /// [`FlareError::RetriesExhausted`] receive budget; executor panics
+    /// propagate.
     pub fn run(
         &mut self,
         executor: &mut dyn Executor,
@@ -140,9 +300,42 @@ impl FlClient {
     ) -> Result<u32, FlareError> {
         let mut trained = 0u32;
         loop {
-            let frame = self.conn.rx.recv(self.recv_timeout)?;
-            let plain = self.open.open(&frame)?;
-            let msg = ServerMessage::from_frame(&plain)?;
+            let frame = match self.recv_with_retry() {
+                Ok(f) => f,
+                Err(FlareError::Transport(reason)) if trained > 0 => {
+                    self.log.warn(
+                        "FederatedClient",
+                        format!(
+                            "{}: connection closed by server ({reason}); exiting after {trained} round(s)",
+                            self.site
+                        ),
+                    );
+                    return Ok(trained);
+                }
+                Err(e) => return Err(e),
+            };
+            let plain = match self.open.open(&frame) {
+                Ok(p) => p,
+                Err(e) => {
+                    // A truncated/tampered frame is a link fault, not a
+                    // session killer: skip it and wait for the next task.
+                    self.log.warn(
+                        "FederatedClient",
+                        format!("{}: rejected corrupt frame: {e}", self.site),
+                    );
+                    continue;
+                }
+            };
+            let msg = match ServerMessage::from_frame(&plain) {
+                Ok(m) => m,
+                Err(e) => {
+                    self.log.warn(
+                        "FederatedClient",
+                        format!("{}: undecodable message: {e}", self.site),
+                    );
+                    continue;
+                }
+            };
             let ServerMessage::Task(task) = msg else {
                 continue;
             };
@@ -152,12 +345,12 @@ impl FlClient {
                     total_rounds,
                     weights,
                 } => {
-                    if behavior.drop_at_round == Some(round) {
+                    if behavior.drop_at_round.is_some_and(|r| round >= r) {
                         self.log.warn(
                             "FederatedClient",
                             format!("{} simulating crash at round {round}", self.site),
                         );
-                        return Ok(trained);
+                        return self.hang_until_disconnect(trained);
                     }
                     if let Some(d) = behavior.straggle {
                         std::thread::sleep(d);
@@ -174,7 +367,10 @@ impl FlClient {
                     drop(permit);
                     dxo = self.filters.apply(dxo, &weights, round);
                     debug_assert!(matches!(dxo.kind, DxoKind::Weights | DxoKind::WeightDiff));
-                    self.send(&ClientMessage::Submit { round, dxo })?;
+                    self.send_redundant(
+                        &ClientMessage::Submit { round, dxo },
+                        &format!("submit round {round}"),
+                    )?;
                     trained += 1;
                 }
                 TaskAssignment::Validate { round, weights } => {
@@ -186,11 +382,16 @@ impl FlClient {
                     let permit = clinfl_tensor::pool::compute_permit();
                     let metric = executor.validate(&weights, &ctx);
                     drop(permit);
-                    self.send(&ClientMessage::ValidateReport { round, metric })?;
+                    self.send_redundant(
+                        &ClientMessage::ValidateReport { round, metric },
+                        &format!("validate round {round}"),
+                    )?;
                 }
                 TaskAssignment::Finish => {
+                    // Best-effort goodbye: the server may already be
+                    // tearing the session down.
                     let site = self.site.clone();
-                    self.send(&ClientMessage::Bye { site })?;
+                    let _ = self.send_once(&ClientMessage::Bye { site });
                     return Ok(trained);
                 }
             }

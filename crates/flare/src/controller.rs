@@ -49,6 +49,10 @@ pub struct SagConfig {
     /// Whether to run a client-side validation pass on each new global
     /// model (the paper validates the aggregated model every round).
     pub validate_global: bool,
+    /// Once `min_clients` submissions have arrived, close the round this
+    /// long after the last accepted submission instead of waiting out the
+    /// full `round_timeout`. `None` waits for every expected client.
+    pub quorum_grace: Option<Duration>,
 }
 
 impl Default for SagConfig {
@@ -58,6 +62,7 @@ impl Default for SagConfig {
             min_clients: 1,
             round_timeout: Duration::from_secs(600),
             validate_global: true,
+            quorum_grace: None,
         }
     }
 }
@@ -74,6 +79,9 @@ pub struct RoundSummary {
     /// Mean validation metric of the aggregated global model (if
     /// `validate_global`).
     pub global_metric: Option<f64>,
+    /// Sites that were expected at the start of the round but missed it
+    /// (crashed, stalled past the deadline, or lost their update frame).
+    pub dropped: Vec<String>,
 }
 
 /// Result of a completed workflow.
@@ -156,7 +164,9 @@ impl ScatterAndGather {
                 total: self.config.rounds,
             });
             self.log.info(tag, format!("Round {round} started."));
-            let expected = gateway.client_sites().len();
+            let mut expected_sites = gateway.client_sites();
+            expected_sites.sort();
+            let expected = expected_sites.len();
             let sent = gateway.broadcast(&TaskAssignment::Train {
                 round,
                 total_rounds: self.config.rounds,
@@ -173,6 +183,25 @@ impl ScatterAndGather {
             for (site, _) in &updates {
                 self.log
                     .info(tag, format!("Contribution from {site} received."));
+            }
+            let dropped: Vec<String> = expected_sites
+                .iter()
+                .filter(|site| !updates.iter().any(|(s, _)| s == *site))
+                .cloned()
+                .collect();
+            for site in &dropped {
+                self.log
+                    .warn(tag, format!("{site} missed round {round}; marked dropped."));
+            }
+            if !dropped.is_empty() && updates.len() >= self.config.min_clients {
+                self.log.info(
+                    tag,
+                    format!(
+                        "Quorum met at round {round}: {}/{expected} update(s) (min_clients {}).",
+                        updates.len(),
+                        self.config.min_clients
+                    ),
+                );
             }
             self.status
                 .set_phase(crate::admin::RunPhase::Aggregating { round });
@@ -218,7 +247,10 @@ impl ScatterAndGather {
                     self.status.set_metric(mean);
                     self.log.info(
                         tag,
-                        format!("Global model valid_acc={mean:.3} over {} site(s)", reports.len()),
+                        format!(
+                            "Global model valid_acc={mean:.3} over {} site(s)",
+                            reports.len()
+                        ),
                     );
                     Some(mean)
                 }
@@ -239,6 +271,7 @@ impl ScatterAndGather {
                     .map(|(s, d)| (s.clone(), d.metrics.clone()))
                     .collect(),
                 global_metric,
+                dropped,
             });
         }
         gateway.broadcast(&TaskAssignment::Finish);
@@ -281,7 +314,9 @@ mod tests {
 
     impl ClientGateway for MockGateway {
         fn client_sites(&self) -> Vec<String> {
-            (0..self.deltas.len()).map(|i| format!("site-{}", i + 1)).collect()
+            (0..self.deltas.len())
+                .map(|i| format!("site-{}", i + 1))
+                .collect()
         }
 
         fn broadcast(&mut self, task: &TaskAssignment) -> usize {
@@ -321,7 +356,9 @@ mod tests {
             expected: usize,
             _timeout: Duration,
         ) -> Vec<(String, f64)> {
-            (0..expected).map(|i| (format!("site-{}", i + 1), 0.5)).collect()
+            (0..expected)
+                .map(|i| (format!("site-{}", i + 1), 0.5))
+                .collect()
         }
     }
 
@@ -368,11 +405,19 @@ mod tests {
             EventLog::new(),
         );
         let res = sag
-            .run(&mut gw, &WeightedFedAvg, &mut InMemoryPersistor::new(), initial())
+            .run(
+                &mut gw,
+                &WeightedFedAvg,
+                &mut InMemoryPersistor::new(),
+                initial(),
+            )
             .unwrap();
         assert_eq!(res.rounds[0].contributors.len(), 3);
         assert_eq!(res.rounds[1].contributors.len(), 2);
         assert_eq!(res.rounds[2].contributors.len(), 2);
+        assert!(res.rounds[0].dropped.is_empty());
+        assert_eq!(res.rounds[1].dropped, vec!["site-3".to_string()]);
+        assert_eq!(res.rounds[2].dropped, vec!["site-3".to_string()]);
     }
 
     #[test]
@@ -389,9 +434,17 @@ mod tests {
             EventLog::new(),
         );
         let err = sag
-            .run(&mut gw, &WeightedFedAvg, &mut InMemoryPersistor::new(), initial())
+            .run(
+                &mut gw,
+                &WeightedFedAvg,
+                &mut InMemoryPersistor::new(),
+                initial(),
+            )
             .unwrap_err();
-        assert!(matches!(err, FlareError::NotEnoughClients { got: 0, needed: 1 }));
+        assert!(matches!(
+            err,
+            FlareError::NotEnoughClients { got: 0, needed: 1 }
+        ));
     }
 
     #[test]
@@ -407,8 +460,13 @@ mod tests {
             },
             log.clone(),
         );
-        sag.run(&mut gw, &WeightedFedAvg, &mut InMemoryPersistor::new(), initial())
-            .unwrap();
+        sag.run(
+            &mut gw,
+            &WeightedFedAvg,
+            &mut InMemoryPersistor::new(),
+            initial(),
+        )
+        .unwrap();
         for phrase in [
             "Round 0 started.",
             "aggregating 1 update(s) at round 0",
@@ -436,8 +494,13 @@ mod tests {
             EventLog::new(),
         )
         .with_status(status.clone());
-        sag.run(&mut gw, &WeightedFedAvg, &mut InMemoryPersistor::new(), initial())
-            .unwrap();
+        sag.run(
+            &mut gw,
+            &WeightedFedAvg,
+            &mut InMemoryPersistor::new(),
+            initial(),
+        )
+        .unwrap();
         assert_eq!(status.phase(), RunPhase::Finished);
         assert_eq!(status.clients().len(), 2);
         assert_eq!(status.last_metric(), Some(0.5));
@@ -453,10 +516,16 @@ mod tests {
             contributors: vec![],
             client_metrics: BTreeMap::new(),
             global_metric: m,
+            dropped: vec![],
         };
         let res = WorkflowResult {
             final_weights: Weights::new(),
-            rounds: vec![r(0, Some(0.4)), r(1, Some(0.9)), r(2, Some(0.7)), r(3, None)],
+            rounds: vec![
+                r(0, Some(0.4)),
+                r(1, Some(0.9)),
+                r(2, Some(0.7)),
+                r(3, None),
+            ],
         };
         assert_eq!(res.best_metric(), Some(0.9));
         assert_eq!(res.final_metric(), Some(0.7));

@@ -136,7 +136,10 @@ mod tests {
 
     fn weights() -> Weights {
         let mut w = Weights::new();
-        w.insert("a".into(), WeightTensor::new(vec![2, 2], vec![1., 2., 3., 4.]));
+        w.insert(
+            "a".into(),
+            WeightTensor::new(vec![2, 2], vec![1., 2., 3., 4.]),
+        );
         w.insert("b".into(), WeightTensor::new(vec![3], vec![0.; 3]));
         w
     }

@@ -33,6 +33,15 @@ pub enum FlareError {
     },
     /// An update was rejected by validation (shape mismatch, NaN, …).
     RejectedUpdate(String),
+    /// A send/recv gave up after its bounded retry budget.
+    RetriesExhausted {
+        /// What was being attempted (e.g. `submit round 3`).
+        op: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Display form of the last underlying error.
+        last: String,
+    },
     /// I/O error (persistence, sockets).
     Io(std::io::Error),
 }
@@ -54,6 +63,9 @@ impl fmt::Display for FlareError {
                 write!(f, "round had {got} client updates, needed {needed}")
             }
             FlareError::RejectedUpdate(msg) => write!(f, "rejected model update: {msg}"),
+            FlareError::RetriesExhausted { op, attempts, last } => {
+                write!(f, "{op} gave up after {attempts} attempt(s): {last}")
+            }
             FlareError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -80,10 +92,23 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = FlareError::InvalidToken { site: "site-1".into() };
+        let e = FlareError::InvalidToken {
+            site: "site-1".into(),
+        };
         assert!(e.to_string().contains("site-1"));
         let e = FlareError::NotEnoughClients { got: 3, needed: 8 };
         assert!(e.to_string().contains('3') && e.to_string().contains('8'));
+    }
+
+    #[test]
+    fn retries_exhausted_display() {
+        let e = FlareError::RetriesExhausted {
+            op: "submit round 3".into(),
+            attempts: 4,
+            last: FlareError::Timeout.to_string(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("submit round 3") && msg.contains('4') && msg.contains("timed out"));
     }
 
     #[test]

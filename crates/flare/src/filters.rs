@@ -229,7 +229,12 @@ mod tests {
             seed: 1,
         };
         let out = f.apply(update, &global, 0);
-        let norm: f32 = out.weights["p"].data.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let norm: f32 = out.weights["p"]
+            .data
+            .iter()
+            .map(|v| v * v)
+            .sum::<f32>()
+            .sqrt();
         assert!((norm - 1.0).abs() < 1e-4, "clipped norm {norm}");
     }
 
@@ -282,11 +287,7 @@ mod tests {
                 n_sites,
                 session_seed: 99,
             };
-            masked.push(f.apply(
-                Dxo::from_weights(weights(values[i]), counts[i]),
-                &global,
-                2,
-            ));
+            masked.push(f.apply(Dxo::from_weights(weights(values[i]), counts[i]), &global, 2));
         }
         // Individual payloads look nothing like n*w … (checked over the
         // whole vector: a single coordinate's masks can nearly cancel)

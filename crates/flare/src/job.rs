@@ -126,9 +126,7 @@ impl JobConfig {
             match key {
                 "name" => cfg.name = value.to_string(),
                 "rounds" => cfg.rounds = value.parse().map_err(|_| bad("rounds"))?,
-                "min_clients" => {
-                    cfg.min_clients = value.parse().map_err(|_| bad("min_clients"))?
-                }
+                "min_clients" => cfg.min_clients = value.parse().map_err(|_| bad("min_clients"))?,
                 "timeout_s" => {
                     cfg.round_timeout =
                         Duration::from_secs(value.parse().map_err(|_| bad("timeout_s"))?)
@@ -162,6 +160,7 @@ impl JobConfig {
             min_clients: self.min_clients,
             round_timeout: self.round_timeout,
             validate_global: self.validate_global,
+            ..SagConfig::default()
         }
     }
 }
@@ -238,7 +237,10 @@ mod tests {
 
     #[test]
     fn build_produces_named_aggregators() {
-        assert_eq!(AggregatorKind::WeightedFedAvg.build().name(), "WeightedFedAvg");
+        assert_eq!(
+            AggregatorKind::WeightedFedAvg.build().name(),
+            "WeightedFedAvg"
+        );
         assert_eq!(AggregatorKind::MaskedSum.build().name(), "MaskedSum");
     }
 }

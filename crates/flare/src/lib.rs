@@ -29,6 +29,12 @@
 //! Optional [`filters`] implement NVFlare's filter concept: differential-
 //! privacy noise, magnitude pruning, and pairwise secure-aggregation masks.
 //!
+//! A seeded fault-injection layer ([`faults`]) can wrap any transport to
+//! deterministically drop, delay, or truncate frames and crash clients
+//! mid-round; the client retries with backoff and the controller closes
+//! rounds on a `min_clients` quorum, so runs under aggressive faults still
+//! complete (see the fault-tolerance section of `DESIGN.md`).
+//!
 //! The crate is model-agnostic: weights travel as named dense tensors
 //! ([`Weights`]), so any training stack can plug in via the
 //! [`executor::Executor`] trait.
@@ -43,6 +49,7 @@ pub mod controller;
 mod dxo;
 mod error;
 pub mod executor;
+pub mod faults;
 pub mod filters;
 pub mod job;
 mod log;
@@ -57,4 +64,4 @@ pub mod wire;
 
 pub use dxo::{Dxo, DxoKind, WeightTensor, Weights};
 pub use error::FlareError;
-pub use log::{EventLog, LogLevel};
+pub use log::{EventLog, LogEntry, LogLevel};

@@ -26,15 +26,42 @@ impl fmt::Display for LogLevel {
     }
 }
 
+/// One structured log record.
+///
+/// The formatted Fig. 3-style line is derived on demand; keeping the
+/// fields separate lets tests compare fault/drop events across runs
+/// without the (non-deterministic) elapsed timestamps getting in the way.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogEntry {
+    /// Severity.
+    pub level: LogLevel,
+    /// Emitting component (`ServerRunner`, `FaultInjector`, …).
+    pub component: String,
+    /// The message body.
+    pub message: String,
+    /// Seconds since the log was created.
+    pub elapsed_secs: f64,
+}
+
+impl LogEntry {
+    /// The paper's Fig. 3 line format
+    /// (`<elapsed> - <component> - <level> - <message>`).
+    pub fn format(&self) -> String {
+        format!(
+            "{:>9.3}s - {} - {} - {}",
+            self.elapsed_secs, self.component, self.level, self.message
+        )
+    }
+}
+
 /// A shared, thread-safe event log.
 ///
-/// Lines are formatted like the paper's Fig. 3 run log
-/// (`<elapsed> - <component> - <level> - <message>`), collected in memory
-/// for assertions and demos, and optionally echoed to stdout.
+/// Lines are formatted like the paper's Fig. 3 run log, collected in
+/// memory for assertions and demos, and optionally echoed to stdout.
 #[derive(Clone, Debug)]
 pub struct EventLog {
     start: Instant,
-    lines: Arc<Mutex<Vec<String>>>,
+    entries: Arc<Mutex<Vec<LogEntry>>>,
     echo: bool,
 }
 
@@ -43,7 +70,7 @@ impl EventLog {
     pub fn new() -> Self {
         EventLog {
             start: Instant::now(),
-            lines: Arc::new(Mutex::new(Vec::new())),
+            entries: Arc::new(Mutex::new(Vec::new())),
             echo: false,
         }
     }
@@ -58,15 +85,16 @@ impl EventLog {
 
     /// Appends a line from `component` at `level`.
     pub fn log(&self, level: LogLevel, component: &str, message: impl fmt::Display) {
-        let elapsed = self.start.elapsed();
-        let line = format!(
-            "{:>9.3}s - {component} - {level} - {message}",
-            elapsed.as_secs_f64()
-        );
+        let entry = LogEntry {
+            level,
+            component: component.to_string(),
+            message: message.to_string(),
+            elapsed_secs: self.start.elapsed().as_secs_f64(),
+        };
         if self.echo {
-            println!("{line}");
+            println!("{}", entry.format());
         }
-        self.lines.lock().push(line);
+        self.entries.lock().push(entry);
     }
 
     /// Shorthand for [`LogLevel::Info`].
@@ -79,14 +107,33 @@ impl EventLog {
         self.log(LogLevel::Warn, component, message);
     }
 
-    /// Snapshot of all lines so far.
+    /// Snapshot of all formatted lines so far.
     pub fn lines(&self) -> Vec<String> {
-        self.lines.lock().clone()
+        self.entries.lock().iter().map(LogEntry::format).collect()
     }
 
-    /// True if any line contains `needle` (test helper).
+    /// Snapshot of the structured records.
+    pub fn entries(&self) -> Vec<LogEntry> {
+        self.entries.lock().clone()
+    }
+
+    /// Timestamp-free messages from one component, in append order. Fault
+    /// and drop events are compared across chaos runs through this view.
+    pub fn messages_from(&self, component: &str) -> Vec<String> {
+        self.entries
+            .lock()
+            .iter()
+            .filter(|e| e.component == component)
+            .map(|e| e.message.clone())
+            .collect()
+    }
+
+    /// True if any formatted line contains `needle` (test helper).
     pub fn contains(&self, needle: &str) -> bool {
-        self.lines.lock().iter().any(|l| l.contains(needle))
+        self.entries
+            .lock()
+            .iter()
+            .any(|e| e.format().contains(needle))
     }
 }
 
@@ -123,5 +170,31 @@ mod tests {
     fn level_display() {
         assert_eq!(LogLevel::Info.to_string(), "INFO");
         assert_eq!(LogLevel::Error.to_string(), "ERROR");
+    }
+
+    #[test]
+    fn messages_from_filters_by_component() {
+        let log = EventLog::new();
+        log.warn("FaultInjector", "site-1 c2s#3: injected drop (64B frame)");
+        log.info("ServerRunner", "Round 0 started.");
+        log.warn("FaultInjector", "site-2 s2c#1: injected delay (80B frame)");
+        let faults = log.messages_from("FaultInjector");
+        assert_eq!(faults.len(), 2);
+        assert!(faults[0].starts_with("site-1"));
+        assert!(faults[1].starts_with("site-2"));
+        assert!(log.messages_from("NoSuchComponent").is_empty());
+    }
+
+    #[test]
+    fn entries_expose_structure() {
+        let log = EventLog::new();
+        log.info("X", "hello");
+        let entries = log.entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].level, LogLevel::Info);
+        assert_eq!(entries[0].component, "X");
+        assert_eq!(entries[0].message, "hello");
+        assert!(entries[0].elapsed_secs >= 0.0);
+        assert!(entries[0].format().contains("X - INFO - hello"));
     }
 }

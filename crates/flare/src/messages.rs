@@ -38,6 +38,12 @@ pub enum ClientMessage {
         /// Site name.
         site: String,
     },
+    /// Keepalive sent while a client is idle (e.g. waiting out a recv
+    /// retry); refreshes the server's liveness table for the site.
+    Heartbeat {
+        /// Site name.
+        site: String,
+    },
 }
 
 /// Messages sent from the server to a client.
@@ -174,6 +180,10 @@ impl WireEncode for ClientMessage {
                 3u8.encode(out);
                 site.encode(out);
             }
+            ClientMessage::Heartbeat { site } => {
+                4u8.encode(out);
+                site.encode(out);
+            }
         }
     }
 }
@@ -195,6 +205,9 @@ impl WireDecode for ClientMessage {
                 metric: f64::decode(r)?,
             }),
             3 => Ok(ClientMessage::Bye {
+                site: String::decode(r)?,
+            }),
+            4 => Ok(ClientMessage::Heartbeat {
                 site: String::decode(r)?,
             }),
             b => Err(FlareError::Codec(format!("invalid ClientMessage tag {b}"))),
@@ -321,6 +334,9 @@ mod tests {
         });
         roundtrip(ClientMessage::Bye {
             site: "site-8".into(),
+        });
+        roundtrip(ClientMessage::Heartbeat {
+            site: "site-4".into(),
         });
     }
 

@@ -25,9 +25,21 @@ const SERVER_NONCE_BASE: u64 = 1 << 32;
 struct ClientSlot {
     site: String,
     session: String,
-    tx: Box<dyn crate::transport::FrameTx>,
+    /// `None` once the server has released the connection (see
+    /// [`FlServer::disconnect_all`]).
+    tx: Option<Box<dyn crate::transport::FrameTx>>,
     seal: SecureChannel,
     alive: bool,
+    /// Last time any frame (task reply, heartbeat, even a corrupt one)
+    /// arrived from this site.
+    last_seen: Instant,
+}
+
+/// Quorum knobs for the gather phase (see [`FlServer::set_quorum`]).
+#[derive(Clone, Copy, Debug)]
+struct QuorumPolicy {
+    min_clients: usize,
+    grace: Option<Duration>,
 }
 
 /// The federated-learning server (NVFlare's `ServerRunner`/`ClientManager`
@@ -42,6 +54,7 @@ pub struct FlServer {
     handler_threads: Vec<JoinHandle<()>>,
     stopping: Arc<AtomicBool>,
     rng: StdRng,
+    quorum: QuorumPolicy,
 }
 
 impl std::fmt::Debug for FlServer {
@@ -66,12 +79,28 @@ impl FlServer {
             handler_threads: Vec::new(),
             stopping: Arc::new(AtomicBool::new(false)),
             rng: StdRng::seed_from_u64(seed),
+            quorum: QuorumPolicy {
+                min_clients: usize::MAX,
+                grace: None,
+            },
         }
     }
 
     /// Number of registered (ever-joined) clients.
     pub fn num_registered(&self) -> usize {
         self.slots.lock().len()
+    }
+
+    /// Configures the gather-phase quorum: once at least `min_clients`
+    /// submissions have arrived for a round and no further submission has
+    /// been accepted for `grace`, the round closes early instead of
+    /// waiting out the full round timeout. `grace: None` keeps the
+    /// original wait-for-all behavior.
+    pub fn set_quorum(&mut self, min_clients: usize, grace: Option<Duration>) {
+        self.quorum = QuorumPolicy {
+            min_clients: min_clients.max(1),
+            grace,
+        };
     }
 
     /// Accepts one connection: performs the token/key handshake on a
@@ -90,7 +119,10 @@ impl FlServer {
             let frame = match conn.rx.recv(Duration::from_secs(30)) {
                 Ok(f) => f,
                 Err(e) => {
-                    log.warn("ClientManager", format!("connection dropped pre-register: {e}"));
+                    log.warn(
+                        "ClientManager",
+                        format!("connection dropped pre-register: {e}"),
+                    );
                     return;
                 }
             };
@@ -101,7 +133,12 @@ impl FlServer {
                     return;
                 }
             };
-            let ClientMessage::Register { site, token, dh_public } = msg else {
+            let ClientMessage::Register {
+                site,
+                token,
+                dh_public,
+            } = msg
+            else {
                 log.warn("ClientManager", "first frame was not Register");
                 return;
             };
@@ -138,9 +175,10 @@ impl FlServer {
                 guard.push(ClientSlot {
                     site: site.clone(),
                     session: session_str.clone(),
-                    tx: conn.tx,
+                    tx: Some(conn.tx),
                     seal: SecureChannel::new(key, SERVER_NONCE_BASE),
                     alive: true,
+                    last_seen: Instant::now(),
                 });
                 guard.len() - 1
             };
@@ -169,6 +207,7 @@ impl FlServer {
                 }
                 match conn.rx.recv(Duration::from_millis(200)) {
                     Ok(frame) => {
+                        slots.lock()[slot_idx].last_seen = Instant::now();
                         let plain = match open.open(&frame) {
                             Ok(p) => p,
                             Err(e) => {
@@ -181,6 +220,10 @@ impl FlServer {
                                 slots.lock()[slot_idx].alive = false;
                                 log.info("ClientManager", format!("{site} disconnected."));
                                 return;
+                            }
+                            Ok(ClientMessage::Heartbeat { .. }) => {
+                                // Liveness refresh only; not workflow traffic.
+                                log.info("ClientManager", format!("{site}: heartbeat received"));
                             }
                             Ok(msg) => {
                                 if inbox.send((slot_idx, msg)).is_err() {
@@ -228,9 +271,48 @@ impl FlServer {
         }
     }
 
+    /// Releases every client connection's sending half and marks the
+    /// slots dead. For in-process transports this closes the channel, so
+    /// a client blocked in `recv` wakes with a disconnect instead of
+    /// waiting out its full timeout — the simulator calls this after
+    /// [`FlServer::shutdown`] so a fault-dropped `Finish` frame cannot
+    /// strand its client. Slots stay in the table (indices are stable)
+    /// and remain visible to [`FlServer::sessions`].
+    pub fn disconnect_all(&mut self) {
+        for slot in self.slots.lock().iter_mut() {
+            slot.tx = None;
+            slot.alive = false;
+        }
+    }
+
+    /// Liveness snapshot: `(site, idle-for, alive)` per registered client,
+    /// in registration order. `idle-for` is the time since the last frame
+    /// (including heartbeats) arrived from that site.
+    pub fn liveness(&self) -> Vec<(String, Duration, bool)> {
+        self.slots
+            .lock()
+            .iter()
+            .map(|s| (s.site.clone(), s.last_seen.elapsed(), s.alive))
+            .collect()
+    }
+
+    /// Sites still marked alive whose last frame is older than `max_idle`
+    /// — candidates for being declared dead by an operator.
+    pub fn stale_sites(&self, max_idle: Duration) -> Vec<String> {
+        self.slots
+            .lock()
+            .iter()
+            .filter(|s| s.alive && s.last_seen.elapsed() > max_idle)
+            .map(|s| s.site.clone())
+            .collect()
+    }
+
     fn send_to_slot(slot: &mut ClientSlot, msg: &ServerMessage, log: &EventLog) -> bool {
         let sealed = slot.seal.seal(&msg.to_frame());
-        match slot.tx.send(&sealed) {
+        let Some(tx) = slot.tx.as_mut() else {
+            return false;
+        };
+        match tx.send(&sealed) {
             Ok(()) => true,
             Err(e) => {
                 slot.alive = false;
@@ -238,6 +320,31 @@ impl FlServer {
                 false
             }
         }
+    }
+
+    /// How long the next inbox wait may run: bounded by the round
+    /// deadline, and — once the quorum is met — by the remaining grace
+    /// since the last accepted submission. `None` means stop waiting.
+    fn gather_wait(
+        &self,
+        got: usize,
+        deadline: Instant,
+        last_progress: Instant,
+    ) -> Option<Duration> {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return None;
+        }
+        if got >= self.quorum.min_clients {
+            if let Some(grace) = self.quorum.grace {
+                let grace_left = grace.saturating_sub(last_progress.elapsed());
+                if grace_left.is_zero() {
+                    return None;
+                }
+                return Some(remaining.min(grace_left));
+            }
+        }
+        Some(remaining)
     }
 }
 
@@ -269,13 +376,13 @@ impl ClientGateway for FlServer {
         timeout: Duration,
     ) -> Vec<(String, Dxo)> {
         let deadline = Instant::now() + timeout;
+        let mut last_progress = Instant::now();
         let mut out: Vec<(String, Dxo)> = Vec::new();
         while out.len() < expected {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
+            let Some(wait) = self.gather_wait(out.len(), deadline, last_progress) else {
                 break;
-            }
-            match self.inbox_rx.recv_timeout(remaining) {
+            };
+            match self.inbox_rx.recv_timeout(wait) {
                 Ok((slot, ClientMessage::Submit { round: r, dxo })) if r == round => {
                     let site = self.slots.lock()[slot].site.clone();
                     if out.iter().any(|(s, _)| *s == site) {
@@ -284,6 +391,7 @@ impl ClientGateway for FlServer {
                         continue;
                     }
                     out.push((site, dxo));
+                    last_progress = Instant::now();
                 }
                 Ok((slot, msg)) => {
                     let site = self.slots.lock()[slot].site.clone();
@@ -292,7 +400,10 @@ impl ClientGateway for FlServer {
                         format!("{site}: out-of-phase message during round {round}: {msg:?}"),
                     );
                 }
-                Err(mpsc::RecvTimeoutError::Timeout) => break,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // Re-evaluate the deadline/grace budget at the top.
+                    continue;
+                }
                 Err(mpsc::RecvTimeoutError::Disconnected) => break,
             }
         }
@@ -306,21 +417,23 @@ impl ClientGateway for FlServer {
         timeout: Duration,
     ) -> Vec<(String, f64)> {
         let deadline = Instant::now() + timeout;
+        let mut last_progress = Instant::now();
         let mut out: Vec<(String, f64)> = Vec::new();
         while out.len() < expected {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
+            let Some(wait) = self.gather_wait(out.len(), deadline, last_progress) else {
                 break;
-            }
-            match self.inbox_rx.recv_timeout(remaining) {
+            };
+            match self.inbox_rx.recv_timeout(wait) {
                 Ok((slot, ClientMessage::ValidateReport { round: r, metric })) if r == round => {
                     let site = self.slots.lock()[slot].site.clone();
                     if !out.iter().any(|(s, _)| *s == site) {
                         out.push((site, metric));
+                        last_progress = Instant::now();
                     }
                 }
                 Ok(_) => {} // stale submit etc.
-                Err(_) => break,
+                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
             }
         }
         out

@@ -2,10 +2,11 @@
 //! `SimulatorRunner`, the mode the paper's Fig. 3 demonstrates).
 
 use crate::aggregator::Aggregator;
-use crate::client::{ClientBehavior, FlClient};
+use crate::client::{ClientBehavior, FlClient, RetryPolicy};
 use crate::controller::{SagConfig, ScatterAndGather, WorkflowResult};
 use crate::dxo::Weights;
 use crate::executor::Executor;
+use crate::faults::{FaultConfig, FaultPlan};
 use crate::filters::FilterChain;
 use crate::log::EventLog;
 use crate::persistor::InMemoryPersistor;
@@ -27,20 +28,35 @@ pub struct SimulatorConfig {
     pub seed: u64,
     /// Per-client failure injection, keyed by 0-based site index.
     pub behaviors: BTreeMap<usize, ClientBehavior>,
+    /// Deterministic link-level fault injection (defaults to none).
+    pub faults: FaultConfig,
+    /// Client send/recv retry policy.
+    pub retry: RetryPolicy,
+}
+
+impl Default for SimulatorConfig {
+    fn default() -> Self {
+        SimulatorConfig {
+            n_clients: 8,
+            sag: SagConfig::default(),
+            seed: 2023,
+            behaviors: BTreeMap::new(),
+            faults: FaultConfig::none(),
+            retry: RetryPolicy::default(),
+        }
+    }
 }
 
 impl SimulatorConfig {
     /// A paper-like default: 8 clients, `rounds` rounds, everyone healthy.
     pub fn paper(rounds: u32) -> Self {
         SimulatorConfig {
-            n_clients: 8,
             sag: SagConfig {
                 rounds,
                 min_clients: 1,
                 ..SagConfig::default()
             },
-            seed: 2023,
-            behaviors: BTreeMap::new(),
+            ..SimulatorConfig::default()
         }
     }
 }
@@ -113,16 +129,31 @@ impl SimulatorRunner {
     ) -> Result<SimulationResult, FlareError> {
         let log = self.log.clone();
         log.info("SimulatorRunner", "Create the simulate clients.");
-        let project = Project::with_n_sites("simulator_server", self.config.n_clients, self.config.seed);
+        let project =
+            Project::with_n_sites("simulator_server", self.config.n_clients, self.config.seed);
         let provisioned = project.provision();
         let mut server = FlServer::new(provisioned.server.clone(), log.clone(), self.config.seed);
+        server.set_quorum(self.config.sag.min_clients, self.config.sag.quorum_grace);
+        let plan = FaultPlan::new(self.config.faults.clone(), log.clone());
+        if plan.config().is_active() {
+            log.info(
+                "FaultInjector",
+                format!("active with seed {}", plan.config().seed),
+            );
+        }
 
         let mut client_threads = Vec::with_capacity(self.config.n_clients);
         for (i, package) in provisioned.sites.iter().enumerate() {
             let (server_side, client_side) = in_proc_pair();
             server.serve_connection(server_side);
             let package = package.clone();
-            let behavior = self.config.behaviors.get(&i).copied().unwrap_or_default();
+            let mut behavior = self.config.behaviors.get(&i).copied().unwrap_or_default();
+            if behavior.drop_at_round.is_none() {
+                // The fault plan can schedule mid-round crashes too.
+                behavior.drop_at_round = plan.crash_round(i);
+            }
+            let client_side = plan.wrap(&package.site_name, client_side);
+            let retry = self.config.retry;
             let mut executor = make_executor(i, &package.site_name);
             let filters = make_filters(i);
             let clog = log.clone();
@@ -130,6 +161,7 @@ impl SimulatorRunner {
             client_threads.push(std::thread::spawn(move || -> Result<u32, FlareError> {
                 let mut client = FlClient::register(client_side, &package, dh_secret, clog)?;
                 client.set_filters(filters);
+                client.set_retry_policy(retry);
                 client.run(executor.as_mut(), behavior)
             }));
         }
@@ -146,7 +178,13 @@ impl SimulatorRunner {
         let mut persistor = InMemoryPersistor::new();
         let workflow = sag.run(&mut server, aggregator, &mut persistor, initial);
 
-        // Join clients regardless of workflow outcome so threads never leak.
+        // Stop the server BEFORE joining clients: dropping the server-side
+        // connections wakes any client whose Finish frame was lost to an
+        // injected fault (buffered frames still deliver, so the healthy
+        // goodbye path is unaffected). Joining first could deadlock on a
+        // client waiting out its full receive-retry budget.
+        server.shutdown();
+        server.disconnect_all();
         let mut client_rounds = Vec::with_capacity(client_threads.len());
         for t in client_threads {
             match t.join().expect("client thread panicked") {
@@ -157,7 +195,6 @@ impl SimulatorRunner {
                 }
             }
         }
-        server.shutdown();
         let workflow = workflow?;
         log.info("SimulatorRunner", "Simulation complete.");
         Ok(SimulationResult {
@@ -203,9 +240,10 @@ mod tests {
                 min_clients: 1,
                 round_timeout: Duration::from_secs(10),
                 validate_global: true,
+                ..SagConfig::default()
             },
             seed: 7,
-            behaviors: BTreeMap::new(),
+            ..SimulatorConfig::default()
         })
     }
 
@@ -237,7 +275,12 @@ mod tests {
         let res = sim(2, 1)
             .run_simple(
                 initial(),
-                |_, _| Box::new(ArithmeticExecutor { delta: 1.0, n_examples: 1 }),
+                |_, _| {
+                    Box::new(ArithmeticExecutor {
+                        delta: 1.0,
+                        n_examples: 1,
+                    })
+                },
                 &WeightedFedAvg,
             )
             .unwrap();
@@ -262,9 +305,10 @@ mod tests {
                 min_clients: 2,
                 round_timeout: Duration::from_millis(1500),
                 validate_global: false,
+                ..SagConfig::default()
             },
             seed: 11,
-            behaviors: BTreeMap::new(),
+            ..SimulatorConfig::default()
         };
         cfg.behaviors.insert(
             2,
@@ -276,7 +320,12 @@ mod tests {
         let res = SimulatorRunner::new(cfg)
             .run_simple(
                 initial(),
-                |_, _| Box::new(ArithmeticExecutor { delta: 1.0, n_examples: 5 }),
+                |_, _| {
+                    Box::new(ArithmeticExecutor {
+                        delta: 1.0,
+                        n_examples: 5,
+                    })
+                },
                 &WeightedFedAvg,
             )
             .unwrap();
@@ -295,9 +344,10 @@ mod tests {
                 min_clients: 2,
                 round_timeout: Duration::from_secs(10),
                 validate_global: false,
+                ..SagConfig::default()
             },
             seed: 13,
-            behaviors: BTreeMap::new(),
+            ..SimulatorConfig::default()
         };
         cfg.behaviors.insert(
             1,
@@ -309,12 +359,21 @@ mod tests {
         let res = SimulatorRunner::new(cfg)
             .run_simple(
                 initial(),
-                |_, _| Box::new(ArithmeticExecutor { delta: 2.0, n_examples: 5 }),
+                |_, _| {
+                    Box::new(ArithmeticExecutor {
+                        delta: 2.0,
+                        n_examples: 5,
+                    })
+                },
                 &WeightedFedAvg,
             )
             .unwrap();
         assert_eq!(res.workflow.rounds.len(), 2);
-        assert!(res.workflow.rounds.iter().all(|r| r.contributors.len() == 2));
+        assert!(res
+            .workflow
+            .rounds
+            .iter()
+            .all(|r| r.contributors.len() == 2));
     }
 
     #[test]
@@ -326,16 +385,34 @@ mod tests {
                 min_clients: 2,
                 round_timeout: Duration::from_millis(800),
                 validate_global: false,
+                ..SagConfig::default()
             },
             seed: 17,
-            behaviors: BTreeMap::new(),
+            ..SimulatorConfig::default()
         };
-        cfg.behaviors.insert(0, ClientBehavior { drop_at_round: Some(1), straggle: None });
-        cfg.behaviors.insert(1, ClientBehavior { drop_at_round: Some(1), straggle: None });
+        cfg.behaviors.insert(
+            0,
+            ClientBehavior {
+                drop_at_round: Some(1),
+                straggle: None,
+            },
+        );
+        cfg.behaviors.insert(
+            1,
+            ClientBehavior {
+                drop_at_round: Some(1),
+                straggle: None,
+            },
+        );
         let err = SimulatorRunner::new(cfg)
             .run_simple(
                 initial(),
-                |_, _| Box::new(ArithmeticExecutor { delta: 1.0, n_examples: 5 }),
+                |_, _| {
+                    Box::new(ArithmeticExecutor {
+                        delta: 1.0,
+                        n_examples: 5,
+                    })
+                },
                 &WeightedFedAvg,
             )
             .unwrap_err();
@@ -351,7 +428,12 @@ mod tests {
         let res = runner
             .run(
                 initial(),
-                |_, _| Box::new(ArithmeticExecutor { delta: 1.0, n_examples: 10 }),
+                |_, _| {
+                    Box::new(ArithmeticExecutor {
+                        delta: 1.0,
+                        n_examples: 10,
+                    })
+                },
                 &MaskedSum,
                 |i| {
                     let mut chain = FilterChain::new();

@@ -95,16 +95,31 @@ pub fn in_proc_pair() -> (Connection, Connection) {
 // TCP transport
 // ---------------------------------------------------------------------
 
+/// Default write deadline for TCP streams: a peer that stops draining its
+/// socket must surface as [`FlareError::Timeout`] instead of blocking a
+/// server handler thread forever.
+pub const TCP_WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
 struct TcpTx(TcpStream);
 
 impl FrameTx for TcpTx {
     fn send(&mut self, frame: &[u8]) -> Result<(), FlareError> {
         let len = u32::try_from(frame.len())
             .map_err(|_| FlareError::Transport("frame exceeds u32 length".into()))?;
-        self.0
+        match self
+            .0
             .write_all(&len.to_le_bytes())
             .and_then(|_| self.0.write_all(frame))
-            .map_err(|e| FlareError::Transport(format!("tcp send: {e}")))
+        {
+            Ok(()) => Ok(()),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Err(FlareError::Timeout)
+            }
+            Err(e) => Err(FlareError::Transport(format!("tcp send: {e}"))),
+        }
     }
 }
 
@@ -128,13 +143,24 @@ impl FrameRx for TcpRx {
         }
         let len = u32::from_le_bytes(len_bytes) as usize;
         if len > (1 << 30) {
-            return Err(FlareError::Codec(format!("tcp frame length {len} too large")));
+            return Err(FlareError::Codec(format!(
+                "tcp frame length {len} too large"
+            )));
         }
         let mut buf = vec![0u8; len];
-        self.0
-            .read_exact(&mut buf)
-            .map_err(|e| FlareError::Transport(format!("tcp recv body: {e}")))?;
-        Ok(buf)
+        match self.0.read_exact(&mut buf) {
+            Ok(()) => Ok(buf),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // A frame header arrived but the body stalled past the
+                // deadline: the stream is desynchronized, but the caller's
+                // thread is free to give up instead of hanging.
+                Err(FlareError::Timeout)
+            }
+            Err(e) => Err(FlareError::Transport(format!("tcp recv body: {e}"))),
+        }
     }
 }
 
@@ -154,15 +180,32 @@ impl TcpTransport {
         Self::from_stream(stream)
     }
 
-    /// Wraps an accepted stream into a split connection.
+    /// Wraps an accepted stream into a split connection with the default
+    /// [`TCP_WRITE_TIMEOUT`] so a dead peer cannot wedge a sender thread.
     ///
     /// # Errors
     ///
     /// [`FlareError::Transport`] if the stream cannot be duplicated.
     pub fn from_stream(stream: TcpStream) -> Result<Connection, FlareError> {
+        Self::from_stream_with_write_timeout(stream, TCP_WRITE_TIMEOUT)
+    }
+
+    /// [`TcpTransport::from_stream`] with an explicit write deadline
+    /// (tests use short deadlines to prove sends cannot block forever).
+    ///
+    /// # Errors
+    ///
+    /// [`FlareError::Transport`] if the stream cannot be duplicated.
+    pub fn from_stream_with_write_timeout(
+        stream: TcpStream,
+        write_timeout: Duration,
+    ) -> Result<Connection, FlareError> {
         stream
             .set_nodelay(true)
             .map_err(|e| FlareError::Transport(format!("nodelay: {e}")))?;
+        stream
+            .set_write_timeout(Some(write_timeout))
+            .map_err(|e| FlareError::Transport(format!("set write timeout: {e}")))?;
         let rx = stream
             .try_clone()
             .map_err(|e| FlareError::Transport(format!("clone stream: {e}")))?;
@@ -246,6 +289,35 @@ mod tests {
             client.rx.recv(Duration::from_millis(30)),
             Err(FlareError::Timeout)
         ));
+    }
+
+    #[test]
+    fn tcp_write_times_out_instead_of_hanging() {
+        let listener = TcpTransport::listen("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // Accept but never read, so the kernel socket buffers fill up.
+        let _server = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            thread::sleep(Duration::from_secs(2));
+            drop(stream);
+        });
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut client =
+            TcpTransport::from_stream_with_write_timeout(stream, Duration::from_millis(100))
+                .unwrap();
+        let frame = vec![0u8; 1 << 20];
+        let mut saw_timeout = false;
+        for _ in 0..64 {
+            match client.tx.send(&frame) {
+                Ok(()) => continue,
+                Err(FlareError::Timeout) => {
+                    saw_timeout = true;
+                    break;
+                }
+                Err(e) => panic!("expected Timeout, got {e}"),
+            }
+        }
+        assert!(saw_timeout, "64 MiB of sends never hit the write deadline");
     }
 
     #[test]

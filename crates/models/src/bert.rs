@@ -77,7 +77,9 @@ impl BertModel {
         let inner = config.attn_inner();
         let mut s = seed;
         let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s
         };
         let norm = Init::Normal(0.02);
@@ -134,7 +136,10 @@ impl BertModel {
         let mlm_ln_b = params.register("bert.mlm_head.ln.bias", Tensor::zeros(&[h]));
         // The MLM decoder weight is tied to the token-embedding table (as
         // in BERT); only its bias is a separate parameter.
-        let mlm_dec_b = params.register("bert.mlm_head.decoder.b", Tensor::zeros(&[config.vocab_size]));
+        let mlm_dec_b = params.register(
+            "bert.mlm_head.decoder.b",
+            Tensor::zeros(&[config.vocab_size]),
+        );
         BertModel {
             config: *config,
             params,

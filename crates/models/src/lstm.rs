@@ -45,7 +45,9 @@ impl LstmClassifier {
         let h = config.hidden;
         let mut s = seed;
         let mut next_seed = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s
         };
         // Unlike BERT (whose LayerNorm rescales tiny embeddings), the LSTM

@@ -48,10 +48,7 @@ impl GradCheckReport {
 /// );
 /// assert!(report.passes(1e-2));
 /// ```
-pub fn gradcheck(
-    inputs: &[Tensor],
-    build: impl Fn(&mut Graph, &[Var]) -> Var,
-) -> GradCheckReport {
+pub fn gradcheck(inputs: &[Tensor], build: impl Fn(&mut Graph, &[Var]) -> Var) -> GradCheckReport {
     let eval = |tensors: &[Tensor]| -> f32 {
         let mut g = Graph::new();
         g.set_training(false);

@@ -253,8 +253,8 @@ impl Graph {
     /// Panics on inner-dimension or batch mismatch.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         let value = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
-        let rhs_broadcast = self.nodes[b.0].value.shape().rank() == 2
-            && self.nodes[a.0].value.shape().rank() > 2;
+        let rhs_broadcast =
+            self.nodes[b.0].value.shape().rank() == 2 && self.nodes[a.0].value.shape().rank() > 2;
         self.push(Op::Matmul { rhs_broadcast }, vec![a.0, b.0], value)
     }
 
@@ -306,14 +306,7 @@ impl Graph {
             out.data_mut()[bi * h..(bi + 1) * h]
                 .copy_from_slice(&src.data()[(bi * s + index) * h..(bi * s + index + 1) * h]);
         }
-        self.push(
-            Op::Select {
-                index,
-                axis_len: s,
-            },
-            vec![a.0],
-            out,
-        )
+        self.push(Op::Select { index, axis_len: s }, vec![a.0], out)
     }
 
     /// Concatenates two tensors along the last dimension. All leading
@@ -366,11 +359,7 @@ impl Graph {
         let mut dims = src.dims().to_vec();
         *dims.last_mut().expect("rank >= 1") = len;
         let mut out = Tensor::zeros(&dims);
-        for (orow, srow) in out
-            .data_mut()
-            .chunks_mut(len)
-            .zip(src.data().chunks(width))
-        {
+        for (orow, srow) in out.data_mut().chunks_mut(len).zip(src.data().chunks(width)) {
             orow.copy_from_slice(&srow[start..start + len]);
         }
         self.push(
@@ -545,11 +534,7 @@ impl Graph {
             out.data_mut()[pos * h..(pos + 1) * h]
                 .copy_from_slice(&t.data()[id as usize * h..(id as usize + 1) * h]);
         }
-        self.push(
-            Op::Embedding { ids: ids.to_vec() },
-            vec![table.0],
-            out,
-        )
+        self.push(Op::Embedding { ids: ids.to_vec() }, vec![table.0], out)
     }
 
     /// Normalizes the last dimension to zero mean and unit variance (the
@@ -792,10 +777,7 @@ mod tests {
         assert_eq!(g.value(cls).data(), &[1., 2., 5., 6.]);
         let loss = g.sum(cls);
         g.backward(loss);
-        assert_eq!(
-            g.grad(x).unwrap().data(),
-            &[1., 1., 0., 0., 1., 1., 0., 0.]
-        );
+        assert_eq!(g.grad(x).unwrap().data(), &[1., 1., 0., 0., 1., 1., 0., 0.]);
     }
 
     #[test]

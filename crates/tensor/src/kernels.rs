@@ -170,7 +170,11 @@ pub fn matmul_a_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, 
 /// Panics if `width` is 0 or does not divide `data.len()`.
 pub fn softmax_rows(data: &mut [f32], width: usize) {
     assert!(width > 0, "softmax row width must be > 0");
-    assert_eq!(data.len() % width, 0, "softmax data not a multiple of width");
+    assert_eq!(
+        data.len() % width,
+        0,
+        "softmax data not a multiple of width"
+    );
     let rows = data.len() / width;
     let w = pool::workers_for(rows, 8 * width);
     let block_rows = rows.div_ceil(w).max(1);
@@ -204,7 +208,11 @@ pub fn softmax_rows(data: &mut [f32], width: usize) {
 /// Panics if `width` is 0 or does not divide `data.len()`.
 pub fn log_softmax_rows(data: &mut [f32], width: usize) {
     assert!(width > 0, "log_softmax row width must be > 0");
-    assert_eq!(data.len() % width, 0, "log_softmax data not a multiple of width");
+    assert_eq!(
+        data.len() % width,
+        0,
+        "log_softmax data not a multiple of width"
+    );
     let rows = data.len() / width;
     let w = pool::workers_for(rows, 8 * width);
     let block_rows = rows.div_ceil(w).max(1);
@@ -238,7 +246,11 @@ pub fn log_softmax_rows(data: &mut [f32], width: usize) {
 /// Panics if `width` is 0 or does not divide `data.len()`.
 pub fn layer_norm_rows(data: &mut [f32], width: usize, eps: f32) -> (Vec<f32>, Vec<f32>) {
     assert!(width > 0, "layer_norm row width must be > 0");
-    assert_eq!(data.len() % width, 0, "layer_norm data not a multiple of width");
+    assert_eq!(
+        data.len() % width,
+        0,
+        "layer_norm data not a multiple of width"
+    );
     let rows = data.len() / width;
     let mut means = vec![0.0f32; rows];
     let mut rstds = vec![0.0f32; rows];
@@ -246,14 +258,14 @@ pub fn layer_norm_rows(data: &mut [f32], width: usize, eps: f32) -> (Vec<f32>, V
     let block_rows = rows.div_ceil(w).max(1);
     let jobs: Vec<_> = data
         .chunks_mut(block_rows * width)
-        .zip(means.chunks_mut(block_rows).zip(rstds.chunks_mut(block_rows)))
+        .zip(
+            means
+                .chunks_mut(block_rows)
+                .zip(rstds.chunks_mut(block_rows)),
+        )
         .map(|(block, (mean_block, rstd_block))| {
             move || {
-                for ((row, mv), rv) in block
-                    .chunks_mut(width)
-                    .zip(mean_block)
-                    .zip(rstd_block)
-                {
+                for ((row, mv), rv) in block.chunks_mut(width).zip(mean_block).zip(rstd_block) {
                     let mean = row.iter().sum::<f32>() / width as f32;
                     let var =
                         row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / width as f32;
@@ -339,12 +351,7 @@ pub fn map_into(src: &[f32], dst: &mut [f32], work_hint: usize, f: impl Fn(f32) 
 /// # Panics
 ///
 /// Panics if `x` and `d` lengths differ.
-pub fn mul_map_inplace(
-    x: &[f32],
-    d: &mut [f32],
-    work_hint: usize,
-    f: impl Fn(f32) -> f32 + Sync,
-) {
+pub fn mul_map_inplace(x: &[f32], d: &mut [f32], work_hint: usize, f: impl Fn(f32) -> f32 + Sync) {
     assert_eq!(x.len(), d.len(), "mul_map_inplace length mismatch");
     pool::for_blocks(d, work_hint, |offset, block| {
         let len = block.len();

@@ -208,7 +208,11 @@ pub(crate) fn backward_node(nodes: &[Node], grads: &mut [Option<Tensor>], id: us
                 *x *= av;
             }
             let rhs_dims = b.dims().to_vec();
-            accumulate(grads, ins[1], reduce_for_broadcast(&dyxa, *bcast, &rhs_dims));
+            accumulate(
+                grads,
+                ins[1],
+                reduce_for_broadcast(&dyxa, *bcast, &rhs_dims),
+            );
             accumulate(grads, ins[0], da);
         }
         Op::Neg => accumulate(grads, ins[0], dy.scaled(-1.0)),
@@ -266,11 +270,11 @@ pub(crate) fn backward_node(nodes: &[Node], grads: &mut [Option<Tensor>], id: us
             let wb = b.shape().last_dim();
             let mut da = Tensor::zeros(a.dims());
             let mut db = Tensor::zeros(b.dims());
-            for (row, (dra, drb)) in dy
-                .data()
-                .chunks(wa + wb)
-                .zip(da.data_mut().chunks_mut(wa).zip(db.data_mut().chunks_mut(wb)))
-            {
+            for (row, (dra, drb)) in dy.data().chunks(wa + wb).zip(
+                da.data_mut()
+                    .chunks_mut(wa)
+                    .zip(db.data_mut().chunks_mut(wb)),
+            ) {
                 dra.copy_from_slice(&row[..wa]);
                 drb.copy_from_slice(&row[wa..]);
             }

@@ -448,7 +448,12 @@ mod tests {
         let b = Tensor::randn(&[1000], 1.0, 7);
         assert_eq!(a, b);
         let mean = a.mean();
-        let var = a.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 1000.0;
+        let var = a
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 1000.0;
         assert!(mean.abs() < 0.15, "mean {mean}");
         assert!((var - 1.0).abs() < 0.3, "var {var}");
     }

@@ -136,7 +136,11 @@ fn elementwise_helpers_bit_identical() {
 #[test]
 fn batched_matmul_bit_identical() {
     let _guard = config_lock();
-    for &(batch, m, k, n) in &[(1usize, 5usize, 7usize, 3usize), (8, 16, 32, 16), (3, 1, 257, 1)] {
+    for &(batch, m, k, n) in &[
+        (1usize, 5usize, 7usize, 3usize),
+        (8, 16, 32, 16),
+        (3, 1, 257, 1),
+    ] {
         let a = Tensor::randn(&[batch, m, k], 1.0, 53);
         let b = Tensor::randn(&[batch, k, n], 1.0, 59);
         let b2 = Tensor::randn(&[k, n], 1.0, 61);

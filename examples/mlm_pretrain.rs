@@ -34,5 +34,7 @@ fn main() {
         }
         println!();
     }
-    println!("\nAs in the paper's Fig. 2, the small-data regime plateaus above the centralized curve.");
+    println!(
+        "\nAs in the paper's Fig. 2, the small-data regime plateaus above the centralized curve."
+    );
 }

@@ -18,9 +18,15 @@ fn main() {
     println!("\n[1/2] Centralized LSTM ({} epochs)…", cfg.epochs);
     let central = drivers::train_centralized(&cfg, ModelSpec::Lstm);
     for (i, (loss, acc)) in central.history.iter().enumerate() {
-        println!("  epoch {:>2}: train_loss={loss:.3} valid_acc={acc:.3}", i + 1);
+        println!(
+            "  epoch {:>2}: train_loss={loss:.3} valid_acc={acc:.3}",
+            i + 1
+        );
     }
-    println!("  => centralized top-1 accuracy {:.1}%", 100.0 * central.accuracy);
+    println!(
+        "  => centralized top-1 accuracy {:.1}%",
+        100.0 * central.accuracy
+    );
 
     println!(
         "\n[2/2] Federated LSTM ({} rounds x {} local epochs, imbalanced sites)…",
@@ -28,7 +34,10 @@ fn main() {
     );
     let fl = drivers::train_federated(&cfg, ModelSpec::Lstm).expect("federation runs");
     for (i, (loss, acc)) in fl.history.iter().enumerate() {
-        println!("  round {:>2}: mean_train_loss={loss:.3} global_valid_acc={acc:.3}", i + 1);
+        println!(
+            "  round {:>2}: mean_train_loss={loss:.3} global_valid_acc={acc:.3}",
+            i + 1
+        );
     }
     println!("  => federated top-1 accuracy {:.1}%", 100.0 * fl.accuracy);
 

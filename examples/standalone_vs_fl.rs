@@ -28,7 +28,10 @@ fn main() {
             100.0 * acc
         );
     }
-    println!("  => standalone mean accuracy {:.1}%", 100.0 * standalone.mean_accuracy);
+    println!(
+        "  => standalone mean accuracy {:.1}%",
+        100.0 * standalone.mean_accuracy
+    );
 
     println!("\n[2/2] Federated LSTM over the same shards…");
     let fl = drivers::train_federated(&cfg, ModelSpec::Lstm).expect("federation runs");

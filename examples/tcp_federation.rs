@@ -67,6 +67,7 @@ fn main() {
             min_clients: n_clients,
             round_timeout: Duration::from_secs(30),
             validate_global: true,
+            ..SagConfig::default()
         },
         log.clone(),
     );

@@ -1,23 +1,63 @@
-#!/usr/bin/env sh
-# Full local CI gate: offline release build, the whole test suite under
-# both the serial (CLINFL_THREADS=1) and default parallel thread budgets,
-# and clippy with warnings denied.
+#!/usr/bin/env bash
+# Full local CI gate — the exact legs .github/workflows/ci.yml runs, so a
+# green local run means a green CI run:
 #
-# Usage: scripts/check.sh
-set -eu
+#   build          release build of the whole workspace
+#   test-serial    full test suite under CLINFL_THREADS=1
+#   test-parallel  full test suite under the default thread budget
+#   test-faults    full test suite under CLINFL_FAULTS=aggressive
+#   clippy         clippy --all-targets with warnings denied
+#   fmt            cargo fmt --check
+#
+# Usage: scripts/check.sh [leg ...]   (no args = all legs, in order)
+#
+# Each leg's wall-clock and "N passed" totals are appended to
+# target/ci-timings.tsv; scripts/ci_summary.sh renders that file as a
+# markdown table.
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
+mkdir -p target
+TIMINGS=target/ci-timings.tsv
 
-echo "==> cargo build --workspace --release"
-cargo build --workspace --release
+# Runs one named leg, times it, and records "name<TAB>secs<TAB>passed".
+leg() {
+    local name="$1"
+    shift
+    echo "==> $name: $*"
+    local start=$SECONDS status=0 out
+    out=$("$@" 2>&1) || status=$?
+    printf '%s\n' "$out"
+    local passed
+    # grep exits 1 on legs that run no tests; don't let pipefail kill us.
+    passed=$(printf '%s\n' "$out" | { grep -Eo '[0-9]+ passed' || true; } | awk '{s += $1} END {print s + 0}')
+    printf '%s\t%s\t%s\n' "$name" "$((SECONDS - start))" "$passed" >>"$TIMINGS"
+    return "$status"
+}
 
-echo "==> cargo test (CLINFL_THREADS=1, serial)"
-CLINFL_THREADS=1 cargo test --workspace --release -q
+run_leg() {
+    case "$1" in
+    build) leg build cargo build --workspace --release ;;
+    test-serial) leg test-serial env CLINFL_THREADS=1 cargo test --workspace --release -q ;;
+    test-parallel) leg test-parallel cargo test --workspace --release -q ;;
+    test-faults) leg test-faults env CLINFL_FAULTS=aggressive cargo test --workspace --release -q ;;
+    clippy) leg clippy cargo clippy --workspace --all-targets -- -D warnings ;;
+    fmt) leg fmt cargo fmt --all -- --check ;;
+    *)
+        echo "unknown leg: $1 (expected build|test-serial|test-parallel|test-faults|clippy|fmt)" >&2
+        exit 2
+        ;;
+    esac
+}
 
-echo "==> cargo test (default thread budget)"
-cargo test --workspace --release -q
-
-echo "==> cargo clippy -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
-
-echo "==> all checks passed"
+if [ "$#" -eq 0 ]; then
+    : >"$TIMINGS"
+    for l in build test-serial test-parallel test-faults clippy fmt; do
+        run_leg "$l"
+    done
+    echo "==> all checks passed"
+else
+    for l in "$@"; do
+        run_leg "$l"
+    done
+fi

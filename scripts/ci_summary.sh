@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Renders target/ci-timings.tsv (written by scripts/check.sh) as a
+# markdown table — CI tees this into $GITHUB_STEP_SUMMARY. Safe to run
+# with a partial or missing timings file.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+TIMINGS=target/ci-timings.tsv
+
+echo "### CI legs"
+echo
+echo "| Leg | Wall-clock (s) | Tests passed |"
+echo "|:----|---------------:|-------------:|"
+if [ -f "$TIMINGS" ]; then
+    # Keep the last record per leg (reruns append), in first-seen order;
+    # legs that run no tests (build/clippy/fmt) show "-".
+    awk -F'\t' '
+        !($1 in last) { order[++n] = $1 }
+        { last[$1] = $0 }
+        END {
+            for (i = 1; i <= n; i++) {
+                split(last[order[i]], f, "\t")
+                printf "| %s | %s | %s |\n", f[1], f[2], (f[3] == "0" ? "-" : f[3])
+            }
+        }' "$TIMINGS"
+else
+    echo "| (no timings recorded) | - | - |"
+fi

@@ -6,7 +6,6 @@ use clinfl_flare::executor::ArithmeticExecutor;
 use clinfl_flare::job::{AggregatorKind, JobConfig};
 use clinfl_flare::simulator::{SimulatorConfig, SimulatorRunner};
 use clinfl_flare::{WeightTensor, Weights};
-use std::collections::BTreeMap;
 
 fn initial() -> Weights {
     let mut w = Weights::new();
@@ -29,7 +28,7 @@ fn job_config_drives_a_full_simulation() {
         n_clients: 2,
         sag: job.sag_config(),
         seed: 21,
-        behaviors: BTreeMap::new(),
+        ..SimulatorConfig::default()
     });
     let aggregator = job.aggregator.build();
     let res = runner
@@ -57,7 +56,7 @@ fn job_config_median_aggregation_end_to_end() {
         n_clients: 3,
         sag: job.sag_config(),
         seed: 22,
-        behaviors: BTreeMap::new(),
+        ..SimulatorConfig::default()
     });
     let aggregator = job.aggregator.build();
     let res = runner

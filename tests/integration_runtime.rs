@@ -43,7 +43,10 @@ fn run_tcp_federation(n_clients: usize, rounds: u32) -> Weights {
         let (stream, _) = listener.accept().unwrap();
         server.serve_connection(TcpTransport::from_stream(stream).unwrap());
     }
-    assert_eq!(server.wait_for_clients(n_clients, Duration::from_secs(10)), n_clients);
+    assert_eq!(
+        server.wait_for_clients(n_clients, Duration::from_secs(10)),
+        n_clients
+    );
 
     let sag = ScatterAndGather::new(
         SagConfig {
@@ -51,11 +54,17 @@ fn run_tcp_federation(n_clients: usize, rounds: u32) -> Weights {
             min_clients: n_clients,
             round_timeout: Duration::from_secs(30),
             validate_global: false,
+            ..SagConfig::default()
         },
         log,
     );
     let result = sag
-        .run(&mut server, &WeightedFedAvg, &mut InMemoryPersistor::new(), initial())
+        .run(
+            &mut server,
+            &WeightedFedAvg,
+            &mut InMemoryPersistor::new(),
+            initial(),
+        )
         .unwrap();
     for t in threads {
         t.join().unwrap();

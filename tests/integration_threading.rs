@@ -64,6 +64,10 @@ fn standalone_identical_at_any_thread_budget() {
     let parallel = drivers::train_standalone(&cfg, ModelSpec::Lstm);
     assert_eq!(serial.per_site.len(), parallel.per_site.len());
     for (i, (s, p)) in serial.per_site.iter().zip(&parallel.per_site).enumerate() {
-        assert_eq!(s.to_bits(), p.to_bits(), "site {i} accuracy differs: {s} vs {p}");
+        assert_eq!(
+            s.to_bits(),
+            p.to_bits(),
+            "site {i} accuracy differs: {s} vs {p}"
+        );
     }
 }

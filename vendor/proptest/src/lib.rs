@@ -217,10 +217,7 @@ mod pattern {
         nodes
     }
 
-    fn parse_seq(
-        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
-        pattern: &str,
-    ) -> Vec<Node> {
+    fn parse_seq(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<Node> {
         let mut nodes = Vec::new();
         while let Some(&c) = chars.peek() {
             let node = match c {
@@ -237,9 +234,9 @@ mod pattern {
                 }
                 '\\' => {
                     chars.next();
-                    let e = chars.next().unwrap_or_else(|| {
-                        panic!("dangling escape in pattern {pattern:?}")
-                    });
+                    let e = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
                     match e {
                         'd' => Node::Class(('0'..='9').collect()),
                         'w' => Node::Class(
@@ -348,9 +345,7 @@ mod pattern {
         for node in nodes {
             match node {
                 Node::Lit(c) => out.push(*c),
-                Node::Class(members) => {
-                    out.push(members[rng.random_range(0..members.len())])
-                }
+                Node::Class(members) => out.push(members[rng.random_range(0..members.len())]),
                 Node::Group(inner) => generate(inner, rng, out),
                 Node::Repeat(inner, lo, hi) => {
                     let n = rng.random_range(*lo..=*hi);
@@ -532,11 +527,7 @@ pub mod collection {
     }
 
     /// Generates ordered maps from independent key and value strategies.
-    pub fn btree_map<K, V>(
-        key: K,
-        value: V,
-        size: impl Into<SizeRange>,
-    ) -> BTreeMapStrategy<K, V>
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
     where
         K: Strategy,
         V: Strategy,
@@ -658,8 +649,7 @@ mod tests {
         let mut rng = TestRng::seed_from_u64(3);
         let v = crate::collection::vec(0u8..255, 4usize).generate(&mut rng);
         assert_eq!(v.len(), 4);
-        let m =
-            crate::collection::btree_map("[a-z]{1,4}", 0u32..10, 0..4).generate(&mut rng);
+        let m = crate::collection::btree_map("[a-z]{1,4}", 0u32..10, 0..4).generate(&mut rng);
         assert!(m.len() < 4);
     }
 
