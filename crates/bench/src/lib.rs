@@ -11,6 +11,7 @@
 //! | Fig. 2 (MLM loss)           | `cargo run -p clinfl-bench --release --bin fig2_mlm_loss [--scale N]` |
 //! | Fig. 3 (runtime demo)       | `cargo run -p clinfl-bench --release --bin fig3_demo` |
 //! | Ablations (extensions)      | `ablation_aggregators`, `ablation_partition`, `ablation_pretrain` |
+//! | Tape allocation pressure    | `cargo run -p clinfl-bench --release --bin alloc_stats` |
 //! | Micro-benchmarks            | `cargo bench -p clinfl-bench` |
 //!
 //! `--scale N` divides the paper's data volumes by `N` (default shown per

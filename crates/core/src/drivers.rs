@@ -188,7 +188,7 @@ pub fn train_federated_with(
     // Server-side final evaluation of the aggregated model on the full
     // validation split.
     let mut eval = Learner::new(spec, vocab_size, cfg.seq_len, hyper, cfg.seed);
-    eval.load_weights(&result.workflow.final_weights);
+    eval.load_weights_owned(result.workflow.final_weights);
     let accuracy = eval.evaluate(&data.valid);
     let history = result
         .workflow
@@ -329,7 +329,7 @@ pub fn pretrain_mlm(
             let mut sim_cfg = simulator_config(cfg);
             sim_cfg.sag.rounds = cfg.pretrain_rounds;
             let runner = SimulatorRunner::with_log(sim_cfg, log.clone());
-            let seed_learner =
+            let mut seed_learner =
                 MlmLearner::new(&bert, CodeSystem::new().vocab().clone(), hyper, cfg.seed);
             let initial = seed_learner.export_weights();
             let initial_loss = seed_learner.eval_loss(&data.valid);

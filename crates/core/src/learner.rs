@@ -1,7 +1,7 @@
 //! Local training engines around the paper's models.
 
 use crate::config::{ModelSpec, TrainHyper};
-use crate::weights::{params_to_weights, weights_to_params};
+use crate::weights::{params_to_weights, weights_into_params, weights_to_params};
 use clinfl_data::{Batch, ClassifyDataset};
 use clinfl_flare::Weights;
 use clinfl_models::{
@@ -38,6 +38,9 @@ pub struct Learner {
     model: Box<dyn SequenceClassifier + Send>,
     hyper: TrainHyper,
     optimizer: Adam,
+    /// Reused autograd tape: reset (not reallocated) per step so buffers
+    /// recycle across iterations.
+    graph: Graph,
     epoch_counter: u64,
     seed: u64,
     /// FedProx proximal coefficient μ and the reference (global) weights:
@@ -81,6 +84,7 @@ impl Learner {
             model,
             hyper,
             optimizer: Adam::with_lr(hyper.lr),
+            graph: Graph::new(),
             epoch_counter: 0,
             seed,
             prox: None,
@@ -122,6 +126,17 @@ impl Learner {
         }
     }
 
+    /// Loads global weights by value, moving each tensor's buffer into the
+    /// parameter store instead of copying (use when the wire payload is no
+    /// longer needed). FedProx anchoring behaves as in
+    /// [`Learner::load_weights`].
+    pub fn load_weights_owned(&mut self, weights: Weights) {
+        if let Some((_mu, anchor)) = &mut self.prox {
+            *anchor = weights.clone();
+        }
+        weights_into_params(weights, self.model.params_mut());
+    }
+
     /// Resets optimizer state (fresh Adam moments, as when a federated
     /// round restarts local training from new global weights).
     pub fn reset_optimizer(&mut self) {
@@ -139,13 +154,15 @@ impl Learner {
         let mut total = 0.0f64;
         let mut batches = 0usize;
         for batch in data.batches(self.hyper.batch_size, shuffle_seed) {
-            let mut g = Graph::with_seed(shuffle_seed ^ batches as u64);
+            self.graph.reset_with_seed(shuffle_seed ^ batches as u64);
+            self.graph.set_training(true);
+            let g = &mut self.graph;
             let loss = self
                 .model
-                .classification_loss(&mut g, &token_batch(&batch), &batch.labels);
+                .classification_loss(g, &token_batch(&batch), &batch.labels);
             total += g.value(loss).item() as f64;
             g.backward(loss);
-            g.grads_into(self.model.params_mut());
+            self.graph.grads_into(self.model.params_mut());
             self.apply_prox_gradient();
             if self.hyper.clip_norm > 0.0 {
                 GradClip {
@@ -196,11 +213,17 @@ impl Learner {
     /// Full classification report (accuracy, precision/recall/F1,
     /// specificity, ROC-AUC) on a dataset — the clinically relevant view
     /// beyond the paper's Top-1 accuracy.
-    pub fn evaluate_report(&self, data: &ClassifyDataset) -> crate::metrics::ClassificationReport {
+    pub fn evaluate_report(
+        &mut self,
+        data: &ClassifyDataset,
+    ) -> crate::metrics::ClassificationReport {
         let mut scores = Vec::with_capacity(data.len());
         let mut labels = Vec::with_capacity(data.len());
         for batch in data.batches(self.hyper.batch_size, 0) {
-            for row in self.model.predict_proba(&token_batch(&batch)) {
+            for row in self
+                .model
+                .predict_proba_with(&mut self.graph, &token_batch(&batch))
+            {
                 scores.push(row.get(1).copied().unwrap_or(0.0));
             }
             labels.extend_from_slice(&batch.labels);
@@ -209,11 +232,13 @@ impl Learner {
     }
 
     /// Top-1 accuracy on a dataset (evaluation mode).
-    pub fn evaluate(&self, data: &ClassifyDataset) -> f64 {
+    pub fn evaluate(&mut self, data: &ClassifyDataset) -> f64 {
         let mut correct = 0usize;
         let mut total = 0usize;
         for batch in data.batches(self.hyper.batch_size, 0) {
-            let preds = self.model.predict(&token_batch(&batch));
+            let preds = self
+                .model
+                .predict_with(&mut self.graph, &token_batch(&batch));
             correct += preds
                 .iter()
                 .zip(&batch.labels)
@@ -238,6 +263,9 @@ pub struct MlmLearner {
     hyper: TrainHyper,
     optimizer: Adam,
     schedule: LrSchedule,
+    /// Reused autograd tape: reset (not reallocated) per step so buffers
+    /// recycle across iterations.
+    graph: Graph,
     step_counter: u64,
     epoch_counter: u64,
     seed: u64,
@@ -264,6 +292,7 @@ impl MlmLearner {
             // Standard transformer warmup: ramp the rate over the first
             // optimizer steps so the 12-layer stack does not destabilize.
             schedule: LrSchedule::LinearWarmup { warmup_steps: 64 },
+            graph: Graph::new(),
             step_counter: 0,
             epoch_counter: 0,
             seed,
@@ -339,11 +368,13 @@ impl MlmLearner {
                 batch_size: chunk.len(),
                 seq_len,
             };
-            let mut g = Graph::with_seed(mask_seed);
-            let loss = self.model.mlm_loss(&mut g, &batch, &labels);
+            self.graph.reset_with_seed(mask_seed);
+            self.graph.set_training(true);
+            let g = &mut self.graph;
+            let loss = self.model.mlm_loss(g, &batch, &labels);
             total += g.value(loss).item() as f64;
             g.backward(loss);
-            g.grads_into(self.model.params_mut());
+            self.graph.grads_into(self.model.params_mut());
             if self.hyper.clip_norm > 0.0 {
                 GradClip {
                     max_norm: self.hyper.clip_norm,
@@ -369,7 +400,7 @@ impl MlmLearner {
 
     /// Mean MLM loss on held-out sequences (fixed masking seed, evaluation
     /// mode) — the quantity plotted in the paper's Fig. 2.
-    pub fn eval_loss(&self, seqs: &[Encoded]) -> f64 {
+    pub fn eval_loss(&mut self, seqs: &[Encoded]) -> f64 {
         if seqs.is_empty() {
             return 0.0;
         }
@@ -386,9 +417,10 @@ impl MlmLearner {
                 batch_size: chunk.len(),
                 seq_len,
             };
-            let mut g = Graph::new();
-            g.set_training(false);
-            let loss = self.model.mlm_loss(&mut g, &batch, &labels);
+            self.graph.reset();
+            self.graph.set_training(false);
+            let g = &mut self.graph;
+            let loss = self.model.mlm_loss(g, &batch, &labels);
             total += g.value(loss).item() as f64;
             batches += 1;
         }
@@ -483,7 +515,7 @@ mod tests {
     fn evaluate_report_is_consistent_with_accuracy() {
         let (cs, data) = small_data();
         let hyper = TrainHyper::for_model(ModelSpec::Lstm);
-        let learner = Learner::new(ModelSpec::Lstm, cs.vocab().len(), 36, hyper, 2);
+        let mut learner = Learner::new(ModelSpec::Lstm, cs.vocab().len(), 36, hyper, 2);
         let report = learner.evaluate_report(&data);
         assert_eq!(report.confusion.total() as usize, data.len());
         assert!(report.auc >= 0.0 && report.auc <= 1.0);
@@ -493,7 +525,7 @@ mod tests {
     fn evaluate_on_empty_dataset_is_zero() {
         let (cs, _) = small_data();
         let hyper = TrainHyper::for_model(ModelSpec::Lstm);
-        let learner = Learner::new(ModelSpec::Lstm, cs.vocab().len(), 36, hyper, 1);
+        let mut learner = Learner::new(ModelSpec::Lstm, cs.vocab().len(), 36, hyper, 1);
         let empty = ClassifyDataset::from_examples(vec![], 36);
         assert_eq!(learner.evaluate(&empty), 0.0);
     }

@@ -47,4 +47,4 @@ mod weights;
 pub use config::{ModelSpec, PipelineConfig, TrainHyper};
 pub use executor::{ClinicalExecutor, MlmExecutor};
 pub use learner::{EpochStats, Learner, MlmLearner};
-pub use weights::{params_to_weights, weights_to_params};
+pub use weights::{params_to_weights, weights_into_params, weights_to_params};

@@ -25,17 +25,29 @@ pub fn params_to_weights(params: &Params) -> Weights {
 /// Panics if a named tensor has a different shape locally — that means two
 /// sites built different architectures, which must fail loudly.
 pub fn weights_to_params(weights: &Weights, params: &mut Params) -> usize {
-    let named = weights
-        .iter()
-        .map(|(name, wt)| {
-            (
-                name.clone(),
-                Tensor::from_vec(&wt.dims, wt.data.clone())
-                    .expect("wire tensors are shape-checked at decode"),
-            )
+    params.copy_values_from(|name| {
+        weights
+            .get(name)
+            .map(|wt| (wt.dims.as_slice(), wt.data.as_slice()))
+    })
+}
+
+/// Loads federated [`Weights`] into a [`Params`] store by value, moving each
+/// tensor's buffer into place instead of copying (the consuming counterpart
+/// of [`weights_to_params`] for payloads the caller no longer needs).
+/// Returns the number of parameters updated.
+///
+/// # Panics
+///
+/// Panics if a named tensor has a different shape locally (architecture
+/// mismatch between sites).
+pub fn weights_into_params(mut weights: Weights, params: &mut Params) -> usize {
+    params.replace_values(|name| {
+        weights.remove(name).map(|wt| {
+            let (dims, data) = wt.into_parts();
+            Tensor::from_vec(&dims, data).expect("wire tensors are shape-checked at decode")
         })
-        .collect();
-    params.load_named(&named)
+    })
 }
 
 #[cfg(test)]
@@ -55,6 +67,20 @@ mod tests {
         q.register("a", Tensor::zeros(&[3, 2]));
         q.register("b", Tensor::zeros(&[4]));
         assert_eq!(weights_to_params(&w, &mut q), 2);
+        assert_eq!(
+            q.value(q.id_of("a").unwrap()),
+            p.value(p.id_of("a").unwrap())
+        );
+    }
+
+    #[test]
+    fn consuming_load_matches_copying_load() {
+        let mut p = Params::new();
+        p.register("a", Tensor::randn(&[2, 3], 1.0, 7));
+        let w = params_to_weights(&p);
+        let mut q = Params::new();
+        q.register("a", Tensor::zeros(&[2, 3]));
+        assert_eq!(weights_into_params(w, &mut q), 1);
         assert_eq!(
             q.value(q.id_of("a").unwrap()),
             p.value(p.id_of("a").unwrap())

@@ -189,23 +189,22 @@ impl BertModel {
     }
 
     /// Builds the additive attention mask `[B, heads, S, S]` from the key
-    /// padding mask.
-    fn attention_mask(&self, batch: &TokenBatch<'_>) -> Tensor {
+    /// padding mask, writing into a pooled graph input.
+    fn attention_mask(&self, g: &mut Graph, batch: &TokenBatch<'_>) -> Var {
         let (b, s, heads) = (batch.batch_size, batch.seq_len, self.config.heads);
-        let mut t = Tensor::zeros(&[b, heads, s, s]);
-        let data = t.data_mut();
-        for bi in 0..b {
-            for key in 0..s {
-                if batch.mask[bi * s + key] == 0 {
-                    for hd in 0..heads {
-                        for q in 0..s {
-                            data[((bi * heads + hd) * s + q) * s + key] = NEG_ATTN;
+        g.input_with(&[b, heads, s, s], |data| {
+            for bi in 0..b {
+                for key in 0..s {
+                    if batch.mask[bi * s + key] == 0 {
+                        for hd in 0..heads {
+                            for q in 0..s {
+                                data[((bi * heads + hd) * s + q) * s + key] = NEG_ATTN;
+                            }
                         }
                     }
                 }
             }
-        }
-        t
+        })
     }
 
     /// Builds the encoder forward pass, returning hidden states
@@ -226,9 +225,10 @@ impl BertModel {
         let tok_table = g.param(&self.params, self.tok_emb);
         let tok = g.embedding(tok_table, batch.ids);
         let tok = g.reshape(tok, &[b, s, h]);
-        let pos_ids: Vec<u32> = (0..b as u32)
-            .flat_map(|_| (0..s as u32).collect::<Vec<_>>())
-            .collect();
+        let mut pos_ids = vec![0u32; b * s];
+        for (i, v) in pos_ids.iter_mut().enumerate() {
+            *v = (i % s) as u32;
+        }
         let pos_table = g.param(&self.params, self.pos_emb);
         let pos = g.embedding(pos_table, &pos_ids);
         let pos = g.reshape(pos, &[b, s, h]);
@@ -236,7 +236,7 @@ impl BertModel {
         let x = self.layer_norm(g, x, self.emb_ln_g, self.emb_ln_b);
         let mut x = g.dropout(x, p);
 
-        let amask = g.input(self.attention_mask(batch));
+        let amask = self.attention_mask(g, batch);
         let scale = 1.0 / (dh as f32).sqrt();
 
         for blk in &self.blocks {
@@ -347,17 +347,17 @@ impl SequenceClassifier for BertModel {
         g.cross_entropy(logits, labels, clinfl_text::IGNORE_INDEX)
     }
 
-    fn predict(&self, batch: &TokenBatch<'_>) -> Vec<usize> {
-        let mut g = Graph::new();
+    fn predict_with(&self, g: &mut Graph, batch: &TokenBatch<'_>) -> Vec<usize> {
+        g.reset();
         g.set_training(false);
-        let logits = self.cls_logits(&mut g, batch);
+        let logits = self.cls_logits(g, batch);
         g.value(logits).argmax_rows()
     }
 
-    fn predict_proba(&self, batch: &TokenBatch<'_>) -> Vec<Vec<f32>> {
-        let mut g = Graph::new();
+    fn predict_proba_with(&self, g: &mut Graph, batch: &TokenBatch<'_>) -> Vec<Vec<f32>> {
+        g.reset();
         g.set_training(false);
-        let logits = self.cls_logits(&mut g, batch);
+        let logits = self.cls_logits(g, batch);
         let probs = g.softmax(logits);
         let classes = self.config.num_classes;
         g.value(probs)

@@ -115,18 +115,29 @@ impl LstmClassifier {
         // Per-timestep token embeddings: x_t = embed(ids[:, t])  [B, H].
         let mut xs: Vec<Var> = Vec::with_capacity(s);
         let mut keep_masks: Vec<(Var, Var)> = Vec::with_capacity(s);
+        let mut ids_t = vec![0u32; b];
         for t in 0..s {
-            let ids_t: Vec<u32> = (0..b).map(|bi| batch.ids[bi * s + t]).collect();
-            xs.push(g.embedding(table, &ids_t));
-            // Expanded carry masks: keep = m, hold = 1 - m, both [B, H].
-            let mut keep = Tensor::zeros(&[b, h]);
-            let mut hold = Tensor::zeros(&[b, h]);
-            for bi in 0..b {
-                let m = batch.mask[bi * s + t] as f32;
-                keep.data_mut()[bi * h..(bi + 1) * h].fill(m);
-                hold.data_mut()[bi * h..(bi + 1) * h].fill(1.0 - m);
+            for (bi, id) in ids_t.iter_mut().enumerate() {
+                *id = batch.ids[bi * s + t];
             }
-            keep_masks.push((g.input(keep), g.input(hold)));
+            xs.push(g.embedding(table, &ids_t));
+            // Expanded carry masks: keep = m, hold = 1 - m, both [B, H],
+            // written straight into pooled zeroed leaves.
+            let keep = g.input_with(&[b, h], |data| {
+                for bi in 0..b {
+                    if batch.mask[bi * s + t] != 0 {
+                        data[bi * h..(bi + 1) * h].fill(1.0);
+                    }
+                }
+            });
+            let hold = g.input_with(&[b, h], |data| {
+                for bi in 0..b {
+                    if batch.mask[bi * s + t] == 0 {
+                        data[bi * h..(bi + 1) * h].fill(1.0);
+                    }
+                }
+            });
+            keep_masks.push((keep, hold));
         }
 
         let mut layer_input = xs;
@@ -135,8 +146,8 @@ impl LstmClassifier {
             let wx = layer.w_x.map(|id| g.param(&self.params, id));
             let wh = layer.w_h.map(|id| g.param(&self.params, id));
             let bias = layer.b.map(|id| g.param(&self.params, id));
-            let mut h_prev = g.input(Tensor::zeros(&[b, h]));
-            let mut c_prev = g.input(Tensor::zeros(&[b, h]));
+            let mut h_prev = g.input_with(&[b, h], |_| {});
+            let mut c_prev = g.input_with(&[b, h], |_| {});
             let mut outputs = Vec::with_capacity(s);
             for (t, &x_t) in layer_input.iter().enumerate() {
                 let gate = |g: &mut Graph, k: usize| {
@@ -208,17 +219,17 @@ impl SequenceClassifier for LstmClassifier {
         g.cross_entropy(logits, labels, clinfl_text::IGNORE_INDEX)
     }
 
-    fn predict(&self, batch: &TokenBatch<'_>) -> Vec<usize> {
-        let mut g = Graph::new();
+    fn predict_with(&self, g: &mut Graph, batch: &TokenBatch<'_>) -> Vec<usize> {
+        g.reset();
         g.set_training(false);
-        let logits = self.logits(&mut g, batch);
+        let logits = self.logits(g, batch);
         g.value(logits).argmax_rows()
     }
 
-    fn predict_proba(&self, batch: &TokenBatch<'_>) -> Vec<Vec<f32>> {
-        let mut g = Graph::new();
+    fn predict_proba_with(&self, g: &mut Graph, batch: &TokenBatch<'_>) -> Vec<Vec<f32>> {
+        g.reset();
         g.set_training(false);
-        let logits = self.logits(&mut g, batch);
+        let logits = self.logits(g, batch);
         let probs = g.softmax(logits);
         let classes = self.config.num_classes;
         g.value(probs)

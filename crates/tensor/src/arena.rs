@@ -1,0 +1,268 @@
+//! Cross-step buffer recycling for the autograd tape.
+//!
+//! Every training step records a tape of operations, and every node on that
+//! tape owns heap buffers: the forward value, gradient tensors, dropout
+//! masks, saved softmax probabilities, and so on. Building a fresh
+//! [`crate::Graph`] per step turns all of that into allocator churn.
+//!
+//! [`BufferPool`] is the arena that breaks the cycle: when a graph is
+//! [`reset`](crate::Graph::reset), every buffer on the tape is returned
+//! here instead of being freed, bucketed by capacity. The next step's ops
+//! then *take* buffers back out — a `BTreeMap` smallest-fit lookup — so in
+//! steady state a training loop performs almost no heap allocation at all.
+//!
+//! Buffers come back with unspecified contents. Callers choose between
+//! [`BufferPool::take_f32`] (contents unspecified — for outputs every
+//! element of which is overwritten) and [`BufferPool::take_f32_zeroed`]
+//! (for accumulation targets). Getting that distinction right per op is
+//! what keeps reuse bit-identical to fresh allocation; see the audit notes
+//! on each backward rule in `ops.rs` and the tape-memory-model section of
+//! `DESIGN.md`.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use std::collections::BTreeMap;
+
+/// Pops the smallest buffer with capacity at least `n` from a bucketed
+/// free-list map, removing emptied buckets.
+fn take_bucket<T>(map: &mut BTreeMap<usize, Vec<Vec<T>>>, n: usize) -> Option<Vec<T>> {
+    let (&cap, bucket) = map.range_mut(n..).next()?;
+    let v = bucket.pop().expect("pool buckets are never empty");
+    if bucket.is_empty() {
+        map.remove(&cap);
+    }
+    Some(v)
+}
+
+/// Returns a buffer to a bucketed free-list map, keyed by its capacity.
+fn give_bucket<T>(map: &mut BTreeMap<usize, Vec<Vec<T>>>, v: Vec<T>) {
+    if v.capacity() > 0 {
+        map.entry(v.capacity()).or_default().push(v);
+    }
+}
+
+/// Capacity-bucketed free lists of heap buffers, recycled across training
+/// steps by [`crate::Graph::reset`].
+///
+/// Holds separate free lists for the three element types the tape stores:
+/// `f32` (tensor values, gradients, dropout masks, softmax probabilities,
+/// layer-norm statistics), `u32` (embedding ids) and `i32` (cross-entropy
+/// targets).
+#[derive(Debug, Default)]
+pub(crate) struct BufferPool {
+    f32s: BTreeMap<usize, Vec<Vec<f32>>>,
+    u32s: BTreeMap<usize, Vec<Vec<u32>>>,
+    i32s: BTreeMap<usize, Vec<Vec<i32>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferPool {
+    /// A length-`n` `f32` buffer with unspecified contents. Only use when
+    /// every element will be written before being read.
+    pub(crate) fn take_f32(&mut self, n: usize) -> Vec<f32> {
+        if n == 0 {
+            return Vec::new();
+        }
+        match take_bucket(&mut self.f32s, n) {
+            Some(mut v) => {
+                self.hits += 1;
+                v.resize(n, 0.0);
+                v
+            }
+            None => {
+                self.misses += 1;
+                vec![0.0; n]
+            }
+        }
+    }
+
+    /// A length-`n` `f32` buffer with every element zero.
+    pub(crate) fn take_f32_zeroed(&mut self, n: usize) -> Vec<f32> {
+        if n == 0 {
+            return Vec::new();
+        }
+        match take_bucket(&mut self.f32s, n) {
+            Some(mut v) => {
+                self.hits += 1;
+                v.clear();
+                v.resize(n, 0.0);
+                v
+            }
+            None => {
+                self.misses += 1;
+                vec![0.0; n]
+            }
+        }
+    }
+
+    /// Returns an `f32` buffer to the pool.
+    pub(crate) fn give_f32(&mut self, v: Vec<f32>) {
+        give_bucket(&mut self.f32s, v);
+    }
+
+    /// A length-`n` `u32` buffer with unspecified contents.
+    pub(crate) fn take_u32(&mut self, n: usize) -> Vec<u32> {
+        if n == 0 {
+            return Vec::new();
+        }
+        match take_bucket(&mut self.u32s, n) {
+            Some(mut v) => {
+                self.hits += 1;
+                v.resize(n, 0);
+                v
+            }
+            None => {
+                self.misses += 1;
+                vec![0; n]
+            }
+        }
+    }
+
+    /// Returns a `u32` buffer to the pool.
+    pub(crate) fn give_u32(&mut self, v: Vec<u32>) {
+        give_bucket(&mut self.u32s, v);
+    }
+
+    /// A length-`n` `i32` buffer with unspecified contents.
+    pub(crate) fn take_i32(&mut self, n: usize) -> Vec<i32> {
+        if n == 0 {
+            return Vec::new();
+        }
+        match take_bucket(&mut self.i32s, n) {
+            Some(mut v) => {
+                self.hits += 1;
+                v.resize(n, 0);
+                v
+            }
+            None => {
+                self.misses += 1;
+                vec![0; n]
+            }
+        }
+    }
+
+    /// Returns an `i32` buffer to the pool.
+    pub(crate) fn give_i32(&mut self, v: Vec<i32>) {
+        give_bucket(&mut self.i32s, v);
+    }
+
+    // ------------------------------------------------------------------
+    // Tensor-level helpers
+    // ------------------------------------------------------------------
+
+    /// A tensor of `shape` with unspecified contents. Only use when every
+    /// element will be written before being read.
+    pub(crate) fn tensor_uninit(&mut self, shape: Shape) -> Tensor {
+        let data = self.take_f32(shape.numel());
+        Tensor::from_raw(shape, data)
+    }
+
+    /// An all-zeros tensor of `shape`.
+    pub(crate) fn tensor_zeroed(&mut self, shape: Shape) -> Tensor {
+        let data = self.take_f32_zeroed(shape.numel());
+        Tensor::from_raw(shape, data)
+    }
+
+    /// A tensor of `shape` filled with `v`.
+    pub(crate) fn tensor_full(&mut self, shape: Shape, v: f32) -> Tensor {
+        let mut t = self.tensor_uninit(shape);
+        t.data_mut().fill(v);
+        t
+    }
+
+    /// An element-wise copy of `src`.
+    pub(crate) fn tensor_copy(&mut self, src: &Tensor) -> Tensor {
+        let mut t = self.tensor_uninit(*src.shape());
+        t.data_mut().copy_from_slice(src.data());
+        t
+    }
+
+    /// Returns a tensor's backing buffer to the pool.
+    pub(crate) fn recycle(&mut self, t: Tensor) {
+        self.give_f32(t.into_data());
+    }
+
+    /// Buffer requests served from the free lists.
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Buffer requests that fell through to the system allocator.
+    pub(crate) fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycled_buffers_are_reused() {
+        let mut pool = BufferPool::default();
+        let a = pool.take_f32(16);
+        assert_eq!(pool.misses(), 1);
+        pool.give_f32(a);
+        let b = pool.take_f32(10);
+        assert_eq!(pool.hits(), 1);
+        assert_eq!(b.len(), 10);
+        assert!(b.capacity() >= 16);
+    }
+
+    #[test]
+    fn zeroed_take_clears_stale_contents() {
+        let mut pool = BufferPool::default();
+        pool.give_f32(vec![7.0; 8]);
+        let z = pool.take_f32_zeroed(8);
+        assert!(z.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn smallest_fit_picks_tightest_bucket() {
+        let mut pool = BufferPool::default();
+        pool.give_f32(Vec::with_capacity(100));
+        pool.give_f32(Vec::with_capacity(8));
+        let v = pool.take_f32(5);
+        assert!(v.capacity() < 100, "should pick the 8-capacity buffer");
+    }
+
+    #[test]
+    fn tensor_helpers_shapes_and_values() {
+        let mut pool = BufferPool::default();
+        let z = pool.tensor_zeroed(Shape::new(&[2, 3]));
+        assert_eq!(z.dims(), &[2, 3]);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+        let f = pool.tensor_full(Shape::new(&[2]), 4.5);
+        assert_eq!(f.data(), &[4.5, 4.5]);
+        let c = pool.tensor_copy(&f);
+        assert_eq!(c.data(), &[4.5, 4.5]);
+        pool.recycle(z);
+        pool.recycle(f);
+        pool.recycle(c);
+        assert!(pool.hits() + pool.misses() >= 3);
+    }
+
+    #[test]
+    fn zero_length_requests_do_not_touch_buckets() {
+        let mut pool = BufferPool::default();
+        pool.give_f32(vec![1.0; 4]);
+        let v = pool.take_f32(0);
+        assert!(v.is_empty());
+        assert_eq!(pool.hits(), 0);
+        assert_eq!(pool.misses(), 0);
+    }
+
+    #[test]
+    fn typed_buffers_round_trip() {
+        let mut pool = BufferPool::default();
+        pool.give_u32(vec![9; 6]);
+        let u = pool.take_u32(4);
+        assert_eq!(u.len(), 4);
+        assert_eq!(pool.hits(), 1);
+        pool.give_i32(vec![-3; 5]);
+        let i = pool.take_i32(5);
+        assert_eq!(i.len(), 5);
+        assert_eq!(pool.hits(), 2);
+    }
+}

@@ -1,27 +1,41 @@
 //! The autograd tape: forward-op construction and reverse-mode backward.
 
+use crate::arena::BufferPool;
 use crate::kernels;
 use crate::ops::{accumulate, backward_node, Broadcast, Node, Op};
 use crate::optim::{ParamId, Params};
+use crate::shape::Shape;
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 /// Handle to a node on a [`Graph`] tape.
 ///
-/// A `Var` is only meaningful for the graph that produced it; using it with
-/// another graph is a logic error (caught by index panics in debug).
+/// A `Var` is only meaningful for the graph — and the graph *generation* —
+/// that produced it: [`Graph::reset`] invalidates all outstanding handles.
+/// Using a stale handle panics in debug builds (generation check) instead
+/// of silently indexing a recycled node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct Var(pub(crate) usize);
+pub struct Var {
+    pub(crate) idx: usize,
+    pub(crate) gen: u32,
+}
 
 /// A reverse-mode automatic-differentiation tape.
 ///
-/// A `Graph` is built fresh for every forward pass (the "define-by-run"
-/// style): each operation appends a node holding its result, and
-/// [`Graph::backward`] walks the tape in reverse applying each node's
-/// gradient rule. Parameters enter the graph via [`Graph::param`], and their
-/// gradients are exported back to the [`Params`] store with
-/// [`Graph::grads_into`].
+/// A `Graph` is built per forward pass (the "define-by-run" style): each
+/// operation appends a node holding its result, and [`Graph::backward`]
+/// walks the tape in reverse applying each node's gradient rule.
+/// Parameters enter the graph via [`Graph::param`], and their gradients are
+/// exported back to the [`Params`] store with [`Graph::grads_into`].
+///
+/// Rather than constructing a fresh graph per training step, call
+/// [`Graph::reset`] between steps: the tape is cleared but every buffer it
+/// owned (values, gradients, dropout masks, saved statistics) is retained
+/// in an internal pool and recycled by the next step's ops, so steady-state
+/// training performs almost no heap allocation. `reset` also replays the
+/// dropout RNG from the stored seed, making a reused graph bit-identical
+/// to a freshly constructed one.
 ///
 /// # Example
 ///
@@ -38,10 +52,14 @@ pub struct Var(pub(crate) usize);
 #[derive(Debug)]
 pub struct Graph {
     nodes: Vec<Node>,
+    values: Vec<Tensor>,
     grads: Vec<Option<Tensor>>,
     param_links: Vec<(usize, ParamId)>,
     training: bool,
     rng: StdRng,
+    seed: u64,
+    generation: u32,
+    pool: BufferPool,
 }
 
 impl Default for Graph {
@@ -54,21 +72,67 @@ impl Graph {
     /// Creates an empty tape in training mode (dropout active) with a fixed
     /// default seed for dropout masks.
     pub fn new() -> Self {
-        Graph {
-            nodes: Vec::new(),
-            grads: Vec::new(),
-            param_links: Vec::new(),
-            training: true,
-            rng: StdRng::seed_from_u64(0x5eed),
-        }
+        Self::with_seed(0x5eed)
     }
 
     /// Creates an empty tape with an explicit dropout seed.
     pub fn with_seed(seed: u64) -> Self {
         Graph {
+            nodes: Vec::new(),
+            values: Vec::new(),
+            grads: Vec::new(),
+            param_links: Vec::new(),
+            training: true,
             rng: StdRng::seed_from_u64(seed),
-            ..Graph::new()
+            seed,
+            generation: 0,
+            pool: BufferPool::default(),
         }
+    }
+
+    /// Clears the tape for the next step, recycling every buffer it owned
+    /// into the internal pool, and reseeds the dropout RNG with `seed`.
+    ///
+    /// After this call the graph is observationally identical to
+    /// [`Graph::with_seed`]`(seed)` (the training-mode flag is preserved),
+    /// except that subsequent ops draw their buffers from the pool instead
+    /// of the allocator. All outstanding [`Var`] handles become stale.
+    pub fn reset_with_seed(&mut self, seed: u64) {
+        self.generation = self.generation.wrapping_add(1);
+        for v in self.values.drain(..) {
+            self.pool.recycle(v);
+        }
+        for node in self.nodes.drain(..) {
+            match node.op {
+                Op::Dropout { mask } => self.pool.give_f32(mask),
+                Op::CrossEntropy { targets, probs, .. } => {
+                    self.pool.give_f32(probs);
+                    self.pool.give_i32(targets);
+                }
+                Op::Embedding { ids } => self.pool.give_u32(ids),
+                Op::NormalizeLast { rstd } => self.pool.give_f32(rstd),
+                _ => {}
+            }
+        }
+        for g in self.grads.drain(..).flatten() {
+            self.pool.recycle(g);
+        }
+        self.param_links.clear();
+        self.seed = seed;
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// [`Graph::reset_with_seed`] with the seed the graph was created (or
+    /// last reset) with, replaying the same dropout streams.
+    pub fn reset(&mut self) {
+        let seed = self.seed;
+        self.reset_with_seed(seed);
+    }
+
+    /// Buffer-pool counters `(hits, misses)`: requests served from
+    /// recycled buffers vs. requests that hit the system allocator.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        (self.pool.hits(), self.pool.misses())
     }
 
     /// Switches between training mode (dropout active) and evaluation mode
@@ -92,37 +156,68 @@ impl Graph {
         self.nodes.is_empty()
     }
 
-    fn push(&mut self, op: Op, inputs: Vec<usize>, value: Tensor) -> Var {
-        self.nodes.push(Node { op, inputs, value });
-        Var(self.nodes.len() - 1)
+    /// Resolves a handle to its node index, checking (in debug builds) that
+    /// it belongs to the current tape generation.
+    #[inline]
+    fn chk(&self, v: Var) -> usize {
+        debug_assert_eq!(
+            v.gen, self.generation,
+            "stale Var used after Graph::reset()"
+        );
+        v.idx
+    }
+
+    fn push(&mut self, op: Op, inputs: &[usize], value: Tensor) -> Var {
+        self.nodes.push(Node::new(op, inputs));
+        self.values.push(value);
+        Var {
+            idx: self.nodes.len() - 1,
+            gen: self.generation,
+        }
     }
 
     /// Forward value of a variable.
     pub fn value(&self, v: Var) -> &Tensor {
-        &self.nodes[v.0].value
+        &self.values[self.chk(v)]
     }
 
     /// Gradient of a leaf variable after [`Graph::backward`]; `None` if the
     /// variable did not receive a gradient.
     pub fn grad(&self, v: Var) -> Option<&Tensor> {
-        self.grads.get(v.0).and_then(|g| g.as_ref())
+        let idx = self.chk(v);
+        self.grads.get(idx).and_then(|g| g.as_ref())
     }
 
     // ------------------------------------------------------------------
     // Leaves
     // ------------------------------------------------------------------
 
-    /// Adds a constant input (leaf) to the tape.
+    /// Adds a constant input (leaf) to the tape, taking ownership of `t`
+    /// as-is. Prefer [`Graph::input_with`] on hot paths so the leaf's
+    /// buffer comes from the pool.
     pub fn input(&mut self, t: Tensor) -> Var {
-        self.push(Op::Leaf, vec![], t)
+        self.push(Op::Leaf, &[], t)
+    }
+
+    /// Adds a zero-initialized constant input (leaf) of shape `dims`,
+    /// drawing its buffer from the pool, and lets `init` fill it in place.
+    ///
+    /// This is the allocation-free counterpart of building a `Tensor` and
+    /// calling [`Graph::input`]: batch encodings, masks and initial
+    /// recurrent states write into a recycled zeroed buffer instead.
+    pub fn input_with(&mut self, dims: &[usize], init: impl FnOnce(&mut [f32])) -> Var {
+        let mut t = self.pool.tensor_zeroed(Shape::new(dims));
+        init(t.data_mut());
+        self.push(Op::Leaf, &[], t)
     }
 
     /// Adds a parameter (leaf) to the tape, copying its current value from
     /// the store and remembering the link so [`Graph::grads_into`] can route
     /// the gradient back.
     pub fn param(&mut self, params: &Params, id: ParamId) -> Var {
-        let v = self.push(Op::Leaf, vec![], params.value(id).clone());
-        self.param_links.push((v.0, id));
+        let value = self.pool.tensor_copy(params.value(id));
+        let v = self.push(Op::Leaf, &[], value);
+        self.param_links.push((v.idx, id));
         v
     }
 
@@ -131,8 +226,8 @@ impl Graph {
     // ------------------------------------------------------------------
 
     fn broadcast_kind(&self, a: Var, b: Var, what: &str) -> Broadcast {
-        let sa = self.nodes[a.0].value.shape();
-        let sb = self.nodes[b.0].value.shape();
+        let sa = self.values[self.chk(a)].shape();
+        let sb = self.values[self.chk(b)].shape();
         if sa == sb {
             Broadcast::None
         } else if sb.numel() == 1 {
@@ -145,12 +240,13 @@ impl Graph {
     }
 
     fn apply_broadcast(
+        pool: &mut BufferPool,
         a: &Tensor,
         b: &Tensor,
         bcast: Broadcast,
         f: impl Fn(f32, f32) -> f32,
     ) -> Tensor {
-        let mut out = a.clone();
+        let mut out = pool.tensor_copy(a);
         match bcast {
             Broadcast::None => {
                 for (o, &bv) in out.data_mut().iter_mut().zip(b.data()) {
@@ -182,13 +278,15 @@ impl Graph {
     /// Panics if the shapes are not broadcast-compatible.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
         let bcast = self.broadcast_kind(a, b, "add");
+        let (ia, ib) = (self.chk(a), self.chk(b));
         let value = Self::apply_broadcast(
-            &self.nodes[a.0].value,
-            &self.nodes[b.0].value,
+            &mut self.pool,
+            &self.values[ia],
+            &self.values[ib],
             bcast,
             |x, y| x + y,
         );
-        self.push(Op::Add(bcast), vec![a.0, b.0], value)
+        self.push(Op::Add(bcast), &[ia, ib], value)
     }
 
     /// `a - b`, with the same broadcasting rules as [`Graph::add`].
@@ -198,13 +296,15 @@ impl Graph {
     /// Panics if the shapes are not broadcast-compatible.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
         let bcast = self.broadcast_kind(a, b, "sub");
+        let (ia, ib) = (self.chk(a), self.chk(b));
         let value = Self::apply_broadcast(
-            &self.nodes[a.0].value,
-            &self.nodes[b.0].value,
+            &mut self.pool,
+            &self.values[ia],
+            &self.values[ib],
             bcast,
             |x, y| x - y,
         );
-        self.push(Op::Sub(bcast), vec![a.0, b.0], value)
+        self.push(Op::Sub(bcast), &[ia, ib], value)
     }
 
     /// Element-wise `a * b`, with the same broadcasting rules as
@@ -215,31 +315,39 @@ impl Graph {
     /// Panics if the shapes are not broadcast-compatible.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
         let bcast = self.broadcast_kind(a, b, "mul");
+        let (ia, ib) = (self.chk(a), self.chk(b));
         let value = Self::apply_broadcast(
-            &self.nodes[a.0].value,
-            &self.nodes[b.0].value,
+            &mut self.pool,
+            &self.values[ia],
+            &self.values[ib],
             bcast,
             |x, y| x * y,
         );
-        self.push(Op::Mul(bcast), vec![a.0, b.0], value)
+        self.push(Op::Mul(bcast), &[ia, ib], value)
     }
 
     /// `-a`.
     pub fn neg(&mut self, a: Var) -> Var {
-        let value = self.nodes[a.0].value.scaled(-1.0);
-        self.push(Op::Neg, vec![a.0], value)
+        let ia = self.chk(a);
+        let mut value = self.pool.tensor_uninit(*self.values[ia].shape());
+        kernels::map_into(self.values[ia].data(), value.data_mut(), 16, |v| -v);
+        self.push(Op::Neg, &[ia], value)
     }
 
     /// `a * c` for a constant.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
-        let value = self.nodes[a.0].value.scaled(c);
-        self.push(Op::Scale(c), vec![a.0], value)
+        let ia = self.chk(a);
+        let mut value = self.pool.tensor_uninit(*self.values[ia].shape());
+        kernels::map_into(self.values[ia].data(), value.data_mut(), 16, |v| v * c);
+        self.push(Op::Scale(c), &[ia], value)
     }
 
     /// `a + c` for a constant.
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
-        let value = self.nodes[a.0].value.map(|v| v + c);
-        self.push(Op::AddScalar, vec![a.0], value)
+        let ia = self.chk(a);
+        let mut value = self.pool.tensor_uninit(*self.values[ia].shape());
+        kernels::map_into(self.values[ia].data(), value.data_mut(), 16, |v| v + c);
+        self.push(Op::AddScalar, &[ia], value)
     }
 
     // ------------------------------------------------------------------
@@ -252,10 +360,14 @@ impl Graph {
     ///
     /// Panics on inner-dimension or batch mismatch.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        let (ia, ib) = (self.chk(a), self.chk(b));
+        let out_shape = self.values[ia].matmul_shape(&self.values[ib]);
+        // Zeroed: the matmul kernel accumulates into its output.
+        let mut value = self.pool.tensor_zeroed(out_shape);
+        self.values[ia].matmul_into(&self.values[ib], &mut value);
         let rhs_broadcast =
-            self.nodes[b.0].value.shape().rank() == 2 && self.nodes[a.0].value.shape().rank() > 2;
-        self.push(Op::Matmul { rhs_broadcast }, vec![a.0, b.0], value)
+            self.values[ib].shape().rank() == 2 && self.values[ia].shape().rank() > 2;
+        self.push(Op::Matmul { rhs_broadcast }, &[ia, ib], value)
     }
 
     /// Transposes the last two dimensions.
@@ -264,8 +376,12 @@ impl Graph {
     ///
     /// Panics if the rank is < 2.
     pub fn transpose_last2(&mut self, a: Var) -> Var {
-        let value = self.nodes[a.0].value.transposed_last2();
-        self.push(Op::TransposeLast2, vec![a.0], value)
+        let ia = self.chk(a);
+        let mut value = self
+            .pool
+            .tensor_uninit(self.values[ia].shape().transposed_last2());
+        self.values[ia].transpose_last2_into(value.data_mut());
+        self.push(Op::TransposeLast2, &[ia], value)
     }
 
     /// Swaps axes 1 and 2 of a rank-4 tensor (`[B, S, H, D]` →
@@ -275,8 +391,12 @@ impl Graph {
     ///
     /// Panics if the rank is not 4.
     pub fn swap_axes12(&mut self, a: Var) -> Var {
-        let value = self.nodes[a.0].value.swapped_axes12();
-        self.push(Op::SwapAxes12, vec![a.0], value)
+        let ia = self.chk(a);
+        let mut value = self
+            .pool
+            .tensor_uninit(self.values[ia].shape().swapped_axes12());
+        self.values[ia].swap_axes12_into(value.data_mut());
+        self.push(Op::SwapAxes12, &[ia], value)
     }
 
     /// Reshapes to `dims` (same element count).
@@ -285,8 +405,18 @@ impl Graph {
     ///
     /// Panics if the element count changes.
     pub fn reshape(&mut self, a: Var, dims: &[usize]) -> Var {
-        let value = self.nodes[a.0].value.reshaped(dims);
-        self.push(Op::Reshape, vec![a.0], value)
+        let ia = self.chk(a);
+        let src = &self.values[ia];
+        let shape = Shape::new(dims);
+        assert_eq!(
+            shape.numel(),
+            src.numel(),
+            "reshape from {} to {shape} changes element count",
+            src.shape()
+        );
+        let mut value = self.pool.tensor_uninit(shape);
+        value.data_mut().copy_from_slice(self.values[ia].data());
+        self.push(Op::Reshape, &[ia], value)
     }
 
     /// Selects `[:, index, :]` from a rank-3 tensor (`[B, S, H] -> [B, H]`),
@@ -296,17 +426,20 @@ impl Graph {
     ///
     /// Panics if the input is not rank-3 or `index` is out of bounds.
     pub fn select_axis1(&mut self, a: Var, index: usize) -> Var {
-        let src = &self.nodes[a.0].value;
+        let ia = self.chk(a);
+        let src = &self.values[ia];
         let dims = src.dims();
         assert_eq!(dims.len(), 3, "select_axis1 requires rank-3 input");
         let (b, s, h) = (dims[0], dims[1], dims[2]);
         assert!(index < s, "select_axis1 index {index} out of bounds {s}");
-        let mut out = Tensor::zeros(&[b, h]);
+        // Uninit: every output row is fully copied.
+        let mut out = self.pool.tensor_uninit(Shape::new(&[b, h]));
+        let src = &self.values[ia];
         for bi in 0..b {
             out.data_mut()[bi * h..(bi + 1) * h]
                 .copy_from_slice(&src.data()[(bi * s + index) * h..(bi * s + index + 1) * h]);
         }
-        self.push(Op::Select { index, axis_len: s }, vec![a.0], out)
+        self.push(Op::Select { index, axis_len: s }, &[ia], out)
     }
 
     /// Concatenates two tensors along the last dimension. All leading
@@ -316,21 +449,18 @@ impl Graph {
     ///
     /// Panics if the leading dimensions differ.
     pub fn concat_last(&mut self, a: Var, b: Var) -> Var {
-        let (sa, sb) = (
-            self.nodes[a.0].value.shape().clone(),
-            self.nodes[b.0].value.shape().clone(),
-        );
+        let (ia, ib) = (self.chk(a), self.chk(b));
+        let (sa, sb) = (*self.values[ia].shape(), *self.values[ib].shape());
         assert_eq!(
             sa.dims()[..sa.rank() - 1],
             sb.dims()[..sb.rank() - 1],
             "concat_last leading dims differ: {sa} vs {sb}"
         );
         let (wa, wb) = (sa.last_dim(), sb.last_dim());
-        let mut dims = sa.dims().to_vec();
-        *dims.last_mut().expect("rank >= 1") = wa + wb;
-        let mut out = Tensor::zeros(&dims);
-        let av = &self.nodes[a.0].value;
-        let bv = &self.nodes[b.0].value;
+        // Uninit: every output row is fully written.
+        let mut out = self.pool.tensor_uninit(sa.with_last(wa + wb));
+        let av = &self.values[ia];
+        let bv = &self.values[ib];
         for ((row, ra), rb) in out
             .data_mut()
             .chunks_mut(wa + wb)
@@ -340,7 +470,7 @@ impl Graph {
             row[..wa].copy_from_slice(ra);
             row[wa..].copy_from_slice(rb);
         }
-        self.push(Op::ConcatLast, vec![a.0, b.0], out)
+        self.push(Op::ConcatLast, &[ia, ib], out)
     }
 
     /// Takes columns `start..start+len` of the last dimension.
@@ -349,16 +479,18 @@ impl Graph {
     ///
     /// Panics if the range exceeds the last dimension.
     pub fn slice_last(&mut self, a: Var, start: usize, len: usize) -> Var {
-        let src = &self.nodes[a.0].value;
+        let ia = self.chk(a);
+        let src = &self.values[ia];
         let width = src.shape().last_dim();
         assert!(
             start + len <= width && len > 0,
             "slice_last {start}..{} out of 0..{width}",
             start + len
         );
-        let mut dims = src.dims().to_vec();
-        *dims.last_mut().expect("rank >= 1") = len;
-        let mut out = Tensor::zeros(&dims);
+        let out_shape = src.shape().with_last(len);
+        // Uninit: every output row is fully copied.
+        let mut out = self.pool.tensor_uninit(out_shape);
+        let src = &self.values[ia];
         for (orow, srow) in out.data_mut().chunks_mut(len).zip(src.data().chunks(width)) {
             orow.copy_from_slice(&srow[start..start + len]);
         }
@@ -367,19 +499,24 @@ impl Graph {
                 start,
                 src_width: width,
             },
-            vec![a.0],
+            &[ia],
             out,
         )
     }
 
     /// Sums over the last dimension (`[.., D]` → `[..]`).
     pub fn sum_last(&mut self, a: Var) -> Var {
-        let src = &self.nodes[a.0].value;
+        let ia = self.chk(a);
+        let src = &self.values[ia];
         let width = src.shape().last_dim().max(1);
-        let dims: Vec<usize> = src.dims()[..src.dims().len().saturating_sub(1)].to_vec();
-        let data: Vec<f32> = src.data().chunks(width).map(|r| r.iter().sum()).collect();
-        let out = Tensor::from_vec(&dims, data).expect("sum_last shape");
-        self.push(Op::SumLast, vec![a.0], out)
+        let out_shape = Shape::new(&src.dims()[..src.dims().len().saturating_sub(1)]);
+        // Uninit: every output element is assigned.
+        let mut out = self.pool.tensor_uninit(out_shape);
+        let src = &self.values[ia];
+        for (o, r) in out.data_mut().iter_mut().zip(src.data().chunks(width)) {
+            *o = r.iter().sum();
+        }
+        self.push(Op::SumLast, &[ia], out)
     }
 
     /// Mean over axis 1 of a rank-3 tensor (`[B, S, H]` → `[B, H]`):
@@ -389,11 +526,13 @@ impl Graph {
     ///
     /// Panics unless the input is rank-3.
     pub fn mean_axis1(&mut self, a: Var) -> Var {
-        let src = &self.nodes[a.0].value;
-        let dims = src.dims();
+        let ia = self.chk(a);
+        let dims = self.values[ia].dims();
         assert_eq!(dims.len(), 3, "mean_axis1 requires rank-3 input");
         let (b, s, h) = (dims[0], dims[1], dims[2]);
-        let mut out = Tensor::zeros(&[b, h]);
+        // Zeroed: rows accumulate before the final divide.
+        let mut out = self.pool.tensor_zeroed(Shape::new(&[b, h]));
+        let src = &self.values[ia];
         for bi in 0..b {
             let orow = &mut out.data_mut()[bi * h..(bi + 1) * h];
             for si in 0..s {
@@ -406,7 +545,7 @@ impl Graph {
                 *o /= s as f32;
             }
         }
-        self.push(Op::MeanAxis1 { axis_len: s }, vec![a.0], out)
+        self.push(Op::MeanAxis1 { axis_len: s }, &[ia], out)
     }
 
     // ------------------------------------------------------------------
@@ -415,14 +554,18 @@ impl Graph {
 
     /// Sum of all elements (scalar output).
     pub fn sum(&mut self, a: Var) -> Var {
-        let value = Tensor::scalar(self.nodes[a.0].value.sum());
-        self.push(Op::Sum, vec![a.0], value)
+        let ia = self.chk(a);
+        let v = self.values[ia].sum();
+        let value = self.pool.tensor_full(Shape::new(&[]), v);
+        self.push(Op::Sum, &[ia], value)
     }
 
     /// Mean of all elements (scalar output).
     pub fn mean(&mut self, a: Var) -> Var {
-        let value = Tensor::scalar(self.nodes[a.0].value.mean());
-        self.push(Op::Mean, vec![a.0], value)
+        let ia = self.chk(a);
+        let v = self.values[ia].mean();
+        let value = self.pool.tensor_full(Shape::new(&[]), v);
+        self.push(Op::Mean, &[ia], value)
     }
 
     // ------------------------------------------------------------------
@@ -431,43 +574,63 @@ impl Graph {
 
     /// Softmax over the last dimension.
     pub fn softmax(&mut self, a: Var) -> Var {
-        let mut value = self.nodes[a.0].value.clone();
+        let ia = self.chk(a);
+        let mut value = self.pool.tensor_copy(&self.values[ia]);
         let width = value.shape().last_dim();
         kernels::softmax_rows(value.data_mut(), width);
-        self.push(Op::Softmax, vec![a.0], value)
+        self.push(Op::Softmax, &[ia], value)
     }
 
     /// Log-softmax over the last dimension.
     pub fn log_softmax(&mut self, a: Var) -> Var {
-        let mut value = self.nodes[a.0].value.clone();
+        let ia = self.chk(a);
+        let mut value = self.pool.tensor_copy(&self.values[ia]);
         let width = value.shape().last_dim();
         kernels::log_softmax_rows(value.data_mut(), width);
-        self.push(Op::LogSoftmax, vec![a.0], value)
+        self.push(Op::LogSoftmax, &[ia], value)
     }
 
     /// `tanh(a)` (fast Padé approximation; see
     /// [`kernels::tanh_fast`](crate::kernels::tanh_fast)).
     pub fn tanh(&mut self, a: Var) -> Var {
-        let value = self.nodes[a.0].value.map(kernels::tanh_fast);
-        self.push(Op::Tanh, vec![a.0], value)
+        let ia = self.chk(a);
+        let mut value = self.pool.tensor_uninit(*self.values[ia].shape());
+        kernels::map_into(
+            self.values[ia].data(),
+            value.data_mut(),
+            16,
+            kernels::tanh_fast,
+        );
+        self.push(Op::Tanh, &[ia], value)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let value = self.nodes[a.0].value.map(kernels::sigmoid);
-        self.push(Op::Sigmoid, vec![a.0], value)
+        let ia = self.chk(a);
+        let mut value = self.pool.tensor_uninit(*self.values[ia].shape());
+        kernels::map_into(
+            self.values[ia].data(),
+            value.data_mut(),
+            16,
+            kernels::sigmoid,
+        );
+        self.push(Op::Sigmoid, &[ia], value)
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let value = self.nodes[a.0].value.map(|v| v.max(0.0));
-        self.push(Op::Relu, vec![a.0], value)
+        let ia = self.chk(a);
+        let mut value = self.pool.tensor_uninit(*self.values[ia].shape());
+        kernels::map_into(self.values[ia].data(), value.data_mut(), 16, |v| v.max(0.0));
+        self.push(Op::Relu, &[ia], value)
     }
 
     /// GELU (tanh approximation, as in BERT).
     pub fn gelu(&mut self, a: Var) -> Var {
-        let value = self.nodes[a.0].value.map(kernels::gelu);
-        self.push(Op::Gelu, vec![a.0], value)
+        let ia = self.chk(a);
+        let mut value = self.pool.tensor_uninit(*self.values[ia].shape());
+        kernels::map_into(self.values[ia].data(), value.data_mut(), 16, kernels::gelu);
+        self.push(Op::Gelu, &[ia], value)
     }
 
     /// Inverted dropout with probability `p`. Identity in evaluation mode.
@@ -477,35 +640,35 @@ impl Graph {
     /// Panics if `p` is not within `[0, 1)`.
     pub fn dropout(&mut self, a: Var, p: f32) -> Var {
         assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
+        let ia = self.chk(a);
         if !self.training || p == 0.0 {
             return a;
         }
         let keep = 1.0 - p;
         let scale = 1.0 / keep;
-        let n = self.nodes[a.0].value.numel();
+        let n = self.values[ia].numel();
         // Mask generation is on the hot path (every activation tensor in a
         // transformer); a xorshift64* stream seeded from the graph RNG is
         // an order of magnitude faster than drawing each element from
         // StdRng while remaining deterministic per graph seed.
         let mut state: u64 = self.rng.random::<u64>() | 1;
         let threshold = (keep as f64 * (1u64 << 32) as f64) as u64;
-        let mask: Vec<f32> = (0..n)
-            .map(|_| {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                if (state >> 32) < threshold {
-                    scale
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        let mut value = self.nodes[a.0].value.clone();
+        let mut mask = self.pool.take_f32(n);
+        for m in mask.iter_mut() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *m = if (state >> 32) < threshold {
+                scale
+            } else {
+                0.0
+            };
+        }
+        let mut value = self.pool.tensor_copy(&self.values[ia]);
         for (v, &m) in value.data_mut().iter_mut().zip(&mask) {
             *v *= m;
         }
-        self.push(Op::Dropout { mask }, vec![a.0], value)
+        self.push(Op::Dropout { mask }, &[ia], value)
     }
 
     // ------------------------------------------------------------------
@@ -521,11 +684,14 @@ impl Graph {
     ///
     /// Panics if the table is not rank-2 or an id is out of range.
     pub fn embedding(&mut self, table: Var, ids: &[u32]) -> Var {
-        let t = &self.nodes[table.0].value;
+        let it = self.chk(table);
+        let t = &self.values[it];
         assert_eq!(t.shape().rank(), 2, "embedding table must be rank-2");
         let v = t.dims()[0];
         let h = t.dims()[1];
-        let mut out = Tensor::zeros(&[ids.len(), h]);
+        // Uninit: every output row is fully copied.
+        let mut out = self.pool.tensor_uninit(Shape::new(&[ids.len(), h]));
+        let t = &self.values[it];
         for (pos, &id) in ids.iter().enumerate() {
             assert!(
                 (id as usize) < v,
@@ -534,17 +700,22 @@ impl Graph {
             out.data_mut()[pos * h..(pos + 1) * h]
                 .copy_from_slice(&t.data()[id as usize * h..(id as usize + 1) * h]);
         }
-        self.push(Op::Embedding { ids: ids.to_vec() }, vec![table.0], out)
+        let mut ids_buf = self.pool.take_u32(ids.len());
+        ids_buf.copy_from_slice(ids);
+        self.push(Op::Embedding { ids: ids_buf }, &[it], out)
     }
 
     /// Normalizes the last dimension to zero mean and unit variance (the
     /// non-affine core of layer normalization). Combine with broadcast
     /// [`Graph::mul`]/[`Graph::add`] for the learned gain and bias.
     pub fn normalize_last(&mut self, a: Var, eps: f32) -> Var {
-        let mut value = self.nodes[a.0].value.clone();
+        let ia = self.chk(a);
+        let mut value = self.pool.tensor_copy(&self.values[ia]);
         let width = value.shape().last_dim();
-        let (_means, rstd) = kernels::layer_norm_rows(value.data_mut(), width, eps);
-        self.push(Op::NormalizeLast { rstd }, vec![a.0], value)
+        let rows = value.numel() / width.max(1);
+        let mut rstd = self.pool.take_f32(rows);
+        kernels::layer_norm_rows_rstd(value.data_mut(), width, eps, &mut rstd);
+        self.push(Op::NormalizeLast { rstd }, &[ia], value)
     }
 
     /// Mean cross-entropy of logits against integer class targets.
@@ -561,7 +732,8 @@ impl Graph {
     /// Panics if `targets.len()` differs from the number of rows, or a
     /// non-ignored target is outside `[0, C)`.
     pub fn cross_entropy(&mut self, logits: Var, targets: &[i32], ignore_index: i32) -> Var {
-        let lv = &self.nodes[logits.0].value;
+        let il = self.chk(logits);
+        let lv = &self.values[il];
         let classes = lv.shape().last_dim();
         let rows = lv.numel() / classes;
         assert_eq!(
@@ -570,7 +742,8 @@ impl Graph {
             "cross_entropy: {} targets for {rows} rows",
             targets.len()
         );
-        let mut probs = lv.data().to_vec();
+        let mut probs = self.pool.take_f32(lv.numel());
+        probs.copy_from_slice(self.values[il].data());
         kernels::softmax_rows(&mut probs, classes);
         let mut loss = 0.0f64;
         let mut n_valid = 0usize;
@@ -591,15 +764,18 @@ impl Graph {
         } else {
             (loss / n_valid as f64) as f32
         };
+        let mut tbuf = self.pool.take_i32(targets.len());
+        tbuf.copy_from_slice(targets);
+        let value = self.pool.tensor_full(Shape::new(&[]), mean);
         self.push(
             Op::CrossEntropy {
-                targets: targets.to_vec(),
+                targets: tbuf,
                 ignore_index,
                 n_valid,
                 probs,
             },
-            vec![logits.0],
-            Tensor::scalar(mean),
+            &[il],
+            value,
         )
     }
 
@@ -616,15 +792,26 @@ impl Graph {
     ///
     /// Panics if `loss` is not a scalar (single-element) variable.
     pub fn backward(&mut self, loss: Var) {
+        let lid = self.chk(loss);
         assert_eq!(
-            self.nodes[loss.0].value.numel(),
+            self.values[lid].numel(),
             1,
             "backward requires a scalar loss"
         );
-        self.grads = (0..self.nodes.len()).map(|_| None).collect();
-        accumulate(&mut self.grads, loss.0, Tensor::scalar(1.0));
-        for id in (0..=loss.0).rev() {
-            backward_node(&self.nodes, &mut self.grads, id);
+        for g in self.grads.drain(..).flatten() {
+            self.pool.recycle(g);
+        }
+        self.grads.resize_with(self.nodes.len(), || None);
+        let seed = self.pool.tensor_full(Shape::new(&[]), 1.0);
+        accumulate(&mut self.grads, &mut self.pool, lid, seed);
+        for id in (0..=lid).rev() {
+            backward_node(
+                &self.nodes,
+                &self.values,
+                &mut self.grads,
+                &mut self.pool,
+                id,
+            );
         }
     }
 
@@ -924,5 +1111,94 @@ mod tests {
         let mut g = Graph::new();
         let x = g.input(Tensor::ones(&[2]));
         g.backward(x);
+    }
+
+    #[test]
+    fn input_with_builds_leaf_from_closure() {
+        let mut g = Graph::new();
+        let x = g.input_with(&[2, 2], |d| d[3] = 7.0);
+        assert_eq!(g.value(x).dims(), &[2, 2]);
+        assert_eq!(g.value(x).data(), &[0.0, 0.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn reset_replays_dropout_stream() {
+        let mut g = Graph::with_seed(42);
+        let x = g.input(Tensor::ones(&[512]));
+        let d = g.dropout(x, 0.3);
+        let first: Vec<f32> = g.value(d).data().to_vec();
+        g.reset();
+        let x2 = g.input(Tensor::ones(&[512]));
+        let d2 = g.dropout(x2, 0.3);
+        assert_eq!(g.value(d2).data(), &first[..]);
+        let (hits, _misses) = g.pool_stats();
+        assert!(hits > 0, "second pass should reuse recycled buffers");
+    }
+
+    #[test]
+    fn reset_reuse_is_bit_identical_to_fresh() {
+        fn step(g: &mut Graph) -> (u32, Vec<u32>, Vec<u32>) {
+            let x = g.input(t(&[2, 3], &[0.5, -1.0, 2.0, 1.5, 0.0, -0.5]));
+            let w = g.input(t(&[3, 2], &[0.1, 0.2, -0.3, 0.4, 0.5, -0.6]));
+            let h = g.matmul(x, w);
+            let a = g.tanh(h);
+            let d = g.dropout(a, 0.25);
+            let n = g.normalize_last(d, 1e-5);
+            let loss = g.mean(n);
+            g.backward(loss);
+            (
+                g.value(loss).item().to_bits(),
+                g.grad(x)
+                    .unwrap()
+                    .data()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect(),
+                g.grad(w)
+                    .unwrap()
+                    .data()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect(),
+            )
+        }
+        let mut reused = Graph::with_seed(11);
+        for _ in 0..3 {
+            reused.reset_with_seed(11);
+            let got = step(&mut reused);
+            let mut fresh = Graph::with_seed(11);
+            let want = step(&mut fresh);
+            assert_eq!(got, want);
+        }
+        let (hits, _) = reused.pool_stats();
+        assert!(hits > 0, "reused graph should hit the pool");
+    }
+
+    #[test]
+    fn reset_handles_shape_changes_without_bleed_through() {
+        let mut g = Graph::new();
+        let x = g.input(t(&[4], &[5.0; 4]));
+        let s = g.scale(x, 2.0);
+        let loss = g.sum(s);
+        g.backward(loss);
+        g.reset();
+        // Smaller tensors next step: recycled buffers must be re-sized and
+        // (where required) re-zeroed.
+        let y = g.input_with(&[2], |d| d[0] = 1.0);
+        assert_eq!(g.value(y).data(), &[1.0, 0.0]);
+        let sq = g.mul(y, y);
+        let loss2 = g.sum(sq);
+        g.backward(loss2);
+        assert_eq!(g.grad(y).unwrap().data(), &[2.0, 0.0]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "stale Var")]
+    fn stale_var_after_reset_panics() {
+        let mut g = Graph::new();
+        let x = g.input(t(&[2], &[1.0, 2.0]));
+        g.reset();
+        let _ = g.value(x);
     }
 }

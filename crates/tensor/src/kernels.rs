@@ -14,6 +14,25 @@
 
 use crate::pool;
 
+/// Row-block body shared by the serial and parallel paths of
+/// [`matmul_acc`]: accumulates rows `i0..` of `c` in `i-k-j` order.
+#[inline]
+fn matmul_rows_block(a: &[f32], b: &[f32], c_block: &mut [f32], i0: usize, k: usize, n: usize) {
+    for (r, c_row) in c_block.chunks_mut(n).enumerate() {
+        let i = i0 + r;
+        let a_row = &a[i * k..(i + 1) * k];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
 /// `c[m, n] += a[m, k] * b[k, n]` (single matrix, accumulate).
 ///
 /// The serial inner loops use an `i-k-j` order so the innermost loop
@@ -34,28 +53,15 @@ pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: us
         return;
     }
     let w = pool::workers_for(m, 2 * k * n);
+    if w <= 1 {
+        matmul_rows_block(a, b, c, 0, k, n);
+        return;
+    }
     let block_rows = m.div_ceil(w);
     let jobs: Vec<_> = c
         .chunks_mut(block_rows * n)
         .enumerate()
-        .map(|(blk, c_block)| {
-            move || {
-                let i0 = blk * block_rows;
-                for (r, c_row) in c_block.chunks_mut(n).enumerate() {
-                    let i = i0 + r;
-                    let a_row = &a[i * k..(i + 1) * k];
-                    for (p, &av) in a_row.iter().enumerate() {
-                        if av == 0.0 {
-                            continue;
-                        }
-                        let b_row = &b[p * n..(p + 1) * n];
-                        for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                            *cv += av * bv;
-                        }
-                    }
-                }
-            }
-        })
+        .map(|(blk, c_block)| move || matmul_rows_block(a, b, c_block, blk * block_rows, k, n))
         .collect();
     pool::run_jobs(jobs);
 }
@@ -121,6 +127,31 @@ pub fn matmul_at_b_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, 
     pool::run_jobs(jobs);
 }
 
+/// Row-block body shared by the serial and parallel paths of
+/// [`matmul_a_bt_acc`]: each output element is an independent dot product.
+#[inline]
+fn matmul_a_bt_rows_block(
+    a: &[f32],
+    b: &[f32],
+    c_block: &mut [f32],
+    i0: usize,
+    n: usize,
+    k: usize,
+) {
+    for (r, c_row) in c_block.chunks_mut(k).enumerate() {
+        let i = i0 + r;
+        let a_row = &a[i * n..(i + 1) * n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * n..(j + 1) * n];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *cv += acc;
+        }
+    }
+}
+
 /// `c[m, k] += a[m, n] * b[k, n]^T` — matmul with the right operand
 /// transposed, used by backward passes (`dx = dy W^T`). Each output
 /// element is an independent dot product, so `c` rows parallelize
@@ -137,27 +168,15 @@ pub fn matmul_a_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, 
         return;
     }
     let w = pool::workers_for(m, 2 * k * n);
+    if w <= 1 {
+        matmul_a_bt_rows_block(a, b, c, 0, n, k);
+        return;
+    }
     let block_rows = m.div_ceil(w);
     let jobs: Vec<_> = c
         .chunks_mut(block_rows * k)
         .enumerate()
-        .map(|(blk, c_block)| {
-            move || {
-                let i0 = blk * block_rows;
-                for (r, c_row) in c_block.chunks_mut(k).enumerate() {
-                    let i = i0 + r;
-                    let a_row = &a[i * n..(i + 1) * n];
-                    for (j, cv) in c_row.iter_mut().enumerate() {
-                        let b_row = &b[j * n..(j + 1) * n];
-                        let mut acc = 0.0f32;
-                        for (&av, &bv) in a_row.iter().zip(b_row) {
-                            acc += av * bv;
-                        }
-                        *cv += acc;
-                    }
-                }
-            }
-        })
+        .map(|(blk, c_block)| move || matmul_a_bt_rows_block(a, b, c_block, blk * block_rows, n, k))
         .collect();
     pool::run_jobs(jobs);
 }
@@ -177,27 +196,40 @@ pub fn softmax_rows(data: &mut [f32], width: usize) {
     );
     let rows = data.len() / width;
     let w = pool::workers_for(rows, 8 * width);
+    if w <= 1 {
+        for row in data.chunks_mut(width) {
+            softmax_row(row);
+        }
+        return;
+    }
     let block_rows = rows.div_ceil(w).max(1);
     let jobs: Vec<_> = data
         .chunks_mut(block_rows * width)
         .map(|block| {
             move || {
                 for row in block.chunks_mut(width) {
-                    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                    let mut sum = 0.0;
-                    for v in row.iter_mut() {
-                        *v = (*v - max).exp();
-                        sum += *v;
-                    }
-                    let inv = 1.0 / sum;
-                    for v in row.iter_mut() {
-                        *v *= inv;
-                    }
+                    softmax_row(row);
                 }
             }
         })
         .collect();
     pool::run_jobs(jobs);
+}
+
+/// Per-row body shared by the serial and parallel paths of
+/// [`softmax_rows`].
+#[inline]
+fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
 }
 
 /// In-place log-softmax over contiguous rows of width `width`. Rows are
@@ -215,26 +247,39 @@ pub fn log_softmax_rows(data: &mut [f32], width: usize) {
     );
     let rows = data.len() / width;
     let w = pool::workers_for(rows, 8 * width);
+    if w <= 1 {
+        for row in data.chunks_mut(width) {
+            log_softmax_row(row);
+        }
+        return;
+    }
     let block_rows = rows.div_ceil(w).max(1);
     let jobs: Vec<_> = data
         .chunks_mut(block_rows * width)
         .map(|block| {
             move || {
                 for row in block.chunks_mut(width) {
-                    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                    let mut sum = 0.0f32;
-                    for v in row.iter() {
-                        sum += (*v - max).exp();
-                    }
-                    let log_z = max + sum.ln();
-                    for v in row.iter_mut() {
-                        *v -= log_z;
-                    }
+                    log_softmax_row(row);
                 }
             }
         })
         .collect();
     pool::run_jobs(jobs);
+}
+
+/// Per-row body shared by the serial and parallel paths of
+/// [`log_softmax_rows`].
+#[inline]
+fn log_softmax_row(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in row.iter() {
+        sum += (*v - max).exp();
+    }
+    let log_z = max + sum.ln();
+    for v in row.iter_mut() {
+        *v -= log_z;
+    }
 }
 
 /// Normalizes each row to zero mean / unit variance; returns `(mean, rstd)`
@@ -255,6 +300,14 @@ pub fn layer_norm_rows(data: &mut [f32], width: usize, eps: f32) -> (Vec<f32>, V
     let mut means = vec![0.0f32; rows];
     let mut rstds = vec![0.0f32; rows];
     let w = pool::workers_for(rows, 6 * width);
+    if w <= 1 {
+        for ((row, mv), rv) in data.chunks_mut(width).zip(&mut means).zip(&mut rstds) {
+            let (mean, rstd) = layer_norm_row(row, width, eps);
+            *mv = mean;
+            *rv = rstd;
+        }
+        return (means, rstds);
+    }
     let block_rows = rows.div_ceil(w).max(1);
     let jobs: Vec<_> = data
         .chunks_mut(block_rows * width)
@@ -266,13 +319,7 @@ pub fn layer_norm_rows(data: &mut [f32], width: usize, eps: f32) -> (Vec<f32>, V
         .map(|(block, (mean_block, rstd_block))| {
             move || {
                 for ((row, mv), rv) in block.chunks_mut(width).zip(mean_block).zip(rstd_block) {
-                    let mean = row.iter().sum::<f32>() / width as f32;
-                    let var =
-                        row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / width as f32;
-                    let rstd = 1.0 / (var + eps).sqrt();
-                    for v in row.iter_mut() {
-                        *v = (*v - mean) * rstd;
-                    }
+                    let (mean, rstd) = layer_norm_row(row, width, eps);
                     *mv = mean;
                     *rv = rstd;
                 }
@@ -281,6 +328,61 @@ pub fn layer_norm_rows(data: &mut [f32], width: usize, eps: f32) -> (Vec<f32>, V
         .collect();
     pool::run_jobs(jobs);
     (means, rstds)
+}
+
+/// Per-row body shared by all layer-norm entry points: normalizes the row
+/// in place and returns its `(mean, rstd)`.
+#[inline]
+fn layer_norm_row(row: &mut [f32], width: usize, eps: f32) -> (f32, f32) {
+    let mean = row.iter().sum::<f32>() / width as f32;
+    let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / width as f32;
+    let rstd = 1.0 / (var + eps).sqrt();
+    for v in row.iter_mut() {
+        *v = (*v - mean) * rstd;
+    }
+    (mean, rstd)
+}
+
+/// Like [`layer_norm_rows`] but writes the per-row `rstd` values into a
+/// caller-provided (typically recycled) buffer and discards the means,
+/// which the backward pass never needs. Same arithmetic, same order —
+/// bit-identical normalized outputs.
+///
+/// # Panics
+///
+/// Panics if `width` is 0, does not divide `data.len()`, or `rstd_out` is
+/// not exactly one element per row.
+pub fn layer_norm_rows_rstd(data: &mut [f32], width: usize, eps: f32, rstd_out: &mut [f32]) {
+    assert!(width > 0, "layer_norm row width must be > 0");
+    assert_eq!(
+        data.len() % width,
+        0,
+        "layer_norm data not a multiple of width"
+    );
+    let rows = data.len() / width;
+    assert_eq!(rstd_out.len(), rows, "layer_norm rstd_out rows");
+    let w = pool::workers_for(rows, 6 * width);
+    if w <= 1 {
+        for (row, rv) in data.chunks_mut(width).zip(rstd_out) {
+            let (_mean, rstd) = layer_norm_row(row, width, eps);
+            *rv = rstd;
+        }
+        return;
+    }
+    let block_rows = rows.div_ceil(w).max(1);
+    let jobs: Vec<_> = data
+        .chunks_mut(block_rows * width)
+        .zip(rstd_out.chunks_mut(block_rows))
+        .map(|(block, rstd_block)| {
+            move || {
+                for (row, rv) in block.chunks_mut(width).zip(rstd_block) {
+                    let (_mean, rstd) = layer_norm_row(row, width, eps);
+                    *rv = rstd;
+                }
+            }
+        })
+        .collect();
+    pool::run_jobs(jobs);
 }
 
 /// Backward of [`layer_norm_rows`]: given normalized outputs `y`, per-row
@@ -301,29 +403,44 @@ pub fn layer_norm_rows_backward(
     assert_eq!(rstd.len(), rows, "layer_norm backward rstd rows");
     assert_eq!(dy.len(), y.len(), "layer_norm backward dy length");
     assert_eq!(dx_acc.len(), y.len(), "layer_norm backward dx length");
-    let w = width as f32;
     let workers = pool::workers_for(rows, 8 * width);
+    if workers <= 1 {
+        layer_norm_backward_block(y, rstd, dy, dx_acc, 0, width);
+        return;
+    }
     let block_rows = rows.div_ceil(workers).max(1);
     let jobs: Vec<_> = dx_acc
         .chunks_mut(block_rows * width)
         .enumerate()
         .map(|(blk, dx_block)| {
-            move || {
-                let r0 = blk * block_rows;
-                for (local, dxs) in dx_block.chunks_mut(width).enumerate() {
-                    let r = r0 + local;
-                    let ys = &y[r * width..(r + 1) * width];
-                    let dys = &dy[r * width..(r + 1) * width];
-                    let sum_dy: f32 = dys.iter().sum();
-                    let sum_dy_y: f32 = dys.iter().zip(ys).map(|(a, b)| a * b).sum();
-                    for ((dx, &yv), &dyv) in dxs.iter_mut().zip(ys).zip(dys) {
-                        *dx += rstd[r] * (dyv - sum_dy / w - yv * sum_dy_y / w);
-                    }
-                }
-            }
+            move || layer_norm_backward_block(y, rstd, dy, dx_block, blk * block_rows, width)
         })
         .collect();
     pool::run_jobs(jobs);
+}
+
+/// Row-block body shared by the serial and parallel paths of
+/// [`layer_norm_rows_backward`].
+#[inline]
+fn layer_norm_backward_block(
+    y: &[f32],
+    rstd: &[f32],
+    dy: &[f32],
+    dx_block: &mut [f32],
+    r0: usize,
+    width: usize,
+) {
+    let w = width as f32;
+    for (local, dxs) in dx_block.chunks_mut(width).enumerate() {
+        let r = r0 + local;
+        let ys = &y[r * width..(r + 1) * width];
+        let dys = &dy[r * width..(r + 1) * width];
+        let sum_dy: f32 = dys.iter().sum();
+        let sum_dy_y: f32 = dys.iter().zip(ys).map(|(a, b)| a * b).sum();
+        for ((dx, &yv), &dyv) in dxs.iter_mut().zip(ys).zip(dys) {
+            *dx += rstd[r] * (dyv - sum_dy / w - yv * sum_dy_y / w);
+        }
+    }
 }
 
 /// `dst[i] = f(src[i])` for every element, on pool threads for large
@@ -373,26 +490,34 @@ pub fn softmax_rows_backward(y: &[f32], dy: &[f32], dx: &mut [f32], width: usize
     assert_eq!(dx.len(), y.len(), "softmax backward dx length");
     let rows = y.len() / width;
     let w = pool::workers_for(rows, 4 * width);
+    if w <= 1 {
+        softmax_backward_block(y, dy, dx, 0, width);
+        return;
+    }
     let block_rows = rows.div_ceil(w).max(1);
     let jobs: Vec<_> = dx
         .chunks_mut(block_rows * width)
         .enumerate()
         .map(|(blk, dx_block)| {
-            move || {
-                let r0 = blk * block_rows * width;
-                for (local, dxrow) in dx_block.chunks_mut(width).enumerate() {
-                    let at = r0 + local * width;
-                    let yrow = &y[at..at + width];
-                    let dyrow = &dy[at..at + width];
-                    let dot: f32 = yrow.iter().zip(dyrow).map(|(a, b)| a * b).sum();
-                    for ((d, &yv), &dyv) in dxrow.iter_mut().zip(yrow).zip(dyrow) {
-                        *d = yv * (dyv - dot);
-                    }
-                }
-            }
+            move || softmax_backward_block(y, dy, dx_block, blk * block_rows * width, width)
         })
         .collect();
     pool::run_jobs(jobs);
+}
+
+/// Row-block body shared by the serial and parallel paths of
+/// [`softmax_rows_backward`]; `at0` is the element offset of the block.
+#[inline]
+fn softmax_backward_block(y: &[f32], dy: &[f32], dx_block: &mut [f32], at0: usize, width: usize) {
+    for (local, dxrow) in dx_block.chunks_mut(width).enumerate() {
+        let at = at0 + local * width;
+        let yrow = &y[at..at + width];
+        let dyrow = &dy[at..at + width];
+        let dot: f32 = yrow.iter().zip(dyrow).map(|(a, b)| a * b).sum();
+        for ((d, &yv), &dyv) in dxrow.iter_mut().zip(yrow).zip(dyrow) {
+            *d = yv * (dyv - dot);
+        }
+    }
 }
 
 /// Backward of [`log_softmax_rows`]: `dx = dy - exp(y) * Σdy` per row,
@@ -408,26 +533,40 @@ pub fn log_softmax_rows_backward(y: &[f32], dy: &[f32], dx: &mut [f32], width: u
     assert_eq!(dx.len(), y.len(), "log_softmax backward dx length");
     let rows = y.len() / width;
     let w = pool::workers_for(rows, 6 * width);
+    if w <= 1 {
+        log_softmax_backward_block(y, dy, dx, 0, width);
+        return;
+    }
     let block_rows = rows.div_ceil(w).max(1);
     let jobs: Vec<_> = dx
         .chunks_mut(block_rows * width)
         .enumerate()
         .map(|(blk, dx_block)| {
-            move || {
-                let r0 = blk * block_rows * width;
-                for (local, dxrow) in dx_block.chunks_mut(width).enumerate() {
-                    let at = r0 + local * width;
-                    let yrow = &y[at..at + width];
-                    let dyrow = &dy[at..at + width];
-                    let sum_dy: f32 = dyrow.iter().sum();
-                    for ((d, &yv), &dyv) in dxrow.iter_mut().zip(yrow).zip(dyrow) {
-                        *d = dyv - yv.exp() * sum_dy;
-                    }
-                }
-            }
+            move || log_softmax_backward_block(y, dy, dx_block, blk * block_rows * width, width)
         })
         .collect();
     pool::run_jobs(jobs);
+}
+
+/// Row-block body shared by the serial and parallel paths of
+/// [`log_softmax_rows_backward`]; `at0` is the element offset of the block.
+#[inline]
+fn log_softmax_backward_block(
+    y: &[f32],
+    dy: &[f32],
+    dx_block: &mut [f32],
+    at0: usize,
+    width: usize,
+) {
+    for (local, dxrow) in dx_block.chunks_mut(width).enumerate() {
+        let at = at0 + local * width;
+        let yrow = &y[at..at + width];
+        let dyrow = &dy[at..at + width];
+        let sum_dy: f32 = dyrow.iter().sum();
+        for ((d, &yv), &dyv) in dxrow.iter_mut().zip(yrow).zip(dyrow) {
+            *d = dyv - yv.exp() * sum_dy;
+        }
+    }
 }
 
 /// Fast `tanh` via the order-7 continued-fraction rational
@@ -565,6 +704,18 @@ mod tests {
             assert!(m.abs() < 1e-5, "mean {m}");
             assert!((v - 1.0).abs() < 1e-3, "var {v}");
         }
+    }
+
+    #[test]
+    fn layer_norm_rstd_variant_matches_full_version() {
+        let src = [1.0f32, 2., 3., 4., 10., 20., 30., 40.];
+        let mut a = src;
+        let (_means, rstds) = layer_norm_rows(&mut a, 4, 1e-5);
+        let mut b = src;
+        let mut rstd_out = [0.0f32; 2];
+        layer_norm_rows_rstd(&mut b, 4, 1e-5, &mut rstd_out);
+        assert_eq!(a, b);
+        assert_eq!(&rstds[..], &rstd_out[..]);
     }
 
     #[test]

@@ -30,8 +30,9 @@
 //! let b = params.register("b", Tensor::zeros(&[2]));
 //!
 //! let mut adam = Adam::with_lr(1e-2);
+//! let mut g = Graph::new();
 //! for _ in 0..10 {
-//!     let mut g = Graph::new();
+//!     g.reset(); // clear the tape, recycling last step's buffers
 //!     let x = g.input(Tensor::ones(&[3, 4]));
 //!     let t = g.input(Tensor::zeros(&[3, 2]));
 //!     let wv = g.param(&params, w);
@@ -52,6 +53,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+mod arena;
 mod error;
 mod gradcheck_impl;
 mod graph;

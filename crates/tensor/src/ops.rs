@@ -1,6 +1,16 @@
 //! Operation records for the autograd tape and their backward rules.
+//!
+//! Backward rules draw every gradient buffer from the graph's
+//! [`BufferPool`] and return consumed upstream gradients to it, so a
+//! reused graph reaches an allocation-free steady state. Each rule is
+//! annotated with whether its output buffer must be zeroed (accumulation /
+//! partial writes) or may start with unspecified contents (every element
+//! overwritten) — the distinction that keeps recycled buffers bit-identical
+//! to fresh ones.
 
+use crate::arena::BufferPool;
 use crate::kernels;
+use crate::shape::Shape;
 use crate::tensor::Tensor;
 
 /// How the right-hand operand of an element-wise op is broadcast onto the
@@ -74,9 +84,10 @@ pub(crate) enum Op {
         /// Extent of axis 1 in the input.
         axis_len: usize,
     },
-    /// Softmax over the last dimension (output saved on the node).
+    /// Softmax over the last dimension (output saved as the node value).
     Softmax,
-    /// Log-softmax over the last dimension (output saved on the node).
+    /// Log-softmax over the last dimension (output saved as the node
+    /// value).
     LogSoftmax,
     /// Mean cross-entropy from logits `[N, C]` against integer targets.
     CrossEntropy {
@@ -115,112 +126,196 @@ pub(crate) enum Op {
     },
 }
 
-/// A node on the tape: the operation, its input node ids, and the computed
-/// forward value.
+/// A node on the tape: the operation and its input node ids. Forward
+/// values live in the graph's parallel `values` array so metadata and
+/// value storage recycle independently across [`crate::Graph::reset`].
+///
+/// No op takes more than two inputs, so the ids are stored inline —
+/// pushing a node never allocates.
 #[derive(Debug)]
 pub(crate) struct Node {
     pub(crate) op: Op,
-    pub(crate) inputs: Vec<usize>,
-    pub(crate) value: Tensor,
+    ins: [usize; 2],
+    n_ins: u8,
 }
 
-/// Adds `contrib` into the gradient slot for node `id`.
-pub(crate) fn accumulate(grads: &mut [Option<Tensor>], id: usize, contrib: Tensor) {
+impl Node {
+    /// Creates a node record for `op` over the given input node ids.
+    pub(crate) fn new(op: Op, inputs: &[usize]) -> Self {
+        debug_assert!(inputs.len() <= 2, "ops take at most two inputs");
+        let mut ins = [0usize; 2];
+        ins[..inputs.len()].copy_from_slice(inputs);
+        Node {
+            op,
+            ins,
+            n_ins: inputs.len() as u8,
+        }
+    }
+
+    /// The input node ids.
+    pub(crate) fn inputs(&self) -> &[usize] {
+        &self.ins[..self.n_ins as usize]
+    }
+}
+
+/// Adds `contrib` into the gradient slot for node `id`. When the slot is
+/// already populated the contribution's buffer is recycled after the
+/// accumulation.
+pub(crate) fn accumulate(
+    grads: &mut [Option<Tensor>],
+    pool: &mut BufferPool,
+    id: usize,
+    contrib: Tensor,
+) {
     match &mut grads[id] {
-        Some(g) => g.axpy(1.0, &contrib),
+        Some(g) => {
+            g.axpy(1.0, &contrib);
+            pool.recycle(contrib);
+        }
         slot @ None => *slot = Some(contrib),
     }
 }
 
-/// Reduces a full-shape gradient back to the shape of a broadcast RHS.
-fn reduce_for_broadcast(full: &Tensor, bcast: Broadcast, rhs_shape: &[usize]) -> Tensor {
+/// Reduces a full-shape gradient back to the shape of a broadcast RHS,
+/// leaving `full` intact (the caller still needs it).
+fn reduce_for_broadcast(
+    pool: &mut BufferPool,
+    full: &Tensor,
+    bcast: Broadcast,
+    rhs_shape: Shape,
+) -> Tensor {
     match bcast {
-        Broadcast::None => full.clone(),
+        Broadcast::None => pool.tensor_copy(full),
         Broadcast::Scalar => {
-            let mut t = Tensor::zeros(rhs_shape);
+            let mut t = pool.tensor_uninit(rhs_shape);
             t.data_mut()[0] = full.sum();
             t
         }
         Broadcast::Row => {
             let width = full.shape().last_dim();
-            let mut acc = vec![0.0f32; width];
+            let mut t = pool.tensor_zeroed(rhs_shape);
+            let acc = t.data_mut();
             for row in full.data().chunks(width) {
                 for (a, &v) in acc.iter_mut().zip(row) {
                     *a += v;
                 }
             }
-            Tensor::from_vec(rhs_shape, acc).expect("row-broadcast grad shape")
+            t
+        }
+    }
+}
+
+/// Like [`reduce_for_broadcast`] but consumes `full`: with no broadcast it
+/// is returned as-is, otherwise its buffer is recycled after the reduction.
+fn reduce_for_broadcast_owned(
+    pool: &mut BufferPool,
+    full: Tensor,
+    bcast: Broadcast,
+    rhs_shape: Shape,
+) -> Tensor {
+    match bcast {
+        Broadcast::None => full,
+        Broadcast::Scalar | Broadcast::Row => {
+            let reduced = reduce_for_broadcast(pool, &full, bcast, rhs_shape);
+            pool.recycle(full);
+            reduced
         }
     }
 }
 
 /// Applies the backward rule of node `id`, accumulating into the gradients
-/// of its inputs. `grads[id]` must already contain the upstream gradient.
-pub(crate) fn backward_node(nodes: &[Node], grads: &mut [Option<Tensor>], id: usize) {
+/// of its inputs. `grads[id]` must already contain the upstream gradient;
+/// it is consumed (and its buffer recycled or reused) except for leaves,
+/// which keep theirs for later retrieval.
+pub(crate) fn backward_node(
+    nodes: &[Node],
+    values: &[Tensor],
+    grads: &mut [Option<Tensor>],
+    pool: &mut BufferPool,
+    id: usize,
+) {
     let node = &nodes[id];
     let dy = match grads[id].take() {
         Some(g) => g,
         None => return,
     };
-    let ins = &node.inputs;
+    let ins = node.inputs();
     match &node.op {
         Op::Leaf => {
             // Restore: leaves keep their gradient for later retrieval.
             grads[id] = Some(dy);
         }
         Op::Add(bcast) => {
-            let rhs_dims = nodes[ins[1]].value.dims().to_vec();
-            accumulate(grads, ins[1], reduce_for_broadcast(&dy, *bcast, &rhs_dims));
-            accumulate(grads, ins[0], dy);
+            let rhs_shape = *values[ins[1]].shape();
+            let db = reduce_for_broadcast(pool, &dy, *bcast, rhs_shape);
+            accumulate(grads, pool, ins[1], db);
+            accumulate(grads, pool, ins[0], dy);
         }
         Op::Sub(bcast) => {
-            let rhs_dims = nodes[ins[1]].value.dims().to_vec();
-            let neg = dy.scaled(-1.0);
-            accumulate(grads, ins[1], reduce_for_broadcast(&neg, *bcast, &rhs_dims));
-            accumulate(grads, ins[0], dy);
+            let rhs_shape = *values[ins[1]].shape();
+            let mut neg = pool.tensor_copy(&dy);
+            for v in neg.data_mut() {
+                *v *= -1.0;
+            }
+            let db = reduce_for_broadcast_owned(pool, neg, *bcast, rhs_shape);
+            accumulate(grads, pool, ins[1], db);
+            accumulate(grads, pool, ins[0], dy);
         }
         Op::Mul(bcast) => {
-            let a = &nodes[ins[0]].value;
-            let b = &nodes[ins[1]].value;
+            let a = &values[ins[0]];
+            let b = &values[ins[1]];
             // da = dy * b (with b broadcast), db = reduce(dy * a)
-            let da = match bcast {
+            let mut da = pool.tensor_copy(&dy);
+            match bcast {
                 Broadcast::None => {
-                    let mut t = dy.clone();
-                    for (x, &bv) in t.data_mut().iter_mut().zip(b.data()) {
+                    for (x, &bv) in da.data_mut().iter_mut().zip(b.data()) {
                         *x *= bv;
                     }
-                    t
                 }
-                Broadcast::Scalar => dy.scaled(b.data()[0]),
+                Broadcast::Scalar => {
+                    let c = b.data()[0];
+                    for x in da.data_mut() {
+                        *x *= c;
+                    }
+                }
                 Broadcast::Row => {
                     let width = a.shape().last_dim();
-                    let mut t = dy.clone();
-                    for row in t.data_mut().chunks_mut(width) {
+                    for row in da.data_mut().chunks_mut(width) {
                         for (x, &bv) in row.iter_mut().zip(b.data()) {
                             *x *= bv;
                         }
                     }
-                    t
                 }
-            };
-            let mut dyxa = dy.clone();
+            }
+            let rhs_shape = *b.shape();
+            // dyxa reuses the upstream gradient's buffer directly.
+            let mut dyxa = dy;
             for (x, &av) in dyxa.data_mut().iter_mut().zip(a.data()) {
                 *x *= av;
             }
-            let rhs_dims = b.dims().to_vec();
-            accumulate(
-                grads,
-                ins[1],
-                reduce_for_broadcast(&dyxa, *bcast, &rhs_dims),
-            );
-            accumulate(grads, ins[0], da);
+            let db = reduce_for_broadcast_owned(pool, dyxa, *bcast, rhs_shape);
+            accumulate(grads, pool, ins[1], db);
+            accumulate(grads, pool, ins[0], da);
         }
-        Op::Neg => accumulate(grads, ins[0], dy.scaled(-1.0)),
-        Op::Scale(c) => accumulate(grads, ins[0], dy.scaled(*c)),
-        Op::AddScalar => accumulate(grads, ins[0], dy),
+        Op::Neg => {
+            let mut dx = dy;
+            for v in dx.data_mut() {
+                *v *= -1.0;
+            }
+            accumulate(grads, pool, ins[0], dx);
+        }
+        Op::Scale(c) => {
+            let c = *c;
+            let mut dx = dy;
+            for v in dx.data_mut() {
+                *v *= c;
+            }
+            accumulate(grads, pool, ins[0], dx);
+        }
+        Op::AddScalar => accumulate(grads, pool, ins[0], dy),
         Op::Matmul { rhs_broadcast } => {
-            let a = &nodes[ins[0]].value;
-            let b = &nodes[ins[1]].value;
+            let a = &values[ins[0]];
+            let b = &values[ins[1]];
             let (batch, m, k) = a.shape().as_batched_matrix();
             let n = b.shape().last_dim();
             // da[b] = dy[b] . b[b]^T ; db[b] = a[b]^T . dy[b].
@@ -228,9 +323,11 @@ pub(crate) fn backward_node(nodes: &[Node], grads: &mut [Option<Tensor>], id: us
             // an explicitly transposed RHS: the transpose is O(k·n) while
             // the dot-product formulation of `a·b^T` vectorizes far worse
             // than the streaming kernel.
-            let bt = b.transposed_last2(); // [.., n, k]
-            let mut da = Tensor::zeros(a.dims());
-            let mut db = Tensor::zeros(b.dims());
+            let mut bt = pool.tensor_uninit(b.shape().transposed_last2()); // [.., n, k]
+            b.transpose_last2_into(bt.data_mut());
+            // Zeroed: the kernels accumulate into these.
+            let mut da = pool.tensor_zeroed(*a.shape());
+            let mut db = pool.tensor_zeroed(*b.shape());
             for bi in 0..batch {
                 let dyb = &dy.data()[bi * m * n..(bi + 1) * m * n];
                 let ab = &a.data()[bi * m * k..(bi + 1) * m * k];
@@ -254,22 +351,38 @@ pub(crate) fn backward_node(nodes: &[Node], grads: &mut [Option<Tensor>], id: us
                 };
                 kernels::matmul_at_b_acc(ab, dyb, db_slice, k, m, n);
             }
-            accumulate(grads, ins[0], da);
-            accumulate(grads, ins[1], db);
+            pool.recycle(bt);
+            pool.recycle(dy);
+            accumulate(grads, pool, ins[0], da);
+            accumulate(grads, pool, ins[1], db);
         }
-        Op::TransposeLast2 => accumulate(grads, ins[0], dy.transposed_last2()),
-        Op::SwapAxes12 => accumulate(grads, ins[0], dy.swapped_axes12()),
+        Op::TransposeLast2 => {
+            let mut dx = pool.tensor_uninit(dy.shape().transposed_last2());
+            dy.transpose_last2_into(dx.data_mut());
+            pool.recycle(dy);
+            accumulate(grads, pool, ins[0], dx);
+        }
+        Op::SwapAxes12 => {
+            let mut dx = pool.tensor_uninit(dy.shape().swapped_axes12());
+            dy.swap_axes12_into(dx.data_mut());
+            pool.recycle(dy);
+            accumulate(grads, pool, ins[0], dx);
+        }
         Op::Reshape => {
-            let in_dims = nodes[ins[0]].value.dims().to_vec();
-            accumulate(grads, ins[0], dy.reshaped(&in_dims));
+            // Zero-copy: the gradient keeps its buffer under the input
+            // shape (same element count by construction).
+            let in_shape = *values[ins[0]].shape();
+            let dx = Tensor::from_raw(in_shape, dy.into_data());
+            accumulate(grads, pool, ins[0], dx);
         }
         Op::ConcatLast => {
-            let a = &nodes[ins[0]].value;
-            let b = &nodes[ins[1]].value;
+            let a = &values[ins[0]];
+            let b = &values[ins[1]];
             let wa = a.shape().last_dim();
             let wb = b.shape().last_dim();
-            let mut da = Tensor::zeros(a.dims());
-            let mut db = Tensor::zeros(b.dims());
+            // Uninit: every row of both outputs is fully copied below.
+            let mut da = pool.tensor_uninit(*a.shape());
+            let mut db = pool.tensor_uninit(*b.shape());
             for (row, (dra, drb)) in dy.data().chunks(wa + wb).zip(
                 da.data_mut()
                     .chunks_mut(wa)
@@ -278,13 +391,15 @@ pub(crate) fn backward_node(nodes: &[Node], grads: &mut [Option<Tensor>], id: us
                 dra.copy_from_slice(&row[..wa]);
                 drb.copy_from_slice(&row[wa..]);
             }
-            accumulate(grads, ins[0], da);
-            accumulate(grads, ins[1], db);
+            pool.recycle(dy);
+            accumulate(grads, pool, ins[0], da);
+            accumulate(grads, pool, ins[1], db);
         }
         Op::SliceLast { start, src_width } => {
-            let src = &nodes[ins[0]].value;
+            let src_shape = *values[ins[0]].shape();
             let width = dy.shape().last_dim();
-            let mut dx = Tensor::zeros(src.dims());
+            // Zeroed: only the sliced columns are written.
+            let mut dx = pool.tensor_zeroed(src_shape);
             for (drow, dyrow) in dx
                 .data_mut()
                 .chunks_mut(*src_width)
@@ -292,24 +407,28 @@ pub(crate) fn backward_node(nodes: &[Node], grads: &mut [Option<Tensor>], id: us
             {
                 drow[*start..*start + width].copy_from_slice(dyrow);
             }
-            accumulate(grads, ins[0], dx);
+            pool.recycle(dy);
+            accumulate(grads, pool, ins[0], dx);
         }
         Op::SumLast => {
-            let src = &nodes[ins[0]].value;
-            let width = src.shape().last_dim();
-            let mut dx = Tensor::zeros(src.dims());
+            let src_shape = *values[ins[0]].shape();
+            let width = src_shape.last_dim();
+            // Uninit: every row is filled below.
+            let mut dx = pool.tensor_uninit(src_shape);
             for (drow, &g) in dx.data_mut().chunks_mut(width).zip(dy.data()) {
                 drow.fill(g);
             }
-            accumulate(grads, ins[0], dx);
+            pool.recycle(dy);
+            accumulate(grads, pool, ins[0], dx);
         }
         Op::MeanAxis1 { axis_len } => {
-            let src = &nodes[ins[0]].value;
-            let dims = src.dims();
+            let src_shape = *values[ins[0]].shape();
+            let dims = src_shape.dims();
             let (b, s, h) = (dims[0], dims[1], dims[2]);
             debug_assert_eq!(s, *axis_len);
             let scale = 1.0 / s as f32;
-            let mut dx = Tensor::zeros(dims);
+            // Uninit: every element is assigned below.
+            let mut dx = pool.tensor_uninit(src_shape);
             for bi in 0..b {
                 let g = &dy.data()[bi * h..(bi + 1) * h];
                 for si in 0..s {
@@ -319,45 +438,55 @@ pub(crate) fn backward_node(nodes: &[Node], grads: &mut [Option<Tensor>], id: us
                     }
                 }
             }
-            accumulate(grads, ins[0], dx);
+            pool.recycle(dy);
+            accumulate(grads, pool, ins[0], dx);
         }
         Op::Sum => {
             let g = dy.item();
-            let in_dims = nodes[ins[0]].value.dims().to_vec();
-            accumulate(grads, ins[0], Tensor::full(&in_dims, g));
+            pool.recycle(dy);
+            let dx = pool.tensor_full(*values[ins[0]].shape(), g);
+            accumulate(grads, pool, ins[0], dx);
         }
         Op::Mean => {
-            let src = &nodes[ins[0]].value;
-            let g = dy.item() / src.numel() as f32;
-            accumulate(grads, ins[0], Tensor::full(src.dims(), g));
+            let src_shape = *values[ins[0]].shape();
+            let g = dy.item() / src_shape.numel() as f32;
+            pool.recycle(dy);
+            let dx = pool.tensor_full(src_shape, g);
+            accumulate(grads, pool, ins[0], dx);
         }
         Op::Select { index, axis_len } => {
-            let src = &nodes[ins[0]].value;
-            let dims = src.dims();
+            let src_shape = *values[ins[0]].shape();
+            let dims = src_shape.dims();
             let (b, s, h) = (dims[0], dims[1], dims[2]);
             debug_assert_eq!(s, *axis_len);
-            let mut dx = Tensor::zeros(dims);
+            // Zeroed: only the selected rows are written.
+            let mut dx = pool.tensor_zeroed(src_shape);
             for bi in 0..b {
                 let dst = &mut dx.data_mut()[(bi * s + index) * h..(bi * s + index + 1) * h];
                 dst.copy_from_slice(&dy.data()[bi * h..(bi + 1) * h]);
             }
-            accumulate(grads, ins[0], dx);
+            pool.recycle(dy);
+            accumulate(grads, pool, ins[0], dx);
         }
         Op::Softmax => {
             // dx = y * (dy - sum(dy * y)) per row, y = saved output.
-            let y = &node.value;
+            let y = &values[id];
             let width = y.shape().last_dim();
-            let mut dx = Tensor::zeros(y.dims());
+            // Uninit: the kernel assigns every element.
+            let mut dx = pool.tensor_uninit(*y.shape());
             kernels::softmax_rows_backward(y.data(), dy.data(), dx.data_mut(), width);
-            accumulate(grads, ins[0], dx);
+            pool.recycle(dy);
+            accumulate(grads, pool, ins[0], dx);
         }
         Op::LogSoftmax => {
             // dx = dy - softmax(x) * sum(dy) per row; softmax = exp(saved y).
-            let y = &node.value;
+            let y = &values[id];
             let width = y.shape().last_dim();
-            let mut dx = Tensor::zeros(y.dims());
+            // Uninit: the kernel assigns every element.
+            let mut dx = pool.tensor_uninit(*y.shape());
             kernels::log_softmax_rows_backward(y.data(), dy.data(), dx.data_mut(), width);
-            accumulate(grads, ins[0], dx);
+            pool.recycle(dy);
+            accumulate(grads, pool, ins[0], dx);
         }
         Op::CrossEntropy {
             targets,
@@ -365,10 +494,12 @@ pub(crate) fn backward_node(nodes: &[Node], grads: &mut [Option<Tensor>], id: us
             n_valid,
             probs,
         } => {
-            let logits = &nodes[ins[0]].value;
-            let classes = logits.shape().last_dim();
+            let logits_shape = *values[ins[0]].shape();
+            let classes = logits_shape.last_dim();
             let scale = dy.item() / (*n_valid).max(1) as f32;
-            let mut dx = Tensor::zeros(logits.dims());
+            pool.recycle(dy);
+            // Zeroed: ignored rows must keep zero gradient.
+            let mut dx = pool.tensor_zeroed(logits_shape);
             for (row, &t) in targets.iter().enumerate() {
                 if t == *ignore_index {
                     continue;
@@ -380,12 +511,13 @@ pub(crate) fn backward_node(nodes: &[Node], grads: &mut [Option<Tensor>], id: us
                     *dv = (pv - y) * scale;
                 }
             }
-            accumulate(grads, ins[0], dx);
+            accumulate(grads, pool, ins[0], dx);
         }
         Op::Embedding { ids } => {
-            let table = &nodes[ins[0]].value;
-            let h = table.shape().last_dim();
-            let mut dt = Tensor::zeros(table.dims());
+            let table_shape = *values[ins[0]].shape();
+            let h = table_shape.last_dim();
+            // Zeroed: the scatter accumulates into gathered rows only.
+            let mut dt = pool.tensor_zeroed(table_shape);
             for (pos, &id) in ids.iter().enumerate() {
                 let dst = &mut dt.data_mut()[id as usize * h..(id as usize + 1) * h];
                 let src = &dy.data()[pos * h..(pos + 1) * h];
@@ -393,34 +525,37 @@ pub(crate) fn backward_node(nodes: &[Node], grads: &mut [Option<Tensor>], id: us
                     *d += s;
                 }
             }
-            accumulate(grads, ins[0], dt);
+            pool.recycle(dy);
+            accumulate(grads, pool, ins[0], dt);
         }
         Op::NormalizeLast { rstd } => {
-            let y = &node.value;
+            let y = &values[id];
             let width = y.shape().last_dim();
-            let mut dx = Tensor::zeros(y.dims());
+            // Zeroed: the kernel accumulates (`+=`) into dx.
+            let mut dx = pool.tensor_zeroed(*y.shape());
             kernels::layer_norm_rows_backward(y.data(), rstd, dy.data(), dx.data_mut(), width);
-            accumulate(grads, ins[0], dx);
+            pool.recycle(dy);
+            accumulate(grads, pool, ins[0], dx);
         }
         Op::Tanh => {
             // Differentiates the tanh_fast approximant (from the saved
             // input), keeping analytic and numeric gradients consistent.
-            let x = &nodes[ins[0]].value;
+            let x = &values[ins[0]];
             let mut dx = dy;
             kernels::mul_map_inplace(x.data(), dx.data_mut(), 16, kernels::tanh_fast_grad);
-            accumulate(grads, ins[0], dx);
+            accumulate(grads, pool, ins[0], dx);
         }
         Op::Sigmoid => {
             // sigmoid(x) = (1 + tanh_fast(x/2)) / 2 → s'(x) = P'(x/2) / 4.
-            let x = &nodes[ins[0]].value;
+            let x = &values[ins[0]];
             let mut dx = dy;
             kernels::mul_map_inplace(x.data(), dx.data_mut(), 16, |xv| {
                 0.25 * kernels::tanh_fast_grad(0.5 * xv)
             });
-            accumulate(grads, ins[0], dx);
+            accumulate(grads, pool, ins[0], dx);
         }
         Op::Relu => {
-            let x = &nodes[ins[0]].value;
+            let x = &values[ins[0]];
             let mut dx = dy;
             let xs = x.data();
             crate::pool::for_blocks(dx.data_mut(), 2, |offset, block| {
@@ -431,13 +566,13 @@ pub(crate) fn backward_node(nodes: &[Node], grads: &mut [Option<Tensor>], id: us
                     }
                 }
             });
-            accumulate(grads, ins[0], dx);
+            accumulate(grads, pool, ins[0], dx);
         }
         Op::Gelu => {
-            let x = &nodes[ins[0]].value;
+            let x = &values[ins[0]];
             let mut dx = dy;
             kernels::mul_map_inplace(x.data(), dx.data_mut(), 32, kernels::gelu_grad);
-            accumulate(grads, ins[0], dx);
+            accumulate(grads, pool, ins[0], dx);
         }
         Op::Dropout { mask } => {
             let mut dx = dy;
@@ -447,7 +582,7 @@ pub(crate) fn backward_node(nodes: &[Node], grads: &mut [Option<Tensor>], id: us
                     *d *= m;
                 }
             });
-            accumulate(grads, ins[0], dx);
+            accumulate(grads, pool, ins[0], dx);
         }
     }
 }

@@ -88,6 +88,14 @@ impl Params {
         &mut self.entries[id.0].grad
     }
 
+    /// The mutable value and the accumulated gradient of one parameter,
+    /// borrowed together so optimizers can update in place without cloning
+    /// either tensor.
+    pub fn value_and_grad_mut(&mut self, id: ParamId) -> (&mut Tensor, &Tensor) {
+        let e = &mut self.entries[id.0];
+        (&mut e.value, &e.grad)
+    }
+
     /// The name a parameter was registered under.
     pub fn name(&self, id: ParamId) -> &str {
         &self.entries[id.0].name
@@ -146,16 +154,61 @@ impl Params {
     /// present in the map but not registered locally are ignored, so a
     /// server checkpoint with extra heads can still initialize a backbone.
     pub fn load_named(&mut self, named: &BTreeMap<String, Tensor>) -> usize {
+        self.copy_values_from(|name| named.get(name).map(|t| (t.dims(), t.data())))
+    }
+
+    /// Loads parameter values by copying from borrowed `(dims, data)` slices
+    /// produced by `lookup`, reusing each parameter's existing buffer (no
+    /// tensor allocation). Names `lookup` does not know are left untouched.
+    ///
+    /// Returns the number of parameters updated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a looked-up entry has a different shape than the local
+    /// parameter (model-architecture mismatch between FL sites).
+    pub fn copy_values_from<'a>(
+        &mut self,
+        mut lookup: impl FnMut(&str) -> Option<(&'a [usize], &'a [f32])>,
+    ) -> usize {
         let mut updated = 0;
         for e in &mut self.entries {
-            if let Some(t) = named.get(&e.name) {
+            if let Some((dims, data)) = lookup(&e.name) {
+                assert_eq!(
+                    dims,
+                    e.value.dims(),
+                    "parameter {:?} shape mismatch on load",
+                    e.name
+                );
+                e.value.data_mut().copy_from_slice(data);
+                updated += 1;
+            }
+        }
+        updated
+    }
+
+    /// Loads parameter values by taking ownership of tensors produced by
+    /// `take`, replacing each parameter's buffer outright (the consuming
+    /// counterpart of [`Params::copy_values_from`] for callers that already
+    /// hold owned storage, e.g. deserialized wire payloads).
+    ///
+    /// Returns the number of parameters updated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a taken tensor has a different shape than the local
+    /// parameter.
+    pub fn replace_values(&mut self, mut take: impl FnMut(&str) -> Option<Tensor>) -> usize {
+        let mut updated = 0;
+        for e in &mut self.entries {
+            if let Some(t) = take(&e.name) {
                 assert_eq!(
                     t.dims(),
                     e.value.dims(),
                     "parameter {:?} shape mismatch on load",
                     e.name
                 );
-                e.value = t.clone();
+                e.value = t;
                 updated += 1;
             }
         }
@@ -285,17 +338,15 @@ impl Optimizer for Sgd {
         }
         for i in 0..params.len() {
             let id = ParamId(i);
+            let (value, grad) = params.value_and_grad_mut(id);
             if self.momentum > 0.0 {
-                let g = params.grad(id).clone();
                 let v = &mut self.velocity[i];
-                for (vv, gv) in v.data_mut().iter_mut().zip(g.data()) {
+                for (vv, gv) in v.data_mut().iter_mut().zip(grad.data()) {
                     *vv = self.momentum * *vv + gv;
                 }
-                let v = self.velocity[i].clone();
-                params.value_mut(id).axpy(-self.lr, &v);
+                value.axpy(-self.lr, &self.velocity[i]);
             } else {
-                let g = params.grad(id).clone();
-                params.value_mut(id).axpy(-self.lr, &g);
+                value.axpy(-self.lr, grad);
             }
         }
         params.zero_grads();
@@ -386,7 +437,7 @@ impl Optimizer for Adam {
         let bc2 = 1.0 - self.cfg.beta2.powf(t);
         for i in 0..params.len() {
             let id = ParamId(i);
-            let grad = params.grad(id).clone();
+            let (value, grad) = params.value_and_grad_mut(id);
             let m = &mut self.m[i];
             let v = &mut self.v[i];
             for ((mv, vv), &g) in m
@@ -401,10 +452,12 @@ impl Optimizer for Adam {
             let lr = self.cfg.lr;
             let eps = self.cfg.eps;
             let wd = self.cfg.weight_decay;
-            let m = self.m[i].clone();
-            let v = self.v[i].clone();
-            let value = params.value_mut(id);
-            for ((x, &mv), &vv) in value.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
+            for ((x, &mv), &vv) in value
+                .data_mut()
+                .iter_mut()
+                .zip(self.m[i].data())
+                .zip(self.v[i].data())
+            {
                 let mhat = mv / bc1;
                 let vhat = vv / bc2;
                 let mut upd = mhat / (vhat.sqrt() + eps);
@@ -478,6 +531,30 @@ mod tests {
         let mut map = BTreeMap::new();
         map.insert("w".to_string(), Tensor::zeros(&[3]));
         p.load_named(&map);
+    }
+
+    #[test]
+    fn replace_values_moves_owned_tensors() {
+        let mut p = Params::new();
+        let w = p.register("w", Tensor::zeros(&[2]));
+        let mut incoming = BTreeMap::new();
+        incoming.insert(
+            "w".to_string(),
+            Tensor::from_vec(&[2], vec![1.5, -2.5]).unwrap(),
+        );
+        incoming.insert("extra".to_string(), Tensor::ones(&[3]));
+        assert_eq!(p.replace_values(|name| incoming.remove(name)), 1);
+        assert_eq!(p.value(w).data(), &[1.5, -2.5]);
+        // Unknown names are left in the source, known ones were consumed.
+        assert!(incoming.contains_key("extra") && !incoming.contains_key("w"));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn replace_values_shape_mismatch_panics() {
+        let mut p = Params::new();
+        p.register("w", Tensor::zeros(&[2]));
+        p.replace_values(|_| Some(Tensor::zeros(&[3])));
     }
 
     #[test]

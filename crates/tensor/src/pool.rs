@@ -151,6 +151,10 @@ where
         return;
     }
     let w = workers_for(data.len(), work_per_item);
+    if w <= 1 {
+        f(0, data);
+        return;
+    }
     let block = data.len().div_ceil(w);
     let jobs: Vec<_> = data
         .chunks_mut(block)

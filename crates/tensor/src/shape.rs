@@ -2,45 +2,72 @@
 
 use std::fmt;
 
+/// Maximum rank (number of dimensions) a [`Shape`] can represent.
+///
+/// The models in this workspace never exceed rank 4 (`[B, heads, S, S]`
+/// attention scores); 6 leaves headroom without bloating the inline
+/// representation.
+pub const MAX_RANK: usize = 6;
+
 /// A tensor shape: the extent of each dimension, row-major.
 ///
-/// `Shape` is a thin, cheaply clonable wrapper around a `Vec<usize>` with
-/// helpers for the broadcasting and batching rules this crate supports.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
-pub struct Shape(Vec<usize>);
+/// `Shape` stores its extents inline in a fixed-size array (rather than a
+/// heap `Vec`), so shapes are `Copy` and constructing one — which happens
+/// for every node pushed onto the autograd tape — never allocates. Unused
+/// trailing slots are kept at zero so the derived `PartialEq`/`Hash` agree
+/// with dimension-wise equality.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Shape {
+    dims: [usize; MAX_RANK],
+    rank: u8,
+}
 
 impl Shape {
     /// Creates a shape from dimension extents.
     ///
     /// A zero-dimensional shape (`&[]`) denotes a scalar with one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_RANK`] dimensions are given.
     pub fn new(dims: &[usize]) -> Self {
-        Shape(dims.to_vec())
+        assert!(
+            dims.len() <= MAX_RANK,
+            "rank {} exceeds the maximum supported rank {MAX_RANK}",
+            dims.len()
+        );
+        let mut d = [0usize; MAX_RANK];
+        d[..dims.len()].copy_from_slice(dims);
+        Shape {
+            dims: d,
+            rank: dims.len() as u8,
+        }
     }
 
     /// The dimension extents.
     pub fn dims(&self) -> &[usize] {
-        &self.0
+        &self.dims[..self.rank as usize]
     }
 
     /// Number of dimensions (rank).
     pub fn rank(&self) -> usize {
-        self.0.len()
+        self.rank as usize
     }
 
     /// Total number of elements.
     pub fn numel(&self) -> usize {
-        self.0.iter().product()
+        self.dims().iter().product()
     }
 
     /// Extent of the last dimension, or 1 for a scalar.
     pub fn last_dim(&self) -> usize {
-        self.0.last().copied().unwrap_or(1)
+        self.dims().last().copied().unwrap_or(1)
     }
 
     /// Number of rows when the tensor is viewed as a `[numel/last, last]`
     /// matrix, or 1 for a scalar.
     pub fn leading(&self) -> usize {
-        if self.0.is_empty() {
+        if self.rank == 0 {
             1
         } else {
             self.numel() / self.last_dim().max(1)
@@ -59,9 +86,9 @@ impl Shape {
             "as_batched_matrix requires rank >= 2, got shape {self}"
         );
         let n = self.rank();
-        let rows = self.0[n - 2];
-        let cols = self.0[n - 1];
-        let batch: usize = self.0[..n - 2].iter().product();
+        let rows = self.dims[n - 2];
+        let cols = self.dims[n - 1];
+        let batch: usize = self.dims[..n - 2].iter().product();
         (batch, rows, cols)
     }
 
@@ -72,10 +99,35 @@ impl Shape {
     /// Panics if the rank is < 2.
     pub fn transposed_last2(&self) -> Shape {
         assert!(self.rank() >= 2, "transpose requires rank >= 2, got {self}");
-        let mut d = self.0.clone();
-        let n = d.len();
-        d.swap(n - 2, n - 1);
-        Shape(d)
+        let mut s = *self;
+        let n = self.rank();
+        s.dims.swap(n - 2, n - 1);
+        s
+    }
+
+    /// Shape with the last dimension replaced by `n` (e.g. the output shape
+    /// of a matmul).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is rank-0.
+    pub(crate) fn with_last(&self, n: usize) -> Shape {
+        assert!(self.rank >= 1, "with_last requires rank >= 1");
+        let mut s = *self;
+        s.dims[self.rank as usize - 1] = n;
+        s
+    }
+
+    /// Shape with dimensions 1 and 2 swapped (rank-4 head split).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is not 4.
+    pub(crate) fn swapped_axes12(&self) -> Shape {
+        assert_eq!(self.rank(), 4, "swapped_axes12 requires rank-4 input");
+        let mut s = *self;
+        s.dims.swap(1, 2);
+        s
     }
 
     /// Whether `other` can broadcast onto `self` under this crate's rules:
@@ -87,10 +139,16 @@ impl Shape {
     }
 }
 
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape({:?})", self.dims())
+    }
+}
+
 impl fmt::Display for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, d) in self.0.iter().enumerate() {
+        for (i, d) in self.dims().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -108,7 +166,7 @@ impl From<&[usize]> for Shape {
 
 impl From<Vec<usize>> for Shape {
     fn from(dims: Vec<usize>) -> Self {
-        Shape(dims)
+        Shape::new(&dims)
     }
 }
 
@@ -169,5 +227,24 @@ mod tests {
     fn display() {
         assert_eq!(Shape::new(&[2, 3]).to_string(), "[2, 3]");
         assert_eq!(Shape::new(&[]).to_string(), "[]");
+    }
+
+    #[test]
+    fn equality_ignores_unused_slots() {
+        // Shapes with the same extents compare equal regardless of how they
+        // were built; different ranks with zero-extent tails do not.
+        assert_eq!(Shape::new(&[2, 3]), Shape::from(vec![2, 3]));
+        assert_ne!(Shape::new(&[2, 3]), Shape::new(&[2, 3, 0]));
+    }
+
+    #[test]
+    fn with_last_replaces_trailing_dim() {
+        assert_eq!(Shape::new(&[2, 3, 4]).with_last(7), Shape::new(&[2, 3, 7]));
+    }
+
+    #[test]
+    #[should_panic(expected = "maximum supported rank")]
+    fn over_max_rank_panics() {
+        Shape::new(&[1, 1, 1, 1, 1, 1, 1]);
     }
 }

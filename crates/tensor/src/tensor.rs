@@ -43,6 +43,13 @@ impl Tensor {
         Ok(Tensor { shape, data })
     }
 
+    /// Creates a tensor from a shape and a backing buffer whose length is
+    /// already known to match (e.g. one recycled from the buffer pool).
+    pub(crate) fn from_raw(shape: Shape, data: Vec<f32>) -> Self {
+        debug_assert_eq!(shape.numel(), data.len(), "from_raw shape/data mismatch");
+        Tensor { shape, data }
+    }
+
     /// Creates a scalar (rank-0) tensor.
     pub fn scalar(v: f32) -> Self {
         Tensor {
@@ -185,35 +192,64 @@ impl Tensor {
     ///
     /// Panics on inner-dimension or batch mismatch.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
-        let (lb, m, k) = self.shape.as_batched_matrix();
+        let mut out = Tensor::zeros(self.matmul_shape(rhs).dims());
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// The output shape of `self.matmul(rhs)`, validating the operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension or batch mismatch (same conditions as
+    /// [`Tensor::matmul`]).
+    pub(crate) fn matmul_shape(&self, rhs: &Tensor) -> Shape {
+        let (lb, _m, k) = self.shape.as_batched_matrix();
         let (rb, rk, n) = rhs.shape.as_batched_matrix();
         assert_eq!(
             k, rk,
             "matmul inner dims differ: {} vs {}",
             self.shape, rhs.shape
         );
-        let rhs_broadcast = rhs.shape.rank() == 2;
-        if !rhs_broadcast {
+        if rhs.shape.rank() != 2 {
             assert_eq!(
                 lb, rb,
                 "matmul batch dims differ: {} vs {}",
                 self.shape, rhs.shape
             );
         }
-        let mut out_dims: Vec<usize> = self.shape.dims()[..self.shape.rank() - 1].to_vec();
-        out_dims.push(n);
-        let mut out = vec![0.0f32; lb * m * n];
-        if out.is_empty() {
-            return Tensor {
-                shape: Shape::from(out_dims),
-                data: out,
-            };
+        self.shape.with_last(n)
+    }
+
+    /// Batched matrix product accumulated into `out`, which must have the
+    /// shape from [`Tensor::matmul_shape`] and be pre-zeroed (the kernel
+    /// accumulates). Lets callers supply a recycled output buffer.
+    pub(crate) fn matmul_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        let (lb, m, k) = self.shape.as_batched_matrix();
+        let n = rhs.shape.last_dim();
+        let rhs_broadcast = rhs.shape.rank() == 2;
+        debug_assert_eq!(out.numel(), lb * m * n, "matmul_into out size");
+        if out.numel() == 0 {
+            return;
         }
         // Parallel over the batch; each matmul plans nested workers against
         // the remaining budget, so small batches still split by rows.
         let w = crate::pool::workers_for(lb, 2 * m * k * n);
-        let block = lb.div_ceil(w.max(1)).max(1);
+        if w <= 1 {
+            for (b, c) in out.data.chunks_mut(m * n).enumerate() {
+                let a = &self.data[b * m * k..(b + 1) * m * k];
+                let bslice = if rhs_broadcast {
+                    &rhs.data[..]
+                } else {
+                    &rhs.data[b * k * n..(b + 1) * k * n]
+                };
+                kernels::matmul_acc(a, bslice, c, m, k, n);
+            }
+            return;
+        }
+        let block = lb.div_ceil(w).max(1);
         let jobs: Vec<_> = out
+            .data
             .chunks_mut(block * m * n)
             .enumerate()
             .map(|(blk, out_block)| {
@@ -234,10 +270,6 @@ impl Tensor {
             })
             .collect();
         crate::pool::run_jobs(jobs);
-        Tensor {
-            shape: Shape::from(out_dims),
-            data: out,
-        }
     }
 
     /// Returns the tensor with its last two dimensions transposed.
@@ -246,8 +278,23 @@ impl Tensor {
     ///
     /// Panics if the rank is < 2.
     pub fn transposed_last2(&self) -> Tensor {
-        let (b, m, n) = self.shape.as_batched_matrix();
         let mut out = vec![0.0f32; self.numel()];
+        self.transpose_last2_into(&mut out);
+        Tensor {
+            shape: self.shape.transposed_last2(),
+            data: out,
+        }
+    }
+
+    /// Writes the last-two-dims transpose into `out` (fully overwriting
+    /// it), so callers can supply a recycled buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is < 2 or `out` has the wrong length.
+    pub(crate) fn transpose_last2_into(&self, out: &mut [f32]) {
+        let (b, m, n) = self.shape.as_batched_matrix();
+        assert_eq!(out.len(), self.numel(), "transpose out length");
         for bi in 0..b {
             let src = &self.data[bi * m * n..(bi + 1) * m * n];
             let dst = &mut out[bi * m * n..(bi + 1) * m * n];
@@ -256,10 +303,6 @@ impl Tensor {
                     dst[j * m + i] = src[i * n + j];
                 }
             }
-        }
-        Tensor {
-            shape: self.shape.transposed_last2(),
-            data: out,
         }
     }
 
@@ -270,10 +313,25 @@ impl Tensor {
     ///
     /// Panics if the rank is not 4.
     pub fn swapped_axes12(&self) -> Tensor {
+        let mut out = vec![0.0f32; self.numel()];
+        self.swap_axes12_into(&mut out);
+        Tensor {
+            shape: self.shape.swapped_axes12(),
+            data: out,
+        }
+    }
+
+    /// Writes the axes-1/2 permutation into `out` (fully overwriting it),
+    /// so callers can supply a recycled buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is not 4 or `out` has the wrong length.
+    pub(crate) fn swap_axes12_into(&self, out: &mut [f32]) {
         let dims = self.dims();
         assert_eq!(dims.len(), 4, "swapped_axes12 requires rank-4 input");
+        assert_eq!(out.len(), self.numel(), "swap_axes12 out length");
         let (b, s, h, d) = (dims[0], dims[1], dims[2], dims[3]);
-        let mut out = vec![0.0f32; self.numel()];
         for bi in 0..b {
             for si in 0..s {
                 for hi in 0..h {
@@ -283,10 +341,6 @@ impl Tensor {
                 }
             }
         }
-        Tensor {
-            shape: Shape::new(&[b, h, s, d]),
-            data: out,
-        }
     }
 
     /// Element-wise map, parallel across the worker pool for large tensors.
@@ -294,7 +348,7 @@ impl Tensor {
         let mut data = vec![0.0f32; self.data.len()];
         kernels::map_into(&self.data, &mut data, 16, f);
         Tensor {
-            shape: self.shape.clone(),
+            shape: self.shape,
             data,
         }
     }
@@ -313,7 +367,7 @@ impl Tensor {
             .map(|(a, b)| a + b)
             .collect();
         Tensor {
-            shape: self.shape.clone(),
+            shape: self.shape,
             data,
         }
     }
@@ -332,7 +386,7 @@ impl Tensor {
             .map(|(a, b)| a - b)
             .collect();
         Tensor {
-            shape: self.shape.clone(),
+            shape: self.shape,
             data,
         }
     }

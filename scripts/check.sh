@@ -11,27 +11,51 @@
 #
 # Usage: scripts/check.sh [leg ...]   (no args = all legs, in order)
 #
-# Each leg's wall-clock and "N passed" totals are appended to
-# target/ci-timings.tsv; scripts/ci_summary.sh renders that file as a
+# Each leg's wall-clock, "N passed" totals, and peak RSS (KB) are appended
+# to target/ci-timings.tsv; scripts/ci_summary.sh renders that file as a
 # markdown table.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 mkdir -p target
 TIMINGS=target/ci-timings.tsv
+RSS_FILE=target/.leg-rss
 
-# Runs one named leg, times it, and records "name<TAB>secs<TAB>passed".
+# Runs "$@" as a child and, after it exits, writes the peak RSS in KB of
+# the child process tree (getrusage RUSAGE_CHILDREN) to $RSS_FILE. The
+# container has no /usr/bin/time, so a stdlib-only wrapper stands in for
+# `time -v`; without python3 the RSS column is left empty.
+rss_run() {
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$RSS_FILE" "$@" <<'PY'
+import resource, subprocess, sys
+
+status = subprocess.call(sys.argv[2:])
+peak_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+with open(sys.argv[1], "w") as f:
+    f.write(str(peak_kb))
+sys.exit(status)
+PY
+    else
+        : >"$RSS_FILE"
+        "$@"
+    fi
+}
+
+# Runs one named leg, times it, and records
+# "name<TAB>secs<TAB>passed<TAB>rss_kb".
 leg() {
     local name="$1"
     shift
     echo "==> $name: $*"
     local start=$SECONDS status=0 out
-    out=$("$@" 2>&1) || status=$?
+    out=$(rss_run "$@" 2>&1) || status=$?
     printf '%s\n' "$out"
-    local passed
+    local passed rss
     # grep exits 1 on legs that run no tests; don't let pipefail kill us.
     passed=$(printf '%s\n' "$out" | { grep -Eo '[0-9]+ passed' || true; } | awk '{s += $1} END {print s + 0}')
-    printf '%s\t%s\t%s\n' "$name" "$((SECONDS - start))" "$passed" >>"$TIMINGS"
+    rss=$(cat "$RSS_FILE" 2>/dev/null || true)
+    printf '%s\t%s\t%s\t%s\n' "$name" "$((SECONDS - start))" "$passed" "$rss" >>"$TIMINGS"
     return "$status"
 }
 

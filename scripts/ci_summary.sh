@@ -9,20 +9,22 @@ TIMINGS=target/ci-timings.tsv
 
 echo "### CI legs"
 echo
-echo "| Leg | Wall-clock (s) | Tests passed |"
-echo "|:----|---------------:|-------------:|"
+echo "| Leg | Wall-clock (s) | Tests passed | Max RSS (MB) |"
+echo "|:----|---------------:|-------------:|-------------:|"
 if [ -f "$TIMINGS" ]; then
     # Keep the last record per leg (reruns append), in first-seen order;
-    # legs that run no tests (build/clippy/fmt) show "-".
+    # legs that run no tests (build/clippy/fmt) show "-". Older timings
+    # files have no 4th (RSS, KB) column — render those as "-" too.
     awk -F'\t' '
         !($1 in last) { order[++n] = $1 }
         { last[$1] = $0 }
         END {
             for (i = 1; i <= n; i++) {
-                split(last[order[i]], f, "\t")
-                printf "| %s | %s | %s |\n", f[1], f[2], (f[3] == "0" ? "-" : f[3])
+                cols = split(last[order[i]], f, "\t")
+                rss = (cols >= 4 && f[4] != "") ? sprintf("%.1f", f[4] / 1024) : "-"
+                printf "| %s | %s | %s | %s |\n", f[1], f[2], (f[3] == "0" ? "-" : f[3]), rss
             }
         }' "$TIMINGS"
 else
-    echo "| (no timings recorded) | - | - |"
+    echo "| (no timings recorded) | - | - | - |"
 fi

@@ -7,7 +7,7 @@ use clinfl_flare::messages::{ClientMessage, ServerMessage, TaskAssignment};
 use clinfl_flare::security::{DhKeyPair, SecureChannel};
 use clinfl_flare::wire::{WireDecode, WireEncode};
 use clinfl_flare::{Dxo, WeightTensor, Weights};
-use clinfl_tensor::{gradcheck, Tensor};
+use clinfl_tensor::{gradcheck, Graph, Tensor};
 use clinfl_text::{ClinicalTokenizer, Encoded, MlmMasker, Vocab, IGNORE_INDEX};
 use proptest::prelude::*;
 
@@ -120,6 +120,39 @@ proptest! {
             g.sum(sq)
         });
         prop_assert!(report.passes(5e-2), "{report:?}");
+    }
+
+    #[test]
+    fn graph_reset_reuse_matches_fresh_across_shapes(
+        shapes in proptest::collection::vec((1usize..5, 1usize..6, 2usize..7), 2..6),
+        seed in any::<u64>(),
+    ) {
+        // One graph reset between steps of *varying* shapes must produce
+        // exactly the bits a fresh graph produces — recycled buffers must
+        // never leak stale contents across steps.
+        fn run(g: &mut Graph, b: usize, m: usize, n: usize, seed: u64) -> Vec<u32> {
+            let x = g.input(Tensor::randn(&[b, m], 1.0, seed));
+            let w = g.input(Tensor::randn(&[m, n], 0.7, seed ^ 0xAB));
+            let h = g.matmul(x, w);
+            let t = g.tanh(h);
+            let d = g.dropout(t, 0.3);
+            let nrm = g.normalize_last(d, 1e-5);
+            let loss = g.mean(nrm);
+            g.backward(loss);
+            let mut bits = vec![g.value(loss).item().to_bits()];
+            bits.extend(g.grad(x).unwrap().data().iter().map(|v| v.to_bits()));
+            bits.extend(g.grad(w).unwrap().data().iter().map(|v| v.to_bits()));
+            bits
+        }
+        let mut reused = Graph::new();
+        for (i, &(b, m, n)) in shapes.iter().enumerate() {
+            let s = seed.wrapping_add(i as u64);
+            reused.reset_with_seed(s);
+            let got = run(&mut reused, b, m, n, s);
+            let mut fresh = Graph::with_seed(s);
+            let want = run(&mut fresh, b, m, n, s);
+            prop_assert_eq!(got, want, "step {} shape ({}, {}, {})", i, b, m, n);
+        }
     }
 
     #[test]
