@@ -1,0 +1,280 @@
+//! Machine-readable bench telemetry: runs a real federated smoke
+//! workload with observability on and writes a schema-stable
+//! `BENCH_report.json` summarizing kernel time, round time, wire
+//! traffic, and arena efficiency.
+//!
+//! Modes:
+//!
+//! * `bench_report --smoke [--out PATH]` — exercise the tensor kernels
+//!   directly, then run the paper's 8-site federated LSTM pipeline at
+//!   fast-demo scale, and write the report (default `BENCH_report.json`)
+//!   built from the before/after metrics-snapshot delta.
+//! * `bench_report --check PATH` — validate an existing report against
+//!   the `clinfl-bench-report/v1` schema; exits non-zero (listing every
+//!   violation) if the file is missing, unparsable, or incomplete.
+//!
+//! CI runs both back to back (`scripts/check.sh bench-smoke`) and
+//! uploads the JSON as a build artifact.
+
+use clinfl::{drivers, ModelSpec, PipelineConfig};
+use clinfl_obs::json::Value;
+use clinfl_obs::{HistogramSnapshot, MetricsSnapshot};
+
+/// Schema identifier stamped into (and required from) every report.
+const SCHEMA: &str = "clinfl-bench-report/v1";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("BENCH_report.json");
+    let mut check: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = it.next().expect("--out requires a path").clone(),
+            "--check" => check = Some(it.next().expect("--check requires a path").clone()),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: bench_report --smoke [--out PATH] | --check PATH");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(path) = check {
+        run_check(&path);
+        return;
+    }
+    if !smoke {
+        eprintln!("usage: bench_report --smoke [--out PATH] | --check PATH");
+        std::process::exit(2);
+    }
+    run_smoke(&out);
+}
+
+/// Touches every instrumented tensor kernel once so the report's kernel
+/// section is populated even for workloads that skip some ops.
+fn kernel_smoke() {
+    use clinfl_tensor::kernels;
+    let m = 8;
+    let a = vec![0.5f32; m * m];
+    let b = vec![0.25f32; m * m];
+    let mut c = vec![0.0f32; m * m];
+    kernels::matmul_acc(&a, &b, &mut c, m, m, m);
+    kernels::softmax_rows(&mut c, m);
+}
+
+fn run_smoke(out: &str) {
+    clinfl_obs::set_enabled(true);
+    let before = clinfl_obs::snapshot();
+    kernel_smoke();
+    let cfg = PipelineConfig::fast_demo();
+    let outcome =
+        drivers::train_federated(&cfg, ModelSpec::Lstm).expect("federated smoke run failed");
+    let after = clinfl_obs::snapshot();
+    let delta = snapshot_delta(&before, &after);
+
+    let report = build_report(&cfg, outcome.accuracy, &delta);
+    std::fs::write(out, report.to_json()).expect("write report");
+    println!(
+        "== bench_report: federated LSTM smoke ({} sites, {} rounds) ==",
+        cfg.n_clients, cfg.rounds
+    );
+    println!("accuracy: {:.3}", outcome.accuracy);
+    println!("{}", delta.render_table());
+    println!("report written to {out}");
+}
+
+/// Per-metric difference `after - before`, so a report reflects only the
+/// measured workload even when the process recorded earlier activity.
+fn snapshot_delta(before: &MetricsSnapshot, after: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut delta = MetricsSnapshot::default();
+    for (k, &v) in &after.counters {
+        let prev = before.counters.get(k).copied().unwrap_or(0);
+        delta.counters.insert(k.clone(), v.saturating_sub(prev));
+    }
+    // Gauges are level readings (peaks), not rates: report the latest.
+    delta.gauges = after.gauges.clone();
+    for (k, h) in &after.histograms {
+        let prev = before.histograms.get(k);
+        let mut buckets = Vec::new();
+        for &(i, n) in &h.buckets {
+            let p = prev
+                .and_then(|p| p.buckets.iter().find(|&&(pi, _)| pi == i))
+                .map_or(0, |&(_, pn)| pn);
+            if n > p {
+                buckets.push((i, n - p));
+            }
+        }
+        delta.histograms.insert(
+            k.clone(),
+            HistogramSnapshot {
+                count: h.count.saturating_sub(prev.map_or(0, |p| p.count)),
+                sum: h.sum.saturating_sub(prev.map_or(0, |p| p.sum)),
+                min: h.min,
+                max: h.max,
+                buckets,
+            },
+        );
+    }
+    delta
+}
+
+fn build_report(cfg: &PipelineConfig, accuracy: f64, m: &MetricsSnapshot) -> Value {
+    // Kernel table: every `<name>.calls` counter under the tensor/model
+    // namespaces pairs with its `<name>.time_ns` twin.
+    let mut kernels = Vec::new();
+    for (key, &calls) in &m.counters {
+        let Some(name) = key.strip_suffix(".calls") else {
+            continue;
+        };
+        if !(name.starts_with("tensor.") || name.starts_with("model.")) {
+            continue;
+        }
+        let time_ns = m.counter(&format!("{name}.time_ns"));
+        kernels.push((
+            name.to_string(),
+            Value::object(vec![
+                ("calls", Value::UInt(calls)),
+                ("total_ms", Value::Float(time_ns as f64 / 1e6)),
+            ]),
+        ));
+    }
+
+    let round = m
+        .histograms
+        .get("flare.round.time_ns")
+        .cloned()
+        .unwrap_or_default();
+    let round_count = m.counter("flare.round.count");
+    let (hits, misses) = (
+        m.counter("tensor.arena.hits"),
+        m.counter("tensor.arena.misses"),
+    );
+    let hit_rate = if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    };
+    let bytes_tx = m.counter("flare.client.bytes_tx") + m.counter("flare.server.bytes_tx");
+    let bytes_rx = m.counter("flare.client.bytes_rx") + m.counter("flare.server.bytes_rx");
+
+    Value::object(vec![
+        ("schema", Value::Str(SCHEMA.to_string())),
+        (
+            "run",
+            Value::object(vec![
+                ("workload", Value::Str("federated-lstm-smoke".to_string())),
+                ("n_clients", Value::UInt(cfg.n_clients as u64)),
+                ("rounds", Value::UInt(cfg.rounds as u64)),
+                ("seed", Value::UInt(cfg.seed)),
+                ("accuracy", Value::Float(accuracy)),
+            ]),
+        ),
+        ("kernels", Value::Object(kernels)),
+        (
+            "round",
+            Value::object(vec![
+                ("count", Value::UInt(round_count)),
+                ("total_ms", Value::Float(round.sum as f64 / 1e6)),
+                ("mean_ms", Value::Float(round.mean() / 1e6)),
+            ]),
+        ),
+        (
+            "wire",
+            Value::object(vec![
+                ("bytes_tx", Value::UInt(bytes_tx)),
+                ("bytes_rx", Value::UInt(bytes_rx)),
+            ]),
+        ),
+        (
+            "arena",
+            Value::object(vec![
+                ("hits", Value::UInt(hits)),
+                ("misses", Value::UInt(misses)),
+                ("hit_rate", Value::Float(hit_rate)),
+            ]),
+        ),
+        ("metrics", m.to_value()),
+    ])
+}
+
+/// Validates `path` against the v1 schema; prints every violation and
+/// exits 1 if any is found.
+fn run_check(path: &str) {
+    let mut errors = Vec::new();
+    let report = match std::fs::read_to_string(path) {
+        Ok(text) => match Value::parse(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("FAIL {path}: unparsable JSON: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("FAIL {path}: unreadable: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if report.get("schema").and_then(Value::as_str) != Some(SCHEMA) {
+        errors.push(format!("schema field is not {SCHEMA:?}"));
+    }
+    let kernel_calls = report
+        .get("kernels")
+        .and_then(|k| k.get("tensor.matmul"))
+        .and_then(|k| k.get("calls"))
+        .and_then(Value::as_u64);
+    if kernel_calls.is_none_or(|c| c == 0) {
+        errors.push("kernels[\"tensor.matmul\"].calls missing or zero".to_string());
+    }
+    if report
+        .get("kernels")
+        .and_then(|k| k.get("tensor.matmul"))
+        .and_then(|k| k.get("total_ms"))
+        .and_then(Value::as_f64)
+        .is_none()
+    {
+        errors.push("kernels[\"tensor.matmul\"].total_ms missing".to_string());
+    }
+    let rounds = report
+        .get("round")
+        .and_then(|r| r.get("count"))
+        .and_then(Value::as_u64);
+    if rounds.is_none_or(|c| c < 1) {
+        errors.push("round.count missing or zero".to_string());
+    }
+    for field in ["bytes_tx", "bytes_rx"] {
+        let v = report
+            .get("wire")
+            .and_then(|w| w.get(field))
+            .and_then(Value::as_u64);
+        if v.is_none_or(|b| b == 0) {
+            errors.push(format!("wire.{field} missing or zero"));
+        }
+    }
+    if report
+        .get("arena")
+        .and_then(|a| a.get("hit_rate"))
+        .and_then(Value::as_f64)
+        .is_none()
+    {
+        errors.push("arena.hit_rate missing".to_string());
+    }
+    if report
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .is_none()
+    {
+        errors.push("embedded metrics snapshot missing".to_string());
+    }
+
+    if errors.is_empty() {
+        println!("OK {path}: valid {SCHEMA}");
+    } else {
+        for e in &errors {
+            eprintln!("FAIL {path}: {e}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -56,8 +56,13 @@ pub struct TrainOutcome {
 /// Centralized training: one model over the pooled dataset — the paper's
 /// upper-bound scheme.
 pub fn train_centralized(cfg: &PipelineConfig, spec: ModelSpec) -> TrainOutcome {
+    let _run_span = clinfl_obs::span("run");
     let data = build_task_data(cfg);
-    centralized_on(cfg, spec, &data.train, &data.valid, cfg.seed)
+    let outcome = centralized_on(cfg, spec, &data.train, &data.valid, cfg.seed);
+    if clinfl_obs::enabled() {
+        let _ = clinfl_obs::snapshot().write_artifact(&format!("centralized-{spec:?}"));
+    }
+    outcome
 }
 
 fn centralized_on(
@@ -115,6 +120,9 @@ pub fn train_standalone(cfg: &PipelineConfig, spec: ModelSpec) -> StandaloneOutc
         }
     });
     let mean_accuracy = per_site.iter().sum::<f64>() / per_site.len().max(1) as f64;
+    if clinfl_obs::enabled() {
+        let _ = clinfl_obs::snapshot().write_artifact(&format!("standalone-{spec:?}"));
+    }
     StandaloneOutcome {
         per_site,
         mean_accuracy,

@@ -154,6 +154,7 @@ impl Learner {
         let mut total = 0.0f64;
         let mut batches = 0usize;
         for batch in data.batches(self.hyper.batch_size, shuffle_seed) {
+            let _step_span = clinfl_obs::span("train_step");
             self.graph.reset_with_seed(shuffle_seed ^ batches as u64);
             self.graph.set_training(true);
             let g = &mut self.graph;
@@ -359,6 +360,7 @@ impl MlmLearner {
         let mut total = 0.0f64;
         let mut batches = 0usize;
         for chunk in order.chunks(self.hyper.batch_size) {
+            let _step_span = clinfl_obs::span("train_step");
             let mask_seed = state.wrapping_add(batches as u64 * 7919);
             let (ids, mask, labels) = self.masked_batch(seqs, chunk, mask_seed);
             let seq_len = ids.len() / chunk.len();

@@ -44,6 +44,7 @@ mod learner;
 pub mod metrics;
 mod weights;
 
+pub use clinfl_obs as obs;
 pub use config::{ModelSpec, PipelineConfig, TrainHyper};
 pub use executor::{ClinicalExecutor, MlmExecutor};
 pub use learner::{EpochStats, Learner, MlmLearner};

@@ -6,7 +6,7 @@
 //!
 //! The paper's dataset — electronic health records of **8,638 clopidogrel
 //! patients, 1,824 of whom were treatment-failure cases** (≈ 21%), from
-//! Cipherome (its ref. [13]) — is proprietary and HIPAA-protected, so this
+//! Cipherome (its ref. \[13\]) — is proprietary and HIPAA-protected, so this
 //! crate generates a synthetic cohort that exercises the same code paths:
 //!
 //! * [`CodeSystem`] — a deterministic clinical code vocabulary (ATC-like

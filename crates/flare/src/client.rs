@@ -17,7 +17,56 @@ use crate::security::{DhKeyPair, SecureChannel};
 use crate::transport::Connection;
 use crate::wire::{WireDecode, WireEncode};
 use crate::FlareError;
+use clinfl_obs::Counter;
+use std::sync::Arc;
 use std::time::Duration;
+
+/// One obs counter kept in two views: the per-site series
+/// (`flare.site.<site>.<what>`) and the fleet-wide aggregate
+/// (`flare.client.<what>`). Handles are resolved once at registration so
+/// the hot send/recv paths never touch the registry.
+struct CounterPair {
+    site: Arc<Counter>,
+    all: Arc<Counter>,
+}
+
+impl CounterPair {
+    fn new(site: &str, what: &str) -> Self {
+        CounterPair {
+            site: clinfl_obs::counter(&format!("flare.site.{site}.{what}")),
+            all: clinfl_obs::counter(&format!("flare.client.{what}")),
+        }
+    }
+
+    fn add(&self, n: u64) {
+        if clinfl_obs::enabled() {
+            self.site.add(n);
+            self.all.add(n);
+        }
+    }
+}
+
+/// Per-client transport telemetry (bytes on the wire, retries, timeouts,
+/// heartbeats), mirrored into per-site and aggregate counters.
+struct ClientObs {
+    bytes_tx: CounterPair,
+    bytes_rx: CounterPair,
+    retries: CounterPair,
+    timeouts: CounterPair,
+    heartbeats: CounterPair,
+}
+
+impl ClientObs {
+    fn new(site: &str) -> Self {
+        ClientObs {
+            bytes_tx: CounterPair::new(site, "bytes_tx"),
+            bytes_rx: CounterPair::new(site, "bytes_rx"),
+            retries: CounterPair::new(site, "retries"),
+            timeouts: CounterPair::new(site, "timeouts"),
+            heartbeats: CounterPair::new(site, "heartbeats"),
+        }
+    }
+}
 
 /// Failure-injection knobs for testing runtime resilience.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -77,6 +126,7 @@ pub struct FlClient {
     log: EventLog,
     filters: FilterChain,
     retry: RetryPolicy,
+    obs: ClientObs,
 }
 
 impl std::fmt::Debug for FlClient {
@@ -133,6 +183,7 @@ impl FlClient {
             ),
         );
         Ok(FlClient {
+            obs: ClientObs::new(&package.site_name),
             site: package.site_name.clone(),
             conn,
             seal: SecureChannel::new(key, 0),
@@ -173,7 +224,11 @@ impl FlClient {
 
     fn send_once(&mut self, msg: &ClientMessage) -> Result<(), FlareError> {
         let sealed = self.seal.seal(&msg.to_frame());
-        self.conn.tx.send(&sealed)
+        let res = self.conn.tx.send(&sealed);
+        if res.is_ok() {
+            self.obs.bytes_tx.add(sealed.len() as u64);
+        }
+        res
     }
 
     /// Sends with bounded retries and exponential backoff. Only transport
@@ -189,6 +244,7 @@ impl FlClient {
                 Err(e) => {
                     last = e.to_string();
                     if attempt < self.retry.max_attempts {
+                        self.obs.retries.add(1);
                         self.log.warn(
                             "FederatedClient",
                             format!(
@@ -228,7 +284,11 @@ impl FlClient {
     /// Transport failures from the underlying send.
     pub fn heartbeat(&mut self) -> Result<(), FlareError> {
         let site = self.site.clone();
-        self.send_once(&ClientMessage::Heartbeat { site })
+        let res = self.send_once(&ClientMessage::Heartbeat { site });
+        if res.is_ok() {
+            self.obs.heartbeats.add(1);
+        }
+        res
     }
 
     /// Receives the next frame under the retry policy: each attempt waits
@@ -238,8 +298,13 @@ impl FlClient {
         let mut backoff = self.retry.backoff;
         for attempt in 1..=self.retry.max_attempts.max(1) {
             match self.conn.rx.recv(self.retry.message_timeout) {
-                Ok(frame) => return Ok(frame),
+                Ok(frame) => {
+                    self.obs.bytes_rx.add(frame.len() as u64);
+                    return Ok(frame);
+                }
                 Err(FlareError::Timeout) if attempt < self.retry.max_attempts => {
+                    self.obs.timeouts.add(1);
+                    self.obs.retries.add(1);
                     self.log.warn(
                         "FederatedClient",
                         format!(
@@ -255,7 +320,12 @@ impl FlClient {
                     std::thread::sleep(backoff);
                     backoff = backoff.saturating_mul(2);
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    if matches!(e, FlareError::Timeout) {
+                        self.obs.timeouts.add(1);
+                    }
+                    return Err(e);
+                }
             }
         }
         Err(FlareError::RetriesExhausted {
@@ -355,6 +425,7 @@ impl FlClient {
                     if let Some(d) = behavior.straggle {
                         std::thread::sleep(d);
                     }
+                    let _span = clinfl_obs::span("site");
                     let ctx = TaskContext {
                         site: self.site.clone(),
                         round,

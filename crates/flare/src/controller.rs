@@ -159,6 +159,8 @@ impl ScatterAndGather {
             self.status.set_client(&site, true);
         }
         for round in 0..self.config.rounds {
+            let _round_span = clinfl_obs::span("round");
+            let round_started = std::time::Instant::now();
             self.status.set_phase(crate::admin::RunPhase::Training {
                 round,
                 total: self.config.rounds,
@@ -263,6 +265,12 @@ impl ScatterAndGather {
             self.log.info(tag, "End persist model on server.");
             self.log.info(tag, format!("Round {round} finished."));
 
+            clinfl_obs::record_histogram(
+                "flare.round.time_ns",
+                round_started.elapsed().as_nanos() as u64,
+            );
+            clinfl_obs::add_counter("flare.round.count", 1);
+            clinfl_obs::add_counter("flare.round.dropped", dropped.len() as u64);
             rounds.push(RoundSummary {
                 round,
                 contributors: updates.iter().map(|(s, _)| s.clone()).collect(),

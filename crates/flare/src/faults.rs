@@ -252,6 +252,9 @@ impl Lane {
                     self.site, self.dir
                 ),
             );
+            // Mirror every injection log line as an obs counter so log
+            // and metrics views of a chaos run always agree.
+            clinfl_obs::add_counter(&format!("flare.faults.{kind}"), 1);
         }
         fault
     }

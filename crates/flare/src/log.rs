@@ -41,6 +41,12 @@ pub struct LogEntry {
     pub message: String,
     /// Seconds since the log was created.
     pub elapsed_secs: f64,
+    /// The emitting thread's obs span path (`run>round`) at log time;
+    /// empty outside any span or with observability disabled. Carried as
+    /// structured context only — [`LogEntry::format`] ignores it, so the
+    /// Fig. 3 line format (and every deterministic comparison built on
+    /// [`EventLog::messages_from`]) is unchanged.
+    pub span: String,
 }
 
 impl LogEntry {
@@ -90,6 +96,7 @@ impl EventLog {
             component: component.to_string(),
             message: message.to_string(),
             elapsed_secs: self.start.elapsed().as_secs_f64(),
+            span: clinfl_obs::current_span_path(),
         };
         if self.echo {
             println!("{}", entry.format());
@@ -183,6 +190,23 @@ mod tests {
         assert!(faults[0].starts_with("site-1"));
         assert!(faults[1].starts_with("site-2"));
         assert!(log.messages_from("NoSuchComponent").is_empty());
+    }
+
+    #[test]
+    fn entries_carry_span_context_without_changing_format() {
+        let log = EventLog::new();
+        log.info("X", "outside");
+        {
+            let _s = clinfl_obs::span("logtest");
+            log.info("X", "inside");
+        }
+        let entries = log.entries();
+        assert_eq!(entries[0].span, "");
+        if clinfl_obs::enabled() {
+            assert_eq!(entries[1].span, "logtest");
+        }
+        // The Fig. 3 line format never includes the span context.
+        assert!(!entries[1].format().contains("logtest"));
     }
 
     #[test]

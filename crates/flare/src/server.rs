@@ -207,6 +207,7 @@ impl FlServer {
                 }
                 match conn.rx.recv(Duration::from_millis(200)) {
                     Ok(frame) => {
+                        clinfl_obs::add_counter("flare.server.bytes_rx", frame.len() as u64);
                         slots.lock()[slot_idx].last_seen = Instant::now();
                         let plain = match open.open(&frame) {
                             Ok(p) => p,
@@ -313,7 +314,10 @@ impl FlServer {
             return false;
         };
         match tx.send(&sealed) {
-            Ok(()) => true,
+            Ok(()) => {
+                clinfl_obs::add_counter("flare.server.bytes_tx", sealed.len() as u64);
+                true
+            }
             Err(e) => {
                 slot.alive = false;
                 log.warn("ServerRunner", format!("{}: send failed: {e}", slot.site));

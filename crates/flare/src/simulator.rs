@@ -127,6 +127,7 @@ impl SimulatorRunner {
         aggregator: &dyn Aggregator,
         mut make_filters: impl FnMut(usize) -> FilterChain,
     ) -> Result<SimulationResult, FlareError> {
+        let _run_span = clinfl_obs::span("run");
         let log = self.log.clone();
         log.info("SimulatorRunner", "Create the simulate clients.");
         let project =
@@ -197,6 +198,22 @@ impl SimulatorRunner {
         }
         let workflow = workflow?;
         log.info("SimulatorRunner", "Simulation complete.");
+        if clinfl_obs::enabled() {
+            let run_name = format!(
+                "sim-{}x{}-seed{}",
+                self.config.n_clients, self.config.sag.rounds, self.config.seed
+            );
+            match clinfl_obs::snapshot().write_artifact(&run_name) {
+                Ok(path) => log.info(
+                    "SimulatorRunner",
+                    format!("Metrics artifact: {}", path.display()),
+                ),
+                Err(e) => log.warn(
+                    "SimulatorRunner",
+                    format!("metrics artifact write failed: {e}"),
+                ),
+            }
+        }
         Ok(SimulationResult {
             workflow,
             client_rounds,

@@ -3,11 +3,17 @@
 
 use crate::config::BertConfig;
 use crate::model::{SequenceClassifier, TokenBatch};
+use clinfl_obs::KernelTimer;
 use clinfl_tensor::{Graph, Init, ParamId, Params, Tensor, Var};
 
 /// Additive attention-mask value for padded key positions. `-1e4` (rather
 /// than `-inf`) keeps `f32` softmax numerically safe.
 const NEG_ATTN: f32 = -1.0e4;
+
+/// Wall time and invocation count of the whole multi-head self-attention
+/// sublayer (the graph runs define-by-run, so this covers the forward
+/// compute of Q/K/V projections, scores, softmax, and output projection).
+static OBS_ATTENTION: KernelTimer = KernelTimer::new("model.attention");
 
 #[derive(Clone, Debug)]
 struct BlockParams {
@@ -241,6 +247,7 @@ impl BertModel {
 
         for blk in &self.blocks {
             // --- Multi-head self-attention sublayer (pre-LN) ---
+            let obs_attn = OBS_ATTENTION.start();
             let hn = self.layer_norm(g, x, blk.ln1_g, blk.ln1_b);
             let proj = |g: &mut Graph, model: &Self, w, bias| {
                 let wv = g.param(&model.params, w);
@@ -268,6 +275,7 @@ impl BertModel {
             let out = g.add(out, bo);
             let out = g.dropout(out, p);
             x = g.add(x, out);
+            drop(obs_attn);
 
             // --- Feed-forward sublayer (pre-LN) ---
             let hn2 = self.layer_norm(g, x, blk.ln2_g, blk.ln2_b);

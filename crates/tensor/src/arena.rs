@@ -55,6 +55,13 @@ pub(crate) struct BufferPool {
     i32s: BTreeMap<usize, Vec<Vec<i32>>>,
     hits: u64,
     misses: u64,
+    /// Bytes currently parked in the free lists.
+    held_bytes: u64,
+    /// High-water mark of `held_bytes` over the pool's lifetime.
+    peak_bytes: u64,
+    /// Hit/miss values already pushed to the global obs registry, so
+    /// [`BufferPool::publish_obs`] adds only the delta since last call.
+    published: (u64, u64),
 }
 
 impl BufferPool {
@@ -67,6 +74,7 @@ impl BufferPool {
         match take_bucket(&mut self.f32s, n) {
             Some(mut v) => {
                 self.hits += 1;
+                self.held_bytes -= (v.capacity() * std::mem::size_of::<f32>()) as u64;
                 v.resize(n, 0.0);
                 v
             }
@@ -85,6 +93,7 @@ impl BufferPool {
         match take_bucket(&mut self.f32s, n) {
             Some(mut v) => {
                 self.hits += 1;
+                self.held_bytes -= (v.capacity() * std::mem::size_of::<f32>()) as u64;
                 v.clear();
                 v.resize(n, 0.0);
                 v
@@ -98,6 +107,7 @@ impl BufferPool {
 
     /// Returns an `f32` buffer to the pool.
     pub(crate) fn give_f32(&mut self, v: Vec<f32>) {
+        self.track_give(v.capacity() * std::mem::size_of::<f32>());
         give_bucket(&mut self.f32s, v);
     }
 
@@ -109,6 +119,7 @@ impl BufferPool {
         match take_bucket(&mut self.u32s, n) {
             Some(mut v) => {
                 self.hits += 1;
+                self.held_bytes -= (v.capacity() * std::mem::size_of::<u32>()) as u64;
                 v.resize(n, 0);
                 v
             }
@@ -121,6 +132,7 @@ impl BufferPool {
 
     /// Returns a `u32` buffer to the pool.
     pub(crate) fn give_u32(&mut self, v: Vec<u32>) {
+        self.track_give(v.capacity() * std::mem::size_of::<u32>());
         give_bucket(&mut self.u32s, v);
     }
 
@@ -132,6 +144,7 @@ impl BufferPool {
         match take_bucket(&mut self.i32s, n) {
             Some(mut v) => {
                 self.hits += 1;
+                self.held_bytes -= (v.capacity() * std::mem::size_of::<i32>()) as u64;
                 v.resize(n, 0);
                 v
             }
@@ -144,6 +157,7 @@ impl BufferPool {
 
     /// Returns an `i32` buffer to the pool.
     pub(crate) fn give_i32(&mut self, v: Vec<i32>) {
+        self.track_give(v.capacity() * std::mem::size_of::<i32>());
         give_bucket(&mut self.i32s, v);
     }
 
@@ -191,6 +205,36 @@ impl BufferPool {
     /// Buffer requests that fell through to the system allocator.
     pub(crate) fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// High-water mark of bytes parked in the free lists.
+    pub(crate) fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    fn track_give(&mut self, bytes: usize) {
+        self.held_bytes += bytes as u64;
+        self.peak_bytes = self.peak_bytes.max(self.held_bytes);
+    }
+
+    /// Pushes the hit/miss deltas since the last call to the global obs
+    /// counters `tensor.arena.hits` / `tensor.arena.misses` and raises
+    /// the `tensor.arena.peak_pool_bytes` gauge. Called by
+    /// [`crate::Graph::reset`] so steady-state training publishes once
+    /// per step, not once per buffer.
+    pub(crate) fn publish_obs(&mut self) {
+        if !clinfl_obs::enabled() {
+            return;
+        }
+        let (hits, misses) = (self.hits, self.misses);
+        if hits > self.published.0 {
+            clinfl_obs::counter("tensor.arena.hits").add(hits - self.published.0);
+        }
+        if misses > self.published.1 {
+            clinfl_obs::counter("tensor.arena.misses").add(misses - self.published.1);
+        }
+        self.published = (hits, misses);
+        clinfl_obs::gauge("tensor.arena.peak_pool_bytes").set_max(self.peak_bytes as i64);
     }
 }
 

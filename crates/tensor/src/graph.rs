@@ -120,6 +120,10 @@ impl Graph {
         self.param_links.clear();
         self.seed = seed;
         self.rng = StdRng::seed_from_u64(seed);
+        // Everything is back in the pool: publish hit/miss deltas and the
+        // held-bytes high-water mark to the global obs registry once per
+        // step (metrics only — no effect on graph state).
+        self.pool.publish_obs();
     }
 
     /// [`Graph::reset_with_seed`] with the seed the graph was created (or
@@ -133,6 +137,11 @@ impl Graph {
     /// recycled buffers vs. requests that hit the system allocator.
     pub fn pool_stats(&self) -> (u64, u64) {
         (self.pool.hits(), self.pool.misses())
+    }
+
+    /// High-water mark of bytes parked in the buffer pool's free lists.
+    pub fn pool_peak_bytes(&self) -> u64 {
+        self.pool.peak_bytes()
     }
 
     /// Switches between training mode (dropout active) and evaluation mode

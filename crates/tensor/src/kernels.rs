@@ -13,6 +13,20 @@
 //! model).
 
 use crate::pool;
+use clinfl_obs::KernelTimer;
+
+// Per-op wall-time + invocation counters (see DESIGN.md §3e). Each is a
+// static so the registry handles resolve once; a timed call costs two
+// clock reads and two relaxed atomic adds.
+static OBS_MATMUL: KernelTimer = KernelTimer::new("tensor.matmul");
+static OBS_MATMUL_AT_B: KernelTimer = KernelTimer::new("tensor.matmul_at_b");
+static OBS_MATMUL_A_BT: KernelTimer = KernelTimer::new("tensor.matmul_a_bt");
+static OBS_SOFTMAX: KernelTimer = KernelTimer::new("tensor.softmax");
+static OBS_SOFTMAX_BWD: KernelTimer = KernelTimer::new("tensor.softmax_backward");
+static OBS_LOG_SOFTMAX: KernelTimer = KernelTimer::new("tensor.log_softmax");
+static OBS_LOG_SOFTMAX_BWD: KernelTimer = KernelTimer::new("tensor.log_softmax_backward");
+static OBS_LAYER_NORM: KernelTimer = KernelTimer::new("tensor.layer_norm");
+static OBS_LAYER_NORM_BWD: KernelTimer = KernelTimer::new("tensor.layer_norm_backward");
 
 /// Row-block body shared by the serial and parallel paths of
 /// [`matmul_acc`]: accumulates rows `i0..` of `c` in `i-k-j` order.
@@ -46,6 +60,7 @@ fn matmul_rows_block(a: &[f32], b: &[f32], c_block: &mut [f32], i0: usize, k: us
 ///
 /// Panics if the slice lengths do not match `m*k`, `k*n`, `m*n`.
 pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let _obs = OBS_MATMUL.start();
     assert_eq!(a.len(), m * k, "matmul lhs length");
     assert_eq!(b.len(), k * n, "matmul rhs length");
     assert_eq!(c.len(), m * n, "matmul out length");
@@ -78,6 +93,7 @@ pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: us
 ///
 /// Panics if the slice lengths do not match `k*m`, `k*n`, `m*n`.
 pub fn matmul_at_b_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let _obs = OBS_MATMUL_AT_B.start();
     assert_eq!(a.len(), k * m, "matmul_at lhs length");
     assert_eq!(b.len(), k * n, "matmul_at rhs length");
     assert_eq!(c.len(), m * n, "matmul_at out length");
@@ -161,6 +177,7 @@ fn matmul_a_bt_rows_block(
 ///
 /// Panics if the slice lengths do not match `m*n`, `k*n`, `m*k`.
 pub fn matmul_a_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
+    let _obs = OBS_MATMUL_A_BT.start();
     assert_eq!(a.len(), m * n, "matmul_bt lhs length");
     assert_eq!(b.len(), k * n, "matmul_bt rhs length");
     assert_eq!(c.len(), m * k, "matmul_bt out length");
@@ -188,6 +205,7 @@ pub fn matmul_a_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, 
 ///
 /// Panics if `width` is 0 or does not divide `data.len()`.
 pub fn softmax_rows(data: &mut [f32], width: usize) {
+    let _obs = OBS_SOFTMAX.start();
     assert!(width > 0, "softmax row width must be > 0");
     assert_eq!(
         data.len() % width,
@@ -239,6 +257,7 @@ fn softmax_row(row: &mut [f32]) {
 ///
 /// Panics if `width` is 0 or does not divide `data.len()`.
 pub fn log_softmax_rows(data: &mut [f32], width: usize) {
+    let _obs = OBS_LOG_SOFTMAX.start();
     assert!(width > 0, "log_softmax row width must be > 0");
     assert_eq!(
         data.len() % width,
@@ -290,6 +309,7 @@ fn log_softmax_row(row: &mut [f32]) {
 ///
 /// Panics if `width` is 0 or does not divide `data.len()`.
 pub fn layer_norm_rows(data: &mut [f32], width: usize, eps: f32) -> (Vec<f32>, Vec<f32>) {
+    let _obs = OBS_LAYER_NORM.start();
     assert!(width > 0, "layer_norm row width must be > 0");
     assert_eq!(
         data.len() % width,
@@ -353,6 +373,7 @@ fn layer_norm_row(row: &mut [f32], width: usize, eps: f32) -> (f32, f32) {
 /// Panics if `width` is 0, does not divide `data.len()`, or `rstd_out` is
 /// not exactly one element per row.
 pub fn layer_norm_rows_rstd(data: &mut [f32], width: usize, eps: f32, rstd_out: &mut [f32]) {
+    let _obs = OBS_LAYER_NORM.start();
     assert!(width > 0, "layer_norm row width must be > 0");
     assert_eq!(
         data.len() % width,
@@ -400,6 +421,7 @@ pub fn layer_norm_rows_backward(
     width: usize,
 ) {
     let rows = y.len() / width;
+    let _obs = OBS_LAYER_NORM_BWD.start();
     assert_eq!(rstd.len(), rows, "layer_norm backward rstd rows");
     assert_eq!(dy.len(), y.len(), "layer_norm backward dy length");
     assert_eq!(dx_acc.len(), y.len(), "layer_norm backward dx length");
@@ -485,6 +507,7 @@ pub fn mul_map_inplace(x: &[f32], d: &mut [f32], work_hint: usize, f: impl Fn(f3
 ///
 /// Panics if `width` is 0 or the slice lengths disagree.
 pub fn softmax_rows_backward(y: &[f32], dy: &[f32], dx: &mut [f32], width: usize) {
+    let _obs = OBS_SOFTMAX_BWD.start();
     assert!(width > 0, "softmax backward width must be > 0");
     assert_eq!(dy.len(), y.len(), "softmax backward dy length");
     assert_eq!(dx.len(), y.len(), "softmax backward dx length");
@@ -528,6 +551,7 @@ fn softmax_backward_block(y: &[f32], dy: &[f32], dx_block: &mut [f32], at0: usiz
 ///
 /// Panics if `width` is 0 or the slice lengths disagree.
 pub fn log_softmax_rows_backward(y: &[f32], dy: &[f32], dx: &mut [f32], width: usize) {
+    let _obs = OBS_LOG_SOFTMAX_BWD.start();
     assert!(width > 0, "log_softmax backward width must be > 0");
     assert_eq!(dy.len(), y.len(), "log_softmax backward dy length");
     assert_eq!(dx.len(), y.len(), "log_softmax backward dx length");

@@ -70,5 +70,5 @@ pub use gradcheck_impl::{gradcheck, GradCheckReport};
 pub use graph::{Graph, Var};
 pub use init::Init;
 pub use optim::{Adam, AdamConfig, GradClip, LrSchedule, Optimizer, ParamId, Params, Sgd};
-pub use shape::Shape;
+pub use shape::{Shape, MAX_RANK};
 pub use tensor::Tensor;

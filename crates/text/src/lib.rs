@@ -7,7 +7,7 @@
 //! The paper (*Multi-Site Clinical Federated Learning using Recursive and
 //! Attentive Models and NVFlare*, ICDCS 2023) models patient records as
 //! token sequences of prescription and diagnosis codes (following its
-//! reference [13], Lee et al., MLHC 2022) and pretrains BERT with the MLM
+//! reference \[13\], Lee et al., MLHC 2022) and pretrains BERT with the MLM
 //! objective at masking probability `p = 0.15`, where 10% of the selected
 //! tokens are left unmasked but still included in the loss. This crate
 //! implements exactly those mechanics.

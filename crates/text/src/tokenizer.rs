@@ -20,7 +20,7 @@ impl Encoded {
 
 /// Tokenizer for clinical event sequences (prescription / diagnosis codes).
 ///
-/// Unlike natural-language BERT, clinical-code models (paper ref. [13])
+/// Unlike natural-language BERT, clinical-code models (paper ref. \[13\])
 /// treat each event code as one token, so no sub-word segmentation is
 /// needed. Sequences are wrapped as `[CLS] e1 e2 … [SEP]`, truncated to
 /// keep the **most recent** events (the clinically informative ones for

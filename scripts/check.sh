@@ -6,6 +6,8 @@
 #   test-serial    full test suite under CLINFL_THREADS=1
 #   test-parallel  full test suite under the default thread budget
 #   test-faults    full test suite under CLINFL_FAULTS=aggressive
+#   bench-smoke    bench_report smoke run + schema check of BENCH_report.json
+#   doc            rustdoc with warnings denied (broken links fail the gate)
 #   clippy         clippy --all-targets with warnings denied
 #   fmt            cargo fmt --check
 #
@@ -65,10 +67,17 @@ run_leg() {
     test-serial) leg test-serial env CLINFL_THREADS=1 cargo test --workspace --release -q ;;
     test-parallel) leg test-parallel cargo test --workspace --release -q ;;
     test-faults) leg test-faults env CLINFL_FAULTS=aggressive cargo test --workspace --release -q ;;
+    bench-smoke)
+        # One leg = one command, so chain run + schema check in a subshell.
+        leg bench-smoke bash -c \
+            'cargo run --release -q -p clinfl-bench --bin bench_report -- --smoke --out BENCH_report.json \
+             && cargo run --release -q -p clinfl-bench --bin bench_report -- --check BENCH_report.json'
+        ;;
+    doc) leg doc env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps ;;
     clippy) leg clippy cargo clippy --workspace --all-targets -- -D warnings ;;
     fmt) leg fmt cargo fmt --all -- --check ;;
     *)
-        echo "unknown leg: $1 (expected build|test-serial|test-parallel|test-faults|clippy|fmt)" >&2
+        echo "unknown leg: $1 (expected build|test-serial|test-parallel|test-faults|bench-smoke|doc|clippy|fmt)" >&2
         exit 2
         ;;
     esac
@@ -76,7 +85,7 @@ run_leg() {
 
 if [ "$#" -eq 0 ]; then
     : >"$TIMINGS"
-    for l in build test-serial test-parallel test-faults clippy fmt; do
+    for l in build test-serial test-parallel test-faults bench-smoke doc clippy fmt; do
         run_leg "$l"
     done
     echo "==> all checks passed"

@@ -14,15 +14,20 @@ echo "|:----|---------------:|-------------:|-------------:|"
 if [ -f "$TIMINGS" ]; then
     # Keep the last record per leg (reruns append), in first-seen order;
     # legs that run no tests (build/clippy/fmt) show "-". Older timings
-    # files have no 4th (RSS, KB) column — render those as "-" too.
+    # files have no 4th (RSS, KB) column, and the RSS or passed field can
+    # be empty (no python3) or non-numeric (truncated line) — render any
+    # such cell as "-" instead of an empty or garbage column.
     awk -F'\t' '
+        NF == 0 || $1 == "" { next }
         !($1 in last) { order[++n] = $1 }
         { last[$1] = $0 }
         END {
             for (i = 1; i <= n; i++) {
                 cols = split(last[order[i]], f, "\t")
-                rss = (cols >= 4 && f[4] != "") ? sprintf("%.1f", f[4] / 1024) : "-"
-                printf "| %s | %s | %s | %s |\n", f[1], f[2], (f[3] == "0" ? "-" : f[3]), rss
+                secs = (cols >= 2 && f[2] ~ /^[0-9]+$/) ? f[2] : "-"
+                passed = (cols >= 3 && f[3] ~ /^[0-9]+$/ && f[3] != "0") ? f[3] : "-"
+                rss = (cols >= 4 && f[4] ~ /^[0-9]+$/) ? sprintf("%.1f", f[4] / 1024) : "-"
+                printf "| %s | %s | %s | %s |\n", f[1], secs, passed, rss
             }
         }' "$TIMINGS"
 else

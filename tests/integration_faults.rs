@@ -176,6 +176,50 @@ fn chaos_runs_reproduce_bit_identically() {
     assert_eq!(wa.data, wb.data, "final weights diverged");
 }
 
+/// The observability counters and the event log are two views of the
+/// same chaos run; they must agree exactly: every `injected <kind>` log
+/// line has a matching `flare.faults.<kind>` increment, and every
+/// client "; retry" warning a matching `flare.client.retries` tick.
+#[test]
+fn fault_log_and_metrics_views_agree() {
+    let _serial = timing_guard();
+    if !clinfl_obs::enabled() {
+        return; // CLINFL_OBS=0: counters stay silent by design.
+    }
+    let before = clinfl_obs::snapshot();
+    let res = run_chaos(3);
+    let after = clinfl_obs::snapshot();
+    let delta = |name: &str| after.counter(name) - before.counter(name);
+
+    let injected = res.log.messages_from("FaultInjector");
+    let mut total = 0u64;
+    for kind in ["drop", "delay", "truncate"] {
+        let logged = injected
+            .iter()
+            .filter(|m| m.contains(&format!("injected {kind}")))
+            .count() as u64;
+        assert_eq!(
+            delta(&format!("flare.faults.{kind}")),
+            logged,
+            "flare.faults.{kind} counter disagrees with the log"
+        );
+        total += logged;
+    }
+    assert!(total > 0, "aggressive plan injected nothing");
+
+    let retries_logged = res
+        .log
+        .messages_from("FederatedClient")
+        .iter()
+        .filter(|m| m.contains("; retry"))
+        .count() as u64;
+    assert_eq!(
+        delta("flare.client.retries"),
+        retries_logged,
+        "flare.client.retries counter disagrees with the log"
+    );
+}
+
 #[test]
 fn different_seeds_inject_different_faults() {
     let _serial = timing_guard();

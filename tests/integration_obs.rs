@@ -1,0 +1,151 @@
+//! Observability integration: metrics must stay lossless under the
+//! worker pool's concurrency, spans must balance across a fault-ridden
+//! federation, and snapshots must round-trip deterministically.
+//!
+//! Metric names used here are unique to this file (or asserted as
+//! deltas), because the registry is process-global and other tests in
+//! this binary may record into it concurrently.
+
+use clinfl_flare::aggregator::WeightedFedAvg;
+use clinfl_flare::client::RetryPolicy;
+use clinfl_flare::controller::SagConfig;
+use clinfl_flare::executor::ArithmeticExecutor;
+use clinfl_flare::faults::FaultConfig;
+use clinfl_flare::simulator::{SimulatorConfig, SimulatorRunner};
+use clinfl_flare::{WeightTensor, Weights};
+use clinfl_obs as obs;
+use std::time::Duration;
+
+#[test]
+fn concurrent_counter_updates_are_lossless() {
+    let workers = 8usize;
+    let per_worker = 10_000u64;
+    let counter = obs::counter("obs_test.concurrent.counter");
+    let before = counter.get();
+    let jobs: Vec<_> = (0..workers)
+        .map(|_| {
+            let c = counter.clone();
+            move || {
+                for _ in 0..per_worker {
+                    c.incr();
+                }
+            }
+        })
+        .collect();
+    clinfl_tensor::pool::run_jobs(jobs);
+    assert_eq!(counter.get() - before, workers as u64 * per_worker);
+}
+
+#[test]
+fn concurrent_histogram_updates_are_lossless() {
+    let workers = 8usize;
+    let per_worker = 5_000u64;
+    let hist = obs::histogram("obs_test.concurrent.histogram");
+    let before = (hist.count(), hist.sum());
+    let jobs: Vec<_> = (0..workers)
+        .map(|w| {
+            let h = hist.clone();
+            move || {
+                for i in 0..per_worker {
+                    h.record(w as u64 * per_worker + i);
+                }
+            }
+        })
+        .collect();
+    clinfl_tensor::pool::run_jobs(jobs);
+    let total = workers as u64 * per_worker;
+    assert_eq!(hist.count() - before.0, total);
+    // Sum of 0..workers*per_worker, recorded exactly once each.
+    let expected_sum = total * (total - 1) / 2;
+    assert_eq!(hist.sum() - before.1, expected_sum);
+    // Every sample landed in a bucket.
+    let frozen = hist.freeze();
+    assert_eq!(
+        frozen.buckets.iter().map(|&(_, n)| n).sum::<u64>(),
+        frozen.count
+    );
+}
+
+fn initial() -> Weights {
+    let mut w = Weights::new();
+    w.insert("p".into(), WeightTensor::new(vec![4], vec![0.0; 4]));
+    w
+}
+
+#[test]
+fn spans_balance_under_aggressive_faults() {
+    if !obs::enabled() {
+        return; // CLINFL_OBS=0: nothing is recorded, nothing to check.
+    }
+    let runs_before = obs::snapshot()
+        .histograms
+        .get("span.run")
+        .map_or(0, |h| h.count);
+    let cfg = SimulatorConfig {
+        n_clients: 4,
+        sag: SagConfig {
+            rounds: 3,
+            min_clients: 2,
+            round_timeout: Duration::from_secs(8),
+            validate_global: false,
+            quorum_grace: Some(Duration::from_millis(1500)),
+        },
+        seed: 31,
+        faults: FaultConfig::aggressive(12),
+        retry: RetryPolicy {
+            message_timeout: Duration::from_secs(30),
+            submit_copies: 2,
+            ..RetryPolicy::default()
+        },
+        ..SimulatorConfig::default()
+    };
+    let res = SimulatorRunner::new(cfg)
+        .run_simple(
+            initial(),
+            |i, _| {
+                Box::new(ArithmeticExecutor {
+                    delta: (i as f32 + 1.0) * 0.5,
+                    n_examples: 10,
+                })
+            },
+            &WeightedFedAvg,
+        )
+        .expect("faulty simulation completes");
+    assert_eq!(res.workflow.rounds.len(), 3);
+
+    // Every span opened on this thread was closed again...
+    assert_eq!(obs::span_depth(), 0, "unbalanced span stack after run");
+    assert_eq!(obs::current_span_path(), "");
+    // ...and the nested timings were recorded under their full paths.
+    let snap = obs::snapshot();
+    assert_eq!(
+        snap.histograms.get("span.run").map_or(0, |h| h.count),
+        runs_before + 1,
+        "the run span must be recorded exactly once per simulation"
+    );
+    let rounds = snap.histograms.get("span.run>round").expect("round spans");
+    assert!(
+        rounds.count >= 3,
+        "expected at least 3 run>round spans, got {}",
+        rounds.count
+    );
+}
+
+#[test]
+fn snapshot_json_round_trips_deterministically() {
+    // Populate at least one metric of each kind, then freeze.
+    obs::counter("obs_test.roundtrip.counter").add(41);
+    obs::gauge("obs_test.roundtrip.gauge").set(-7);
+    obs::histogram("obs_test.roundtrip.histogram").record(1234);
+    let snap = obs::snapshot();
+
+    let text = snap.to_json();
+    let back = obs::MetricsSnapshot::from_json(&text).expect("parse back");
+    assert_eq!(back, snap, "snapshot changed across a JSON round-trip");
+    // Canonical writer + sorted maps: byte-identical re-serialization
+    // (the test-serial CI leg repeats this under CLINFL_THREADS=1).
+    assert_eq!(back.to_json(), text);
+    if obs::enabled() {
+        assert_eq!(back.counter("obs_test.roundtrip.counter"), 41);
+    }
+}

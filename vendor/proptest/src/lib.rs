@@ -1,6 +1,6 @@
 //! Offline stand-in for the slice of `proptest` this workspace uses.
 //!
-//! Implements the [`Strategy`] trait (ranges, tuples, `prop_map` /
+//! Implements the [`strategy::Strategy`] trait (ranges, tuples, `prop_map` /
 //! `prop_flat_map`, regex-subset string patterns), [`prelude::any`],
 //! [`collection`] strategies, [`sample::Index`], and the [`proptest!`] /
 //! [`prop_assert!`] / [`prop_assert_eq!`] macros. Cases are generated from
@@ -60,7 +60,7 @@ pub mod test_runner {
     }
 }
 
-/// The [`Strategy`] trait and its combinator adapters.
+/// The [`strategy::Strategy`] trait and its combinator adapters.
 pub mod strategy {
     use super::TestRng;
     use rand::RngExt;
