@@ -5,10 +5,16 @@
 //! clinfl centralized --model lstm --scale 16
 //! clinfl standalone  --model bert-mini --scale 16
 //! clinfl federated   --model lstm --scale 16 [--balanced] [--echo]
+//!                    [--checkpoint-dir D] [--resume D] [--retain N]
 //! clinfl pretrain    --scale 64 --scheme centralized
 //! clinfl table3      --scale 10
 //! clinfl fig2        --scale 32
 //! ```
+//!
+//! `--checkpoint-dir D` persists per-round snapshots and a crash-safe run
+//! checkpoint into `D`; `--resume D` restarts an interrupted federated run
+//! from the checkpoint in `D` (same seed required); `--retain N` keeps at
+//! most `N` per-round snapshot files on disk.
 //!
 //! Every subcommand runs on the synthetic cohort/corpus at `1/scale` of
 //! the paper's data volumes (see DESIGN.md for the substitution rationale).
@@ -26,13 +32,16 @@ struct Args {
     scheme: MlmScheme,
     balanced: bool,
     echo: bool,
+    checkpoint_dir: Option<std::path::PathBuf>,
+    resume: bool,
+    retain: Option<usize>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: clinfl <centralized|standalone|federated|pretrain|table3|fig2> \
          [--scale N] [--model lstm|bert|bert-mini] [--scheme centralized|small|fl-imbalanced|fl-balanced] \
-         [--balanced] [--echo]"
+         [--balanced] [--echo] [--checkpoint-dir D] [--resume D] [--retain N]"
     );
     ExitCode::from(2)
 }
@@ -49,6 +58,9 @@ fn parse_args() -> Result<Args, ExitCode> {
         scheme: MlmScheme::Centralized,
         balanced: false,
         echo: false,
+        checkpoint_dir: None,
+        resume: false,
+        retain: None,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -72,6 +84,16 @@ fn parse_args() -> Result<Args, ExitCode> {
             }
             "--balanced" => args.balanced = true,
             "--echo" => args.echo = true,
+            "--checkpoint-dir" => {
+                args.checkpoint_dir = Some(argv.next().ok_or_else(usage)?.into());
+            }
+            "--resume" => {
+                args.checkpoint_dir = Some(argv.next().ok_or_else(usage)?.into());
+                args.resume = true;
+            }
+            "--retain" => {
+                args.retain = Some(argv.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
+            }
             _ => return Err(usage()),
         }
     }
@@ -83,7 +105,10 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(code) => return code,
     };
-    let cfg = PipelineConfig::scaled(args.scale);
+    let mut cfg = PipelineConfig::scaled(args.scale);
+    cfg.runtime.checkpoint_dir = args.checkpoint_dir.clone();
+    cfg.runtime.resume = args.resume;
+    cfg.runtime.retain_checkpoints = args.retain;
     println!(
         "clinfl: {} at scale {} ({} patients, seq {}, {} sites)",
         args.command, args.scale, cfg.cohort.n_patients, cfg.seq_len, cfg.n_clients

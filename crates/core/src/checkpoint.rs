@@ -2,29 +2,37 @@
 //! federated wire format, so a fine-tuned global model can be shipped to
 //! sites or resumed later (the "obtaining optimal global models" output of
 //! the paper's pipeline, Fig. 1).
+//!
+//! Writes go through `clinfl_flare::checkpoint`'s atomic writer (tmp
+//! file then rename, CRC trailer), so a crash mid-save can never
+//! truncate a previously good `.cfw`, and loads verify the trailer.
+//! Files written by older builds (no trailer) still load.
 
-use clinfl_flare::wire::{WireDecode, WireEncode};
+use clinfl_flare::checkpoint::{load_weights_file, save_weights_file};
 use clinfl_flare::{FlareError, Weights};
 use std::path::Path;
 
-/// Saves weights to `path` in the framed wire format (`.cfw`).
+pub use clinfl_flare::checkpoint::RunCheckpoint;
+
+/// Saves weights to `path` in the framed wire format (`.cfw`),
+/// atomically and with a CRC trailer.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures.
 pub fn save_weights(path: impl AsRef<Path>, weights: &Weights) -> Result<(), FlareError> {
-    std::fs::write(path.as_ref(), weights.to_frame())?;
-    Ok(())
+    save_weights_file(path, weights)
 }
 
-/// Loads weights previously written by [`save_weights`].
+/// Loads weights previously written by [`save_weights`], verifying the
+/// CRC trailer when present.
 ///
 /// # Errors
 ///
-/// Propagates I/O failures and codec errors (truncated / corrupt file).
+/// Propagates I/O failures, CRC mismatches, and codec errors (truncated /
+/// corrupt file).
 pub fn load_weights(path: impl AsRef<Path>) -> Result<Weights, FlareError> {
-    let bytes = std::fs::read(path.as_ref())?;
-    Weights::from_frame(&bytes)
+    load_weights_file(path)
 }
 
 #[cfg(test)]
@@ -51,6 +59,24 @@ mod tests {
         let path = std::env::temp_dir().join(format!("clinfl-bad-{}.cfw", std::process::id()));
         std::fs::write(&path, b"not a checkpoint").unwrap();
         assert!(load_weights(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flip_under_crc_trailer_rejected() {
+        let mut w = Weights::new();
+        w.insert("p".into(), WeightTensor::new(vec![4], vec![1., 2., 3., 4.]));
+        let path = std::env::temp_dir().join(format!("clinfl-flip-{}.cfw", std::process::id()));
+        save_weights(&path, &w).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last_payload = bytes.len() - 9; // inside the body, before the trailer
+        bytes[last_payload] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_weights(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("CRC"),
+            "expected a CRC error, got: {err}"
+        );
         std::fs::remove_file(&path).ok();
     }
 

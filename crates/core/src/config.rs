@@ -3,6 +3,7 @@
 use clinfl_data::{CohortSpec, PretrainSpec};
 use clinfl_flare::client::RetryPolicy;
 use clinfl_flare::faults::FaultConfig;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Which of the paper's three models to build (Table II).
@@ -136,6 +137,15 @@ pub struct RuntimeConfig {
     pub quorum_grace: Option<Duration>,
     /// Client send/recv retry policy.
     pub retry: RetryPolicy,
+    /// Persist round snapshots + the run checkpoint into this directory
+    /// (crash-safe atomic writes). `None` disables on-disk checkpoints.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume the federated run from the checkpoint in `checkpoint_dir`
+    /// instead of starting at round 0.
+    pub resume: bool,
+    /// Keep at most this many `round_<n>.cfw` files (oldest pruned
+    /// first); `None` keeps all.
+    pub retain_checkpoints: Option<usize>,
 }
 
 impl Default for RuntimeConfig {
@@ -146,6 +156,9 @@ impl Default for RuntimeConfig {
             round_timeout: Duration::from_secs(3600),
             quorum_grace: None,
             retry: RetryPolicy::default(),
+            checkpoint_dir: None,
+            resume: false,
+            retain_checkpoints: None,
         }
     }
 }

@@ -138,11 +138,15 @@ fn simulator_config(cfg: &PipelineConfig) -> SimulatorConfig {
             round_timeout: cfg.runtime.round_timeout,
             validate_global: true,
             quorum_grace: cfg.runtime.quorum_grace,
+            resume_from: None, // loaded by the simulator when `resume` is set
         },
         seed: cfg.seed,
         behaviors: BTreeMap::new(),
         faults: cfg.runtime.faults.clone(),
         retry: cfg.runtime.retry,
+        checkpoint_dir: cfg.runtime.checkpoint_dir.clone(),
+        resume: cfg.runtime.resume,
+        retain_checkpoints: cfg.runtime.retain_checkpoints,
     }
 }
 
@@ -336,6 +340,11 @@ pub fn pretrain_mlm(
             let log = EventLog::new();
             let mut sim_cfg = simulator_config(cfg);
             sim_cfg.sag.rounds = cfg.pretrain_rounds;
+            // Keep pretraining checkpoints apart from fine-tuning ones so a
+            // resume never crosses phases.
+            if let Some(dir) = sim_cfg.checkpoint_dir.take() {
+                sim_cfg.checkpoint_dir = Some(dir.join("pretrain"));
+            }
             let runner = SimulatorRunner::with_log(sim_cfg, log.clone());
             let mut seed_learner =
                 MlmLearner::new(&bert, CodeSystem::new().vocab().clone(), hyper, cfg.seed);

@@ -2,6 +2,7 @@
 //! paper's Fig. 3 round loop).
 
 use crate::aggregator::Aggregator;
+use crate::checkpoint::RunCheckpoint;
 use crate::dxo::{Dxo, Weights};
 use crate::log::EventLog;
 use crate::messages::TaskAssignment;
@@ -53,6 +54,11 @@ pub struct SagConfig {
     /// long after the last accepted submission instead of waiting out the
     /// full `round_timeout`. `None` waits for every expected client.
     pub quorum_grace: Option<Duration>,
+    /// Restart from this checkpoint instead of round 0: the controller
+    /// restores the global weights, completed round summaries, and
+    /// best-metric state, then continues at `next_round`. The `initial`
+    /// weights passed to [`ScatterAndGather::run`] are ignored.
+    pub resume_from: Option<RunCheckpoint>,
 }
 
 impl Default for SagConfig {
@@ -63,6 +69,7 @@ impl Default for SagConfig {
             round_timeout: Duration::from_secs(600),
             validate_global: true,
             quorum_grace: None,
+            resume_from: None,
         }
     }
 }
@@ -115,6 +122,7 @@ pub struct ScatterAndGather {
     config: SagConfig,
     log: EventLog,
     status: crate::admin::RunStatus,
+    run_seed: u64,
 }
 
 impl ScatterAndGather {
@@ -124,6 +132,7 @@ impl ScatterAndGather {
             config,
             log,
             status: crate::admin::RunStatus::new(),
+            run_seed: 0,
         }
     }
 
@@ -131,6 +140,14 @@ impl ScatterAndGather {
     /// observation of the run.
     pub fn with_status(mut self, status: crate::admin::RunStatus) -> Self {
         self.status = status;
+        self
+    }
+
+    /// Records the run seed stamped into every [`RunCheckpoint`], so a
+    /// resume under a different seed (and thus a different fault/data
+    /// schedule) can be refused.
+    pub fn with_run_seed(mut self, seed: u64) -> Self {
+        self.run_seed = seed;
         self
     }
 
@@ -155,10 +172,28 @@ impl ScatterAndGather {
         let tag = "ScatterAndGather";
         let mut global = initial;
         let mut rounds = Vec::with_capacity(self.config.rounds as usize);
+        let mut best_metric: Option<f64> = None;
+        let mut best_round: Option<u32> = None;
+        let mut start_round = 0u32;
+        if let Some(ckpt) = &self.config.resume_from {
+            global = ckpt.global.clone();
+            rounds = ckpt.rounds.clone();
+            best_metric = ckpt.best_metric;
+            best_round = ckpt.best_round;
+            start_round = ckpt.next_round;
+            self.log.info(
+                tag,
+                format!(
+                    "Resuming at round {start_round} of {} from checkpoint (run seed {}).",
+                    self.config.rounds, ckpt.seed
+                ),
+            );
+            clinfl_obs::add_counter("flare.checkpoint.resumed", 1);
+        }
         for site in gateway.client_sites() {
             self.status.set_client(&site, true);
         }
-        for round in 0..self.config.rounds {
+        for round in start_round..self.config.rounds {
             let _round_span = clinfl_obs::span("round");
             let round_started = std::time::Instant::now();
             self.status.set_phase(crate::admin::RunPhase::Training {
@@ -281,6 +316,22 @@ impl ScatterAndGather {
                 global_metric,
                 dropped,
             });
+            if let Some(m) = global_metric {
+                if best_metric.map(|b| m > b).unwrap_or(true) {
+                    best_metric = Some(m);
+                    best_round = Some(round);
+                }
+            }
+            persistor.save_checkpoint(&RunCheckpoint {
+                seed: self.run_seed,
+                next_round: round + 1,
+                total_rounds: self.config.rounds,
+                global: global.clone(),
+                rounds: rounds.clone(),
+                best_metric,
+                best_round,
+            });
+            clinfl_obs::add_counter("flare.checkpoint.saved", 1);
         }
         gateway.broadcast(&TaskAssignment::Finish);
         self.status.set_phase(crate::admin::RunPhase::Finished);
@@ -515,6 +566,62 @@ mod tests {
         assert!(status
             .execute(AdminCommand::CheckStatus)
             .contains("finished"));
+    }
+
+    #[test]
+    fn resume_continues_at_next_round_bit_identically() {
+        let cfg = |rounds| SagConfig {
+            rounds,
+            min_clients: 2,
+            validate_global: true,
+            ..SagConfig::default()
+        };
+        // Reference: an uninterrupted 4-round run.
+        let mut gw = MockGateway::new(vec![1.0, 3.0]);
+        let full = ScatterAndGather::new(cfg(4), EventLog::new())
+            .run(
+                &mut gw,
+                &WeightedFedAvg,
+                &mut InMemoryPersistor::new(),
+                initial(),
+            )
+            .unwrap();
+
+        // Interrupted: run two rounds, "crash", resume from the checkpoint.
+        let mut gw = MockGateway::new(vec![1.0, 3.0]);
+        let mut pers = InMemoryPersistor::new();
+        ScatterAndGather::new(cfg(2), EventLog::new())
+            .with_run_seed(42)
+            .run(&mut gw, &WeightedFedAvg, &mut pers, initial())
+            .unwrap();
+        let ckpt = pers.load_checkpoint().unwrap();
+        assert_eq!(ckpt.next_round, 2);
+        assert_eq!(ckpt.seed, 42);
+        assert_eq!(ckpt.rounds.len(), 2);
+
+        let mut gw = MockGateway::new(vec![1.0, 3.0]);
+        let log = EventLog::new();
+        let resumed = ScatterAndGather::new(
+            SagConfig {
+                resume_from: Some(ckpt),
+                ..cfg(4)
+            },
+            log.clone(),
+        )
+        .run(&mut gw, &WeightedFedAvg, &mut pers, Weights::new())
+        .unwrap();
+        assert!(log.contains("Resuming at round 2"));
+        assert_eq!(resumed.final_weights, full.final_weights);
+        assert_eq!(resumed.rounds.len(), 4);
+        assert_eq!(
+            resumed.rounds.iter().map(|r| r.round).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        // The resumed run's final checkpoint covers all four rounds.
+        let final_ckpt = pers.load_checkpoint().unwrap();
+        assert_eq!(final_ckpt.next_round, 4);
+        assert_eq!(final_ckpt.rounds.len(), 4);
+        assert_eq!(final_ckpt.best_metric, Some(0.5));
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub enum FlareError {
         /// Display form of the last underlying error.
         last: String,
     },
+    /// A checkpoint file was unusable (CRC mismatch, unknown schema
+    /// version, wrong run seed) — distinct from [`FlareError::Codec`] so
+    /// recovery code can report *why* a resume was refused.
+    Checkpoint(String),
     /// I/O error (persistence, sockets).
     Io(std::io::Error),
 }
@@ -66,6 +70,7 @@ impl fmt::Display for FlareError {
             FlareError::RetriesExhausted { op, attempts, last } => {
                 write!(f, "{op} gave up after {attempts} attempt(s): {last}")
             }
+            FlareError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
             FlareError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

@@ -35,6 +35,12 @@
 //! rounds on a `min_clients` quorum, so runs under aggressive faults still
 //! complete (see the fault-tolerance section of `DESIGN.md`).
 //!
+//! The [`checkpoint`] module makes the persistence side crash-safe: every
+//! file lands via atomic tmp+rename with a CRC trailer, and a
+//! [`RunCheckpoint`] snapshot of the run-loop state lets
+//! [`controller::ScatterAndGather`] resume at round *k+1* after a server
+//! crash (see the checkpoint section of `DESIGN.md`).
+//!
 //! The crate is model-agnostic: weights travel as named dense tensors
 //! ([`Weights`]), so any training stack can plug in via the
 //! [`executor::Executor`] trait.
@@ -44,6 +50,7 @@
 
 pub mod admin;
 pub mod aggregator;
+pub mod checkpoint;
 pub mod client;
 pub mod controller;
 mod dxo;
@@ -62,6 +69,7 @@ pub mod simulator;
 pub mod transport;
 pub mod wire;
 
+pub use checkpoint::RunCheckpoint;
 pub use dxo::{Dxo, DxoKind, WeightTensor, Weights};
 pub use error::FlareError;
 pub use log::{EventLog, LogEntry, LogLevel};

@@ -9,12 +9,13 @@ use crate::executor::Executor;
 use crate::faults::{FaultConfig, FaultPlan};
 use crate::filters::FilterChain;
 use crate::log::EventLog;
-use crate::persistor::InMemoryPersistor;
+use crate::persistor::{FilePersistor, InMemoryPersistor, Persistor};
 use crate::provision::Project;
 use crate::server::FlServer;
 use crate::transport::in_proc_pair;
 use crate::FlareError;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Configuration of a simulated federation.
@@ -32,6 +33,17 @@ pub struct SimulatorConfig {
     pub faults: FaultConfig,
     /// Client send/recv retry policy.
     pub retry: RetryPolicy,
+    /// Persist per-round snapshots and the run checkpoint into this
+    /// directory (crash-safe; see `DESIGN.md`). `None` keeps everything in
+    /// memory.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from the checkpoint in `checkpoint_dir` (if one is valid);
+    /// the run restarts at round *k+1*. Refused if the checkpoint was
+    /// written under a different `seed`.
+    pub resume: bool,
+    /// Keep at most this many `round_<n>.cfw` files on disk (oldest
+    /// pruned first); `None` keeps all.
+    pub retain_checkpoints: Option<usize>,
 }
 
 impl Default for SimulatorConfig {
@@ -43,6 +55,9 @@ impl Default for SimulatorConfig {
             behaviors: BTreeMap::new(),
             faults: FaultConfig::none(),
             retry: RetryPolicy::default(),
+            checkpoint_dir: None,
+            resume: false,
+            retain_checkpoints: None,
         }
     }
 }
@@ -129,6 +144,40 @@ impl SimulatorRunner {
     ) -> Result<SimulationResult, FlareError> {
         let _run_span = clinfl_obs::span("run");
         let log = self.log.clone();
+        // Checkpoint/resume setup happens before any client thread spawns,
+        // so a refused resume returns an error without leaking threads.
+        let mut initial = initial;
+        let mut sag_cfg = self.config.sag.clone();
+        let mut persistor: Box<dyn Persistor> = match &self.config.checkpoint_dir {
+            Some(dir) => {
+                let mut fp = FilePersistor::new(dir)?.with_log(log.clone());
+                if let Some(keep) = self.config.retain_checkpoints {
+                    fp = fp.with_retention(keep);
+                }
+                if self.config.resume {
+                    match fp.load_checkpoint() {
+                        Some(ckpt) => {
+                            if ckpt.seed != self.config.seed {
+                                return Err(FlareError::Checkpoint(format!(
+                                    "checkpoint in {dir:?} was written under run seed {}; \
+                                     refusing to resume with seed {} (the fault/data \
+                                     schedule would diverge)",
+                                    ckpt.seed, self.config.seed
+                                )));
+                            }
+                            initial = ckpt.global.clone();
+                            sag_cfg.resume_from = Some(ckpt);
+                        }
+                        None => log.warn(
+                            "SimulatorRunner",
+                            "resume requested but no valid checkpoint found; starting fresh",
+                        ),
+                    }
+                }
+                Box::new(fp)
+            }
+            None => Box::new(InMemoryPersistor::new()),
+        };
         log.info("SimulatorRunner", "Create the simulate clients.");
         let project =
             Project::with_n_sites("simulator_server", self.config.n_clients, self.config.seed);
@@ -175,9 +224,8 @@ impl SimulatorRunner {
             );
         }
 
-        let sag = ScatterAndGather::new(self.config.sag.clone(), log.clone());
-        let mut persistor = InMemoryPersistor::new();
-        let workflow = sag.run(&mut server, aggregator, &mut persistor, initial);
+        let sag = ScatterAndGather::new(sag_cfg, log.clone()).with_run_seed(self.config.seed);
+        let workflow = sag.run(&mut server, aggregator, persistor.as_mut(), initial);
 
         // Stop the server BEFORE joining clients: dropping the server-side
         // connections wakes any client whose Finish frame was lost to an
@@ -434,6 +482,75 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, FlareError::NotEnoughClients { .. }));
+    }
+
+    fn exec(i: usize, _site: &str) -> Box<dyn Executor> {
+        Box::new(ArithmeticExecutor {
+            delta: (i + 1) as f32,
+            n_examples: 10,
+        })
+    }
+
+    fn ckpt_cfg(dir: &std::path::Path, rounds: u32, seed: u64) -> SimulatorConfig {
+        SimulatorConfig {
+            n_clients: 3,
+            sag: SagConfig {
+                rounds,
+                min_clients: 1,
+                round_timeout: Duration::from_secs(10),
+                validate_global: true,
+                ..SagConfig::default()
+            },
+            seed,
+            checkpoint_dir: Some(dir.to_path_buf()),
+            ..SimulatorConfig::default()
+        }
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("clinfl-sim-resume-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        // Reference: uninterrupted 4-round run (no checkpointing at all).
+        let full = sim(3, 4)
+            .run_simple(initial(), exec, &WeightedFedAvg)
+            .unwrap();
+        // Interrupted: two rounds land in the checkpoint dir, the process
+        // state is dropped, and a fresh runner resumes to round 4.
+        SimulatorRunner::new(ckpt_cfg(&dir, 2, 7))
+            .run_simple(initial(), exec, &WeightedFedAvg)
+            .unwrap();
+        let mut resume_cfg = ckpt_cfg(&dir, 4, 7);
+        resume_cfg.resume = true;
+        let resumed = SimulatorRunner::new(resume_cfg)
+            .run_simple(initial(), exec, &WeightedFedAvg)
+            .unwrap();
+        assert!(resumed.log.contains("Resuming at round 2"));
+        assert_eq!(
+            resumed.workflow.final_weights, full.workflow.final_weights,
+            "resumed weights must be bit-identical to the uninterrupted run"
+        );
+        assert_eq!(resumed.workflow.rounds.len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_with_wrong_seed_is_refused() {
+        let dir = std::env::temp_dir().join(format!("clinfl-sim-badseed-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        SimulatorRunner::new(ckpt_cfg(&dir, 2, 7))
+            .run_simple(initial(), exec, &WeightedFedAvg)
+            .unwrap();
+        let mut resume_cfg = ckpt_cfg(&dir, 4, 8);
+        resume_cfg.resume = true;
+        let err = SimulatorRunner::new(resume_cfg)
+            .run_simple(initial(), exec, &WeightedFedAvg)
+            .unwrap_err();
+        assert!(
+            matches!(&err, FlareError::Checkpoint(m) if m.contains("seed")),
+            "unexpected error {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -202,6 +202,28 @@ impl<T: WireDecode> WireDecode for Vec<T> {
     }
 }
 
+impl<T: WireEncode> WireEncode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+}
+
+impl<T: WireDecode> WireDecode for Option<T> {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FlareError> {
+        match r.take(1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            b => Err(FlareError::Codec(format!("invalid Option tag {b}"))),
+        }
+    }
+}
+
 impl<V: WireEncode> WireEncode for std::collections::BTreeMap<String, V> {
     fn encode(&self, out: &mut Vec<u8>) {
         self.len().encode(out);
@@ -269,6 +291,22 @@ mod tests {
         m.insert("a".to_string(), 1.5f64);
         m.insert("b".to_string(), -0.25);
         roundtrip(m);
+    }
+
+    #[test]
+    fn option_roundtrips() {
+        roundtrip(Some(0.75f64));
+        roundtrip(None::<f64>);
+        roundtrip(Some(String::from("best")));
+        roundtrip(Some(vec![1u32, 2, 3]));
+    }
+
+    #[test]
+    fn invalid_option_tag_rejected() {
+        let mut frame = FRAME_MAGIC.to_vec();
+        frame.push(2);
+        frame.extend_from_slice(&1.0f64.to_le_bytes());
+        assert!(Option::<f64>::from_frame(&frame).is_err());
     }
 
     #[test]

@@ -6,6 +6,9 @@
 #   test-serial    full test suite under CLINFL_THREADS=1
 #   test-parallel  full test suite under the default thread budget
 #   test-faults    full test suite under CLINFL_FAULTS=aggressive
+#   resume         crash-resume chaos tests (kill server mid-round, resume,
+#                  require bit-identical weights; dir kept in
+#                  target/chaos-resume on failure for artifact upload)
 #   bench-smoke    bench_report smoke run + schema check of BENCH_report.json
 #   doc            rustdoc with warnings denied (broken links fail the gate)
 #   clippy         clippy --all-targets with warnings denied
@@ -13,9 +16,9 @@
 #
 # Usage: scripts/check.sh [leg ...]   (no args = all legs, in order)
 #
-# Each leg's wall-clock, "N passed" totals, and peak RSS (KB) are appended
-# to target/ci-timings.tsv; scripts/ci_summary.sh renders that file as a
-# markdown table.
+# Each leg's wall-clock, "N passed" totals, peak RSS (KB), and ok/fail
+# status are appended to target/ci-timings.tsv; scripts/ci_summary.sh
+# renders that file as a markdown table.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -45,7 +48,7 @@ PY
 }
 
 # Runs one named leg, times it, and records
-# "name<TAB>secs<TAB>passed<TAB>rss_kb".
+# "name<TAB>secs<TAB>passed<TAB>rss_kb<TAB>status".
 leg() {
     local name="$1"
     shift
@@ -57,7 +60,8 @@ leg() {
     # grep exits 1 on legs that run no tests; don't let pipefail kill us.
     passed=$(printf '%s\n' "$out" | { grep -Eo '[0-9]+ passed' || true; } | awk '{s += $1} END {print s + 0}')
     rss=$(cat "$RSS_FILE" 2>/dev/null || true)
-    printf '%s\t%s\t%s\t%s\n' "$name" "$((SECONDS - start))" "$passed" "$rss" >>"$TIMINGS"
+    printf '%s\t%s\t%s\t%s\t%s\n' "$name" "$((SECONDS - start))" "$passed" "$rss" \
+        "$([ "$status" -eq 0 ] && echo ok || echo fail)" >>"$TIMINGS"
     return "$status"
 }
 
@@ -67,6 +71,7 @@ run_leg() {
     test-serial) leg test-serial env CLINFL_THREADS=1 cargo test --workspace --release -q ;;
     test-parallel) leg test-parallel cargo test --workspace --release -q ;;
     test-faults) leg test-faults env CLINFL_FAULTS=aggressive cargo test --workspace --release -q ;;
+    resume) leg resume cargo test --release --test integration_resume -q ;;
     bench-smoke)
         # One leg = one command, so chain run + schema check in a subshell.
         leg bench-smoke bash -c \
@@ -77,7 +82,7 @@ run_leg() {
     clippy) leg clippy cargo clippy --workspace --all-targets -- -D warnings ;;
     fmt) leg fmt cargo fmt --all -- --check ;;
     *)
-        echo "unknown leg: $1 (expected build|test-serial|test-parallel|test-faults|bench-smoke|doc|clippy|fmt)" >&2
+        echo "unknown leg: $1 (expected build|test-serial|test-parallel|test-faults|resume|bench-smoke|doc|clippy|fmt)" >&2
         exit 2
         ;;
     esac
@@ -85,7 +90,7 @@ run_leg() {
 
 if [ "$#" -eq 0 ]; then
     : >"$TIMINGS"
-    for l in build test-serial test-parallel test-faults bench-smoke doc clippy fmt; do
+    for l in build test-serial test-parallel test-faults resume bench-smoke doc clippy fmt; do
         run_leg "$l"
     done
     echo "==> all checks passed"

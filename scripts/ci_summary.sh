@@ -9,14 +9,15 @@ TIMINGS=target/ci-timings.tsv
 
 echo "### CI legs"
 echo
-echo "| Leg | Wall-clock (s) | Tests passed | Max RSS (MB) |"
-echo "|:----|---------------:|-------------:|-------------:|"
+echo "| Leg | Status | Wall-clock (s) | Tests passed | Max RSS (MB) |"
+echo "|:----|:------:|---------------:|-------------:|-------------:|"
 if [ -f "$TIMINGS" ]; then
     # Keep the last record per leg (reruns append), in first-seen order;
     # legs that run no tests (build/clippy/fmt) show "-". Older timings
-    # files have no 4th (RSS, KB) column, and the RSS or passed field can
-    # be empty (no python3) or non-numeric (truncated line) — render any
-    # such cell as "-" instead of an empty or garbage column.
+    # files have no 4th (RSS, KB) or 5th (ok/fail status) column, and the
+    # RSS or passed field can be empty (no python3) or non-numeric
+    # (truncated line) — render any such cell as "-" instead of an empty
+    # or garbage column.
     awk -F'\t' '
         NF == 0 || $1 == "" { next }
         !($1 in last) { order[++n] = $1 }
@@ -27,9 +28,10 @@ if [ -f "$TIMINGS" ]; then
                 secs = (cols >= 2 && f[2] ~ /^[0-9]+$/) ? f[2] : "-"
                 passed = (cols >= 3 && f[3] ~ /^[0-9]+$/ && f[3] != "0") ? f[3] : "-"
                 rss = (cols >= 4 && f[4] ~ /^[0-9]+$/) ? sprintf("%.1f", f[4] / 1024) : "-"
-                printf "| %s | %s | %s | %s |\n", f[1], secs, passed, rss
+                status = (cols >= 5 && f[5] == "ok") ? "✅" : (cols >= 5 && f[5] == "fail") ? "❌" : "-"
+                printf "| %s | %s | %s | %s | %s |\n", f[1], status, secs, passed, rss
             }
         }' "$TIMINGS"
 else
-    echo "| (no timings recorded) | - | - | - |"
+    echo "| (no timings recorded) | - | - | - | - |"
 fi

@@ -56,6 +56,7 @@ fn chaos_config(seed: u64) -> SimulatorConfig {
             round_timeout: Duration::from_secs(8),
             validate_global: false,
             quorum_grace: Some(Duration::from_millis(1500)),
+            ..SagConfig::default()
         },
         seed: 99,
         faults: FaultConfig::aggressive(seed),
@@ -247,6 +248,7 @@ fn quorum_aggregate_independent_of_straggler_mode() {
                 round_timeout: Duration::from_secs(8),
                 validate_global: false,
                 quorum_grace: Some(Duration::from_millis(700)),
+                ..SagConfig::default()
             },
             seed: 55,
             retry: RetryPolicy {

@@ -89,6 +89,7 @@ fn spans_balance_under_aggressive_faults() {
             round_timeout: Duration::from_secs(8),
             validate_global: false,
             quorum_grace: Some(Duration::from_millis(1500)),
+            ..SagConfig::default()
         },
         seed: 31,
         faults: FaultConfig::aggressive(12),

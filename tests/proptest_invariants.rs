@@ -3,6 +3,8 @@
 //! bounds, and partition conservation.
 
 use clinfl_data::{ClassifyDataset, SitePartitioner};
+use clinfl_flare::checkpoint::RunCheckpoint;
+use clinfl_flare::controller::RoundSummary;
 use clinfl_flare::messages::{ClientMessage, ServerMessage, TaskAssignment};
 use clinfl_flare::security::{DhKeyPair, SecureChannel};
 use clinfl_flare::wire::{WireDecode, WireEncode};
@@ -20,6 +22,49 @@ fn arb_weights() -> impl Strategy<Value = Weights> {
         }),
         0..4,
     )
+}
+
+fn arb_round_summary() -> impl Strategy<Value = RoundSummary> {
+    (
+        any::<u32>(),
+        proptest::collection::vec("site-[1-8]", 0..4),
+        proptest::collection::btree_map(
+            "site-[1-8]",
+            proptest::collection::btree_map("[a-z_]{1,10}", -1e6f64..1e6, 0..3),
+            0..3,
+        ),
+        (any::<bool>(), -1e3f64..1e3),
+        proptest::collection::vec("site-[1-8]", 0..3),
+    )
+        .prop_map(
+            |(round, contributors, client_metrics, metric, dropped)| RoundSummary {
+                round,
+                contributors,
+                client_metrics,
+                global_metric: metric.0.then_some(metric.1),
+                dropped,
+            },
+        )
+}
+
+fn arb_checkpoint() -> impl Strategy<Value = RunCheckpoint> {
+    (
+        (any::<u64>(), any::<u32>(), any::<u32>()),
+        arb_weights(),
+        proptest::collection::vec(arb_round_summary(), 0..4),
+        (any::<bool>(), -1e3f64..1e3, any::<u32>()),
+    )
+        .prop_map(
+            |((seed, next_round, total_rounds), global, rounds, best)| RunCheckpoint {
+                seed,
+                next_round,
+                total_rounds,
+                global,
+                rounds,
+                best_metric: best.0.then_some(best.1),
+                best_round: best.0.then_some(best.2),
+            },
+        )
 }
 
 fn arb_dxo() -> impl Strategy<Value = Dxo> {
@@ -50,6 +95,12 @@ proptest! {
         let msg = ServerMessage::Task(TaskAssignment::Train { round, total_rounds: total, weights: w });
         let back = ServerMessage::from_frame(&msg.to_frame()).unwrap();
         prop_assert_eq!(msg, back);
+    }
+
+    #[test]
+    fn run_checkpoint_roundtrips(ckpt in arb_checkpoint()) {
+        let back = RunCheckpoint::from_frame(&ckpt.to_frame()).unwrap();
+        prop_assert_eq!(ckpt, back);
     }
 
     #[test]
