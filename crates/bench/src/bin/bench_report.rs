@@ -9,16 +9,28 @@
 //!   directly, then run the paper's 8-site federated LSTM pipeline at
 //!   fast-demo scale, and write the report (default `BENCH_report.json`)
 //!   built from the before/after metrics-snapshot delta.
-//! * `bench_report --check PATH` — validate an existing report against
-//!   the `clinfl-bench-report/v1` schema; exits non-zero (listing every
-//!   violation) if the file is missing, unparsable, or incomplete.
+//! * `bench_report --check PATH [--min-reduction R]` — validate an
+//!   existing report against the `clinfl-bench-report/v1` schema; exits
+//!   non-zero (listing every violation) if the file is missing,
+//!   unparsable, or incomplete. `--min-reduction R` additionally requires
+//!   the report's `wire.reduction` (raw bytes / encoded bytes) to be at
+//!   least `R`.
 //!
-//! CI runs both back to back (`scripts/check.sh bench-smoke`) and
-//! uploads the JSON as a build artifact.
+//! The smoke workload honors `CLINFL_WIRE_CODEC` / `CLINFL_WIRE_QUANT` /
+//! `CLINFL_WIRE_TOPK` (same grammar as the `clinfl` CLI flags) so CI can
+//! benchmark compressed weight exchange, and `CLINFL_FAULTS` (`mild`,
+//! `aggressive`) to run the workload under link faults with the
+//! fault-tolerant runtime settings from the chaos suite.
+//!
+//! CI runs both back to back (`scripts/check.sh bench-smoke` and
+//! `scripts/check.sh wire-codec`) and uploads the JSON as build
+//! artifacts.
 
 use clinfl::{drivers, ModelSpec, PipelineConfig};
+use clinfl_flare::faults::FaultConfig;
 use clinfl_obs::json::Value;
 use clinfl_obs::{HistogramSnapshot, MetricsSnapshot};
+use std::time::Duration;
 
 /// Schema identifier stamped into (and required from) every report.
 const SCHEMA: &str = "clinfl-bench-report/v1";
@@ -28,28 +40,65 @@ fn main() {
     let mut smoke = false;
     let mut out = String::from("BENCH_report.json");
     let mut check: Option<String> = None;
+    let mut min_reduction: Option<f64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--out" => out = it.next().expect("--out requires a path").clone(),
             "--check" => check = Some(it.next().expect("--check requires a path").clone()),
+            "--min-reduction" => {
+                min_reduction = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--min-reduction requires a number"),
+                );
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
-                eprintln!("usage: bench_report --smoke [--out PATH] | --check PATH");
+                eprintln!(
+                    "usage: bench_report --smoke [--out PATH] | --check PATH [--min-reduction R]"
+                );
                 std::process::exit(2);
             }
         }
     }
     if let Some(path) = check {
-        run_check(&path);
+        run_check(&path, min_reduction);
         return;
     }
     if !smoke {
-        eprintln!("usage: bench_report --smoke [--out PATH] | --check PATH");
+        eprintln!("usage: bench_report --smoke [--out PATH] | --check PATH [--min-reduction R]");
         std::process::exit(2);
     }
     run_smoke(&out);
+}
+
+/// Applies the `CLINFL_WIRE_*` / `CLINFL_FAULTS` environment knobs to the
+/// smoke config. Fault profiles also switch on the chaos suite's
+/// fault-tolerant runtime settings (quorum of 3, grace period, redundant
+/// submits) so aggressive link faults cannot wedge the round.
+fn apply_env(cfg: &mut PipelineConfig) {
+    if let Ok(codec) = std::env::var("CLINFL_WIRE_CODEC") {
+        cfg.runtime.wire_codec = codec;
+    }
+    cfg.runtime.wire_quant = std::env::var("CLINFL_WIRE_QUANT").ok();
+    cfg.runtime.wire_topk = std::env::var("CLINFL_WIRE_TOPK")
+        .ok()
+        .map(|v| v.parse().expect("CLINFL_WIRE_TOPK must be a number"));
+    if let Err(e) = cfg.runtime.wire_spec() {
+        eprintln!("invalid wire codec configuration: {e}");
+        std::process::exit(2);
+    }
+    let faults = FaultConfig::from_env(cfg.seed.wrapping_add(7));
+    if faults.is_active() {
+        cfg.runtime.faults = faults;
+        cfg.runtime.min_clients = 3;
+        cfg.runtime.round_timeout = Duration::from_secs(120);
+        cfg.runtime.quorum_grace = Some(Duration::from_secs(8));
+        cfg.runtime.retry.message_timeout = Duration::from_secs(60);
+        cfg.runtime.retry.submit_copies = 2;
+    }
 }
 
 /// Touches every instrumented tensor kernel once so the report's kernel
@@ -68,7 +117,9 @@ fn run_smoke(out: &str) {
     clinfl_obs::set_enabled(true);
     let before = clinfl_obs::snapshot();
     kernel_smoke();
-    let cfg = PipelineConfig::fast_demo();
+    let mut cfg = PipelineConfig::fast_demo();
+    apply_env(&mut cfg);
+    let codec = cfg.runtime.wire_spec().expect("validated in apply_env");
     let outcome =
         drivers::train_federated(&cfg, ModelSpec::Lstm).expect("federated smoke run failed");
     let after = clinfl_obs::snapshot();
@@ -77,10 +128,20 @@ fn run_smoke(out: &str) {
     let report = build_report(&cfg, outcome.accuracy, &delta);
     std::fs::write(out, report.to_json()).expect("write report");
     println!(
-        "== bench_report: federated LSTM smoke ({} sites, {} rounds) ==",
+        "== bench_report: federated LSTM smoke ({} sites, {} rounds, codec {codec}) ==",
         cfg.n_clients, cfg.rounds
     );
     println!("accuracy: {:.3}", outcome.accuracy);
+    let (raw, enc) = (
+        delta.counter("flare.wire.bytes_tx_raw") + delta.counter("flare.wire.bytes_rx_raw"),
+        delta.counter("flare.wire.bytes_tx_encoded") + delta.counter("flare.wire.bytes_rx_encoded"),
+    );
+    if enc > 0 {
+        println!(
+            "wire: {raw} raw-equivalent bytes -> {enc} on the wire ({:.1}x reduction)",
+            raw as f64 / enc as f64
+        );
+    }
     println!("{}", delta.render_table());
     println!("report written to {out}");
 }
@@ -159,6 +220,24 @@ fn build_report(cfg: &PipelineConfig, accuracy: f64, m: &MetricsSnapshot) -> Val
     let bytes_tx = m.counter("flare.client.bytes_tx") + m.counter("flare.server.bytes_tx");
     let bytes_rx = m.counter("flare.client.bytes_rx") + m.counter("flare.server.bytes_rx");
 
+    // Codec accounting: raw-equivalent vs on-the-wire byte totals for the
+    // weight-bearing frames (see `clinfl_flare::codec`). For an all-raw
+    // run both totals are equal and the reduction reports 1.0.
+    let codec = cfg
+        .runtime
+        .wire_spec()
+        .map(|s| s.to_string())
+        .unwrap_or_else(|_| "raw".to_string());
+    let wire_tx_raw = m.counter("flare.wire.bytes_tx_raw");
+    let wire_tx_enc = m.counter("flare.wire.bytes_tx_encoded");
+    let wire_rx_raw = m.counter("flare.wire.bytes_rx_raw");
+    let wire_rx_enc = m.counter("flare.wire.bytes_rx_encoded");
+    let reduction = if wire_tx_enc + wire_rx_enc == 0 {
+        1.0
+    } else {
+        (wire_tx_raw + wire_rx_raw) as f64 / (wire_tx_enc + wire_rx_enc) as f64
+    };
+
     Value::object(vec![
         ("schema", Value::Str(SCHEMA.to_string())),
         (
@@ -185,6 +264,12 @@ fn build_report(cfg: &PipelineConfig, accuracy: f64, m: &MetricsSnapshot) -> Val
             Value::object(vec![
                 ("bytes_tx", Value::UInt(bytes_tx)),
                 ("bytes_rx", Value::UInt(bytes_rx)),
+                ("codec", Value::Str(codec)),
+                ("bytes_tx_raw", Value::UInt(wire_tx_raw)),
+                ("bytes_tx_encoded", Value::UInt(wire_tx_enc)),
+                ("bytes_rx_raw", Value::UInt(wire_rx_raw)),
+                ("bytes_rx_encoded", Value::UInt(wire_rx_enc)),
+                ("reduction", Value::Float(reduction)),
             ]),
         ),
         (
@@ -200,8 +285,9 @@ fn build_report(cfg: &PipelineConfig, accuracy: f64, m: &MetricsSnapshot) -> Val
 }
 
 /// Validates `path` against the v1 schema; prints every violation and
-/// exits 1 if any is found.
-fn run_check(path: &str) {
+/// exits 1 if any is found. With `min_reduction`, also requires
+/// `wire.reduction >= R` (compressed runs must actually compress).
+fn run_check(path: &str, min_reduction: Option<f64>) {
     let mut errors = Vec::new();
     let report = match std::fs::read_to_string(path) {
         Ok(text) => match Value::parse(&text) {
@@ -267,6 +353,17 @@ fn run_check(path: &str) {
         .is_none()
     {
         errors.push("embedded metrics snapshot missing".to_string());
+    }
+    if let Some(min) = min_reduction {
+        match report
+            .get("wire")
+            .and_then(|w| w.get("reduction"))
+            .and_then(Value::as_f64)
+        {
+            Some(r) if r >= min => {}
+            Some(r) => errors.push(format!("wire.reduction {r:.2} below required {min}")),
+            None => errors.push("wire.reduction missing".to_string()),
+        }
     }
 
     if errors.is_empty() {

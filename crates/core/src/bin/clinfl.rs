@@ -6,6 +6,7 @@
 //! clinfl standalone  --model bert-mini --scale 16
 //! clinfl federated   --model lstm --scale 16 [--balanced] [--echo]
 //!                    [--checkpoint-dir D] [--resume D] [--retain N]
+//!                    [--wire-codec S] [--wire-quant Q] [--wire-topk F]
 //! clinfl pretrain    --scale 64 --scheme centralized
 //! clinfl table3      --scale 10
 //! clinfl fig2        --scale 32
@@ -15,6 +16,12 @@
 //! checkpoint into `D`; `--resume D` restarts an interrupted federated run
 //! from the checkpoint in `D` (same seed required); `--retain N` keeps at
 //! most `N` per-round snapshot files on disk.
+//!
+//! `--wire-codec S` selects the negotiated weight-exchange codec (e.g.
+//! `raw`, `delta`, `delta+int8`, `delta+topk0.05+int8`); `--wire-quant Q`
+//! (`f32|f16|int8`) and `--wire-topk F` (fraction in `(0,1]`) override the
+//! quantizer / sparsifier components of that codec string. See DESIGN.md
+//! §3g for the wire-format spec.
 //!
 //! Every subcommand runs on the synthetic cohort/corpus at `1/scale` of
 //! the paper's data volumes (see DESIGN.md for the substitution rationale).
@@ -35,13 +42,17 @@ struct Args {
     checkpoint_dir: Option<std::path::PathBuf>,
     resume: bool,
     retain: Option<usize>,
+    wire_codec: Option<String>,
+    wire_quant: Option<String>,
+    wire_topk: Option<f64>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: clinfl <centralized|standalone|federated|pretrain|table3|fig2> \
          [--scale N] [--model lstm|bert|bert-mini] [--scheme centralized|small|fl-imbalanced|fl-balanced] \
-         [--balanced] [--echo] [--checkpoint-dir D] [--resume D] [--retain N]"
+         [--balanced] [--echo] [--checkpoint-dir D] [--resume D] [--retain N] \
+         [--wire-codec S] [--wire-quant f32|f16|int8] [--wire-topk F]"
     );
     ExitCode::from(2)
 }
@@ -61,6 +72,9 @@ fn parse_args() -> Result<Args, ExitCode> {
         checkpoint_dir: None,
         resume: false,
         retain: None,
+        wire_codec: None,
+        wire_quant: None,
+        wire_topk: None,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -94,6 +108,11 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--retain" => {
                 args.retain = Some(argv.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
             }
+            "--wire-codec" => args.wire_codec = Some(argv.next().ok_or_else(usage)?),
+            "--wire-quant" => args.wire_quant = Some(argv.next().ok_or_else(usage)?),
+            "--wire-topk" => {
+                args.wire_topk = Some(argv.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
+            }
             _ => return Err(usage()),
         }
     }
@@ -109,6 +128,21 @@ fn main() -> ExitCode {
     cfg.runtime.checkpoint_dir = args.checkpoint_dir.clone();
     cfg.runtime.resume = args.resume;
     cfg.runtime.retain_checkpoints = args.retain;
+    if let Some(c) = args.wire_codec {
+        cfg.runtime.wire_codec = c;
+    }
+    cfg.runtime.wire_quant = args.wire_quant;
+    cfg.runtime.wire_topk = args.wire_topk;
+    let wire = match cfg.runtime.wire_spec() {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("invalid wire codec: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !wire.is_raw() {
+        println!("wire codec: {wire}");
+    }
     println!(
         "clinfl: {} at scale {} ({} patients, seq {}, {} sites)",
         args.command, args.scale, cfg.cohort.n_patients, cfg.seq_len, cfg.n_clients

@@ -146,6 +146,16 @@ pub struct RuntimeConfig {
     /// Keep at most this many `round_<n>.cfw` files (oldest pruned
     /// first); `None` keeps all.
     pub retain_checkpoints: Option<usize>,
+    /// Wire codec for weight exchange, as a codec string (e.g. `"raw"`,
+    /// `"delta"`, `"delta+int8"`, `"delta+topk0.05+int8"`); see
+    /// `clinfl_flare::codec::CodecSpec::parse` for the grammar.
+    pub wire_codec: String,
+    /// Quantizer override composed onto `wire_codec` (`"f32"`, `"f16"`,
+    /// or `"int8"`); `None` keeps whatever `wire_codec` says.
+    pub wire_quant: Option<String>,
+    /// Top-k sparsification fraction override in `(0, 1]`, composed onto
+    /// `wire_codec`; `None` keeps whatever `wire_codec` says.
+    pub wire_topk: Option<f64>,
 }
 
 impl Default for RuntimeConfig {
@@ -159,7 +169,40 @@ impl Default for RuntimeConfig {
             checkpoint_dir: None,
             resume: false,
             retain_checkpoints: None,
+            wire_codec: "raw".to_string(),
+            wire_quant: None,
+            wire_topk: None,
         }
+    }
+}
+
+impl RuntimeConfig {
+    /// Resolves the `wire_codec`/`wire_quant`/`wire_topk` knobs into one
+    /// codec spec: the base string is parsed, then the quantizer and
+    /// top-k overrides (CLI conveniences) are composed onto it.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for unparseable specs or out-of-range
+    /// overrides.
+    pub fn wire_spec(&self) -> Result<clinfl_flare::codec::CodecSpec, String> {
+        use clinfl_flare::codec::{CodecSpec, QuantMode};
+        let mut spec = CodecSpec::parse(&self.wire_codec)?;
+        if let Some(q) = &self.wire_quant {
+            spec.quant = match q.to_ascii_lowercase().as_str() {
+                "f32" | "raw" => QuantMode::F32,
+                "f16" => QuantMode::F16,
+                "int8" => QuantMode::Int8,
+                other => return Err(format!("unknown wire_quant {other:?}")),
+            };
+        }
+        if let Some(f) = self.wire_topk {
+            if !(f > 0.0 && f <= 1.0) {
+                return Err(format!("wire_topk {f} outside (0, 1]"));
+            }
+            spec.topk_permille = Some(((f * 1000.0).round() as u16).clamp(1, 1000));
+        }
+        Ok(spec)
     }
 }
 

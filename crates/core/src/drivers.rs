@@ -129,8 +129,12 @@ pub fn train_standalone(cfg: &PipelineConfig, spec: ModelSpec) -> StandaloneOutc
     }
 }
 
-fn simulator_config(cfg: &PipelineConfig) -> SimulatorConfig {
-    SimulatorConfig {
+fn simulator_config(cfg: &PipelineConfig) -> Result<SimulatorConfig, FlareError> {
+    let wire = cfg
+        .runtime
+        .wire_spec()
+        .map_err(|e| FlareError::Codec(format!("bad wire codec config: {e}")))?;
+    Ok(SimulatorConfig {
         n_clients: cfg.n_clients,
         sag: SagConfig {
             rounds: cfg.rounds,
@@ -147,7 +151,10 @@ fn simulator_config(cfg: &PipelineConfig) -> SimulatorConfig {
         checkpoint_dir: cfg.runtime.checkpoint_dir.clone(),
         resume: cfg.runtime.resume,
         retain_checkpoints: cfg.runtime.retain_checkpoints,
-    }
+        wire,
+        wire_overrides: BTreeMap::new(),
+        server_codecs_enabled: true,
+    })
 }
 
 /// Federated training over the paper's 8-site imbalanced partition using
@@ -180,7 +187,7 @@ pub fn train_federated_with(
     let seed_learner = Learner::new(spec, vocab_size, cfg.seq_len, hyper, cfg.seed);
     let initial = seed_learner.export_weights();
 
-    let runner = SimulatorRunner::with_log(simulator_config(cfg), log.clone());
+    let runner = SimulatorRunner::with_log(simulator_config(cfg)?, log.clone());
     let valid = data.valid.clone();
     let result = runner.run_simple(
         initial,
@@ -338,7 +345,7 @@ pub fn pretrain_mlm(
                 },
             );
             let log = EventLog::new();
-            let mut sim_cfg = simulator_config(cfg);
+            let mut sim_cfg = simulator_config(cfg)?;
             sim_cfg.sag.rounds = cfg.pretrain_rounds;
             // Keep pretraining checkpoints apart from fine-tuning ones so a
             // resume never crosses phases.

@@ -7,7 +7,10 @@
 //! emitted while the client waits out a retry so the server's liveness
 //! table can tell "slow" from "gone".
 
-use crate::dxo::DxoKind;
+use crate::codec::{
+    decode_weights, wire_count, CodecSpec, EncodedWeights, PayloadCache, UplinkEncoder, NO_BASE,
+};
+use crate::dxo::{Dxo, DxoKind, Weights};
 use crate::executor::{Executor, TaskContext};
 use crate::filters::FilterChain;
 use crate::log::EventLog;
@@ -18,8 +21,9 @@ use crate::transport::Connection;
 use crate::wire::{WireDecode, WireEncode};
 use crate::FlareError;
 use clinfl_obs::Counter;
+use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One obs counter kept in two views: the per-site series
 /// (`flare.site.<site>.<what>`) and the fleet-wide aggregate
@@ -127,6 +131,16 @@ pub struct FlClient {
     filters: FilterChain,
     retry: RetryPolicy,
     obs: ClientObs,
+    /// Codec this client *wants* (negotiated at the start of [`Self::run`]).
+    wire: CodecSpec,
+    /// Codec actually negotiated with the server; `None` = raw.
+    active: Option<CodecSpec>,
+    /// Reconstructions of recent downlink payloads (delta bases).
+    cache: PayloadCache,
+    /// Uplink encoder (error-feedback state) once negotiated.
+    uplink: Option<UplinkEncoder>,
+    /// Server messages that raced in during codec negotiation.
+    pending: VecDeque<ServerMessage>,
 }
 
 impl std::fmt::Debug for FlClient {
@@ -192,6 +206,11 @@ impl FlClient {
             log,
             filters: FilterChain::new(),
             retry: RetryPolicy::default(),
+            wire: CodecSpec::raw(),
+            active: None,
+            cache: PayloadCache::default(),
+            uplink: None,
+            pending: VecDeque::new(),
         })
     }
 
@@ -220,6 +239,20 @@ impl FlClient {
     /// (kept for backwards compatibility; see [`RetryPolicy`]).
     pub fn set_recv_timeout(&mut self, timeout: Duration) {
         self.retry.message_timeout = timeout;
+    }
+
+    /// Requests a wire codec for weight exchange (see [`crate::codec`]).
+    /// The spec is proposed to the server at the start of [`Self::run`];
+    /// if the server never acknowledges (an old peer), the client falls
+    /// back to the raw format.
+    pub fn set_wire_codec(&mut self, spec: CodecSpec) {
+        self.wire = spec;
+    }
+
+    /// The codec negotiated with the server, if any (`None` before
+    /// [`Self::run`] or after a raw fallback).
+    pub fn active_codec(&self) -> Option<&CodecSpec> {
+        self.active.as_ref()
     }
 
     fn send_once(&mut self, msg: &ClientMessage) -> Result<(), FlareError> {
@@ -335,6 +368,157 @@ impl FlClient {
         })
     }
 
+    /// Tells the server this client stays on the raw format, without
+    /// waiting for an acknowledgement (the outcome is raw either way).
+    /// The announcement lets the server's pre-round settle close as soon
+    /// as every client has declared a codec instead of waiting out its
+    /// grace window; a lost or ignored frame merely costs that wait.
+    fn announce_raw(&mut self) {
+        let propose = ClientMessage::CodecPropose {
+            site: self.site.clone(),
+            specs: vec![CodecSpec::raw().to_string()],
+        };
+        let _ = self.send_with_retry(&propose, "codec announce");
+    }
+
+    /// Proposes `self.wire` to the server and waits (bounded) for the
+    /// [`ServerMessage::CodecAck`]. Task frames that race in while we
+    /// wait are buffered in `self.pending` and handled by the main loop.
+    /// A server that never acknowledges — an old peer, or repeated frame
+    /// loss — leaves the client on the raw format.
+    fn negotiate(&mut self) {
+        const ATTEMPTS: u32 = 10;
+        const WAIT_PER_ATTEMPT: Duration = Duration::from_millis(300);
+        let propose = ClientMessage::CodecPropose {
+            site: self.site.clone(),
+            specs: vec![self.wire.to_string()],
+        };
+        let mut chosen: Option<String> = None;
+        'attempts: for _ in 0..ATTEMPTS {
+            if self.send_with_retry(&propose, "codec propose").is_err() {
+                break;
+            }
+            let deadline = Instant::now() + WAIT_PER_ATTEMPT;
+            loop {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break; // re-propose (the frame may have been dropped)
+                }
+                match self.conn.rx.recv(left) {
+                    Ok(frame) => {
+                        self.obs.bytes_rx.add(frame.len() as u64);
+                        let Ok(plain) = self.open.open(&frame) else {
+                            continue;
+                        };
+                        let Ok(msg) = ServerMessage::from_frame(&plain) else {
+                            continue;
+                        };
+                        match msg {
+                            ServerMessage::CodecAck { chosen: c, .. } => {
+                                chosen = c;
+                                break 'attempts;
+                            }
+                            other => self.pending.push_back(other),
+                        }
+                    }
+                    Err(FlareError::Timeout) => break,
+                    Err(_) => break 'attempts,
+                }
+            }
+        }
+        match chosen.and_then(|s| CodecSpec::parse(&s).ok()) {
+            Some(sp) if !sp.is_raw() => {
+                self.log.info(
+                    "FederatedClient",
+                    format!("{}: negotiated wire codec {sp}", self.site),
+                );
+                wire_count("flare.wire.codec.negotiated", 1);
+                self.uplink = Some(UplinkEncoder::new(sp.clone()));
+                self.active = Some(sp);
+            }
+            _ => {
+                self.log.warn(
+                    "FederatedClient",
+                    format!(
+                        "{}: wire codec {} not negotiated; using raw format",
+                        self.site, self.wire
+                    ),
+                );
+                wire_count("flare.wire.codec.fallback_raw", 1);
+                self.wire = CodecSpec::raw();
+            }
+        }
+    }
+
+    /// Decodes a codec downlink payload against the cached base and
+    /// stores the reconstruction for future deltas. `None` means the
+    /// frame was unusable (missing base / corrupt); the caller skips the
+    /// task and waits for the server's next (self-contained) frame.
+    fn decode_downlink(&mut self, enc: &EncodedWeights) -> Option<Weights> {
+        let base = if enc.base_id == NO_BASE {
+            None
+        } else {
+            match self.cache.get(enc.base_id) {
+                Some(b) => Some(b.clone()),
+                None => {
+                    wire_count("flare.wire.codec.base_misses", 1);
+                    self.log.warn(
+                        "FederatedClient",
+                        format!(
+                            "{}: downlink payload {} needs base {} not in cache; skipping",
+                            self.site, enc.payload_id, enc.base_id
+                        ),
+                    );
+                    return None;
+                }
+            }
+        };
+        match decode_weights(enc, base.as_ref()) {
+            Ok(w) => {
+                self.cache.insert(enc.payload_id, w.clone());
+                Some(w)
+            }
+            Err(e) => {
+                wire_count("flare.wire.codec.decode_errors", 1);
+                self.log.warn(
+                    "FederatedClient",
+                    format!("{}: undecodable downlink payload: {e}", self.site),
+                );
+                None
+            }
+        }
+    }
+
+    /// Builds the uplink submission: codec-encoded when a codec is
+    /// active and the payload is plain weights, raw otherwise (e.g.
+    /// `WeightDiff` produced by a filter chain).
+    fn encode_submit(&mut self, round: u32, dxo: Dxo) -> ClientMessage {
+        if matches!(dxo.kind, DxoKind::Weights) {
+            if let Some(uplink) = self.uplink.as_mut() {
+                let ack = self.cache.latest_id();
+                let base = ack.and_then(|id| self.cache.get(id).map(|w| (w, id)));
+                match uplink.encode(&dxo.weights, base) {
+                    Ok(enc) => {
+                        return ClientMessage::SubmitEnc {
+                            round,
+                            ack: ack.unwrap_or(NO_BASE),
+                            n_examples: dxo.n_examples,
+                            metrics: dxo.metrics,
+                            enc,
+                        };
+                    }
+                    Err(e) => {
+                        self.log.warn(
+                            "FederatedClient",
+                            format!("{}: uplink encode failed ({e}); sending raw", self.site),
+                        );
+                    }
+                }
+            }
+        }
+        ClientMessage::Submit { round, dxo }
+    }
+
     /// A "crashed" site: stops participating but keeps its connection
     /// open (a hung process or partitioned network, which the server
     /// cannot distinguish from a slow client), draining and ignoring all
@@ -369,45 +553,77 @@ impl FlClient {
         behavior: ClientBehavior,
     ) -> Result<u32, FlareError> {
         let mut trained = 0u32;
+        if self.active.is_none() {
+            if self.wire.is_raw() {
+                self.announce_raw();
+            } else {
+                self.negotiate();
+            }
+        }
         loop {
-            let frame = match self.recv_with_retry() {
-                Ok(f) => f,
-                Err(FlareError::Transport(reason)) if trained > 0 => {
-                    self.log.warn(
-                        "FederatedClient",
-                        format!(
-                            "{}: connection closed by server ({reason}); exiting after {trained} round(s)",
-                            self.site
-                        ),
-                    );
-                    return Ok(trained);
-                }
-                Err(e) => return Err(e),
-            };
-            let plain = match self.open.open(&frame) {
-                Ok(p) => p,
-                Err(e) => {
-                    // A truncated/tampered frame is a link fault, not a
-                    // session killer: skip it and wait for the next task.
-                    self.log.warn(
-                        "FederatedClient",
-                        format!("{}: rejected corrupt frame: {e}", self.site),
-                    );
-                    continue;
-                }
-            };
-            let msg = match ServerMessage::from_frame(&plain) {
-                Ok(m) => m,
-                Err(e) => {
-                    self.log.warn(
-                        "FederatedClient",
-                        format!("{}: undecodable message: {e}", self.site),
-                    );
-                    continue;
+            let msg = if let Some(m) = self.pending.pop_front() {
+                m
+            } else {
+                let frame = match self.recv_with_retry() {
+                    Ok(f) => f,
+                    Err(FlareError::Transport(reason)) if trained > 0 => {
+                        self.log.warn(
+                            "FederatedClient",
+                            format!(
+                                "{}: connection closed by server ({reason}); exiting after {trained} round(s)",
+                                self.site
+                            ),
+                        );
+                        return Ok(trained);
+                    }
+                    Err(e) => return Err(e),
+                };
+                let plain = match self.open.open(&frame) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        // A truncated/tampered frame is a link fault, not a
+                        // session killer: skip it and wait for the next task.
+                        self.log.warn(
+                            "FederatedClient",
+                            format!("{}: rejected corrupt frame: {e}", self.site),
+                        );
+                        continue;
+                    }
+                };
+                match ServerMessage::from_frame(&plain) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        self.log.warn(
+                            "FederatedClient",
+                            format!("{}: undecodable message: {e}", self.site),
+                        );
+                        continue;
+                    }
                 }
             };
             let ServerMessage::Task(task) = msg else {
                 continue;
+            };
+            // Codec tasks decode to their raw counterparts, then flow
+            // through the unchanged task logic below.
+            let task = match task {
+                TaskAssignment::TrainEnc {
+                    round,
+                    total_rounds,
+                    enc,
+                } => match self.decode_downlink(&enc) {
+                    Some(weights) => TaskAssignment::Train {
+                        round,
+                        total_rounds,
+                        weights,
+                    },
+                    None => continue,
+                },
+                TaskAssignment::ValidateEnc { round, enc } => match self.decode_downlink(&enc) {
+                    Some(weights) => TaskAssignment::Validate { round, weights },
+                    None => continue,
+                },
+                t => t,
             };
             match task {
                 TaskAssignment::Train {
@@ -438,10 +654,8 @@ impl FlClient {
                     drop(permit);
                     dxo = self.filters.apply(dxo, &weights, round);
                     debug_assert!(matches!(dxo.kind, DxoKind::Weights | DxoKind::WeightDiff));
-                    self.send_redundant(
-                        &ClientMessage::Submit { round, dxo },
-                        &format!("submit round {round}"),
-                    )?;
+                    let msg = self.encode_submit(round, dxo);
+                    self.send_redundant(&msg, &format!("submit round {round}"))?;
                     trained += 1;
                 }
                 TaskAssignment::Validate { round, weights } => {
@@ -453,10 +667,16 @@ impl FlClient {
                     let permit = clinfl_tensor::pool::compute_permit();
                     let metric = executor.validate(&weights, &ctx);
                     drop(permit);
-                    self.send_redundant(
-                        &ClientMessage::ValidateReport { round, metric },
-                        &format!("validate round {round}"),
-                    )?;
+                    let msg = if self.active.is_some() {
+                        ClientMessage::ValidateReportEnc {
+                            round,
+                            metric,
+                            ack: self.cache.latest_id().unwrap_or(NO_BASE),
+                        }
+                    } else {
+                        ClientMessage::ValidateReport { round, metric }
+                    };
+                    self.send_redundant(&msg, &format!("validate round {round}"))?;
                 }
                 TaskAssignment::Finish => {
                     // Best-effort goodbye: the server may already be
@@ -464,6 +684,9 @@ impl FlClient {
                     let site = self.site.clone();
                     let _ = self.send_once(&ClientMessage::Bye { site });
                     return Ok(trained);
+                }
+                TaskAssignment::TrainEnc { .. } | TaskAssignment::ValidateEnc { .. } => {
+                    unreachable!("encoded tasks decoded above")
                 }
             }
         }

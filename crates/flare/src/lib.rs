@@ -41,6 +41,13 @@
 //! [`controller::ScatterAndGather`] resume at round *k+1* after a server
 //! crash (see the checkpoint section of `DESIGN.md`).
 //!
+//! Weight exchange defaults to raw little-endian f32 tensors, but peers
+//! can negotiate a compressed wire codec at registration ([`codec`]):
+//! delta encoding against a ring of recent globals, f16/int8
+//! quantization with error feedback, and top-k sparsification, each
+//! frame guarded by a CRC-32 trailer. See DESIGN.md §3g for the
+//! normative wire-format spec.
+//!
 //! The crate is model-agnostic: weights travel as named dense tensors
 //! ([`Weights`]), so any training stack can plug in via the
 //! [`executor::Executor`] trait.
@@ -52,6 +59,7 @@ pub mod admin;
 pub mod aggregator;
 pub mod checkpoint;
 pub mod client;
+pub mod codec;
 pub mod controller;
 mod dxo;
 mod error;

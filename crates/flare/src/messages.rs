@@ -1,5 +1,6 @@
 //! The client/server message protocol and its wire encodings.
 
+use crate::codec::EncodedWeights;
 use crate::dxo::{Dxo, DxoKind, WeightTensor, Weights};
 use crate::wire::{WireDecode, WireEncode, WireReader};
 use crate::FlareError;
@@ -44,6 +45,43 @@ pub enum ClientMessage {
         /// Site name.
         site: String,
     },
+    /// Wire-codec negotiation: the client proposes codec specs in
+    /// preference order (see [`crate::codec::CodecSpec::parse`] for the
+    /// string grammar). Servers predating the codec layer ignore this
+    /// message, which the client treats as "negotiate raw".
+    CodecPropose {
+        /// Site name.
+        site: String,
+        /// Proposed codec spec strings, most preferred first.
+        specs: Vec<String>,
+    },
+    /// A local training result encoded with the negotiated wire codec
+    /// (the compressed counterpart of [`ClientMessage::Submit`]).
+    SubmitEnc {
+        /// Round the update belongs to.
+        round: u32,
+        /// Most recent downlink payload id this client reconstructed
+        /// (the server's delta base for future downlinks), or
+        /// [`crate::codec::NO_BASE`].
+        ack: u32,
+        /// Training-set size for weighted FedAvg.
+        n_examples: u64,
+        /// Scalar metrics (train loss etc.).
+        metrics: BTreeMap<String, f64>,
+        /// The encoded weight payload.
+        enc: EncodedWeights,
+    },
+    /// Validation report that also carries the client's downlink ack
+    /// (the compressed counterpart of [`ClientMessage::ValidateReport`]).
+    ValidateReportEnc {
+        /// Round validated.
+        round: u32,
+        /// Metric value (top-1 accuracy).
+        metric: f64,
+        /// Most recent downlink payload id this client reconstructed,
+        /// or [`crate::codec::NO_BASE`].
+        ack: u32,
+    },
 }
 
 /// Messages sent from the server to a client.
@@ -60,6 +98,16 @@ pub enum ServerMessage {
     },
     /// A task assignment.
     Task(TaskAssignment),
+    /// Reply to [`ClientMessage::CodecPropose`]: the chosen spec (or
+    /// `None` when no proposal parsed) plus the codec families this
+    /// server supports, for client-side diagnostics.
+    CodecAck {
+        /// Accepted codec spec string, canonical form; `None` = raw.
+        chosen: Option<String>,
+        /// Codec families the server understands (see
+        /// [`crate::codec::SUPPORTED_CODECS`]).
+        supported: Vec<String>,
+    },
 }
 
 /// The unit of work the ScatterAndGather controller assigns.
@@ -83,6 +131,24 @@ pub enum TaskAssignment {
     },
     /// Workflow finished; disconnect.
     Finish,
+    /// Train task whose weights arrive via the negotiated wire codec
+    /// (the compressed counterpart of [`TaskAssignment::Train`]).
+    TrainEnc {
+        /// Current round (0-based).
+        round: u32,
+        /// Total rounds `E`.
+        total_rounds: u32,
+        /// Encoded global model payload.
+        enc: EncodedWeights,
+    },
+    /// Validate task with codec-encoded weights (the compressed
+    /// counterpart of [`TaskAssignment::Validate`]).
+    ValidateEnc {
+        /// Round being validated.
+        round: u32,
+        /// Encoded global model payload.
+        enc: EncodedWeights,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -184,6 +250,31 @@ impl WireEncode for ClientMessage {
                 4u8.encode(out);
                 site.encode(out);
             }
+            ClientMessage::CodecPropose { site, specs } => {
+                5u8.encode(out);
+                site.encode(out);
+                specs.encode(out);
+            }
+            ClientMessage::SubmitEnc {
+                round,
+                ack,
+                n_examples,
+                metrics,
+                enc,
+            } => {
+                6u8.encode(out);
+                round.encode(out);
+                ack.encode(out);
+                n_examples.encode(out);
+                metrics.encode(out);
+                enc.encode(out);
+            }
+            ClientMessage::ValidateReportEnc { round, metric, ack } => {
+                7u8.encode(out);
+                round.encode(out);
+                metric.encode(out);
+                ack.encode(out);
+            }
         }
     }
 }
@@ -210,6 +301,22 @@ impl WireDecode for ClientMessage {
             4 => Ok(ClientMessage::Heartbeat {
                 site: String::decode(r)?,
             }),
+            5 => Ok(ClientMessage::CodecPropose {
+                site: String::decode(r)?,
+                specs: Vec::decode(r)?,
+            }),
+            6 => Ok(ClientMessage::SubmitEnc {
+                round: u32::decode(r)?,
+                ack: u32::decode(r)?,
+                n_examples: u64::decode(r)?,
+                metrics: BTreeMap::decode(r)?,
+                enc: EncodedWeights::decode(r)?,
+            }),
+            7 => Ok(ClientMessage::ValidateReportEnc {
+                round: u32::decode(r)?,
+                metric: f64::decode(r)?,
+                ack: u32::decode(r)?,
+            }),
             b => Err(FlareError::Codec(format!("invalid ClientMessage tag {b}"))),
         }
     }
@@ -234,6 +341,21 @@ impl WireEncode for TaskAssignment {
                 weights.encode(out);
             }
             TaskAssignment::Finish => 2u8.encode(out),
+            TaskAssignment::TrainEnc {
+                round,
+                total_rounds,
+                enc,
+            } => {
+                3u8.encode(out);
+                round.encode(out);
+                total_rounds.encode(out);
+                enc.encode(out);
+            }
+            TaskAssignment::ValidateEnc { round, enc } => {
+                4u8.encode(out);
+                round.encode(out);
+                enc.encode(out);
+            }
         }
     }
 }
@@ -251,6 +373,15 @@ impl WireDecode for TaskAssignment {
                 weights: BTreeMap::decode(r)?,
             }),
             2 => Ok(TaskAssignment::Finish),
+            3 => Ok(TaskAssignment::TrainEnc {
+                round: u32::decode(r)?,
+                total_rounds: u32::decode(r)?,
+                enc: EncodedWeights::decode(r)?,
+            }),
+            4 => Ok(TaskAssignment::ValidateEnc {
+                round: u32::decode(r)?,
+                enc: EncodedWeights::decode(r)?,
+            }),
             b => Err(FlareError::Codec(format!("invalid TaskAssignment tag {b}"))),
         }
     }
@@ -273,6 +404,11 @@ impl WireEncode for ServerMessage {
                 1u8.encode(out);
                 t.encode(out);
             }
+            ServerMessage::CodecAck { chosen, supported } => {
+                2u8.encode(out);
+                chosen.encode(out);
+                supported.encode(out);
+            }
         }
     }
 }
@@ -286,6 +422,10 @@ impl WireDecode for ServerMessage {
                 dh_public: u64::decode(r)?,
             }),
             1 => Ok(ServerMessage::Task(TaskAssignment::decode(r)?)),
+            2 => Ok(ServerMessage::CodecAck {
+                chosen: Option::decode(r)?,
+                supported: Vec::decode(r)?,
+            }),
             b => Err(FlareError::Codec(format!("invalid ServerMessage tag {b}"))),
         }
     }
@@ -338,6 +478,44 @@ mod tests {
         roundtrip(ClientMessage::Heartbeat {
             site: "site-4".into(),
         });
+    }
+
+    #[test]
+    fn codec_messages_roundtrip() {
+        use crate::codec::{encode_weights, CodecSpec, NO_BASE};
+        roundtrip(ClientMessage::CodecPropose {
+            site: "site-1".into(),
+            specs: vec!["delta+int8".into(), "delta".into()],
+        });
+        let spec = CodecSpec::parse("delta+int8").unwrap();
+        let enc = encode_weights(&weights(), 1, None, &spec, None).unwrap();
+        let mut metrics = BTreeMap::new();
+        metrics.insert("train_loss".to_string(), 0.42);
+        roundtrip(ClientMessage::SubmitEnc {
+            round: 2,
+            ack: 3,
+            n_examples: 866,
+            metrics,
+            enc: enc.clone(),
+        });
+        roundtrip(ClientMessage::ValidateReportEnc {
+            round: 2,
+            metric: 0.5,
+            ack: NO_BASE,
+        });
+        roundtrip(ServerMessage::CodecAck {
+            chosen: Some("delta+int8".into()),
+            supported: vec!["raw".into(), "delta".into()],
+        });
+        roundtrip(ServerMessage::Task(TaskAssignment::TrainEnc {
+            round: 0,
+            total_rounds: 2,
+            enc: enc.clone(),
+        }));
+        roundtrip(ServerMessage::Task(TaskAssignment::ValidateEnc {
+            round: 0,
+            enc,
+        }));
     }
 
     #[test]

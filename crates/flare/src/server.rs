@@ -1,8 +1,12 @@
 //! The federated server: client management and the gateway the
 //! ScatterAndGather controller drives.
 
+use crate::codec::{
+    decode_weights, raw_submit_frame_size, raw_task_frame_size, wire_count, CodecSpec,
+    DownlinkKind, GlobalRing, NO_BASE, SUPPORTED_CODECS,
+};
 use crate::controller::ClientGateway;
-use crate::dxo::Dxo;
+use crate::dxo::{Dxo, DxoKind};
 use crate::log::EventLog;
 use crate::messages::{ClientMessage, ServerMessage, TaskAssignment};
 use crate::provision::ServerConfig;
@@ -13,6 +17,7 @@ use crate::FlareError;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -33,6 +38,17 @@ struct ClientSlot {
     /// Last time any frame (task reply, heartbeat, even a corrupt one)
     /// arrived from this site.
     last_seen: Instant,
+    /// Wire codec negotiated with this client (`None` = raw peer).
+    codec: Option<CodecSpec>,
+    /// True once the client has announced its codec choice (including an
+    /// explicit `raw`). Old peers never announce and stay `false`; the
+    /// pre-round settle in [`FlServer::wait_for_clients`] uses this to
+    /// avoid broadcasting full-f32 frames to clients whose proposal is
+    /// still in flight.
+    codec_decided: bool,
+    /// Most recent downlink payload id this client acknowledged — the
+    /// delta base for its next encoded downlink.
+    acked: Option<u32>,
 }
 
 /// Quorum knobs for the gather phase (see [`FlServer::set_quorum`]).
@@ -55,6 +71,14 @@ pub struct FlServer {
     stopping: Arc<AtomicBool>,
     rng: StdRng,
     quorum: QuorumPolicy,
+    /// Ring of recent global payloads + canonical per-codec chains.
+    /// Session-scoped: a resumed run starts fresh, forcing one
+    /// self-contained downlink per client (DESIGN.md §3g).
+    ring: Arc<Mutex<GlobalRing>>,
+    /// When false the server ignores codec proposals entirely, emulating
+    /// a peer that predates the codec layer (clients then fall back to
+    /// raw; used by compatibility tests).
+    codecs_enabled: bool,
 }
 
 impl std::fmt::Debug for FlServer {
@@ -83,7 +107,16 @@ impl FlServer {
                 min_clients: usize::MAX,
                 grace: None,
             },
+            ring: Arc::new(Mutex::new(GlobalRing::default())),
+            codecs_enabled: true,
         }
+    }
+
+    /// Enables or disables wire-codec negotiation (default enabled).
+    /// Disabling makes the server behave like a pre-codec peer: codec
+    /// proposals are ignored and every downlink ships raw f32.
+    pub fn set_wire_codecs_enabled(&mut self, enabled: bool) {
+        self.codecs_enabled = enabled;
     }
 
     /// Number of registered (ever-joined) clients.
@@ -112,6 +145,8 @@ impl FlServer {
         let slots = Arc::clone(&self.slots);
         let inbox = self.inbox_tx.clone();
         let stopping = Arc::clone(&self.stopping);
+        let ring = Arc::clone(&self.ring);
+        let codecs_enabled = self.codecs_enabled;
         let dh_secret: u64 = self.rng.random();
         let session_bits: (u64, u64) = (self.rng.random(), self.rng.random());
         let handle = std::thread::spawn(move || {
@@ -179,6 +214,9 @@ impl FlServer {
                     seal: SecureChannel::new(key, SERVER_NONCE_BASE),
                     alive: true,
                     last_seen: Instant::now(),
+                    codec: None,
+                    codec_decided: false,
+                    acked: None,
                 });
                 guard.len() - 1
             };
@@ -226,7 +264,121 @@ impl FlServer {
                                 // Liveness refresh only; not workflow traffic.
                                 log.info("ClientManager", format!("{site}: heartbeat received"));
                             }
+                            Ok(ClientMessage::CodecPropose { specs, .. }) => {
+                                if !codecs_enabled {
+                                    // A pre-codec server would not know this
+                                    // tag; stay silent so the client falls
+                                    // back to raw.
+                                    log.warn(
+                                        "ClientManager",
+                                        format!(
+                                            "{site}: ignoring codec proposal (codecs disabled)"
+                                        ),
+                                    );
+                                    continue;
+                                }
+                                let chosen = specs.iter().find_map(|s| CodecSpec::parse(s).ok());
+                                let reply = ServerMessage::CodecAck {
+                                    chosen: chosen.as_ref().map(|c| c.to_string()),
+                                    supported: SUPPORTED_CODECS
+                                        .iter()
+                                        .map(|s| (*s).to_string())
+                                        .collect(),
+                                };
+                                let mut guard = slots.lock();
+                                let slot = &mut guard[slot_idx];
+                                slot.codec = chosen.filter(|c| !c.is_raw());
+                                slot.codec_decided = true;
+                                if let Some(c) = &slot.codec {
+                                    log.info(
+                                        "ClientManager",
+                                        format!("{site}: negotiated wire codec {c}"),
+                                    );
+                                }
+                                FlServer::send_to_slot(slot, &reply, &log);
+                            }
+                            Ok(ClientMessage::SubmitEnc {
+                                round,
+                                ack,
+                                n_examples,
+                                metrics,
+                                enc,
+                            }) => {
+                                let spec = {
+                                    let mut guard = slots.lock();
+                                    let slot = &mut guard[slot_idx];
+                                    if ack != NO_BASE {
+                                        slot.acked = Some(ack);
+                                    }
+                                    slot.codec.clone()
+                                };
+                                let decoded = {
+                                    let ring = ring.lock();
+                                    let base = if enc.base_id == NO_BASE {
+                                        None
+                                    } else {
+                                        spec.as_ref().and_then(|sp| ring.recon(sp, enc.base_id))
+                                    };
+                                    if enc.base_id != NO_BASE && base.is_none() {
+                                        wire_count("flare.wire.codec.base_misses", 1);
+                                        Err(FlareError::Codec(format!(
+                                            "uplink base payload {} unknown",
+                                            enc.base_id
+                                        )))
+                                    } else {
+                                        decode_weights(&enc, base)
+                                    }
+                                };
+                                match decoded {
+                                    Ok(weights) => {
+                                        wire_count(
+                                            "flare.wire.bytes_rx_encoded",
+                                            plain.len() as u64,
+                                        );
+                                        wire_count(
+                                            "flare.wire.bytes_rx_raw",
+                                            raw_submit_frame_size(&weights, &metrics),
+                                        );
+                                        let dxo = Dxo {
+                                            kind: DxoKind::Weights,
+                                            weights,
+                                            metrics,
+                                            n_examples,
+                                        };
+                                        if inbox
+                                            .send((slot_idx, ClientMessage::Submit { round, dxo }))
+                                            .is_err()
+                                        {
+                                            return; // server gone
+                                        }
+                                    }
+                                    Err(e) => {
+                                        wire_count("flare.wire.codec.decode_errors", 1);
+                                        log.warn(
+                                            "ClientManager",
+                                            format!(
+                                                "{site}: dropping undecodable round-{round} submission: {e}"
+                                            ),
+                                        );
+                                    }
+                                }
+                            }
+                            Ok(ClientMessage::ValidateReportEnc { round, metric, ack }) => {
+                                if ack != NO_BASE {
+                                    slots.lock()[slot_idx].acked = Some(ack);
+                                }
+                                let fwd = ClientMessage::ValidateReport { round, metric };
+                                if inbox.send((slot_idx, fwd)).is_err() {
+                                    return; // server gone
+                                }
+                            }
                             Ok(msg) => {
+                                if let ClientMessage::Submit { .. } = &msg {
+                                    // Raw submissions: raw and encoded wire
+                                    // bytes are the same by definition.
+                                    wire_count("flare.wire.bytes_rx_encoded", plain.len() as u64);
+                                    wire_count("flare.wire.bytes_rx_raw", plain.len() as u64);
+                                }
                                 if inbox.send((slot_idx, msg)).is_err() {
                                     return; // server gone
                                 }
@@ -250,12 +402,44 @@ impl FlServer {
 
     /// Blocks until `n` clients have registered or `timeout` passes.
     /// Returns the registered count.
+    ///
+    /// With codecs enabled, a short settle window follows: codec
+    /// proposals ride a separate message right after registration, so
+    /// broadcasting immediately would race them and ship full-f32 frames
+    /// to clients that were about to negotiate. The settle waits up to
+    /// 150 ms for every registered client to announce a codec choice —
+    /// extended to 1 s once at least one announcement has arrived
+    /// (evidence of a negotiating fleet whose remaining proposals may
+    /// have been lost to link faults). Old peers never announce, so an
+    /// all-legacy fleet pays at most the 150 ms floor.
     pub fn wait_for_clients(&self, n: usize, timeout: Duration) -> usize {
         let deadline = Instant::now() + timeout;
-        while Instant::now() < deadline {
+        let count = loop {
             let count = self.slots.lock().len();
-            if count >= n {
-                return count;
+            if count >= n || Instant::now() >= deadline {
+                break count;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        if !self.codecs_enabled {
+            return count;
+        }
+        let settle = Instant::now() + Duration::from_millis(150);
+        let grace = Instant::now() + Duration::from_secs(1);
+        loop {
+            let (decided, total) = {
+                let guard = self.slots.lock();
+                (
+                    guard.iter().filter(|s| s.codec_decided).count(),
+                    guard.len(),
+                )
+            };
+            if decided >= total {
+                break;
+            }
+            let limit = if decided > 0 { grace } else { settle };
+            if Instant::now() >= limit {
+                break;
             }
             std::thread::sleep(Duration::from_millis(5));
         }
@@ -309,7 +493,11 @@ impl FlServer {
     }
 
     fn send_to_slot(slot: &mut ClientSlot, msg: &ServerMessage, log: &EventLog) -> bool {
-        let sealed = slot.seal.seal(&msg.to_frame());
+        Self::send_frame_to_slot(slot, &msg.to_frame(), log)
+    }
+
+    fn send_frame_to_slot(slot: &mut ClientSlot, plain: &[u8], log: &EventLog) -> bool {
+        let sealed = slot.seal.seal(plain);
         let Some(tx) = slot.tx.as_mut() else {
             return false;
         };
@@ -363,10 +551,94 @@ impl ClientGateway for FlServer {
     }
 
     fn broadcast(&mut self, task: &TaskAssignment) -> usize {
-        let msg = ServerMessage::Task(task.clone());
+        // Weight-bearing tasks go through the wire codec per slot; Finish
+        // (and any task for a raw peer) ships in the legacy format.
+        let (weights, is_train) = match task {
+            TaskAssignment::Train { weights, .. } => (Some(weights), true),
+            TaskAssignment::Validate { weights, .. } => (Some(weights), false),
+            _ => (None, false),
+        };
+        let raw_frame = ServerMessage::Task(task.clone()).to_frame();
         let mut sent = 0;
-        for slot in self.slots.lock().iter_mut().filter(|s| s.alive) {
-            if Self::send_to_slot(slot, &msg, &self.log) {
+        // Lock order: slots, then ring (matches the session threads,
+        // which never hold both at once).
+        let mut slots = self.slots.lock();
+        let any_codec = weights.is_some()
+            && self.codecs_enabled
+            && slots.iter().any(|s| s.alive && s.codec.is_some());
+        if !any_codec {
+            for slot in slots.iter_mut().filter(|s| s.alive) {
+                if Self::send_frame_to_slot(slot, &raw_frame, &self.log) {
+                    if weights.is_some() {
+                        wire_count("flare.wire.bytes_tx_encoded", raw_frame.len() as u64);
+                        wire_count("flare.wire.bytes_tx_raw", raw_frame.len() as u64);
+                    }
+                    sent += 1;
+                }
+            }
+            return sent;
+        }
+        let weights = weights.expect("any_codec implies weight-bearing task");
+        let raw_size = raw_task_frame_size(weights, is_train);
+        let mut ring = self.ring.lock();
+        let id = ring.publish(weights);
+        // Group the round's receivers by spec so the ring can downgrade
+        // a spec's entry to a self-contained head when any of its clients
+        // would otherwise need an expensive exact full / catch-up frame.
+        let mut by_spec: BTreeMap<String, (CodecSpec, Vec<Option<u32>>)> = BTreeMap::new();
+        for slot in slots.iter().filter(|s| s.alive) {
+            if let Some(spec) = &slot.codec {
+                by_spec
+                    .entry(spec.to_string())
+                    .or_insert_with(|| (spec.clone(), Vec::new()))
+                    .1
+                    .push(slot.acked);
+            }
+        }
+        for (spec, acks) in by_spec.values() {
+            ring.prepare_round(spec, acks, id);
+        }
+        for slot in slots.iter_mut().filter(|s| s.alive) {
+            let encoded = slot.codec.as_ref().and_then(|spec| {
+                let (enc, kind) = ring.encode_for(spec, slot.acked, id)?;
+                wire_count(
+                    match kind {
+                        DownlinkKind::Full => "flare.wire.codec.full_frames",
+                        DownlinkKind::Delta => "flare.wire.codec.delta_frames",
+                        DownlinkKind::Alias => "flare.wire.codec.alias_frames",
+                        DownlinkKind::CatchUp => "flare.wire.codec.catchup_frames",
+                    },
+                    1,
+                );
+                let t = if is_train {
+                    let TaskAssignment::Train {
+                        round,
+                        total_rounds,
+                        ..
+                    } = task
+                    else {
+                        unreachable!()
+                    };
+                    TaskAssignment::TrainEnc {
+                        round: *round,
+                        total_rounds: *total_rounds,
+                        enc,
+                    }
+                } else {
+                    let TaskAssignment::Validate { round, .. } = task else {
+                        unreachable!()
+                    };
+                    TaskAssignment::ValidateEnc { round: *round, enc }
+                };
+                Some(ServerMessage::Task(t).to_frame())
+            });
+            let (frame, raw_equiv) = match &encoded {
+                Some(f) => (f.as_slice(), raw_size),
+                None => (raw_frame.as_slice(), raw_frame.len() as u64),
+            };
+            if Self::send_frame_to_slot(slot, frame, &self.log) {
+                wire_count("flare.wire.bytes_tx_encoded", frame.len() as u64);
+                wire_count("flare.wire.bytes_tx_raw", raw_equiv);
                 sent += 1;
             }
         }

@@ -3,6 +3,7 @@
 
 use crate::aggregator::Aggregator;
 use crate::client::{ClientBehavior, FlClient, RetryPolicy};
+use crate::codec::CodecSpec;
 use crate::controller::{SagConfig, ScatterAndGather, WorkflowResult};
 use crate::dxo::Weights;
 use crate::executor::Executor;
@@ -44,6 +45,15 @@ pub struct SimulatorConfig {
     /// Keep at most this many `round_<n>.cfw` files on disk (oldest
     /// pruned first); `None` keeps all.
     pub retain_checkpoints: Option<usize>,
+    /// Wire codec every client proposes at registration (see
+    /// [`crate::codec`]); raw keeps the legacy full-f32 exchange.
+    pub wire: CodecSpec,
+    /// Per-site codec overrides keyed by 0-based site index (mixed-fleet
+    /// testing: some sites raw, some compressed).
+    pub wire_overrides: BTreeMap<usize, CodecSpec>,
+    /// When false the server ignores codec proposals (emulates a
+    /// pre-codec server, exercising the client's raw fallback).
+    pub server_codecs_enabled: bool,
 }
 
 impl Default for SimulatorConfig {
@@ -58,6 +68,9 @@ impl Default for SimulatorConfig {
             checkpoint_dir: None,
             resume: false,
             retain_checkpoints: None,
+            wire: CodecSpec::raw(),
+            wire_overrides: BTreeMap::new(),
+            server_codecs_enabled: true,
         }
     }
 }
@@ -184,6 +197,7 @@ impl SimulatorRunner {
         let provisioned = project.provision();
         let mut server = FlServer::new(provisioned.server.clone(), log.clone(), self.config.seed);
         server.set_quorum(self.config.sag.min_clients, self.config.sag.quorum_grace);
+        server.set_wire_codecs_enabled(self.config.server_codecs_enabled);
         let plan = FaultPlan::new(self.config.faults.clone(), log.clone());
         if plan.config().is_active() {
             log.info(
@@ -208,10 +222,17 @@ impl SimulatorRunner {
             let filters = make_filters(i);
             let clog = log.clone();
             let dh_secret = self.config.seed.wrapping_mul(0x9E3779B97F4A7C15) ^ (i as u64 + 1);
+            let wire = self
+                .config
+                .wire_overrides
+                .get(&i)
+                .cloned()
+                .unwrap_or_else(|| self.config.wire.clone());
             client_threads.push(std::thread::spawn(move || -> Result<u32, FlareError> {
                 let mut client = FlClient::register(client_side, &package, dh_secret, clog)?;
                 client.set_filters(filters);
                 client.set_retry_policy(retry);
+                client.set_wire_codec(wire);
                 client.run(executor.as_mut(), behavior)
             }));
         }

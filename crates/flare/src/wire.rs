@@ -81,6 +81,28 @@ impl<'a> WireReader<'a> {
         self.remaining() == 0
     }
 
+    /// Current cursor position (for [`WireReader::since`]).
+    pub fn mark(&self) -> usize {
+        self.pos
+    }
+
+    /// The bytes consumed since `mark` was taken — used by checksummed
+    /// messages (see [`crate::codec`]) to recompute a CRC over exactly
+    /// the bytes that were parsed.
+    pub fn since(&self, mark: usize) -> &'a [u8] {
+        &self.buf[mark..self.pos]
+    }
+
+    /// Consumes and returns the next `n` bytes as a slice (bulk variant
+    /// of the typed decoders, used for packed byte payloads).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlareError::Codec`] if fewer than `n` bytes remain.
+    pub fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], FlareError> {
+        self.take(n)
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8], FlareError> {
         if self.remaining() < n {
             return Err(FlareError::Codec(format!(
@@ -141,7 +163,7 @@ macro_rules! impl_le_number {
         }
     )*};
 }
-impl_le_number!(u32, u64, i64, f32, f64);
+impl_le_number!(u16, u32, u64, i64, f32, f64);
 
 impl WireEncode for usize {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -273,6 +295,8 @@ mod tests {
         roundtrip(255u8);
         roundtrip(true);
         roundtrip(false);
+        roundtrip(0u16);
+        roundtrip(u16::MAX);
         roundtrip(u32::MAX);
         roundtrip(u64::MAX);
         roundtrip(-42i64);

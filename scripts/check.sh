@@ -10,6 +10,9 @@
 #                  require bit-identical weights; dir kept in
 #                  target/chaos-resume on failure for artifact upload)
 #   bench-smoke    bench_report smoke run + schema check of BENCH_report.json
+#   wire-codec     bench_report smoke with delta+topk0.05+int8 negotiated under
+#                  aggressive faults; fails unless encoded bytes are <= 1/10 of
+#                  the raw protocol (BENCH_wire_codec.json, DESIGN.md §3g)
 #   doc            rustdoc with warnings denied (broken links fail the gate)
 #   clippy         clippy --all-targets with warnings denied
 #   fmt            cargo fmt --check
@@ -78,11 +81,20 @@ run_leg() {
             'cargo run --release -q -p clinfl-bench --bin bench_report -- --smoke --out BENCH_report.json \
              && cargo run --release -q -p clinfl-bench --bin bench_report -- --check BENCH_report.json'
         ;;
+    wire-codec)
+        # Compression gate: the full negotiated stack (delta ring + top-k +
+        # int8) must hold a >=10x byte reduction even while the aggressive
+        # fault profile drops, truncates, and delays frames.
+        leg wire-codec bash -c \
+            'CLINFL_WIRE_CODEC=delta+topk0.05+int8 CLINFL_FAULTS=aggressive \
+               cargo run --release -q -p clinfl-bench --bin bench_report -- --smoke --out BENCH_wire_codec.json \
+             && cargo run --release -q -p clinfl-bench --bin bench_report -- --check BENCH_wire_codec.json --min-reduction 10'
+        ;;
     doc) leg doc env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps ;;
     clippy) leg clippy cargo clippy --workspace --all-targets -- -D warnings ;;
     fmt) leg fmt cargo fmt --all -- --check ;;
     *)
-        echo "unknown leg: $1 (expected build|test-serial|test-parallel|test-faults|resume|bench-smoke|doc|clippy|fmt)" >&2
+        echo "unknown leg: $1 (expected build|test-serial|test-parallel|test-faults|resume|bench-smoke|wire-codec|doc|clippy|fmt)" >&2
         exit 2
         ;;
     esac
@@ -90,7 +102,7 @@ run_leg() {
 
 if [ "$#" -eq 0 ]; then
     : >"$TIMINGS"
-    for l in build test-serial test-parallel test-faults resume bench-smoke doc clippy fmt; do
+    for l in build test-serial test-parallel test-faults resume bench-smoke wire-codec doc clippy fmt; do
         run_leg "$l"
     done
     echo "==> all checks passed"

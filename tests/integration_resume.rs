@@ -21,6 +21,7 @@
 use clinfl_flare::aggregator::WeightedFedAvg;
 use clinfl_flare::checkpoint::{RunCheckpoint, RUN_CHECKPOINT_FILE};
 use clinfl_flare::client::RetryPolicy;
+use clinfl_flare::codec::CodecSpec;
 use clinfl_flare::controller::SagConfig;
 use clinfl_flare::executor::ArithmeticExecutor;
 use clinfl_flare::faults::FaultConfig;
@@ -139,14 +140,24 @@ fn assert_recoverable(dir: &Path) -> Option<RunCheckpoint> {
 }
 
 /// Re-invokes this test binary filtered to [`resume_child_worker`].
-fn spawn_child(dir: &Path, faults: &str, kill_after: Option<u32>, resume: bool) -> bool {
+fn spawn_child(
+    dir: &Path,
+    faults: &str,
+    wire: Option<&str>,
+    kill_after: Option<u32>,
+    resume: bool,
+) -> bool {
     let exe = std::env::current_exe().expect("test binary path");
     let mut cmd = std::process::Command::new(exe);
     cmd.args(["resume_child_worker", "--exact", "--test-threads", "1"])
         .env("CLINFL_RESUME_CHILD_DIR", dir)
         .env("CLINFL_RESUME_CHILD_FAULTS", faults)
         .env_remove("CLINFL_RESUME_KILL_AFTER")
-        .env_remove("CLINFL_RESUME_CHILD_RESUME");
+        .env_remove("CLINFL_RESUME_CHILD_RESUME")
+        .env_remove("CLINFL_RESUME_CHILD_WIRE");
+    if let Some(w) = wire {
+        cmd.env("CLINFL_RESUME_CHILD_WIRE", w);
+    }
     if let Some(k) = kill_after {
         cmd.env("CLINFL_RESUME_KILL_AFTER", k.to_string());
     }
@@ -215,7 +226,11 @@ fn resume_child_worker() {
             std::thread::sleep(Duration::from_micros(200));
         });
     }
-    run_sim(sim_config(Some(&dir), faults, resume)).expect("child federation run");
+    let mut cfg = sim_config(Some(&dir), faults, resume);
+    if let Ok(w) = std::env::var("CLINFL_RESUME_CHILD_WIRE") {
+        cfg.wire = CodecSpec::parse(&w).expect("child wire codec");
+    }
+    run_sim(cfg).expect("child federation run");
 }
 
 /// Tentpole proof: kill the server at *every* round boundary in turn,
@@ -230,7 +245,7 @@ fn killed_and_resumed_run_matches_uninterrupted_bitwise() {
 
     let dir = chaos_dir("bitwise");
     for k in 0..ROUNDS - 1 {
-        let completed = spawn_child(&dir, "delay", Some(k), k > 0);
+        let completed = spawn_child(&dir, "delay", None, Some(k), k > 0);
         assert!(
             !completed,
             "child with kill_after={k} finished instead of crashing"
@@ -240,7 +255,7 @@ fn killed_and_resumed_run_matches_uninterrupted_bitwise() {
         assert_eq!(ckpt.seed, SEED);
     }
     assert!(
-        spawn_child(&dir, "delay", None, true),
+        spawn_child(&dir, "delay", None, None, true),
         "final resume leg failed"
     );
 
@@ -268,6 +283,45 @@ fn killed_and_resumed_run_matches_uninterrupted_bitwise() {
     std::fs::remove_dir_all(&dir).ok(); // kept on failure for CI artifacts
 }
 
+/// Resume is codec-aware by construction: the delta ring's payload ids
+/// are session-scoped (DESIGN.md §3g), so a resumed server opens a fresh
+/// ring and its first downlink per spec is self-contained — no client is
+/// ever asked to decode against a base payload that died with the old
+/// process. With the lossless `delta` codec under delay-only faults a
+/// kill + resume must therefore stay bit-identical to the uninterrupted
+/// codec run.
+#[test]
+fn codec_resume_matches_uninterrupted_bitwise() {
+    let _serial = timing_guard();
+    let mut ref_cfg = sim_config(None, delay_faults(SEED), false);
+    ref_cfg.wire = CodecSpec::parse("delta").unwrap();
+    let reference = run_sim(ref_cfg).expect("reference codec run");
+    assert_eq!(reference.workflow.rounds.len() as u32, ROUNDS);
+    assert!(
+        reference.log.contains("negotiated wire codec delta"),
+        "reference run never negotiated the codec"
+    );
+
+    let dir = chaos_dir("codec-bitwise");
+    let completed = spawn_child(&dir, "delay", Some("delta"), Some(1), false);
+    assert!(!completed, "codec child finished instead of crashing");
+    let ckpt = assert_recoverable(&dir).expect("checkpoint after codec kill");
+    assert!(ckpt.next_round > 1, "no progress before the codec kill");
+    assert!(
+        spawn_child(&dir, "delay", Some("delta"), None, true),
+        "codec resume leg failed"
+    );
+
+    let p = FilePersistor::new(&dir).unwrap();
+    let ckpt = p.load_checkpoint().expect("final checkpoint");
+    assert_eq!(ckpt.next_round, ROUNDS);
+    assert_eq!(
+        ckpt.global, reference.workflow.final_weights,
+        "codec resume diverged from the uninterrupted codec run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Under the aggressive profile (drops, truncations, mid-round client
 /// crashes) a kill + resume must still complete via quorum and the
 /// checkpoint directory must stay recoverable — bit-equality is out of
@@ -277,12 +331,12 @@ fn killed_and_resumed_run_matches_uninterrupted_bitwise() {
 fn aggressive_fault_kill_resume_completes_and_stays_recoverable() {
     let _serial = timing_guard();
     let dir = chaos_dir("aggressive");
-    let completed = spawn_child(&dir, "aggressive", Some(1), false);
+    let completed = spawn_child(&dir, "aggressive", None, Some(1), false);
     assert!(!completed, "child should have been killed mid-run");
     let ckpt = assert_recoverable(&dir).expect("checkpoint after aggressive kill");
     assert!(ckpt.next_round >= 2);
     assert!(
-        spawn_child(&dir, "aggressive", None, true),
+        spawn_child(&dir, "aggressive", None, None, true),
         "resume under aggressive faults failed"
     );
     let p = FilePersistor::new(&dir).unwrap();

@@ -1,0 +1,188 @@
+//! Wire-codec integration: negotiated weight compression must not change
+//! federation results. Lossless codecs reproduce the all-raw run
+//! bit-for-bit (including mixed fleets and pre-codec servers), lossy
+//! codecs with error feedback stay within quantization tolerance, and
+//! chaos runs complete with compression on.
+//!
+//! The wire-format spec these runs exercise is DESIGN.md §3g.
+
+use clinfl_flare::aggregator::WeightedFedAvg;
+use clinfl_flare::codec::CodecSpec;
+use clinfl_flare::controller::SagConfig;
+use clinfl_flare::executor::ArithmeticExecutor;
+use clinfl_flare::faults::FaultConfig;
+use clinfl_flare::simulator::{SimulationResult, SimulatorConfig, SimulatorRunner};
+use clinfl_flare::{WeightTensor, Weights};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Fault configs rely on real-time grace windows; timing-sensitive runs
+/// take this lock and run alone (same pattern as `integration_faults`).
+static TIMING_LOCK: Mutex<()> = Mutex::new(());
+
+fn timing_guard() -> MutexGuard<'static, ()> {
+    TIMING_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn initial() -> Weights {
+    let mut w = Weights::new();
+    w.insert(
+        "embed".into(),
+        WeightTensor::new(
+            vec![2, 4],
+            vec![0.5, -1.25, 3.0, 0.0, -0.75, 2.5, -4.0, 1.0],
+        ),
+    );
+    w.insert(
+        "bias".into(),
+        WeightTensor::new(vec![3], vec![0.1, -0.2, 0.3]),
+    );
+    w
+}
+
+fn base_config(rounds: u32) -> SimulatorConfig {
+    SimulatorConfig {
+        n_clients: 4,
+        sag: SagConfig {
+            rounds,
+            ..SagConfig::default()
+        },
+        seed: 7,
+        ..SimulatorConfig::default()
+    }
+}
+
+fn run_sim(cfg: SimulatorConfig) -> SimulationResult {
+    SimulatorRunner::new(cfg)
+        .run_simple(
+            initial(),
+            |i, _| {
+                Box::new(ArithmeticExecutor {
+                    delta: (i as f32 + 1.0) * 0.5,
+                    n_examples: 10 * (i as u64 + 1),
+                })
+            },
+            &WeightedFedAvg,
+        )
+        .expect("simulation completes")
+}
+
+fn bits(w: &Weights) -> Vec<(String, Vec<u32>)> {
+    w.iter()
+        .map(|(n, t)| (n.clone(), t.data.iter().map(|v| v.to_bits()).collect()))
+        .collect()
+}
+
+/// A fleet negotiating the lossless `delta` codec produces exactly the
+/// bytes-for-bits result of the raw protocol.
+#[test]
+fn lossless_fleet_matches_all_raw_bitwise() {
+    let raw = run_sim(base_config(4));
+    let mut cfg = base_config(4);
+    cfg.wire = CodecSpec::parse("delta").unwrap();
+    let coded = run_sim(cfg);
+    assert_eq!(
+        bits(&raw.workflow.final_weights),
+        bits(&coded.workflow.final_weights),
+        "lossless codec changed the federation result"
+    );
+    assert!(
+        coded.log.contains("negotiated wire codec delta"),
+        "codec was never negotiated"
+    );
+}
+
+/// Raw and codec clients can share one federation; the result still
+/// matches the all-raw run bit-for-bit when the codecs are lossless.
+#[test]
+fn mixed_fleet_matches_all_raw_bitwise() {
+    let raw = run_sim(base_config(4));
+    let mut cfg = base_config(4);
+    cfg.wire = CodecSpec::parse("delta").unwrap();
+    let mut overrides = BTreeMap::new();
+    overrides.insert(1, CodecSpec::raw());
+    overrides.insert(3, CodecSpec::raw());
+    cfg.wire_overrides = overrides;
+    let mixed = run_sim(cfg);
+    assert_eq!(
+        bits(&raw.workflow.final_weights),
+        bits(&mixed.workflow.final_weights),
+        "mixed raw/codec fleet diverged from the all-raw run"
+    );
+}
+
+/// A pre-codec server ignores proposals; clients must fall back to the
+/// raw format and still reproduce the all-raw result exactly.
+#[test]
+fn silent_server_falls_back_to_raw() {
+    let raw = run_sim(base_config(3));
+    let mut cfg = base_config(3);
+    cfg.wire = CodecSpec::parse("delta+int8").unwrap();
+    cfg.server_codecs_enabled = false;
+    let fallback = run_sim(cfg);
+    assert_eq!(
+        bits(&raw.workflow.final_weights),
+        bits(&fallback.workflow.final_weights),
+        "raw fallback diverged from the all-raw run"
+    );
+    assert!(
+        fallback.log.contains("using raw format"),
+        "expected the clients to log the raw fallback"
+    );
+}
+
+/// Lossy codecs with client-side error feedback: deferred residuals keep
+/// the multi-round drift bounded instead of letting it accumulate. The
+/// aggregated per-round update here is 1.5 per coordinate (weighted mean
+/// of the four site deltas), so without feedback a top-k run dropping a
+/// coordinate half the time would lose ~4.5 over six rounds; with
+/// feedback the deficit is at most the last deferred residual — about
+/// one round's mass — plus quantization slack.
+#[test]
+fn error_feedback_keeps_lossy_runs_near_raw() {
+    let rounds = 6;
+    let raw = run_sim(base_config(rounds));
+    for codec in ["delta+int8", "delta+f16", "delta+topk0.5+int8"] {
+        let mut cfg = base_config(rounds);
+        cfg.wire = CodecSpec::parse(codec).unwrap();
+        let lossy = run_sim(cfg);
+        for (name, t) in &raw.workflow.final_weights {
+            let lt = &lossy.workflow.final_weights[name];
+            for (i, (a, b)) in t.data.iter().zip(&lt.data).enumerate() {
+                assert!(
+                    (a - b).abs() <= 0.02 * a.abs() + 2.0,
+                    "{codec}: {name}[{i}] drifted {a} -> {b} after {rounds} rounds"
+                );
+            }
+        }
+    }
+}
+
+/// Compression composes with the chaos layer: an aggressive-fault run
+/// with delta+top-k+int8 negotiated still completes every round.
+#[test]
+fn codec_chaos_run_completes() {
+    let _serial = timing_guard();
+    let mut cfg = base_config(5);
+    cfg.n_clients = 8;
+    cfg.sag.min_clients = 3;
+    cfg.sag.round_timeout = Duration::from_secs(8);
+    cfg.sag.quorum_grace = Some(Duration::from_millis(1500));
+    cfg.sag.validate_global = false;
+    cfg.faults = FaultConfig::aggressive(3);
+    cfg.retry.message_timeout = Duration::from_secs(30);
+    cfg.retry.submit_copies = 2;
+    cfg.wire = CodecSpec::parse("delta+topk0.05+int8").unwrap();
+    let res = run_sim(cfg);
+    assert_eq!(res.workflow.rounds.len(), 5, "all rounds must complete");
+    for r in &res.workflow.rounds {
+        assert!(
+            r.contributors.len() >= 3,
+            "round {} had only {} contributor(s)",
+            r.round,
+            r.contributors.len()
+        );
+    }
+    assert!(res.log.contains("FaultInjector"), "no faults were injected");
+}
