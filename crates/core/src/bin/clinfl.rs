@@ -7,6 +7,7 @@
 //! clinfl federated   --model lstm --scale 16 [--balanced] [--echo]
 //!                    [--checkpoint-dir D] [--resume D] [--retain N]
 //!                    [--wire-codec S] [--wire-quant Q] [--wire-topk F]
+//!                    [--tree-depth D] [--tree-fanout F]
 //! clinfl pretrain    --scale 64 --scheme centralized
 //! clinfl table3      --scale 10
 //! clinfl fig2        --scale 32
@@ -22,6 +23,11 @@
 //! (`f32|f16|int8`) and `--wire-topk F` (fraction in `(0,1]`) override the
 //! quantizer / sparsifier components of that codec string. See DESIGN.md
 //! §3g for the wire-format spec.
+//!
+//! `--tree-depth D` (with `--tree-fanout F`, default 8) runs the
+//! federation through a hierarchical aggregation tree: interior nodes
+//! partial-FedAvg their shard of sites and forward one update upstream
+//! (DESIGN.md §3h). Depth `<= 1` keeps the classic flat fleet.
 //!
 //! Every subcommand runs on the synthetic cohort/corpus at `1/scale` of
 //! the paper's data volumes (see DESIGN.md for the substitution rationale).
@@ -45,6 +51,8 @@ struct Args {
     wire_codec: Option<String>,
     wire_quant: Option<String>,
     wire_topk: Option<f64>,
+    tree_depth: Option<u32>,
+    tree_fanout: Option<usize>,
 }
 
 fn usage() -> ExitCode {
@@ -52,7 +60,8 @@ fn usage() -> ExitCode {
         "usage: clinfl <centralized|standalone|federated|pretrain|table3|fig2> \
          [--scale N] [--model lstm|bert|bert-mini] [--scheme centralized|small|fl-imbalanced|fl-balanced] \
          [--balanced] [--echo] [--checkpoint-dir D] [--resume D] [--retain N] \
-         [--wire-codec S] [--wire-quant f32|f16|int8] [--wire-topk F]"
+         [--wire-codec S] [--wire-quant f32|f16|int8] [--wire-topk F] \
+         [--tree-depth D] [--tree-fanout F]"
     );
     ExitCode::from(2)
 }
@@ -75,6 +84,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         wire_codec: None,
         wire_quant: None,
         wire_topk: None,
+        tree_depth: None,
+        tree_fanout: None,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -113,6 +124,13 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--wire-topk" => {
                 args.wire_topk = Some(argv.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
             }
+            "--tree-depth" => {
+                args.tree_depth = Some(argv.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
+            }
+            "--tree-fanout" => {
+                args.tree_fanout =
+                    Some(argv.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
+            }
             _ => return Err(usage()),
         }
     }
@@ -133,6 +151,18 @@ fn main() -> ExitCode {
     }
     cfg.runtime.wire_quant = args.wire_quant;
     cfg.runtime.wire_topk = args.wire_topk;
+    if let Some(d) = args.tree_depth {
+        cfg.runtime.tree_depth = d;
+    }
+    if let Some(f) = args.tree_fanout {
+        cfg.runtime.tree_fanout = f;
+    }
+    if cfg.runtime.tree_depth >= 2 {
+        println!(
+            "aggregation tree: depth {} fan-out {}",
+            cfg.runtime.tree_depth, cfg.runtime.tree_fanout
+        );
+    }
     let wire = match cfg.runtime.wire_spec() {
         Ok(spec) => spec,
         Err(e) => {

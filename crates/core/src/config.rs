@@ -156,6 +156,15 @@ pub struct RuntimeConfig {
     /// Top-k sparsification fraction override in `(0, 1]`, composed onto
     /// `wire_codec`; `None` keeps whatever `wire_codec` says.
     pub wire_topk: Option<f64>,
+    /// Aggregation-tree depth (edges from the root to a leaf). `0` or
+    /// `1` keeps the classic flat fleet; `>= 2` inserts layers of
+    /// interior aggregator nodes (`clinfl_flare::relay`) so the root
+    /// round cost stays `O(log n)` in the site count. The `CLINFL_TREE`
+    /// environment knob still applies when this is left at `0`.
+    pub tree_depth: u32,
+    /// Maximum children per aggregation-tree node (only meaningful with
+    /// `tree_depth >= 2`).
+    pub tree_fanout: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -172,6 +181,8 @@ impl Default for RuntimeConfig {
             wire_codec: "raw".to_string(),
             wire_quant: None,
             wire_topk: None,
+            tree_depth: 0,
+            tree_fanout: 8,
         }
     }
 }

@@ -7,7 +7,7 @@ use crate::learner::{Learner, MlmLearner};
 use clinfl_data::{generate_cohort, generate_corpus, ClassifyDataset, CodeSystem, SitePartitioner};
 use clinfl_flare::aggregator::WeightedFedAvg;
 use clinfl_flare::controller::SagConfig;
-use clinfl_flare::simulator::{SimulatorConfig, SimulatorRunner};
+use clinfl_flare::simulator::{SimulatorConfig, SimulatorRunner, TreeConfig};
 use clinfl_flare::{EventLog, FlareError};
 use clinfl_models::BertConfig;
 use clinfl_tensor::LrSchedule;
@@ -154,6 +154,10 @@ fn simulator_config(cfg: &PipelineConfig) -> Result<SimulatorConfig, FlareError>
         wire,
         wire_overrides: BTreeMap::new(),
         server_codecs_enabled: true,
+        tree: (cfg.runtime.tree_depth >= 2).then(|| TreeConfig {
+            depth: cfg.runtime.tree_depth,
+            fanout: cfg.runtime.tree_fanout.max(2),
+        }),
     })
 }
 

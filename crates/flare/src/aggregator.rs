@@ -8,7 +8,7 @@ use crate::dxo::{Dxo, WeightTensor, Weights};
 use crate::FlareError;
 
 /// An aggregation rule combining per-site updates into a new global model.
-pub trait Aggregator: Send {
+pub trait Aggregator: Send + Sync {
     /// Combines `updates` (site name + DXO) given the current global model
     /// `reference`.
     ///
@@ -23,6 +23,33 @@ pub trait Aggregator: Send {
 
     /// Human-readable rule name (for logs and bench tables).
     fn name(&self) -> &'static str;
+
+    /// Whether this rule decomposes over disjoint shards: an interior
+    /// tree-aggregator node may combine its shard with [`Aggregator::partial`]
+    /// and forward one update, with the root's [`Aggregator::aggregate`]
+    /// over the partials equal to a flat aggregation over all leaves.
+    /// Order statistics (median, trimmed mean) do not decompose and keep
+    /// the default `false`; the simulator then falls back to a flat
+    /// topology.
+    fn supports_partial(&self) -> bool {
+        false
+    }
+
+    /// Combines a shard of updates into one partial update whose
+    /// `n_examples` carries the shard's total weight upstream. Only
+    /// meaningful when [`Aggregator::supports_partial`] is `true`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Aggregator::aggregate`]; additionally
+    /// [`FlareError::RejectedUpdate`] when the rule does not decompose.
+    fn partial(&self, updates: &[(String, Dxo)], reference: &Weights) -> Result<Dxo, FlareError> {
+        let _ = (updates, reference);
+        Err(FlareError::RejectedUpdate(format!(
+            "{} does not support partial (tree) aggregation",
+            self.name()
+        )))
+    }
 }
 
 fn check_updates(updates: &[(String, Dxo)], reference: &Weights) -> Result<(), FlareError> {
@@ -80,6 +107,22 @@ impl Aggregator for WeightedFedAvg {
     fn name(&self) -> &'static str {
         "WeightedFedAvg"
     }
+
+    fn supports_partial(&self) -> bool {
+        true
+    }
+
+    /// The weighted mean decomposes: a shard's partial is its weighted
+    /// mean carrying `Σ nᵢ` (with `nᵢ == 0` counted as 1) upstream, and
+    /// the root's weighted mean over partials equals the flat result.
+    fn partial(&self, updates: &[(String, Dxo)], reference: &Weights) -> Result<Dxo, FlareError> {
+        let weights = self.aggregate(updates, reference)?;
+        let n: u64 = updates
+            .iter()
+            .map(|(_, d)| if d.n_examples == 0 { 1 } else { d.n_examples })
+            .sum();
+        Ok(Dxo::from_weights(weights, n))
+    }
 }
 
 /// Masked-sum aggregation for the secure-aggregation filter: sums the
@@ -131,6 +174,44 @@ impl Aggregator for MaskedSum {
 
     fn name(&self) -> &'static str {
         "MaskedSum"
+    }
+
+    fn supports_partial(&self) -> bool {
+        true
+    }
+
+    /// Summation is linear, so a shard's partial is the *undivided* sum
+    /// of its payloads carrying `Σ nᵢ`: pairwise masks spanning different
+    /// shards only cancel once the root adds every partial, and the
+    /// root's final divide by the total example count then recovers the
+    /// weighted mean.
+    fn partial(&self, updates: &[(String, Dxo)], reference: &Weights) -> Result<Dxo, FlareError> {
+        if updates.is_empty() {
+            return Err(FlareError::NotEnoughClients { got: 0, needed: 1 });
+        }
+        for (site, dxo) in updates {
+            if dxo.weights.len() != reference.len() {
+                return Err(FlareError::RejectedUpdate(format!(
+                    "{site}: tensor count mismatch"
+                )));
+            }
+        }
+        let total_n: u64 = updates.iter().map(|(_, d)| d.n_examples).sum();
+        let mut out = Weights::new();
+        for (name, ref_t) in reference {
+            let mut acc = vec![0.0f64; ref_t.numel()];
+            for (_, dxo) in updates {
+                let t = dxo.weights.get(name).ok_or_else(|| {
+                    FlareError::RejectedUpdate(format!("missing tensor {name:?}"))
+                })?;
+                for (a, &v) in acc.iter_mut().zip(&t.data) {
+                    *a += v as f64;
+                }
+            }
+            let data: Vec<f32> = acc.into_iter().map(|v| v as f32).collect();
+            out.insert(name.clone(), WeightTensor::new(ref_t.dims.clone(), data));
+        }
+        Ok(Dxo::from_weights(out, total_n))
     }
 }
 
@@ -321,6 +402,66 @@ mod tests {
         // payloads: 2.0 (pretend = 2*1.0), 9.0 (= 3*3.0) → (2+9)/5 = 2.2
         let out = MaskedSum.aggregate(&updates, &w(0.0)).unwrap();
         assert!((out["p"].data[0] - 2.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fedavg_partial_composes_to_flat_result() {
+        // Four updates split into two shards of two; the two-level
+        // weighted mean must equal the flat one.
+        let all = vec![
+            update("a", 1.0, 2),
+            update("b", 3.0, 6),
+            update("c", 5.0, 4),
+            update("d", 7.0, 4),
+        ];
+        let flat = WeightedFedAvg.aggregate(&all, &w(0.0)).unwrap();
+        let p1 = WeightedFedAvg.partial(&all[..2], &w(0.0)).unwrap();
+        let p2 = WeightedFedAvg.partial(&all[2..], &w(0.0)).unwrap();
+        assert_eq!(p1.n_examples, 8);
+        assert_eq!(p2.n_examples, 8);
+        let partials = vec![("agg-0".to_string(), p1), ("agg-1".to_string(), p2)];
+        let tree = WeightedFedAvg.aggregate(&partials, &w(0.0)).unwrap();
+        assert_eq!(tree["p"].data, flat["p"].data);
+    }
+
+    #[test]
+    fn fedavg_partial_counts_zero_as_one() {
+        let shard = vec![update("a", 2.0, 0), update("b", 4.0, 0)];
+        let p = WeightedFedAvg.partial(&shard, &w(0.0)).unwrap();
+        assert_eq!(p.n_examples, 2);
+        assert_eq!(p.weights["p"].data, vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn masked_sum_partial_preserves_mask_cancellation() {
+        // Payloads +m and -m in different shards: partials keep the mask
+        // residue, the root sum cancels it, the divide recovers the mean.
+        let m = 1000.0;
+        let all = vec![
+            update("a", 2.0 + m, 2),
+            update("b", 9.0, 3),
+            update("c", 4.0 - m, 4),
+            update("d", 5.0, 1),
+        ];
+        let flat = MaskedSum.aggregate(&all, &w(0.0)).unwrap();
+        let p1 = MaskedSum.partial(&all[..2], &w(0.0)).unwrap();
+        let p2 = MaskedSum.partial(&all[2..], &w(0.0)).unwrap();
+        assert_eq!(p1.n_examples, 5);
+        assert_eq!(p2.n_examples, 5);
+        let partials = vec![("agg-0".to_string(), p1), ("agg-1".to_string(), p2)];
+        let tree = MaskedSum.aggregate(&partials, &w(0.0)).unwrap();
+        for (t, f) in tree["p"].data.iter().zip(&flat["p"].data) {
+            assert!((t - f).abs() < 1e-4, "tree {t} vs flat {f}");
+        }
+    }
+
+    #[test]
+    fn order_statistics_do_not_decompose() {
+        assert!(!CoordinateMedian.supports_partial());
+        assert!(!TrimmedMean { trim: 1 }.supports_partial());
+        let updates = vec![update("a", 1.0, 1), update("b", 2.0, 1)];
+        let err = CoordinateMedian.partial(&updates, &w(0.0)).unwrap_err();
+        assert!(err.to_string().contains("partial"));
     }
 
     #[test]

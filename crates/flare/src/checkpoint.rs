@@ -35,8 +35,9 @@ use std::io::Write;
 use std::path::Path;
 
 /// Schema version written into every [`RunCheckpoint`]; decoding rejects
-/// anything newer.
-pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+/// anything newer. Version 2 added the aggregation-tree topology
+/// (`tree_depth`/`tree_fanout`); version-1 files decode as flat runs.
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 2;
 
 /// Marker that precedes the CRC-32 value in the 8-byte file trailer.
 pub const CRC_TRAILER_MAGIC: [u8; 4] = *b"CFC1";
@@ -180,6 +181,12 @@ pub struct RunCheckpoint {
     pub best_metric: Option<f64>,
     /// Round that produced `best_metric`.
     pub best_round: Option<u32>,
+    /// Aggregation-tree depth the run was using (`0` = flat fleet). A
+    /// resume restores the same topology so the fault/data schedule and
+    /// aggregation order match the interrupted run.
+    pub tree_depth: u32,
+    /// Fan-out of each aggregation-tree node (`0` = flat fleet).
+    pub tree_fanout: u32,
 }
 
 impl RunCheckpoint {
@@ -236,6 +243,8 @@ impl WireEncode for RunCheckpoint {
         self.rounds.encode(out);
         self.best_metric.encode(out);
         self.best_round.encode(out);
+        self.tree_depth.encode(out);
+        self.tree_fanout.encode(out);
     }
 }
 
@@ -248,14 +257,29 @@ impl WireDecode for RunCheckpoint {
                  (this build reads versions 1..={CHECKPOINT_SCHEMA_VERSION})"
             )));
         }
+        let seed = u64::decode(r)?;
+        let next_round = u32::decode(r)?;
+        let total_rounds = u32::decode(r)?;
+        let global = BTreeMap::decode(r)?;
+        let rounds = Vec::decode(r)?;
+        let best_metric = Option::decode(r)?;
+        let best_round = Option::decode(r)?;
+        // Version-1 checkpoints predate tree aggregation: flat topology.
+        let (tree_depth, tree_fanout) = if version >= 2 {
+            (u32::decode(r)?, u32::decode(r)?)
+        } else {
+            (0, 0)
+        };
         Ok(RunCheckpoint {
-            seed: u64::decode(r)?,
-            next_round: u32::decode(r)?,
-            total_rounds: u32::decode(r)?,
-            global: BTreeMap::decode(r)?,
-            rounds: Vec::decode(r)?,
-            best_metric: Option::decode(r)?,
-            best_round: Option::decode(r)?,
+            seed,
+            next_round,
+            total_rounds,
+            global,
+            rounds,
+            best_metric,
+            best_round,
+            tree_depth,
+            tree_fanout,
         })
     }
 }
@@ -296,7 +320,29 @@ mod tests {
             }],
             best_metric: Some(0.75),
             best_round: Some(2),
+            tree_depth: 2,
+            tree_fanout: 4,
         }
+    }
+
+    #[test]
+    fn v1_checkpoint_decodes_as_flat_topology() {
+        // A hand-built version-1 body: same fields minus the tree pair.
+        let ckpt = checkpoint();
+        let mut body = crate::wire::FRAME_MAGIC.to_vec();
+        1u32.encode(&mut body);
+        ckpt.seed.encode(&mut body);
+        ckpt.next_round.encode(&mut body);
+        ckpt.total_rounds.encode(&mut body);
+        ckpt.global.encode(&mut body);
+        ckpt.rounds.encode(&mut body);
+        ckpt.best_metric.encode(&mut body);
+        ckpt.best_round.encode(&mut body);
+        let decoded = RunCheckpoint::from_frame(&body).unwrap();
+        assert_eq!(decoded.tree_depth, 0);
+        assert_eq!(decoded.tree_fanout, 0);
+        assert_eq!(decoded.global, ckpt.global);
+        assert_eq!(decoded.next_round, ckpt.next_round);
     }
 
     #[test]

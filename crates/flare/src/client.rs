@@ -14,14 +14,14 @@ use crate::dxo::{Dxo, DxoKind, Weights};
 use crate::executor::{Executor, TaskContext};
 use crate::filters::FilterChain;
 use crate::log::EventLog;
-use crate::messages::{ClientMessage, ServerMessage, TaskAssignment};
+use crate::messages::{ClientMessage, ServerMessage, ShardPayload, TaskAssignment};
 use crate::provision::SitePackage;
 use crate::security::{DhKeyPair, SecureChannel};
 use crate::transport::Connection;
 use crate::wire::{WireDecode, WireEncode};
 use crate::FlareError;
 use clinfl_obs::Counter;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -35,10 +35,10 @@ struct CounterPair {
 }
 
 impl CounterPair {
-    fn new(site: &str, what: &str) -> Self {
+    fn scoped(ns: &str, site: &str, what: &str) -> Self {
         CounterPair {
             site: clinfl_obs::counter(&format!("flare.site.{site}.{what}")),
-            all: clinfl_obs::counter(&format!("flare.client.{what}")),
+            all: clinfl_obs::counter(&format!("{ns}.{what}")),
         }
     }
 
@@ -62,12 +62,16 @@ struct ClientObs {
 
 impl ClientObs {
     fn new(site: &str) -> Self {
+        Self::scoped("flare.client", site)
+    }
+
+    fn scoped(ns: &str, site: &str) -> Self {
         ClientObs {
-            bytes_tx: CounterPair::new(site, "bytes_tx"),
-            bytes_rx: CounterPair::new(site, "bytes_rx"),
-            retries: CounterPair::new(site, "retries"),
-            timeouts: CounterPair::new(site, "timeouts"),
-            heartbeats: CounterPair::new(site, "heartbeats"),
+            bytes_tx: CounterPair::scoped(ns, site, "bytes_tx"),
+            bytes_rx: CounterPair::scoped(ns, site, "bytes_rx"),
+            retries: CounterPair::scoped(ns, site, "retries"),
+            timeouts: CounterPair::scoped(ns, site, "timeouts"),
+            heartbeats: CounterPair::scoped(ns, site, "heartbeats"),
         }
     }
 }
@@ -239,6 +243,15 @@ impl FlClient {
     /// (kept for backwards compatibility; see [`RetryPolicy`]).
     pub fn set_recv_timeout(&mut self, timeout: Duration) {
         self.retry.message_timeout = timeout;
+    }
+
+    /// Re-homes the fleet-wide counter aggregate under `ns` (the per-site
+    /// series keeps its `flare.site.<site>.*` names). Interior tree nodes
+    /// use this so relay uplink traffic (`flare.tree.uplink.*`) never
+    /// inflates the leaf totals the scaling bench reads from
+    /// `flare.client.*`.
+    pub fn set_metric_namespace(&mut self, ns: &str) {
+        self.obs = ClientObs::scoped(ns, &self.site);
     }
 
     /// Requests a wire codec for weight exchange (see [`crate::codec`]).
@@ -519,6 +532,217 @@ impl FlClient {
         ClientMessage::Submit { round, dxo }
     }
 
+    /// Runs codec negotiation if it has not happened yet: proposes the
+    /// configured spec (or announces raw) and settles on the negotiated
+    /// outcome. [`Self::run`] calls this implicitly; interior tree nodes
+    /// driving the task loop by hand via [`Self::next_task`] call it once
+    /// before their first round.
+    pub fn negotiate_codec(&mut self) {
+        if self.active.is_none() {
+            if self.wire.is_raw() {
+                self.announce_raw();
+            } else {
+                self.negotiate();
+            }
+        }
+    }
+
+    /// Declares the leaf sites living below this client, turning its
+    /// server-side slot into an aggregator-node slot (the server counts
+    /// quorum and drops over leaves, not direct children).
+    ///
+    /// # Errors
+    ///
+    /// [`FlareError::RetriesExhausted`] when the send budget runs out.
+    pub fn announce_leaves(&mut self, sites: Vec<String>) -> Result<(), FlareError> {
+        self.send_with_retry(&ClientMessage::AnnounceLeaves { sites }, "announce leaves")
+    }
+
+    /// Submits a pre-aggregated shard update: the weighted partial
+    /// aggregate of this node's subtree, plus the per-leaf bookkeeping
+    /// (contributor metrics and dropped sites) the upstream round needs.
+    /// The payload rides the negotiated uplink codec when one is active.
+    ///
+    /// # Errors
+    ///
+    /// [`FlareError::RetriesExhausted`] when the send budget runs out.
+    pub fn submit_shard(
+        &mut self,
+        round: u32,
+        dxo: Dxo,
+        sites: Vec<(String, BTreeMap<String, f64>)>,
+        dropped: Vec<String>,
+    ) -> Result<(), FlareError> {
+        let mut ack = NO_BASE;
+        let mut payload = None;
+        if matches!(dxo.kind, DxoKind::Weights) {
+            if let Some(uplink) = self.uplink.as_mut() {
+                let latest = self.cache.latest_id();
+                let base = latest.and_then(|id| self.cache.get(id).map(|w| (w, id)));
+                match uplink.encode(&dxo.weights, base) {
+                    Ok(enc) => {
+                        ack = latest.unwrap_or(NO_BASE);
+                        payload = Some(ShardPayload::Encoded(enc));
+                    }
+                    Err(e) => {
+                        self.log.warn(
+                            "FederatedClient",
+                            format!("{}: uplink encode failed ({e}); sending raw", self.site),
+                        );
+                    }
+                }
+            }
+        }
+        let msg = ClientMessage::SubmitShard {
+            round,
+            ack,
+            n_examples: dxo.n_examples,
+            sites,
+            dropped,
+            payload: payload.unwrap_or(ShardPayload::Raw(dxo.weights)),
+        };
+        self.send_redundant(&msg, &format!("submit shard round {round}"))
+    }
+
+    /// Relays the per-leaf validation metrics gathered below this node.
+    ///
+    /// # Errors
+    ///
+    /// [`FlareError::RetriesExhausted`] when the send budget runs out.
+    pub fn report_validate_shard(
+        &mut self,
+        round: u32,
+        reports: Vec<(String, f64)>,
+    ) -> Result<(), FlareError> {
+        let msg = ClientMessage::ValidateShard {
+            round,
+            ack: self.cache.latest_id().unwrap_or(NO_BASE),
+            reports,
+        };
+        self.send_redundant(&msg, &format!("validate shard round {round}"))
+    }
+
+    /// Receives, decrypts, and decodes the next task assignment. Corrupt
+    /// or non-task frames are skipped; encoded tasks are decoded against
+    /// the payload cache (an undecodable payload skips the task and waits
+    /// for the server's next self-contained frame).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an exhausted receive budget.
+    pub fn next_task(&mut self) -> Result<TaskAssignment, FlareError> {
+        loop {
+            let msg = if let Some(m) = self.pending.pop_front() {
+                m
+            } else {
+                let frame = self.recv_with_retry()?;
+                let plain = match self.open.open(&frame) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        // A truncated/tampered frame is a link fault, not a
+                        // session killer: skip it and wait for the next task.
+                        self.log.warn(
+                            "FederatedClient",
+                            format!("{}: rejected corrupt frame: {e}", self.site),
+                        );
+                        continue;
+                    }
+                };
+                match ServerMessage::from_frame(&plain) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        self.log.warn(
+                            "FederatedClient",
+                            format!("{}: undecodable message: {e}", self.site),
+                        );
+                        continue;
+                    }
+                }
+            };
+            let ServerMessage::Task(task) = msg else {
+                continue;
+            };
+            // Codec tasks decode to their raw counterparts, so callers
+            // only ever see plain-weight assignments.
+            match task {
+                TaskAssignment::TrainEnc {
+                    round,
+                    total_rounds,
+                    enc,
+                } => match self.decode_downlink(&enc) {
+                    Some(weights) => {
+                        return Ok(TaskAssignment::Train {
+                            round,
+                            total_rounds,
+                            weights,
+                        })
+                    }
+                    None => continue,
+                },
+                TaskAssignment::ValidateEnc { round, enc } => match self.decode_downlink(&enc) {
+                    Some(weights) => return Ok(TaskAssignment::Validate { round, weights }),
+                    None => continue,
+                },
+                t => return Ok(t),
+            }
+        }
+    }
+
+    /// Probes — without meaningfully blocking — whether the server has
+    /// another task queued for this client. Frames that already arrived
+    /// are drained, decoded, and buffered for [`Self::next_task`]; the
+    /// probe reports `true` once a task (or a transport failure — either
+    /// way the caller's current round is over) is found. Interior tree
+    /// nodes use this mid-gather to notice that the parent has closed the
+    /// round early and moved on, instead of waiting out the full shard
+    /// timeout on leaves that will never submit. The 1ms receive slice
+    /// avoids the zero-timeout desync hazard of length-prefixed TCP
+    /// framing.
+    pub fn poll_pending_task(&mut self) -> bool {
+        loop {
+            if self
+                .pending
+                .iter()
+                .any(|m| matches!(m, ServerMessage::Task(_)))
+            {
+                return true;
+            }
+            match self.conn.rx.recv(Duration::from_millis(1)) {
+                Ok(frame) => {
+                    self.obs.bytes_rx.add(frame.len() as u64);
+                    let plain = match self.open.open(&frame) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            self.log.warn(
+                                "FederatedClient",
+                                format!("{}: rejected corrupt frame: {e}", self.site),
+                            );
+                            continue;
+                        }
+                    };
+                    match ServerMessage::from_frame(&plain) {
+                        Ok(m) => self.pending.push_back(m),
+                        Err(e) => {
+                            self.log.warn(
+                                "FederatedClient",
+                                format!("{}: undecodable message: {e}", self.site),
+                            );
+                        }
+                    }
+                }
+                Err(FlareError::Timeout) => return false,
+                Err(_) => return true,
+            }
+        }
+    }
+
+    /// Sends the best-effort goodbye that lets the server log a graceful
+    /// disconnect instead of a lost connection.
+    pub fn send_bye(&mut self) {
+        let site = self.site.clone();
+        let _ = self.send_once(&ClientMessage::Bye { site });
+    }
+
     /// A "crashed" site: stops participating but keeps its connection
     /// open (a hung process or partitioned network, which the server
     /// cannot distinguish from a slow client), draining and ignoring all
@@ -553,77 +777,21 @@ impl FlClient {
         behavior: ClientBehavior,
     ) -> Result<u32, FlareError> {
         let mut trained = 0u32;
-        if self.active.is_none() {
-            if self.wire.is_raw() {
-                self.announce_raw();
-            } else {
-                self.negotiate();
-            }
-        }
+        self.negotiate_codec();
         loop {
-            let msg = if let Some(m) = self.pending.pop_front() {
-                m
-            } else {
-                let frame = match self.recv_with_retry() {
-                    Ok(f) => f,
-                    Err(FlareError::Transport(reason)) if trained > 0 => {
-                        self.log.warn(
-                            "FederatedClient",
-                            format!(
-                                "{}: connection closed by server ({reason}); exiting after {trained} round(s)",
-                                self.site
-                            ),
-                        );
-                        return Ok(trained);
-                    }
-                    Err(e) => return Err(e),
-                };
-                let plain = match self.open.open(&frame) {
-                    Ok(p) => p,
-                    Err(e) => {
-                        // A truncated/tampered frame is a link fault, not a
-                        // session killer: skip it and wait for the next task.
-                        self.log.warn(
-                            "FederatedClient",
-                            format!("{}: rejected corrupt frame: {e}", self.site),
-                        );
-                        continue;
-                    }
-                };
-                match ServerMessage::from_frame(&plain) {
-                    Ok(m) => m,
-                    Err(e) => {
-                        self.log.warn(
-                            "FederatedClient",
-                            format!("{}: undecodable message: {e}", self.site),
-                        );
-                        continue;
-                    }
+            let task = match self.next_task() {
+                Ok(t) => t,
+                Err(FlareError::Transport(reason)) if trained > 0 => {
+                    self.log.warn(
+                        "FederatedClient",
+                        format!(
+                            "{}: connection closed by server ({reason}); exiting after {trained} round(s)",
+                            self.site
+                        ),
+                    );
+                    return Ok(trained);
                 }
-            };
-            let ServerMessage::Task(task) = msg else {
-                continue;
-            };
-            // Codec tasks decode to their raw counterparts, then flow
-            // through the unchanged task logic below.
-            let task = match task {
-                TaskAssignment::TrainEnc {
-                    round,
-                    total_rounds,
-                    enc,
-                } => match self.decode_downlink(&enc) {
-                    Some(weights) => TaskAssignment::Train {
-                        round,
-                        total_rounds,
-                        weights,
-                    },
-                    None => continue,
-                },
-                TaskAssignment::ValidateEnc { round, enc } => match self.decode_downlink(&enc) {
-                    Some(weights) => TaskAssignment::Validate { round, weights },
-                    None => continue,
-                },
-                t => t,
+                Err(e) => return Err(e),
             };
             match task {
                 TaskAssignment::Train {
@@ -681,12 +849,11 @@ impl FlClient {
                 TaskAssignment::Finish => {
                     // Best-effort goodbye: the server may already be
                     // tearing the session down.
-                    let site = self.site.clone();
-                    let _ = self.send_once(&ClientMessage::Bye { site });
+                    self.send_bye();
                     return Ok(trained);
                 }
                 TaskAssignment::TrainEnc { .. } | TaskAssignment::ValidateEnc { .. } => {
-                    unreachable!("encoded tasks decoded above")
+                    unreachable!("encoded tasks decoded in next_task")
                 }
             }
         }

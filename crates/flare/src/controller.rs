@@ -36,6 +36,54 @@ pub trait ClientGateway {
         expected: usize,
         timeout: Duration,
     ) -> Vec<(String, f64)>;
+
+    /// All leaf sites reachable through the registered clients. For a
+    /// flat fleet this is [`ClientGateway::client_sites`]; a tree gateway
+    /// expands interior aggregator nodes into the leaves they announced.
+    fn leaf_sites(&self) -> Vec<String> {
+        self.client_sites()
+    }
+
+    /// Leaf-granular bookkeeping for `round` gathered from interior
+    /// aggregator shards, or `None` when every update came straight from
+    /// a leaf (flat topology).
+    fn round_manifest(&self, round: u32) -> Option<RoundManifest> {
+        let _ = round;
+        None
+    }
+}
+
+/// Per-leaf bookkeeping for one shard of a tree round: which leaf sites
+/// an interior aggregator folded into its partial update (with their
+/// training metrics), and which of its leaves it expected but lost.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ShardMeta {
+    /// `(leaf site, training metrics)` pairs folded into the shard.
+    pub sites: Vec<(String, BTreeMap<String, f64>)>,
+    /// Leaf sites the shard's aggregator expected but did not hear from.
+    pub dropped: Vec<String>,
+}
+
+/// The leaf-granular view of a tree round, keyed by the direct child
+/// (interior node or leaf) that delivered each shard.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RoundManifest {
+    /// Shard bookkeeping per direct child, in child-name order.
+    pub shards: BTreeMap<String, ShardMeta>,
+}
+
+impl RoundManifest {
+    /// Every leaf contributor across all shards with its metrics, sorted
+    /// by leaf name.
+    pub fn leaf_contributors(&self) -> Vec<(String, BTreeMap<String, f64>)> {
+        let mut out: Vec<(String, BTreeMap<String, f64>)> = self
+            .shards
+            .values()
+            .flat_map(|s| s.sites.iter().cloned())
+            .collect();
+        out.sort_by(|(a, _), (b, _)| a.cmp(b));
+        out
+    }
 }
 
 /// Configuration of the ScatterAndGather workflow.
@@ -123,6 +171,8 @@ pub struct ScatterAndGather {
     log: EventLog,
     status: crate::admin::RunStatus,
     run_seed: u64,
+    tree_depth: u32,
+    tree_fanout: u32,
 }
 
 impl ScatterAndGather {
@@ -133,7 +183,18 @@ impl ScatterAndGather {
             log,
             status: crate::admin::RunStatus::new(),
             run_seed: 0,
+            tree_depth: 0,
+            tree_fanout: 0,
         }
+    }
+
+    /// Records the aggregation-tree topology stamped into every
+    /// [`RunCheckpoint`], so a resumed run can stand the same tree back
+    /// up. `(0, 0)` means a flat (depth-1) fleet.
+    pub fn with_topology(mut self, depth: u32, fanout: u32) -> Self {
+        self.tree_depth = depth;
+        self.tree_fanout = fanout;
+        self
     }
 
     /// Attaches a shared [`crate::admin::RunStatus`] for admin-console
@@ -201,7 +262,7 @@ impl ScatterAndGather {
                 total: self.config.rounds,
             });
             self.log.info(tag, format!("Round {round} started."));
-            let mut expected_sites = gateway.client_sites();
+            let mut expected_sites = gateway.leaf_sites();
             expected_sites.sort();
             let expected = expected_sites.len();
             let sent = gateway.broadcast(&TaskAssignment::Train {
@@ -217,43 +278,55 @@ impl ScatterAndGather {
             // site name so aggregation order (and the floating-point result)
             // is independent of the thread schedule.
             updates.sort_by(|(a, _), (b, _)| a.cmp(b));
-            for (site, _) in &updates {
+            // Leaf-granular view: with a tree gateway each update is an
+            // interior shard covering several leaves; the manifest expands
+            // it so quorum, drop bookkeeping, and round summaries stay
+            // expressed in leaf sites exactly as in a flat run.
+            let leaf_updates: Vec<(String, BTreeMap<String, f64>)> =
+                match gateway.round_manifest(round) {
+                    Some(manifest) => manifest.leaf_contributors(),
+                    None => updates
+                        .iter()
+                        .map(|(s, d)| (s.clone(), d.metrics.clone()))
+                        .collect(),
+                };
+            for (site, _) in &leaf_updates {
                 self.log
                     .info(tag, format!("Contribution from {site} received."));
             }
             let dropped: Vec<String> = expected_sites
                 .iter()
-                .filter(|site| !updates.iter().any(|(s, _)| s == *site))
+                .filter(|site| !leaf_updates.iter().any(|(s, _)| s == *site))
                 .cloned()
                 .collect();
             for site in &dropped {
                 self.log
                     .warn(tag, format!("{site} missed round {round}; marked dropped."));
             }
-            if !dropped.is_empty() && updates.len() >= self.config.min_clients {
+            if !dropped.is_empty() && leaf_updates.len() >= self.config.min_clients {
                 self.log.info(
                     tag,
                     format!(
                         "Quorum met at round {round}: {}/{expected} update(s) (min_clients {}).",
-                        updates.len(),
+                        leaf_updates.len(),
                         self.config.min_clients
                     ),
                 );
             }
             self.status
                 .set_phase(crate::admin::RunPhase::Aggregating { round });
-            if updates.len() < self.config.min_clients {
+            if leaf_updates.len() < self.config.min_clients {
                 self.status.set_phase(crate::admin::RunPhase::Aborted);
                 self.log.warn(
                     tag,
                     format!(
                         "Round {round} aborted: {} update(s) < min_clients {}",
-                        updates.len(),
+                        leaf_updates.len(),
                         self.config.min_clients
                     ),
                 );
                 return Err(FlareError::NotEnoughClients {
-                    got: updates.len(),
+                    got: leaf_updates.len(),
                     needed: self.config.min_clients,
                 });
             }
@@ -261,7 +334,7 @@ impl ScatterAndGather {
                 tag,
                 format!(
                     "aggregating {} update(s) at round {round} [{}]",
-                    updates.len(),
+                    leaf_updates.len(),
                     aggregator.name()
                 ),
             );
@@ -269,7 +342,7 @@ impl ScatterAndGather {
             self.log.info(tag, "End aggregation.");
 
             let global_metric = if self.config.validate_global {
-                let expected = gateway.client_sites().len();
+                let expected = gateway.leaf_sites().len();
                 gateway.broadcast(&TaskAssignment::Validate {
                     round,
                     weights: global.clone(),
@@ -308,11 +381,8 @@ impl ScatterAndGather {
             clinfl_obs::add_counter("flare.round.dropped", dropped.len() as u64);
             rounds.push(RoundSummary {
                 round,
-                contributors: updates.iter().map(|(s, _)| s.clone()).collect(),
-                client_metrics: updates
-                    .iter()
-                    .map(|(s, d)| (s.clone(), d.metrics.clone()))
-                    .collect(),
+                contributors: leaf_updates.iter().map(|(s, _)| s.clone()).collect(),
+                client_metrics: leaf_updates.iter().cloned().collect(),
                 global_metric,
                 dropped,
             });
@@ -330,6 +400,8 @@ impl ScatterAndGather {
                 rounds: rounds.clone(),
                 best_metric,
                 best_round,
+                tree_depth: self.tree_depth,
+                tree_fanout: self.tree_fanout,
             });
             clinfl_obs::add_counter("flare.checkpoint.saved", 1);
         }

@@ -71,6 +71,8 @@ mod log;
 pub mod messages;
 pub mod persistor;
 pub mod provision;
+pub mod reactor;
+pub mod relay;
 pub mod security;
 pub mod server;
 pub mod simulator;

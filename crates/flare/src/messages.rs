@@ -82,6 +82,101 @@ pub enum ClientMessage {
         /// or [`crate::codec::NO_BASE`].
         ack: u32,
     },
+    /// A pre-aggregated update from an interior tree-aggregator node: one
+    /// weighted partial FedAvg over the node's shard of sites, plus the
+    /// per-leaf bookkeeping the root needs for quorum and round summaries
+    /// (see [`crate::relay::AggregatorNode`]).
+    SubmitShard {
+        /// Round the shard belongs to.
+        round: u32,
+        /// Most recent downlink payload id this node reconstructed, or
+        /// [`crate::codec::NO_BASE`].
+        ack: u32,
+        /// Combined effective example count of the shard (the upstream
+        /// FedAvg weight).
+        n_examples: u64,
+        /// Leaf sites whose updates are folded into this shard, with
+        /// their training metrics.
+        sites: Vec<(String, std::collections::BTreeMap<String, f64>)>,
+        /// Leaf sites this node expected but did not hear from.
+        dropped: Vec<String>,
+        /// The partial-aggregate weights, raw or codec-encoded.
+        payload: ShardPayload,
+    },
+    /// Per-leaf validation metrics relayed by an interior tree node
+    /// (counterpart of [`ClientMessage::ValidateReport`] for a shard).
+    ValidateShard {
+        /// Round validated.
+        round: u32,
+        /// Most recent downlink payload id this node reconstructed, or
+        /// [`crate::codec::NO_BASE`].
+        ack: u32,
+        /// `(leaf site, metric)` reports gathered below this node.
+        reports: Vec<(String, f64)>,
+    },
+    /// Announces which leaf sites live below this client (sent by
+    /// interior tree nodes right after registration, before any codec
+    /// negotiation). A server that never receives one treats the client
+    /// as a single leaf.
+    AnnounceLeaves {
+        /// Leaf site names below this client, sorted.
+        sites: Vec<String>,
+    },
+}
+
+/// The weight payload of a [`ClientMessage::SubmitShard`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardPayload {
+    /// Plain full-precision weights.
+    Raw(Weights),
+    /// Weights encoded with the codec this node negotiated upstream.
+    Encoded(EncodedWeights),
+}
+
+impl WireEncode for ShardPayload {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ShardPayload::Raw(w) => {
+                0u8.encode(out);
+                w.encode(out);
+            }
+            ShardPayload::Encoded(enc) => {
+                1u8.encode(out);
+                enc.encode(out);
+            }
+        }
+    }
+}
+
+impl WireDecode for ShardPayload {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FlareError> {
+        match u8::decode(r)? {
+            0 => Ok(ShardPayload::Raw(BTreeMap::decode(r)?)),
+            1 => Ok(ShardPayload::Encoded(EncodedWeights::decode(r)?)),
+            b => Err(FlareError::Codec(format!("invalid ShardPayload tag {b}"))),
+        }
+    }
+}
+
+// The wire layer has no generic tuple impls; shard site lists are encoded
+// element-wise.
+fn encode_pairs<A: WireEncode, B: WireEncode>(pairs: &[(A, B)], out: &mut Vec<u8>) {
+    pairs.len().encode(out);
+    for (a, b) in pairs {
+        a.encode(out);
+        b.encode(out);
+    }
+}
+
+fn decode_pairs<A: WireDecode, B: WireDecode>(
+    r: &mut WireReader<'_>,
+) -> Result<Vec<(A, B)>, FlareError> {
+    let n = usize::decode(r)?;
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        out.push((A::decode(r)?, B::decode(r)?));
+    }
+    Ok(out)
 }
 
 /// Messages sent from the server to a client.
@@ -275,6 +370,36 @@ impl WireEncode for ClientMessage {
                 metric.encode(out);
                 ack.encode(out);
             }
+            ClientMessage::SubmitShard {
+                round,
+                ack,
+                n_examples,
+                sites,
+                dropped,
+                payload,
+            } => {
+                8u8.encode(out);
+                round.encode(out);
+                ack.encode(out);
+                n_examples.encode(out);
+                encode_pairs(sites, out);
+                dropped.encode(out);
+                payload.encode(out);
+            }
+            ClientMessage::ValidateShard {
+                round,
+                ack,
+                reports,
+            } => {
+                9u8.encode(out);
+                round.encode(out);
+                ack.encode(out);
+                encode_pairs(reports, out);
+            }
+            ClientMessage::AnnounceLeaves { sites } => {
+                10u8.encode(out);
+                sites.encode(out);
+            }
         }
     }
 }
@@ -316,6 +441,22 @@ impl WireDecode for ClientMessage {
                 round: u32::decode(r)?,
                 metric: f64::decode(r)?,
                 ack: u32::decode(r)?,
+            }),
+            8 => Ok(ClientMessage::SubmitShard {
+                round: u32::decode(r)?,
+                ack: u32::decode(r)?,
+                n_examples: u64::decode(r)?,
+                sites: decode_pairs(r)?,
+                dropped: Vec::decode(r)?,
+                payload: ShardPayload::decode(r)?,
+            }),
+            9 => Ok(ClientMessage::ValidateShard {
+                round: u32::decode(r)?,
+                ack: u32::decode(r)?,
+                reports: decode_pairs(r)?,
+            }),
+            10 => Ok(ClientMessage::AnnounceLeaves {
+                sites: Vec::decode(r)?,
             }),
             b => Err(FlareError::Codec(format!("invalid ClientMessage tag {b}"))),
         }
@@ -548,10 +689,47 @@ mod tests {
     #[test]
     fn unknown_tags_rejected() {
         let mut out = crate::wire::FRAME_MAGIC.to_vec();
-        9u8.encode(&mut out);
+        99u8.encode(&mut out);
         assert!(ClientMessage::from_frame(&out).is_err());
         assert!(ServerMessage::from_frame(&out).is_err());
         assert!(TaskAssignment::from_frame(&out).is_err());
         assert!(DxoKind::from_frame(&out).is_err());
+        assert!(ShardPayload::from_frame(&out).is_err());
+    }
+
+    #[test]
+    fn shard_messages_roundtrip() {
+        use crate::codec::{encode_weights, CodecSpec, NO_BASE};
+        let mut metrics = BTreeMap::new();
+        metrics.insert("train_loss".to_string(), 0.25);
+        roundtrip(ClientMessage::SubmitShard {
+            round: 4,
+            ack: NO_BASE,
+            n_examples: 64,
+            sites: vec![
+                ("site-1".to_string(), metrics.clone()),
+                ("site-2".to_string(), BTreeMap::new()),
+            ],
+            dropped: vec!["site-3".to_string()],
+            payload: ShardPayload::Raw(weights()),
+        });
+        let spec = CodecSpec::parse("delta+int8").unwrap();
+        let enc = encode_weights(&weights(), 1, None, &spec, None).unwrap();
+        roundtrip(ClientMessage::SubmitShard {
+            round: 5,
+            ack: 7,
+            n_examples: 128,
+            sites: vec![("site-4".to_string(), metrics)],
+            dropped: vec![],
+            payload: ShardPayload::Encoded(enc),
+        });
+        roundtrip(ClientMessage::ValidateShard {
+            round: 4,
+            ack: NO_BASE,
+            reports: vec![("site-1".to_string(), 0.5), ("site-2".to_string(), 0.75)],
+        });
+        roundtrip(ClientMessage::AnnounceLeaves {
+            sites: vec!["site-1".to_string(), "site-2".to_string()],
+        });
     }
 }

@@ -345,6 +345,8 @@ mod tests {
             rounds: vec![],
             best_metric,
             best_round: best_metric.map(|_| next_round.saturating_sub(1)),
+            tree_depth: 0,
+            tree_fanout: 0,
         }
     }
 

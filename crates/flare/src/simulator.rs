@@ -11,13 +11,150 @@ use crate::faults::{FaultConfig, FaultPlan};
 use crate::filters::FilterChain;
 use crate::log::EventLog;
 use crate::persistor::{FilePersistor, InMemoryPersistor, Persistor};
-use crate::provision::Project;
+use crate::provision::{Project, Provisioned, SitePackage};
+use crate::relay::{AggregatorNode, RelayConfig};
 use crate::server::FlServer;
-use crate::transport::in_proc_pair;
+use crate::transport::{in_proc_pair, Connection};
 use crate::FlareError;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::time::Duration;
+
+/// Shape of the in-process aggregation tree (see [`AggregatorNode`]).
+///
+/// `depth` counts edges from the root to a leaf: `1` is the classic flat
+/// fleet, `2` inserts one layer of interior aggregator nodes, and so on.
+/// Each interior node fans out to at most `fanout` children.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeConfig {
+    /// Edges from root to leaf (`<= 1` means flat).
+    pub depth: u32,
+    /// Maximum children per node.
+    pub fanout: usize,
+}
+
+impl TreeConfig {
+    /// Reads the `CLINFL_TREE` environment knob: `"2"` (depth 2, fanout
+    /// 8) or `"2x8"` (`depth x fanout`). Unset, empty, or unparsable
+    /// values mean "no override".
+    pub fn from_env() -> Option<Self> {
+        Self::parse(&std::env::var("CLINFL_TREE").ok()?)
+    }
+
+    /// Parses `"<depth>"` or `"<depth>x<fanout>"`.
+    pub fn parse(raw: &str) -> Option<Self> {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            return None;
+        }
+        let (depth, fanout) = match raw.split_once('x') {
+            Some((d, f)) => (d.trim().parse().ok()?, f.trim().parse().ok()?),
+            None => (raw.parse().ok()?, 8),
+        };
+        Some(TreeConfig {
+            depth,
+            fanout: std::cmp::max(fanout, 2),
+        })
+    }
+
+    /// The smallest depth whose capacity `fanout^depth` covers `n` sites
+    /// (so 8 sites at fan-out 8 stay flat, 64 get one interior layer,
+    /// 1024 get three).
+    pub fn auto(n: usize, fanout: usize) -> Self {
+        let fanout = fanout.max(2);
+        let mut depth = 1u32;
+        let mut capacity = fanout;
+        while capacity < n {
+            depth += 1;
+            capacity = capacity.saturating_mul(fanout);
+        }
+        TreeConfig { depth, fanout }
+    }
+}
+
+/// One child slot in the topology: a leaf site (by 0-based index) or an
+/// interior aggregator subtree.
+enum TreeChild {
+    Leaf(usize),
+    Node(TreeNodeSpec),
+}
+
+struct TreeNodeSpec {
+    name: String,
+    children: Vec<TreeChild>,
+}
+
+/// Chunks name-sorted leaves into contiguous shards, one per child, each
+/// sized to the capacity of a subtree of the remaining height. Chunks of
+/// one leaf attach directly (an interior node relaying a single site
+/// would only add latency).
+fn build_children(
+    order: &[usize],
+    height: u32,
+    fanout: usize,
+    counter: &mut usize,
+) -> Vec<TreeChild> {
+    if height <= 1 || order.len() <= 1 {
+        return order.iter().map(|&i| TreeChild::Leaf(i)).collect();
+    }
+    let capacity = fanout.saturating_pow(height - 1).max(1);
+    order
+        .chunks(capacity)
+        .map(|chunk| {
+            if chunk.len() == 1 {
+                TreeChild::Leaf(chunk[0])
+            } else {
+                let name = format!("agg-{:03}", *counter);
+                *counter += 1;
+                TreeChild::Node(TreeNodeSpec {
+                    name,
+                    children: build_children(chunk, height - 1, fanout, counter),
+                })
+            }
+        })
+        .collect()
+}
+
+fn child_name<'a>(child: &'a TreeChild, leaf_names: &'a [String]) -> &'a str {
+    match child {
+        TreeChild::Leaf(i) => &leaf_names[*i],
+        TreeChild::Node(spec) => &spec.name,
+    }
+}
+
+/// A leaf client ready to spawn: its (fault-wrapped) connection into the
+/// parent node plus registration material.
+struct LeafJob {
+    index: usize,
+    package: SitePackage,
+    conn: Connection,
+    dh_secret: u64,
+}
+
+/// An interior node ready to spawn: a downstream server whose child
+/// sessions are already created, plus the uplink registration material.
+struct RelayJob {
+    name: String,
+    server: FlServer,
+    conn: Connection,
+    package: SitePackage,
+    dh_secret: u64,
+    n_children: usize,
+    n_leaves: usize,
+    cfg: RelayConfig,
+}
+
+/// Leaf sites covered by a subtree (relay children count their whole
+/// subtree, not themselves).
+fn subtree_leaves(children: &[TreeChild]) -> usize {
+    children
+        .iter()
+        .map(|c| match c {
+            TreeChild::Leaf(_) => 1,
+            TreeChild::Node(spec) => subtree_leaves(&spec.children),
+        })
+        .sum()
+}
 
 /// Configuration of a simulated federation.
 #[derive(Clone, Debug)]
@@ -54,6 +191,12 @@ pub struct SimulatorConfig {
     /// When false the server ignores codec proposals (emulates a
     /// pre-codec server, exercising the client's raw fallback).
     pub server_codecs_enabled: bool,
+    /// Aggregation-tree topology. `None` falls back to the `CLINFL_TREE`
+    /// environment knob, and to a flat fleet when that is unset too. A
+    /// resumed run restores the topology recorded in its checkpoint
+    /// instead. Trees need an aggregation rule with
+    /// [`Aggregator::supports_partial`]; others warn and run flat.
+    pub tree: Option<TreeConfig>,
 }
 
 impl Default for SimulatorConfig {
@@ -71,6 +214,7 @@ impl Default for SimulatorConfig {
             wire: CodecSpec::raw(),
             wire_overrides: BTreeMap::new(),
             server_codecs_enabled: true,
+            tree: None,
         }
     }
 }
@@ -191,13 +335,6 @@ impl SimulatorRunner {
             }
             None => Box::new(InMemoryPersistor::new()),
         };
-        log.info("SimulatorRunner", "Create the simulate clients.");
-        let project =
-            Project::with_n_sites("simulator_server", self.config.n_clients, self.config.seed);
-        let provisioned = project.provision();
-        let mut server = FlServer::new(provisioned.server.clone(), log.clone(), self.config.seed);
-        server.set_quorum(self.config.sag.min_clients, self.config.sag.quorum_grace);
-        server.set_wire_codecs_enabled(self.config.server_codecs_enabled);
         let plan = FaultPlan::new(self.config.faults.clone(), log.clone());
         if plan.config().is_active() {
             log.info(
@@ -205,6 +342,53 @@ impl SimulatorRunner {
                 format!("active with seed {}", plan.config().seed),
             );
         }
+        // Topology: a resumed run restores whatever its checkpoint
+        // recorded (a run must not change shape mid-flight); otherwise the
+        // config, then the CLINFL_TREE environment knob, decides.
+        let topology = match sag_cfg
+            .resume_from
+            .as_ref()
+            .map(|c| (c.tree_depth, c.tree_fanout))
+        {
+            Some((d, f)) if d >= 2 => Some(TreeConfig {
+                depth: d,
+                fanout: (f as usize).max(2),
+            }),
+            Some(_) => None,
+            None => self.config.tree.or_else(TreeConfig::from_env),
+        };
+        let topology = match topology.filter(|t| t.depth >= 2 && self.config.n_clients >= 2) {
+            Some(_) if !aggregator.supports_partial() => {
+                log.warn(
+                    "SimulatorRunner",
+                    format!(
+                        "{} does not decompose over shards; falling back to a flat topology",
+                        aggregator.name()
+                    ),
+                );
+                None
+            }
+            t => t,
+        };
+        if let Some(tree) = topology {
+            return self.run_tree(
+                tree,
+                initial,
+                &mut make_executor,
+                aggregator,
+                &mut make_filters,
+                sag_cfg,
+                persistor.as_mut(),
+                &plan,
+            );
+        }
+        log.info("SimulatorRunner", "Create the simulate clients.");
+        let project =
+            Project::with_n_sites("simulator_server", self.config.n_clients, self.config.seed);
+        let provisioned = project.provision();
+        let mut server = FlServer::new(provisioned.server.clone(), log.clone(), self.config.seed);
+        server.set_quorum(self.config.sag.min_clients, self.config.sag.quorum_grace);
+        server.set_wire_codecs_enabled(self.config.server_codecs_enabled);
 
         let mut client_threads = Vec::with_capacity(self.config.n_clients);
         for (i, package) in provisioned.sites.iter().enumerate() {
@@ -271,6 +455,306 @@ impl SimulatorRunner {
             let run_name = format!(
                 "sim-{}x{}-seed{}",
                 self.config.n_clients, self.config.sag.rounds, self.config.seed
+            );
+            match clinfl_obs::snapshot().write_artifact(&run_name) {
+                Ok(path) => log.info(
+                    "SimulatorRunner",
+                    format!("Metrics artifact: {}", path.display()),
+                ),
+                Err(e) => log.warn(
+                    "SimulatorRunner",
+                    format!("metrics artifact write failed: {e}"),
+                ),
+            }
+        }
+        Ok(SimulationResult {
+            workflow,
+            client_rounds,
+            log,
+        })
+    }
+
+    /// Recursively provisions an interior node's children: every child
+    /// gets a reactor-native session on `parent` (created here, on the
+    /// launching thread, so servers can move into their node threads
+    /// afterwards); interior children get their own provisioned
+    /// [`FlServer`] and recurse. Leaf connections are fault-wrapped;
+    /// relay uplinks are not (the paper's faults live on site links), and
+    /// each tree level shaves 10% off the round deadline so a stalled
+    /// shard resolves below its parent's timeout.
+    #[allow(clippy::too_many_arguments)]
+    fn instantiate_children(
+        &self,
+        parent: &mut FlServer,
+        parent_prov: &Provisioned,
+        children: &[TreeChild],
+        leaf_names: &[String],
+        level_timeout: Duration,
+        level_grace: Option<Duration>,
+        plan: &FaultPlan,
+        log: &EventLog,
+        relay_seq: &mut u64,
+        leaf_jobs: &mut Vec<LeafJob>,
+        relay_jobs: &mut Vec<RelayJob>,
+    ) {
+        for (pos, child) in children.iter().enumerate() {
+            let package = parent_prov.sites[pos].clone();
+            let conn = parent.serve_session();
+            match child {
+                TreeChild::Leaf(i) => {
+                    let i = *i;
+                    leaf_jobs.push(LeafJob {
+                        index: i,
+                        package,
+                        conn: plan.wrap(&leaf_names[i], conn),
+                        dh_secret: self.config.seed.wrapping_mul(0x9E3779B97F4A7C15)
+                            ^ (i as u64 + 1),
+                    });
+                }
+                TreeChild::Node(spec) => {
+                    *relay_seq += 1;
+                    let seq = *relay_seq;
+                    let relay_seed = self.config.seed.wrapping_add(0xC1F7).wrapping_add(seq);
+                    let project = Project {
+                        name: "simulator_server".to_string(),
+                        sites: spec
+                            .children
+                            .iter()
+                            .map(|c| child_name(c, leaf_names).to_string())
+                            .collect(),
+                        seed: relay_seed,
+                    };
+                    let prov = project.provision();
+                    let mut server = FlServer::new(prov.server.clone(), log.clone(), relay_seed);
+                    // Re-home metrics before any child session exists:
+                    // registrations start flowing the moment sessions are
+                    // served below, and early frames must not be charged
+                    // to the root's `flare.server` namespace.
+                    server.set_metric_namespace("flare.tree");
+                    server.set_wire_codecs_enabled(self.config.server_codecs_enabled);
+                    // Shaving the deadline (and halving the grace) per
+                    // level keeps a child's gather strictly inside its
+                    // parent's window: a shard always lands before the
+                    // parent's own quorum grace or timeout expires.
+                    let child_timeout = level_timeout.mul_f32(0.9);
+                    let child_grace = level_grace.map(|g| g.mul_f32(0.5));
+                    self.instantiate_children(
+                        &mut server,
+                        &prov,
+                        &spec.children,
+                        leaf_names,
+                        child_timeout,
+                        child_grace,
+                        plan,
+                        log,
+                        relay_seq,
+                        leaf_jobs,
+                        relay_jobs,
+                    );
+                    relay_jobs.push(RelayJob {
+                        name: spec.name.clone(),
+                        server,
+                        conn,
+                        package,
+                        dh_secret: self.config.seed.wrapping_mul(0x9E3779B97F4A7C15)
+                            ^ (0x8000_0000_0000_0000 | seq),
+                        n_children: spec.children.len(),
+                        n_leaves: subtree_leaves(&spec.children),
+                        cfg: RelayConfig {
+                            registration_timeout: Duration::from_secs(30),
+                            round_timeout: child_timeout,
+                            quorum_grace: child_grace,
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    /// The tree-mode twin of [`SimulatorRunner::run`]: stands up the
+    /// whole aggregation tree in-process — one [`AggregatorNode`] thread
+    /// per interior node, one client thread per leaf — and drives the
+    /// root through the unchanged ScatterAndGather workflow. Aggregation
+    /// order at every node is name-sorted, so a depth-2 run is
+    /// bit-identical to a flat run for rules whose partial decomposition
+    /// is exact.
+    #[allow(clippy::too_many_arguments)]
+    fn run_tree(
+        &self,
+        tree: TreeConfig,
+        initial: Weights,
+        make_executor: &mut dyn FnMut(usize, &str) -> Box<dyn Executor>,
+        aggregator: &dyn Aggregator,
+        make_filters: &mut dyn FnMut(usize) -> FilterChain,
+        sag_cfg: SagConfig,
+        persistor: &mut dyn Persistor,
+        plan: &FaultPlan,
+    ) -> Result<SimulationResult, FlareError> {
+        let log = self.log.clone();
+        let n = self.config.n_clients;
+        log.info("SimulatorRunner", "Create the simulate clients.");
+        let leaf_names: Vec<String> = (1..=n).map(|i| format!("site-{i}")).collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| leaf_names[a].cmp(&leaf_names[b]));
+        let mut counter = 0usize;
+        let root_children = build_children(&order, tree.depth, tree.fanout, &mut counter);
+        log.info(
+            "SimulatorRunner",
+            format!(
+                "Aggregation tree: depth {}, fan-out {}, {counter} interior node(s), \
+                 {} root child(ren) over {n} site(s).",
+                tree.depth,
+                tree.fanout,
+                root_children.len()
+            ),
+        );
+        let root_project = Project {
+            name: "simulator_server".to_string(),
+            sites: root_children
+                .iter()
+                .map(|c| child_name(c, &leaf_names).to_string())
+                .collect(),
+            seed: self.config.seed,
+        };
+        let root_prov = root_project.provision();
+        let mut server = FlServer::new(root_prov.server.clone(), log.clone(), self.config.seed);
+        server.set_quorum(self.config.sag.min_clients, self.config.sag.quorum_grace);
+        server.set_wire_codecs_enabled(self.config.server_codecs_enabled);
+        let mut leaf_jobs = Vec::with_capacity(n);
+        let mut relay_jobs = Vec::new();
+        let mut relay_seq = 0u64;
+        self.instantiate_children(
+            &mut server,
+            &root_prov,
+            &root_children,
+            &leaf_names,
+            self.config.sag.round_timeout,
+            self.config.sag.quorum_grace,
+            plan,
+            &log,
+            &mut relay_seq,
+            &mut leaf_jobs,
+            &mut relay_jobs,
+        );
+        // client_rounds stays indexed by site, independent of tree shape.
+        leaf_jobs.sort_by_key(|j| j.index);
+        let n_root_children = root_children.len();
+        let retry = self.config.retry;
+
+        let (workflow, client_rounds) = std::thread::scope(|scope| {
+            let mut relay_handles = Vec::with_capacity(relay_jobs.len());
+            for job in relay_jobs {
+                let handle_name = job.name.clone();
+                let clog = log.clone();
+                let wire = self.config.wire.clone();
+                relay_handles.push((
+                    handle_name,
+                    scope.spawn(move || -> Result<u32, FlareError> {
+                        let RelayJob {
+                            name,
+                            server,
+                            conn,
+                            package,
+                            dh_secret,
+                            n_children,
+                            n_leaves,
+                            cfg,
+                        } = job;
+                        let mut uplink =
+                            FlClient::register(conn, &package, dh_secret, clog.clone())?;
+                        uplink.set_retry_policy(retry);
+                        uplink.set_wire_codec(wire);
+                        let mut node = AggregatorNode::new(
+                            name, server, uplink, n_children, n_leaves, cfg, clog,
+                        );
+                        node.run(aggregator)
+                    }),
+                ));
+            }
+            let mut leaf_handles = Vec::with_capacity(n);
+            for job in leaf_jobs {
+                let mut behavior = self
+                    .config
+                    .behaviors
+                    .get(&job.index)
+                    .copied()
+                    .unwrap_or_default();
+                if behavior.drop_at_round.is_none() {
+                    behavior.drop_at_round = plan.crash_round(job.index);
+                }
+                let mut executor = make_executor(job.index, &leaf_names[job.index]);
+                let filters = make_filters(job.index);
+                let clog = log.clone();
+                let wire = self
+                    .config
+                    .wire_overrides
+                    .get(&job.index)
+                    .cloned()
+                    .unwrap_or_else(|| self.config.wire.clone());
+                leaf_handles.push(scope.spawn(move || -> Result<u32, FlareError> {
+                    let LeafJob {
+                        package,
+                        conn,
+                        dh_secret,
+                        ..
+                    } = job;
+                    let mut client = FlClient::register(conn, &package, dh_secret, clog)?;
+                    client.set_filters(filters);
+                    client.set_retry_policy(retry);
+                    client.set_wire_codec(wire);
+                    client.run(executor.as_mut(), behavior)
+                }));
+            }
+
+            let joined = server.wait_for_clients(n_root_children, Duration::from_secs(30));
+            if joined < n_root_children {
+                log.warn(
+                    "SimulatorRunner",
+                    format!("only {joined}/{n_root_children} root children registered"),
+                );
+            }
+            let covered = server.wait_for_leaves(n, Duration::from_secs(30));
+            if covered < n {
+                log.warn(
+                    "SimulatorRunner",
+                    format!("only {covered}/{n} leaf sites announced"),
+                );
+            }
+
+            let sag = ScatterAndGather::new(sag_cfg, log.clone())
+                .with_run_seed(self.config.seed)
+                .with_topology(tree.depth, tree.fanout as u32);
+            let workflow = sag.run(&mut server, aggregator, persistor, initial);
+
+            // Same ordering rationale as the flat path: wake everything
+            // before joining. Relays react by shutting their own servers
+            // down, which cascades the wake-up to the leaves.
+            server.shutdown();
+            server.disconnect_all();
+
+            for (name, h) in relay_handles {
+                if let Err(e) = h.join().expect("relay thread panicked") {
+                    log.warn("SimulatorRunner", format!("{name} exited with error: {e}"));
+                }
+            }
+            let mut client_rounds = Vec::with_capacity(n);
+            for h in leaf_handles {
+                match h.join().expect("client thread panicked") {
+                    Ok(rounds) => client_rounds.push(rounds),
+                    Err(e) => {
+                        log.warn("SimulatorRunner", format!("client exited with error: {e}"));
+                        client_rounds.push(0);
+                    }
+                }
+            }
+            (workflow, client_rounds)
+        });
+        let workflow = workflow?;
+        log.info("SimulatorRunner", "Simulation complete.");
+        if clinfl_obs::enabled() {
+            let run_name = format!(
+                "sim-{}x{}-seed{}",
+                n, self.config.sag.rounds, self.config.seed
             );
             match clinfl_obs::snapshot().write_artifact(&run_name) {
                 Ok(path) => log.info(
@@ -572,6 +1056,144 @@ mod tests {
             "unexpected error {err}"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tree_config_parses_and_autosizes() {
+        assert_eq!(
+            TreeConfig::parse("2"),
+            Some(TreeConfig {
+                depth: 2,
+                fanout: 8
+            })
+        );
+        assert_eq!(
+            TreeConfig::parse("3x4"),
+            Some(TreeConfig {
+                depth: 3,
+                fanout: 4
+            })
+        );
+        assert_eq!(TreeConfig::parse(""), None);
+        assert_eq!(TreeConfig::parse("abc"), None);
+        assert_eq!(TreeConfig::auto(8, 8).depth, 1);
+        assert_eq!(TreeConfig::auto(64, 8).depth, 2);
+        assert_eq!(TreeConfig::auto(65, 8).depth, 3);
+        assert_eq!(TreeConfig::auto(1024, 8).depth, 4);
+    }
+
+    #[test]
+    fn tree_depth2_bit_identical_to_flat() {
+        // Deltas 1..8 with equal example counts: the shard means (2.5 and
+        // 6.5) recombine to the flat mean 4.5 exactly in f32, so the two
+        // topologies must agree bit-for-bit.
+        let flat = sim(8, 3)
+            .run_simple(initial(), exec, &WeightedFedAvg)
+            .unwrap();
+        let cfg = SimulatorConfig {
+            n_clients: 8,
+            sag: SagConfig {
+                rounds: 3,
+                min_clients: 1,
+                round_timeout: Duration::from_secs(10),
+                validate_global: true,
+                ..SagConfig::default()
+            },
+            seed: 7,
+            tree: Some(TreeConfig {
+                depth: 2,
+                fanout: 4,
+            }),
+            ..SimulatorConfig::default()
+        };
+        let tree = SimulatorRunner::new(cfg)
+            .run_simple(initial(), exec, &WeightedFedAvg)
+            .unwrap();
+        assert!(tree.log.contains("Aggregation tree: depth 2"));
+        assert!(tree.log.contains("aggregator node covering 4 leaf site(s)"));
+        assert_eq!(
+            tree.workflow.final_weights, flat.workflow.final_weights,
+            "depth-2 tree must be bit-identical to the flat run"
+        );
+        assert_eq!(tree.client_rounds, vec![3; 8]);
+        assert_eq!(
+            tree.workflow.rounds[0].contributors, flat.workflow.rounds[0].contributors,
+            "round summaries must stay leaf-granular"
+        );
+    }
+
+    #[test]
+    fn tree_tolerates_leaf_dropout() {
+        let mut cfg = SimulatorConfig {
+            n_clients: 4,
+            sag: SagConfig {
+                rounds: 3,
+                min_clients: 2,
+                round_timeout: Duration::from_secs(5),
+                quorum_grace: Some(Duration::from_millis(300)),
+                validate_global: false,
+                ..SagConfig::default()
+            },
+            seed: 11,
+            tree: Some(TreeConfig {
+                depth: 2,
+                fanout: 2,
+            }),
+            ..SimulatorConfig::default()
+        };
+        cfg.behaviors.insert(
+            3,
+            ClientBehavior {
+                drop_at_round: Some(1),
+                straggle: None,
+            },
+        );
+        let res = SimulatorRunner::new(cfg)
+            .run_simple(
+                initial(),
+                |_, _| {
+                    Box::new(ArithmeticExecutor {
+                        delta: 1.0,
+                        n_examples: 5,
+                    })
+                },
+                &WeightedFedAvg,
+            )
+            .unwrap();
+        assert_eq!(res.workflow.rounds[0].contributors.len(), 4);
+        assert_eq!(res.workflow.rounds[1].contributors.len(), 3);
+        assert!(res.workflow.rounds[1]
+            .dropped
+            .contains(&"site-4".to_string()));
+        assert_eq!(res.client_rounds[3], 1);
+    }
+
+    #[test]
+    fn non_decomposable_aggregator_falls_back_to_flat() {
+        use crate::aggregator::CoordinateMedian;
+        let cfg = SimulatorConfig {
+            n_clients: 4,
+            sag: SagConfig {
+                rounds: 2,
+                min_clients: 1,
+                round_timeout: Duration::from_secs(10),
+                validate_global: false,
+                ..SagConfig::default()
+            },
+            seed: 7,
+            tree: Some(TreeConfig {
+                depth: 2,
+                fanout: 2,
+            }),
+            ..SimulatorConfig::default()
+        };
+        let res = SimulatorRunner::new(cfg)
+            .run_simple(initial(), exec, &CoordinateMedian)
+            .unwrap();
+        assert!(res
+            .log
+            .contains("does not decompose over shards; falling back to a flat topology"));
+        assert_eq!(res.workflow.rounds.len(), 2);
     }
 
     #[test]

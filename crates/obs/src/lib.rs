@@ -291,6 +291,51 @@ pub fn record_histogram(name: &str, v: u64) {
     }
 }
 
+/// CPU time consumed by the *calling thread*, in nanoseconds.
+///
+/// Unlike a wall clock, deltas of this value attribute work to one
+/// service thread even when the box is oversubscribed: time spent
+/// descheduled (other threads running on the core) does not count. The
+/// scaling bench relies on this to measure root-reactor work per round
+/// on a single-core CI runner where 1000+ site threads compete for the
+/// CPU.
+///
+/// Linux/x86_64 issues a raw `clock_gettime(CLOCK_THREAD_CPUTIME_ID)`
+/// syscall (the workspace is dependency-free by policy, so no `libc`);
+/// other targets fall back to a process-wide monotonic wall clock, which
+/// over-attributes under contention but keeps the API total.
+// The one `unsafe` in the workspace: a read-only clock syscall with no
+// pointers escaping. Kept to a single expression so the crate-level deny
+// still guards everything else.
+#[allow(unsafe_code)]
+pub fn thread_time_ns() -> u64 {
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    {
+        const SYS_CLOCK_GETTIME: i64 = 228;
+        const CLOCK_THREAD_CPUTIME_ID: i64 = 3;
+        let mut ts = [0i64; 2]; // struct timespec { tv_sec, tv_nsec }
+        let ret: i64;
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inout("rax") SYS_CLOCK_GETTIME => ret,
+                in("rdi") CLOCK_THREAD_CPUTIME_ID,
+                in("rsi") ts.as_mut_ptr(),
+                out("rcx") _,
+                out("r11") _,
+                options(nostack)
+            );
+        }
+        if ret == 0 {
+            return (ts[0] as u64).saturating_mul(1_000_000_000) + ts[1] as u64;
+        }
+    }
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
 /// Freezes every registered metric into a [`MetricsSnapshot`] with
 /// deterministic (sorted) ordering.
 pub fn snapshot() -> MetricsSnapshot {

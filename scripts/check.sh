@@ -13,21 +13,34 @@
 #   wire-codec     bench_report smoke with delta+topk0.05+int8 negotiated under
 #                  aggressive faults; fails unless encoded bytes are <= 1/10 of
 #                  the raw protocol (BENCH_wire_codec.json, DESIGN.md §3g)
+#   scale          scaling-curve gate (DESIGN.md §3h): bench_scaling runs the
+#                  8/64/256/1024-site tree-aggregation curve, BENCH_scaling.json
+#                  is schema-checked, and the run fails if root round work grows
+#                  super-logarithmically between 64 and 1024 sites; then the
+#                  fault/resume chaos suites re-run at tree depth 2 (fan-out 3)
 #   doc            rustdoc with warnings denied (broken links fail the gate)
 #   clippy         clippy --all-targets with warnings denied
 #   fmt            cargo fmt --check
 #
 # Usage: scripts/check.sh [leg ...]   (no args = all legs, in order)
 #
-# Each leg's wall-clock, "N passed" totals, peak RSS (KB), and ok/fail
-# status are appended to target/ci-timings.tsv; scripts/ci_summary.sh
-# renders that file as a markdown table.
+# Every requested leg is pre-registered in target/ci-timings.tsv as a
+# "pending" row, then overwritten (last record per leg wins) with its
+# wall-clock, "N passed" totals, peak RSS (KB), and ok/fail status on
+# completion — so an aborted run still shows which legs never ran.
+# scripts/ci_summary.sh renders the file as a markdown table and diffs
+# wall-clocks against the committed scripts/ci_baseline.tsv.
+#
+# Each leg runs with CLINFL_OBS_DIR=target/obs/<leg> so metric artifacts
+# from different legs (wire-codec vs scale, say) never clobber each other.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 mkdir -p target
 TIMINGS=target/ci-timings.tsv
 RSS_FILE=target/.leg-rss
+
+ALL_LEGS="build test-serial test-parallel test-faults resume bench-smoke wire-codec scale doc clippy fmt"
 
 # Runs "$@" as a child and, after it exits, writes the peak RSS in KB of
 # the child process tree (getrusage RUSAGE_CHILDREN) to $RSS_FILE. The
@@ -50,14 +63,26 @@ PY
     fi
 }
 
+# Appends a "pending" placeholder row per requested leg before anything
+# runs; completion rows later shadow it (ci_summary keeps the last record
+# per leg), so a run that dies mid-way still reports the legs it skipped.
+register_legs() {
+    for l in "$@"; do
+        printf '%s\t-\t-\t-\tpending\n' "$l" >>"$TIMINGS"
+    done
+}
+
 # Runs one named leg, times it, and records
 # "name<TAB>secs<TAB>passed<TAB>rss_kb<TAB>status".
 leg() {
     local name="$1"
     shift
     echo "==> $name: $*"
+    # Absolute path: cargo runs in-crate unit tests with cwd = the crate
+    # dir, so a relative obs dir would scatter crates/*/target/obs copies.
+    mkdir -p "$PWD/target/obs/$name"
     local start=$SECONDS status=0 out
-    out=$(rss_run "$@" 2>&1) || status=$?
+    out=$(CLINFL_OBS_DIR="$PWD/target/obs/$name" rss_run "$@" 2>&1) || status=$?
     printf '%s\n' "$out"
     local passed rss
     # grep exits 1 on legs that run no tests; don't let pipefail kill us.
@@ -90,11 +115,24 @@ run_leg() {
                cargo run --release -q -p clinfl-bench --bin bench_report -- --smoke --out BENCH_wire_codec.json \
              && cargo run --release -q -p clinfl-bench --bin bench_report -- --check BENCH_wire_codec.json --min-reduction 10'
         ;;
+    scale)
+        # Scaling-curve gate: the bin targets must be rebuilt explicitly
+        # (a workspace build does not reliably relink them), then the
+        # 8->1024-site curve runs through tree aggregation and the JSON
+        # gate checks root-attributable round work stays O(log n). The
+        # chaos suites then repeat at tree depth 2 so fault handling,
+        # quorum, and resume are proven on the hierarchical topology too.
+        leg scale bash -c \
+            'cargo build --release -q -p clinfl-bench \
+             && cargo run --release -q -p clinfl-bench --bin bench_scaling -- --run --out BENCH_scaling.json \
+             && cargo run --release -q -p clinfl-bench --bin bench_scaling -- --check BENCH_scaling.json \
+             && CLINFL_TREE=2x3 cargo test --release -q --test integration_faults --test integration_resume'
+        ;;
     doc) leg doc env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps ;;
     clippy) leg clippy cargo clippy --workspace --all-targets -- -D warnings ;;
     fmt) leg fmt cargo fmt --all -- --check ;;
     *)
-        echo "unknown leg: $1 (expected build|test-serial|test-parallel|test-faults|resume|bench-smoke|wire-codec|doc|clippy|fmt)" >&2
+        echo "unknown leg: $1 (expected ${ALL_LEGS// /|})" >&2
         exit 2
         ;;
     esac
@@ -102,11 +140,14 @@ run_leg() {
 
 if [ "$#" -eq 0 ]; then
     : >"$TIMINGS"
-    for l in build test-serial test-parallel test-faults resume bench-smoke wire-codec doc clippy fmt; do
+    # shellcheck disable=SC2086
+    register_legs $ALL_LEGS
+    for l in $ALL_LEGS; do
         run_leg "$l"
     done
     echo "==> all checks passed"
 else
+    register_legs "$@"
     for l in "$@"; do
         run_leg "$l"
     done

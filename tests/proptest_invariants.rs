@@ -53,9 +53,10 @@ fn arb_checkpoint() -> impl Strategy<Value = RunCheckpoint> {
         arb_weights(),
         proptest::collection::vec(arb_round_summary(), 0..4),
         (any::<bool>(), -1e3f64..1e3, any::<u32>()),
+        (0u32..4, 0u32..16),
     )
         .prop_map(
-            |((seed, next_round, total_rounds), global, rounds, best)| RunCheckpoint {
+            |((seed, next_round, total_rounds), global, rounds, best, tree)| RunCheckpoint {
                 seed,
                 next_round,
                 total_rounds,
@@ -63,6 +64,8 @@ fn arb_checkpoint() -> impl Strategy<Value = RunCheckpoint> {
                 rounds,
                 best_metric: best.0.then_some(best.1),
                 best_round: best.0.then_some(best.2),
+                tree_depth: tree.0,
+                tree_fanout: tree.1,
             },
         )
 }
