@@ -11,6 +11,12 @@
 //! clinfl pretrain    --scale 64 --scheme centralized
 //! clinfl table3      --scale 10
 //! clinfl fig2        --scale 32
+//! clinfl serve       [--addr A] [--addr-file F] [--max-jobs N] [--scale N]
+//!                    [--checkpoint-root D]
+//! clinfl job submit  [--addr A] [--file F]     # config on stdin without --file
+//! clinfl job list    [--addr A]
+//! clinfl job abort   [--addr A] --id N
+//! clinfl job metrics [--addr A] --id N [--follow]
 //! ```
 //!
 //! `--checkpoint-dir D` persists per-round snapshots and a crash-safe run
@@ -31,11 +37,23 @@
 //!
 //! Every subcommand runs on the synthetic cohort/corpus at `1/scale` of
 //! the paper's data volumes (see DESIGN.md for the substitution rationale).
+//!
+//! `clinfl serve` turns the process into a multi-tenant job host: a
+//! dependency-free HTTP admin API (see `clinfl_flare::admin`) fronting a
+//! `JobRuntime` that trains up to `--max-jobs` federations concurrently
+//! over the shared worker pool. `--addr 127.0.0.1:0` picks an ephemeral
+//! port; `--addr-file` writes the resolved address for scripts to
+//! discover. The `clinfl job …` subcommands are the matching HTTP
+//! client (README "Running as a service" shows a curl transcript).
 
 use clinfl::drivers::{self, MlmScheme};
 use clinfl::experiments;
 use clinfl::{ModelSpec, PipelineConfig};
+use clinfl_flare::admin::AdminServer;
+use clinfl_flare::jobs::JobRuntime;
 use clinfl_flare::EventLog;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::process::ExitCode;
 
 struct Args {
@@ -61,9 +79,222 @@ fn usage() -> ExitCode {
          [--scale N] [--model lstm|bert|bert-mini] [--scheme centralized|small|fl-imbalanced|fl-balanced] \
          [--balanced] [--echo] [--checkpoint-dir D] [--resume D] [--retain N] \
          [--wire-codec S] [--wire-quant f32|f16|int8] [--wire-topk F] \
-         [--tree-depth D] [--tree-fanout F]"
+         [--tree-depth D] [--tree-fanout F]\n\
+         \x20      clinfl serve [--addr A] [--addr-file F] [--max-jobs N] [--scale N] [--checkpoint-root D]\n\
+         \x20      clinfl job <submit|list|abort|metrics> [--addr A] [--file F] [--id N] [--follow]"
     );
     ExitCode::from(2)
+}
+
+// ---------------------------------------------------------------------
+// serve / job subcommands (multi-tenant admin API)
+// ---------------------------------------------------------------------
+
+/// One zero-dependency HTTP/1.1 exchange; returns `(status, body)`.
+fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: clinfl\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Prints an HTTP reply body, returning success only for 2xx statuses.
+fn report(result: std::io::Result<(u16, String)>) -> ExitCode {
+    match result {
+        Ok((status, body)) => {
+            println!("{}", body.trim_end());
+            if (200..300).contains(&status) {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("server returned HTTP {status}");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("request failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_serve(mut argv: impl Iterator<Item = String>) -> ExitCode {
+    let mut addr = "127.0.0.1:8790".to_string();
+    let mut addr_file: Option<std::path::PathBuf> = None;
+    let mut max_jobs = 2usize;
+    let mut scale = 16usize;
+    let mut checkpoint_root: Option<std::path::PathBuf> = None;
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--addr" => match argv.next() {
+                Some(a) => addr = a,
+                None => return usage(),
+            },
+            "--addr-file" => match argv.next() {
+                Some(f) => addr_file = Some(f.into()),
+                None => return usage(),
+            },
+            "--max-jobs" => match argv.next().and_then(|v| v.parse().ok()) {
+                Some(n) => max_jobs = n,
+                None => return usage(),
+            },
+            "--scale" => match argv.next().and_then(|v| v.parse().ok()) {
+                Some(n) => scale = n,
+                None => return usage(),
+            },
+            "--checkpoint-root" => match argv.next() {
+                Some(d) => checkpoint_root = Some(d.into()),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let cfg = PipelineConfig::scaled(scale);
+    let runtime = JobRuntime::new(max_jobs);
+    let factory = drivers::serve_job_factory(cfg, checkpoint_root);
+    let server = match AdminServer::bind(&addr, runtime.clone(), factory) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bind {addr} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let local = server.local_addr();
+    println!("clinfl admin API serving on http://{local} (max {max_jobs} concurrent jobs, scale {scale})");
+    if let Some(path) = &addr_file {
+        if let Err(e) = std::fs::write(path, local.to_string()) {
+            eprintln!("writing --addr-file {} failed: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    // Serve until the process is killed; jobs run on their own threads.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn cmd_job(mut argv: impl Iterator<Item = String>) -> ExitCode {
+    let Some(action) = argv.next() else {
+        return usage();
+    };
+    let mut addr =
+        std::env::var("CLINFL_ADMIN_ADDR").unwrap_or_else(|_| "127.0.0.1:8790".to_string());
+    let mut file: Option<std::path::PathBuf> = None;
+    let mut id: Option<u64> = None;
+    let mut follow = false;
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--addr" => match argv.next() {
+                Some(a) => addr = a,
+                None => return usage(),
+            },
+            "--file" => match argv.next() {
+                Some(f) => file = Some(f.into()),
+                None => return usage(),
+            },
+            "--id" => match argv.next().and_then(|v| v.parse().ok()) {
+                Some(n) => id = Some(n),
+                None => return usage(),
+            },
+            "--follow" => follow = true,
+            _ => return usage(),
+        }
+    }
+    match action.as_str() {
+        "submit" => {
+            let config = match &file {
+                Some(path) => match std::fs::read_to_string(path) {
+                    Ok(text) => text,
+                    Err(e) => {
+                        eprintln!("reading {} failed: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    let mut text = String::new();
+                    if std::io::stdin().read_to_string(&mut text).is_err() {
+                        eprintln!("reading job config from stdin failed");
+                        return ExitCode::FAILURE;
+                    }
+                    text
+                }
+            };
+            report(http_request(&addr, "POST", "/jobs", &config))
+        }
+        "list" => report(http_request(&addr, "GET", "/jobs", "")),
+        "abort" => {
+            let Some(id) = id else { return usage() };
+            report(http_request(
+                &addr,
+                "POST",
+                &format!("/jobs/{id}/abort"),
+                "",
+            ))
+        }
+        "metrics" => {
+            let Some(id) = id else { return usage() };
+            if !follow {
+                return report(http_request(
+                    &addr,
+                    "GET",
+                    &format!("/jobs/{id}/metrics"),
+                    "",
+                ));
+            }
+            // Follow the NDJSON stream, printing each snapshot line as
+            // it arrives (chunk framing lines are skipped).
+            let mut stream = match TcpStream::connect(&addr) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("request failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if write!(
+                stream,
+                "GET /jobs/{id}/metrics/stream HTTP/1.1\r\nHost: clinfl\r\nConnection: close\r\n\r\n"
+            )
+            .is_err()
+            {
+                eprintln!("request failed");
+                return ExitCode::FAILURE;
+            }
+            let reader = BufReader::new(stream);
+            let mut saw_line = false;
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                if line.starts_with('{') {
+                    saw_line = true;
+                    println!("{line}");
+                }
+            }
+            if saw_line {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("no metrics received (unknown job id?)");
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage(),
+    }
 }
 
 fn parse_args() -> Result<Args, ExitCode> {
@@ -138,6 +369,16 @@ fn parse_args() -> Result<Args, ExitCode> {
 }
 
 fn main() -> ExitCode {
+    // The serve/job subcommands have their own flag sets; dispatch
+    // before the training-pipeline parser sees the argv.
+    {
+        let mut argv = std::env::args().skip(1);
+        match argv.next().as_deref() {
+            Some("serve") => return cmd_serve(argv),
+            Some("job") => return cmd_job(argv),
+            _ => {}
+        }
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(code) => return code,

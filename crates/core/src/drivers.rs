@@ -235,6 +235,78 @@ pub fn train_federated_with(
 }
 
 // ---------------------------------------------------------------------
+// Serve mode (multi-tenant job runtime)
+// ---------------------------------------------------------------------
+
+/// Builds the job factory behind `clinfl serve`: each submitted
+/// [`clinfl_flare::job::JobConfig`] becomes a private clinical
+/// federation at `base`'s scale. The config's `model` key picks the
+/// architecture (`lstm` / `bert` / `bert-mini`, default `lstm`),
+/// `clients` sizes a balanced partition, and `seed` (if set) re-seeds
+/// data generation and training so two same-seed jobs are bit-identical.
+/// With `checkpoint_root`, every job persists into its own
+/// `job-<n>-<name>` subdirectory — never a shared one, which the
+/// persistor's lock file would refuse anyway.
+pub fn serve_job_factory(
+    base: PipelineConfig,
+    checkpoint_root: Option<std::path::PathBuf>,
+) -> clinfl_flare::admin::JobFactory {
+    let seq = std::sync::atomic::AtomicU64::new(1);
+    Box::new(move |config: clinfl_flare::job::JobConfig| {
+        let model = match config.model.as_deref() {
+            None | Some("lstm") => ModelSpec::Lstm,
+            Some("bert") => ModelSpec::Bert,
+            Some("bert-mini") | Some("bert_mini") => ModelSpec::BertMini,
+            Some(other) => {
+                return Err(FlareError::Codec(format!(
+                    "unknown model {other:?} (expected lstm, bert, bert-mini)"
+                )))
+            }
+        };
+        let mut cfg = base.clone();
+        cfg.n_clients = config.clients;
+        cfg.rounds = config.rounds;
+        if let Some(seed) = config.seed {
+            cfg.seed = seed;
+        }
+        let data = build_task_data(&cfg);
+        let shards = cfg
+            .balanced_partitioner()
+            .partition(&data.train, cfg.seed ^ 0xA17);
+        let hyper = TrainHyper::for_model(model);
+        let vocab_size = data.code_system.vocab().len();
+        let initial =
+            Learner::new(model, vocab_size, cfg.seq_len, hyper, cfg.seed).export_weights();
+        let valid = data.valid;
+        let log = EventLog::new();
+        let (seed, seq_len, local_epochs) = (cfg.seed, cfg.seq_len, cfg.local_epochs);
+        let checkpoint_dir = checkpoint_root.as_ref().map(|root| {
+            root.join(format!(
+                "job-{}-{}",
+                seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+                config.name
+            ))
+        });
+        Ok(clinfl_flare::jobs::JobSpec {
+            seed,
+            initial,
+            make_executor: Box::new(move |i, _site| {
+                let learner = Learner::new(model, vocab_size, seq_len, hyper, seed);
+                Box::new(ClinicalExecutor::new(
+                    learner,
+                    shards[i % shards.len()].clone(),
+                    valid.clone(),
+                    local_epochs,
+                    log.clone(),
+                ))
+            }),
+            checkpoint_dir,
+            config,
+        })
+    })
+}
+
+// ---------------------------------------------------------------------
 // MLM pretraining (paper Fig. 2)
 // ---------------------------------------------------------------------
 

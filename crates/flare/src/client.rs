@@ -20,7 +20,7 @@ use crate::security::{DhKeyPair, SecureChannel};
 use crate::transport::Connection;
 use crate::wire::{WireDecode, WireEncode};
 use crate::FlareError;
-use clinfl_obs::Counter;
+use clinfl_obs::{Counter, Registry};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -35,10 +35,10 @@ struct CounterPair {
 }
 
 impl CounterPair {
-    fn scoped(ns: &str, site: &str, what: &str) -> Self {
+    fn scoped(obs: &Registry, ns: &str, site: &str, what: &str) -> Self {
         CounterPair {
-            site: clinfl_obs::counter(&format!("flare.site.{site}.{what}")),
-            all: clinfl_obs::counter(&format!("{ns}.{what}")),
+            site: obs.counter(&format!("flare.site.{site}.{what}")),
+            all: obs.counter(&format!("{ns}.{what}")),
         }
     }
 
@@ -62,16 +62,16 @@ struct ClientObs {
 
 impl ClientObs {
     fn new(site: &str) -> Self {
-        Self::scoped("flare.client", site)
+        Self::scoped(&Registry::global(), "flare.client", site)
     }
 
-    fn scoped(ns: &str, site: &str) -> Self {
+    fn scoped(obs: &Registry, ns: &str, site: &str) -> Self {
         ClientObs {
-            bytes_tx: CounterPair::scoped(ns, site, "bytes_tx"),
-            bytes_rx: CounterPair::scoped(ns, site, "bytes_rx"),
-            retries: CounterPair::scoped(ns, site, "retries"),
-            timeouts: CounterPair::scoped(ns, site, "timeouts"),
-            heartbeats: CounterPair::scoped(ns, site, "heartbeats"),
+            bytes_tx: CounterPair::scoped(obs, ns, site, "bytes_tx"),
+            bytes_rx: CounterPair::scoped(obs, ns, site, "bytes_rx"),
+            retries: CounterPair::scoped(obs, ns, site, "retries"),
+            timeouts: CounterPair::scoped(obs, ns, site, "timeouts"),
+            heartbeats: CounterPair::scoped(obs, ns, site, "heartbeats"),
         }
     }
 }
@@ -251,7 +251,17 @@ impl FlClient {
     /// inflates the leaf totals the scaling bench reads from
     /// `flare.client.*`.
     pub fn set_metric_namespace(&mut self, ns: &str) {
-        self.obs = ClientObs::scoped(ns, &self.site);
+        self.obs = ClientObs::scoped(&Registry::global(), ns, &self.site);
+    }
+
+    /// Records this client's counters into `obs` instead of the global
+    /// registry (keeping the default `flare.client` namespace). The job
+    /// runtime scopes each job's clients this way: two concurrent jobs
+    /// can then both run a `site-1` without their `flare.site.site-1.*`
+    /// series mixing. Call right after [`FlClient::register`], before
+    /// traffic, or early counts stay in the global scope.
+    pub fn set_registry(&mut self, obs: Registry) {
+        self.obs = ClientObs::scoped(&obs, "flare.client", &self.site);
     }
 
     /// Requests a wire codec for weight exchange (see [`crate::codec`]).

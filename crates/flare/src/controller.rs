@@ -9,6 +9,8 @@ use crate::messages::TaskAssignment;
 use crate::persistor::Persistor;
 use crate::FlareError;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Server-side view of the client fleet, implemented by
@@ -36,6 +38,40 @@ pub trait ClientGateway {
         expected: usize,
         timeout: Duration,
     ) -> Vec<(String, f64)>;
+
+    /// Like [`ClientGateway::collect_submissions`], but abandons the
+    /// gather — returning `None` — once `cancel` reports `true`. The
+    /// default checks only on entry (mocks stay trivially correct);
+    /// [`crate::server::FlServer`] re-polls between wait slices so a job
+    /// abort interrupts a round mid-gather instead of waiting out the
+    /// full timeout.
+    fn collect_submissions_cancellable(
+        &mut self,
+        round: u32,
+        expected: usize,
+        timeout: Duration,
+        cancel: &mut dyn FnMut() -> bool,
+    ) -> Option<Vec<(String, Dxo)>> {
+        if cancel() {
+            return None;
+        }
+        Some(self.collect_submissions(round, expected, timeout))
+    }
+
+    /// Cancellable twin of [`ClientGateway::collect_validations`]; see
+    /// [`ClientGateway::collect_submissions_cancellable`].
+    fn collect_validations_cancellable(
+        &mut self,
+        round: u32,
+        expected: usize,
+        timeout: Duration,
+        cancel: &mut dyn FnMut() -> bool,
+    ) -> Option<Vec<(String, f64)>> {
+        if cancel() {
+            return None;
+        }
+        Some(self.collect_validations(round, expected, timeout))
+    }
 
     /// All leaf sites reachable through the registered clients. For a
     /// flat fleet this is [`ClientGateway::client_sites`]; a tree gateway
@@ -173,6 +209,8 @@ pub struct ScatterAndGather {
     run_seed: u64,
     tree_depth: u32,
     tree_fanout: u32,
+    obs: clinfl_obs::Registry,
+    abort: Option<Arc<AtomicBool>>,
 }
 
 impl ScatterAndGather {
@@ -185,6 +223,8 @@ impl ScatterAndGather {
             run_seed: 0,
             tree_depth: 0,
             tree_fanout: 0,
+            obs: clinfl_obs::Registry::global(),
+            abort: None,
         }
     }
 
@@ -212,9 +252,45 @@ impl ScatterAndGather {
         self
     }
 
+    /// Scopes the controller's metrics (`flare.round.*`,
+    /// `flare.checkpoint.*`) to `obs` instead of the process-global
+    /// registry, so concurrent jobs keep separate counts.
+    pub fn with_registry(mut self, obs: clinfl_obs::Registry) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Attaches an abort flag. Once set, the run stops at the next
+    /// check — round start, mid-gather (via the cancellable collects),
+    /// or before validation — broadcasts `Finish`, marks the status
+    /// [`crate::admin::RunPhase::Aborted`], and returns
+    /// [`FlareError::Aborted`].
+    pub fn with_abort(mut self, abort: Arc<AtomicBool>) -> Self {
+        self.abort = Some(abort);
+        self
+    }
+
     /// The live status handle.
     pub fn status(&self) -> &crate::admin::RunStatus {
         &self.status
+    }
+
+    fn abort_requested(&self) -> bool {
+        self.abort
+            .as_ref()
+            .map(|a| a.load(Ordering::Relaxed))
+            .unwrap_or(false)
+    }
+
+    /// Winds the run down after an operator abort: tells clients to
+    /// finish so their threads exit promptly, then surfaces the abort.
+    fn finish_aborted(&self, gateway: &mut dyn ClientGateway, tag: &str, round: u32) -> FlareError {
+        gateway.broadcast(&TaskAssignment::Finish);
+        self.status.set_phase(crate::admin::RunPhase::Aborted);
+        self.obs.add_counter("flare.run.aborted", 1);
+        self.log
+            .warn(tag, format!("Run aborted by operator at round {round}."));
+        FlareError::Aborted
     }
 
     /// Runs the full workflow to completion.
@@ -249,12 +325,15 @@ impl ScatterAndGather {
                     self.config.rounds, ckpt.seed
                 ),
             );
-            clinfl_obs::add_counter("flare.checkpoint.resumed", 1);
+            self.obs.add_counter("flare.checkpoint.resumed", 1);
         }
         for site in gateway.client_sites() {
             self.status.set_client(&site, true);
         }
         for round in start_round..self.config.rounds {
+            if self.abort_requested() {
+                return Err(self.finish_aborted(gateway, tag, round));
+            }
             let _round_span = clinfl_obs::span("round");
             let round_started = std::time::Instant::now();
             self.status.set_phase(crate::admin::RunPhase::Training {
@@ -272,8 +351,21 @@ impl ScatterAndGather {
             });
             self.log
                 .info(tag, format!("Scattered global model to {sent} client(s)."));
-            let mut updates =
-                gateway.collect_submissions(round, expected, self.config.round_timeout);
+            let abort = self.abort.clone();
+            let mut cancel = move || {
+                abort
+                    .as_ref()
+                    .map(|a| a.load(Ordering::Relaxed))
+                    .unwrap_or(false)
+            };
+            let Some(mut updates) = gateway.collect_submissions_cancellable(
+                round,
+                expected,
+                self.config.round_timeout,
+                &mut cancel,
+            ) else {
+                return Err(self.finish_aborted(gateway, tag, round));
+            };
             // Sites train concurrently and submit in arrival order; sort by
             // site name so aggregation order (and the floating-point result)
             // is independent of the thread schedule.
@@ -342,13 +434,22 @@ impl ScatterAndGather {
             self.log.info(tag, "End aggregation.");
 
             let global_metric = if self.config.validate_global {
+                if self.abort_requested() {
+                    return Err(self.finish_aborted(gateway, tag, round));
+                }
                 let expected = gateway.leaf_sites().len();
                 gateway.broadcast(&TaskAssignment::Validate {
                     round,
                     weights: global.clone(),
                 });
-                let mut reports =
-                    gateway.collect_validations(round, expected, self.config.round_timeout);
+                let Some(mut reports) = gateway.collect_validations_cancellable(
+                    round,
+                    expected,
+                    self.config.round_timeout,
+                    &mut cancel,
+                ) else {
+                    return Err(self.finish_aborted(gateway, tag, round));
+                };
                 reports.sort_by(|(a, _), (b, _)| a.cmp(b));
                 if reports.is_empty() {
                     None
@@ -373,12 +474,13 @@ impl ScatterAndGather {
             self.log.info(tag, "End persist model on server.");
             self.log.info(tag, format!("Round {round} finished."));
 
-            clinfl_obs::record_histogram(
+            self.obs.record_histogram(
                 "flare.round.time_ns",
                 round_started.elapsed().as_nanos() as u64,
             );
-            clinfl_obs::add_counter("flare.round.count", 1);
-            clinfl_obs::add_counter("flare.round.dropped", dropped.len() as u64);
+            self.obs.add_counter("flare.round.count", 1);
+            self.obs
+                .add_counter("flare.round.dropped", dropped.len() as u64);
             rounds.push(RoundSummary {
                 round,
                 contributors: leaf_updates.iter().map(|(s, _)| s.clone()).collect(),
@@ -403,7 +505,7 @@ impl ScatterAndGather {
                 tree_depth: self.tree_depth,
                 tree_fanout: self.tree_fanout,
             });
-            clinfl_obs::add_counter("flare.checkpoint.saved", 1);
+            self.obs.add_counter("flare.checkpoint.saved", 1);
         }
         gateway.broadcast(&TaskAssignment::Finish);
         self.status.set_phase(crate::admin::RunPhase::Finished);

@@ -48,6 +48,10 @@ pub enum FlareError {
     Checkpoint(String),
     /// I/O error (persistence, sockets).
     Io(std::io::Error),
+    /// The run was aborted by an operator (admin API or abort flag) —
+    /// an intentional stop, not a failure, so hosts report it as
+    /// "aborted" rather than retrying.
+    Aborted,
 }
 
 impl fmt::Display for FlareError {
@@ -72,6 +76,7 @@ impl fmt::Display for FlareError {
             }
             FlareError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
             FlareError::Io(e) => write!(f, "i/o error: {e}"),
+            FlareError::Aborted => write!(f, "run aborted by operator"),
         }
     }
 }

@@ -75,6 +75,16 @@ pub struct JobConfig {
     pub validate_global: bool,
     /// Aggregation rule.
     pub aggregator: AggregatorKind,
+    /// Number of client sites to provision for the job. Hosts without a
+    /// fixed fleet (the job runtime's serve mode) honor this; the
+    /// simulator drives its own `n_clients` instead.
+    pub clients: usize,
+    /// Free-form model selector, interpreted by the host that launches
+    /// the job (`clinfl serve` maps `lstm` / `bert` / `bert-mini`).
+    /// `None` leaves the host's default.
+    pub model: Option<String>,
+    /// Run seed override; `None` leaves the host's default seed.
+    pub seed: Option<u64>,
 }
 
 impl Default for JobConfig {
@@ -86,6 +96,9 @@ impl Default for JobConfig {
             round_timeout: Duration::from_secs(600),
             validate_global: true,
             aggregator: AggregatorKind::WeightedFedAvg,
+            clients: 8,
+            model: None,
+            seed: None,
         }
     }
 }
@@ -104,10 +117,13 @@ impl JobConfig {
     ///
     /// # Errors
     ///
-    /// [`FlareError::Codec`] with a line-numbered message on any malformed
-    /// or unknown entry.
+    /// [`FlareError::Codec`] with a line-numbered message on any
+    /// malformed, unknown, or duplicated entry (a duplicate key would
+    /// silently shadow the earlier value — in a config that gates a
+    /// multi-hour run, that must fail loudly instead).
     pub fn parse(text: &str) -> Result<Self, FlareError> {
         let mut cfg = JobConfig::default();
+        let mut seen: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
@@ -120,6 +136,12 @@ impl JobConfig {
                 )));
             };
             let (key, value) = (key.trim(), value.trim());
+            if let Some(first) = seen.insert(key.to_string(), lineno + 1) {
+                return Err(FlareError::Codec(format!(
+                    "line {}: duplicate job key {key:?} (first set on line {first})",
+                    lineno + 1
+                )));
+            }
             let bad = |what: &str| {
                 FlareError::Codec(format!("line {}: invalid {what}: {value:?}", lineno + 1))
             };
@@ -139,6 +161,9 @@ impl JobConfig {
                     }
                 }
                 "aggregator" => cfg.aggregator = AggregatorKind::parse(value)?,
+                "clients" => cfg.clients = value.parse().map_err(|_| bad("clients"))?,
+                "model" => cfg.model = Some(value.to_string()),
+                "seed" => cfg.seed = Some(value.parse().map_err(|_| bad("seed"))?),
                 other => {
                     return Err(FlareError::Codec(format!(
                         "line {}: unknown job key {other:?}",
@@ -149,6 +174,9 @@ impl JobConfig {
         }
         if cfg.rounds == 0 {
             return Err(FlareError::Codec("rounds must be at least 1".into()));
+        }
+        if cfg.clients == 0 {
+            return Err(FlareError::Codec("clients must be at least 1".into()));
         }
         Ok(cfg)
     }
@@ -219,6 +247,37 @@ mod tests {
         assert!(JobConfig::parse("validate = maybe").is_err());
         assert!(JobConfig::parse("not a kv line").is_err());
         assert!(JobConfig::parse("rounds = 0").is_err());
+        assert!(JobConfig::parse("clients = 0").is_err());
+        assert!(JobConfig::parse("seed = minus-one").is_err());
+    }
+
+    #[test]
+    fn duplicate_key_rejected_with_both_line_numbers() {
+        let err = JobConfig::parse(
+            "name = a\n\
+             rounds = 2\n\
+             # comment between\n\
+             rounds = 5\n",
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 4"), "{msg}");
+        assert!(msg.contains("duplicate"), "{msg}");
+        assert!(msg.contains("rounds"), "{msg}");
+        assert!(msg.contains("line 2"), "{msg}");
+    }
+
+    #[test]
+    fn serve_mode_keys_parse() {
+        let cfg = JobConfig::parse("clients = 4\nmodel = lstm\nseed = 99\n").unwrap();
+        assert_eq!(cfg.clients, 4);
+        assert_eq!(cfg.model.as_deref(), Some("lstm"));
+        assert_eq!(cfg.seed, Some(99));
+        // Absent keys stay None / default.
+        let cfg = JobConfig::parse("rounds = 1\n").unwrap();
+        assert_eq!(cfg.clients, 8);
+        assert_eq!(cfg.model, None);
+        assert_eq!(cfg.seed, None);
     }
 
     #[test]

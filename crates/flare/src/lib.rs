@@ -67,6 +67,7 @@ pub mod executor;
 pub mod faults;
 pub mod filters;
 pub mod job;
+pub mod jobs;
 mod log;
 pub mod messages;
 pub mod persistor;

@@ -86,11 +86,21 @@ impl Persistor for InMemoryPersistor {
     }
 }
 
+/// Name of the exclusive writer-lock file a [`FilePersistor`] holds in
+/// its directory while alive.
+pub const LOCK_FILE: &str = ".lock";
+
 /// Persists each round's model to `<dir>/round_<n>.cfw` using the wire
 /// codec, plus `best.cfw` (the paper's "obtaining optimal global models")
 /// and the `run.cfc` run-state checkpoint. Every write is atomic
 /// (tmp+rename, CRC trailer); construction recovers state from an
 /// existing directory.
+///
+/// Construction also takes an exclusive lock file (`.lock`, holding the
+/// writer's pid) and refuses to open a directory another live writer
+/// holds — two concurrent runs silently interleaving `round_*.cfw`
+/// files would corrupt both resume stories. A lock left behind by a
+/// crashed (dead-pid) process is stolen with a warning.
 #[derive(Debug)]
 pub struct FilePersistor {
     dir: PathBuf,
@@ -107,18 +117,34 @@ pub struct FilePersistor {
     /// `best.cfw` recovered from disk when no checkpoint recorded its
     /// metric (the metric is lost; the weights are not).
     recovered_best: Option<Weights>,
+    /// The held `.lock` path, removed on drop.
+    lock: Option<PathBuf>,
+}
+
+/// Whether `pid` names a live process. Linux reads `/proc`; elsewhere
+/// there is no dependency-free oracle, so a foreign-pid lock is treated
+/// as stale (same-process duplicates are still caught by the pid-match
+/// check, which does not need an oracle).
+fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        false
+    }
 }
 
 impl FilePersistor {
-    /// Creates the directory if needed and recovers any state a previous
-    /// run left behind: leftover `*.tmp*` files are removed, then
-    /// `run.cfc`, `best.cfw`, and the `round_<n>.cfw` files are loaded
-    /// (CRC-verified); corrupt files are skipped, warned about, and
-    /// counted in `flare.persist.corrupt`.
+    /// Creates the directory if needed, takes the exclusive writer lock,
+    /// and recovers any state a previous run left behind: leftover
+    /// `*.tmp*` files are removed, then `run.cfc`, `best.cfw`, and the
+    /// `round_<n>.cfw` files are loaded (CRC-verified); corrupt files are
+    /// skipped, warned about, and counted in `flare.persist.corrupt`.
     ///
     /// # Errors
     ///
-    /// Returns the I/O error if the directory cannot be created or read.
+    /// [`FlareError::Checkpoint`] if another live writer already holds
+    /// the directory's `.lock`; the I/O error if the directory cannot be
+    /// created or read.
     pub fn new(dir: impl AsRef<Path>) -> Result<Self, FlareError> {
         std::fs::create_dir_all(dir.as_ref())?;
         let mut p = FilePersistor {
@@ -129,9 +155,68 @@ impl FilePersistor {
             saved_rounds: Vec::new(),
             warned: BTreeSet::new(),
             recovered_best: None,
+            lock: None,
         };
+        p.acquire_lock()?;
         p.recover()?;
         Ok(p)
+    }
+
+    /// Creates `<dir>/.lock` exclusively (pid inside). An existing lock
+    /// from a live process — including this one: a second persistor on
+    /// the same directory in-process — is a hard error; a dead holder's
+    /// lock is stolen with a warning.
+    fn acquire_lock(&mut self) -> Result<(), FlareError> {
+        use std::io::Write;
+        let path = self.dir.join(LOCK_FILE);
+        // Bounded retry: stealing a stale lock races other stealers, and
+        // losing that race must re-examine the fresh lock, not spin.
+        for _ in 0..8 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let _ = write!(f, "{}", std::process::id());
+                    self.lock = Some(path);
+                    return Ok(());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match holder {
+                        Some(pid) if pid == std::process::id() || pid_alive(pid) => {
+                            return Err(FlareError::Checkpoint(format!(
+                                "checkpoint directory {:?} already has a live writer \
+                                 (pid {pid} holds {LOCK_FILE}); two runs must not share \
+                                 one checkpoint directory — give each job its own",
+                                self.dir
+                            )));
+                        }
+                        _ => {
+                            // Dead pid (or unreadable content from a crash
+                            // mid-write): the holder is gone, steal it.
+                            self.log.warn(
+                                "FilePersistor",
+                                format!(
+                                    "stealing stale lock in {:?} (holder {} is gone)",
+                                    self.dir,
+                                    holder.map_or("unknown".into(), |p| p.to_string())
+                                ),
+                            );
+                            let _ = std::fs::remove_file(&path);
+                        }
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(FlareError::Checkpoint(format!(
+            "could not acquire {LOCK_FILE} in {:?}: lost the steal race repeatedly",
+            self.dir
+        )))
     }
 
     /// Routes recovery/persistence warnings into a shared run log.
@@ -264,6 +349,16 @@ impl FilePersistor {
         while self.saved_rounds.len() > keep {
             let oldest = self.saved_rounds.remove(0);
             let _ = std::fs::remove_file(self.dir.join(format!("round_{oldest}.cfw")));
+        }
+    }
+}
+
+impl Drop for FilePersistor {
+    fn drop(&mut self) {
+        // Release the writer lock; a failed remove (directory already
+        // gone) leaves a stale lock the next writer will steal.
+        if let Some(lock) = self.lock.take() {
+            let _ = std::fs::remove_file(lock);
         }
     }
 }
@@ -479,6 +574,37 @@ mod tests {
         drop(p);
         let p = FilePersistor::new(&d).unwrap();
         assert_eq!(p.latest().unwrap()["p"].data, vec![4.0, 4.0]);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn second_writer_on_same_dir_is_refused() {
+        let d = dir("lock-refuse");
+        let first = FilePersistor::new(&d).unwrap();
+        let err = FilePersistor::new(&d).expect_err("second writer must be refused");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("live writer") && msg.contains(&std::process::id().to_string()),
+            "unhelpful lock error: {msg}"
+        );
+        // Releasing the first writer frees the directory for the next.
+        drop(first);
+        let _ = FilePersistor::new(&d).expect("lock released on drop");
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn stale_lock_from_dead_process_is_stolen() {
+        let d = dir("lock-stale");
+        std::fs::create_dir_all(&d).unwrap();
+        // No live process has pid 0 (the kernel's idle task on Linux has
+        // no /proc entry), so this lock reads as a crashed holder.
+        std::fs::write(d.join(LOCK_FILE), "0").unwrap();
+        let p = FilePersistor::new(&d).expect("stale lock must be stolen");
+        let held = std::fs::read_to_string(d.join(LOCK_FILE)).unwrap();
+        assert_eq!(held.trim(), std::process::id().to_string());
+        drop(p);
+        assert!(!d.join(LOCK_FILE).exists(), "lock removed on drop");
         std::fs::remove_dir_all(&d).ok();
     }
 

@@ -33,6 +33,7 @@ use crate::security::{DhKeyPair, SecureChannel};
 use crate::transport::Connection;
 use crate::wire::{WireDecode, WireEncode};
 use crate::FlareError;
+use clinfl_obs::Registry;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -155,6 +156,10 @@ struct ServerShared {
     /// Metric namespace (`flare.server` by default; interior tree nodes
     /// use `flare.tree` so root and relay traffic stay distinguishable).
     ns: Mutex<String>,
+    /// Registry scope this server's metrics record into (the global
+    /// scope by default; the job runtime hands each job's server its own
+    /// so concurrent jobs cannot contaminate each other's snapshots).
+    obs: Mutex<Registry>,
     open_sessions: AtomicUsize,
     peak_sessions: AtomicUsize,
 }
@@ -164,10 +169,16 @@ impl ServerShared {
         format!("{}.{suffix}", self.ns.lock())
     }
 
+    fn obs(&self) -> Registry {
+        self.obs.lock().clone()
+    }
+
     fn inc_open(&self) {
         let cur = self.open_sessions.fetch_add(1, Ordering::SeqCst) + 1;
         let peak = self.peak_sessions.fetch_max(cur, Ordering::SeqCst).max(cur);
-        clinfl_obs::gauge(&self.metric("sessions_peak")).set_max(peak as i64);
+        self.obs()
+            .gauge(&self.metric("sessions_peak"))
+            .set_max(peak as i64);
     }
 
     fn dec_open(&self) {
@@ -214,7 +225,7 @@ impl ServerShared {
         // would charge the root for scheduler preemption on oversubscribed
         // hosts): with tree aggregation the root handles O(fanout) frames
         // per round instead of O(n), and the scaling bench gates on this.
-        clinfl_obs::add_counter(
+        self.obs().add_counter(
             &self.metric("frame_work_ns"),
             clinfl_obs::thread_time_ns().saturating_sub(started),
         );
@@ -361,7 +372,8 @@ impl ServerShared {
         site: String,
         inbox: &mpsc::Sender<InboxMsg>,
     ) -> SessionPhase {
-        clinfl_obs::add_counter(&self.metric("bytes_rx"), frame.len() as u64);
+        self.obs()
+            .add_counter(&self.metric("bytes_rx"), frame.len() as u64);
         self.slots.lock()[slot_idx].last_seen = Instant::now();
         let plain = match open.open(frame) {
             Ok(p) => p,
@@ -413,7 +425,13 @@ impl ServerShared {
                                 format!("{site}: negotiated wire codec {c}"),
                             );
                         }
-                        FlServer::send_to_slot(slot, &reply, &self.log, &self.metric("bytes_tx"));
+                        FlServer::send_to_slot(
+                            slot,
+                            &reply,
+                            &self.log,
+                            &self.obs(),
+                            &self.metric("bytes_tx"),
+                        );
                     }
                     self.reg.bump();
                 }
@@ -673,6 +691,7 @@ impl FlServer {
             ring: Mutex::new(GlobalRing::default()),
             reg: Signal::default(),
             ns: Mutex::new("flare.server".to_string()),
+            obs: Mutex::new(Registry::global()),
             open_sessions: AtomicUsize::new(0),
             peak_sessions: AtomicUsize::new(0),
         });
@@ -704,6 +723,14 @@ impl FlServer {
     /// so root and relay traffic stay distinguishable in snapshots).
     pub fn set_metric_namespace(&mut self, ns: &str) {
         *self.shared.ns.lock() = ns.to_string();
+    }
+
+    /// Records this server's metrics into `obs` instead of the global
+    /// registry. The job runtime hands each job's server its own scope so
+    /// concurrent jobs never contaminate each other's snapshots; call
+    /// before any client traffic, or early counts land in the old scope.
+    pub fn set_registry(&mut self, obs: Registry) {
+        *self.shared.obs.lock() = obs;
     }
 
     /// Number of registered (ever-joined) clients.
@@ -954,15 +981,17 @@ impl FlServer {
         slot: &mut ClientSlot,
         msg: &ServerMessage,
         log: &EventLog,
+        obs: &Registry,
         tx_metric: &str,
     ) -> bool {
-        Self::send_frame_to_slot(slot, &msg.to_frame(), log, tx_metric)
+        Self::send_frame_to_slot(slot, &msg.to_frame(), log, obs, tx_metric)
     }
 
     fn send_frame_to_slot(
         slot: &mut ClientSlot,
         plain: &[u8],
         log: &EventLog,
+        obs: &Registry,
         tx_metric: &str,
     ) -> bool {
         let sealed = slot.seal.seal(plain);
@@ -971,7 +1000,7 @@ impl FlServer {
         };
         match tx.send(&sealed) {
             Ok(()) => {
-                clinfl_obs::add_counter(tx_metric, sealed.len() as u64);
+                obs.add_counter(tx_metric, sealed.len() as u64);
                 true
             }
             Err(e) => {
@@ -1191,6 +1220,7 @@ impl ClientGateway for FlServer {
         };
         let raw_frame = ServerMessage::Task(task.clone()).to_frame();
         let tx_metric = self.shared.metric("bytes_tx");
+        let obs = self.shared.obs();
         let mut sent = 0;
         // Lock order: slots, then ring (matches the reactor, which never
         // holds both at once).
@@ -1200,7 +1230,7 @@ impl ClientGateway for FlServer {
             && slots.iter().any(|s| s.alive && s.codec.is_some());
         if !any_codec {
             for slot in slots.iter_mut().filter(|s| s.alive) {
-                if Self::send_frame_to_slot(slot, &raw_frame, &self.shared.log, &tx_metric) {
+                if Self::send_frame_to_slot(slot, &raw_frame, &self.shared.log, &obs, &tx_metric) {
                     if weights.is_some() {
                         wire_count("flare.wire.bytes_tx_encoded", raw_frame.len() as u64);
                         wire_count("flare.wire.bytes_tx_raw", raw_frame.len() as u64);
@@ -1268,7 +1298,7 @@ impl ClientGateway for FlServer {
                 Some(f) => (f.as_slice(), raw_size),
                 None => (raw_frame.as_slice(), raw_frame.len() as u64),
             };
-            if Self::send_frame_to_slot(slot, frame, &self.shared.log, &tx_metric) {
+            if Self::send_frame_to_slot(slot, frame, &self.shared.log, &obs, &tx_metric) {
                 wire_count("flare.wire.bytes_tx_encoded", frame.len() as u64);
                 wire_count("flare.wire.bytes_tx_raw", raw_equiv);
                 sent += 1;
@@ -1297,6 +1327,40 @@ impl ClientGateway for FlServer {
     ) -> Vec<(String, f64)> {
         self.collect_validations_interruptible(round, expected, timeout, timeout, &mut || false)
             .unwrap_or_default()
+    }
+
+    fn collect_submissions_cancellable(
+        &mut self,
+        round: u32,
+        expected: usize,
+        timeout: Duration,
+        cancel: &mut dyn FnMut() -> bool,
+    ) -> Option<Vec<(String, Dxo)>> {
+        // 50 ms wait slices: an admin abort lands within one slice
+        // instead of waiting out the round timeout.
+        self.collect_submissions_interruptible(
+            round,
+            expected,
+            timeout,
+            Duration::from_millis(50),
+            cancel,
+        )
+    }
+
+    fn collect_validations_cancellable(
+        &mut self,
+        round: u32,
+        expected: usize,
+        timeout: Duration,
+        cancel: &mut dyn FnMut() -> bool,
+    ) -> Option<Vec<(String, f64)>> {
+        self.collect_validations_interruptible(
+            round,
+            expected,
+            timeout,
+            Duration::from_millis(50),
+            cancel,
+        )
     }
 }
 

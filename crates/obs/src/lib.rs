@@ -1,10 +1,15 @@
 //! Zero-dependency observability: timing spans + a metrics registry.
 //!
-//! Every crate in the workspace records into one process-global,
-//! lock-sharded registry of named [`Counter`]s, [`Gauge`]s and
-//! [`Histogram`]s. Recording is a handful of relaxed atomics, cheap
-//! enough to leave enabled in release builds; the `CLINFL_OBS` env var
-//! (`0` / `off` / `false`) turns the whole layer into near-no-ops.
+//! Metrics live in lock-sharded [`Registry`] scopes of named
+//! [`Counter`]s, [`Gauge`]s and [`Histogram`]s. By default every crate
+//! in the workspace records into the process-global scope via the free
+//! functions ([`counter`], [`add_counter`], [`snapshot`], …); hosts
+//! that run several tenants in one process (the flare job runtime)
+//! hand each tenant its own [`Registry::new`] so same-named metrics
+//! from concurrent runs never mix. Recording is a handful of relaxed
+//! atomics, cheap enough to leave enabled in release builds; the
+//! `CLINFL_OBS` env var (`0` / `off` / `false`) turns the whole layer
+//! into near-no-ops.
 //!
 //! Hierarchical wall-clock spans (`run > round > site > train_step`)
 //! live on a per-thread stack: entering returns a [`SpanGuard`], and the
@@ -199,96 +204,214 @@ enum Metric {
     Histogram(Arc<Histogram>),
 }
 
-struct Registry {
-    shards: [Mutex<HashMap<String, Metric>>; SHARDS],
+/// A scoped, lock-sharded collection of named metrics.
+///
+/// A `Registry` is a cheap cloneable handle (clones share storage). The
+/// process owns one default instance — [`Registry::global`] — that every
+/// free function ([`counter`], [`add_counter`], [`snapshot`], …) records
+/// into, so code that does not care about scoping never sees this type.
+/// Multi-tenant hosts (the job runtime) create one [`Registry::new`] per
+/// job instead: two jobs recording the same metric name land in separate
+/// scopes, and [`Registry::snapshot`] freezes exactly one job's metrics
+/// with no cross-contamination.
+#[derive(Clone)]
+pub struct Registry {
+    shards: Arc<[Mutex<HashMap<String, Metric>>; SHARDS]>,
 }
 
-fn registry() -> &'static Registry {
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").finish_non_exhaustive()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+fn global_registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
-    REGISTRY.get_or_init(|| Registry {
-        shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
-    })
+    REGISTRY.get_or_init(Registry::new)
 }
 
-fn shard_for(name: &str) -> &'static Mutex<HashMap<String, Metric>> {
-    let mut h = DefaultHasher::new();
-    name.hash(&mut h);
-    &registry().shards[(h.finish() as usize) % SHARDS]
+impl Registry {
+    /// Creates an empty scoped registry, independent of the global one.
+    pub fn new() -> Self {
+        Registry {
+            shards: Arc::new(std::array::from_fn(|_| Mutex::new(HashMap::new()))),
+        }
+    }
+
+    /// A handle to the process-global default registry — the scope every
+    /// free function in this crate records into.
+    pub fn global() -> Registry {
+        global_registry().clone()
+    }
+
+    /// Whether this handle and `other` share the same underlying storage.
+    pub fn same_scope(&self, other: &Registry) -> bool {
+        Arc::ptr_eq(&self.shards, &other.shards)
+    }
+
+    fn shard_for(&self, name: &str) -> &Mutex<HashMap<String, Metric>> {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Returns the counter registered under `name` in this scope,
+    /// creating it on first use. Handles are `Arc`s — cache them on hot
+    /// paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut shard = self.shard_for(name).lock().unwrap();
+        match shard
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Returns the gauge registered under `name` in this scope, creating
+    /// it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut shard = self.shard_for(name).lock().unwrap();
+        match shard
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Returns the histogram registered under `name` in this scope,
+    /// creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut shard = self.shard_for(name).lock().unwrap();
+        match shard
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Current value of the counter named `name` in this scope, or 0 if
+    /// it was never registered.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        let shard = self.shard_for(name).lock().unwrap();
+        match shard.get(name) {
+            Some(Metric::Counter(c)) => c.get(),
+            _ => 0,
+        }
+    }
+
+    /// Adds `n` to the counter `name` in this scope if observability is
+    /// enabled (one-liner for cold paths; hot paths should cache the
+    /// handle).
+    pub fn add_counter(&self, name: &str, n: u64) {
+        if enabled() {
+            self.counter(name).add(n);
+        }
+    }
+
+    /// Records `v` into the histogram `name` in this scope if
+    /// observability is enabled.
+    pub fn record_histogram(&self, name: &str, v: u64) {
+        if enabled() {
+            self.histogram(name).record(v);
+        }
+    }
+
+    /// Freezes every metric in this scope into a [`MetricsSnapshot`]
+    /// with deterministic (sorted) ordering.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for shard in self.shards.iter() {
+            let shard = shard.lock().unwrap();
+            for (name, metric) in shard.iter() {
+                match metric {
+                    Metric::Counter(c) => {
+                        snap.counters.insert(name.clone(), c.get());
+                    }
+                    Metric::Gauge(g) => {
+                        snap.gauges.insert(name.clone(), g.get());
+                    }
+                    Metric::Histogram(h) => {
+                        snap.histograms.insert(name.clone(), h.freeze());
+                    }
+                }
+            }
+        }
+        snap
+    }
 }
 
-/// Returns the counter registered under `name`, creating it on first
-/// use. Handles are `Arc`s — cache them on hot paths.
+/// Returns the counter registered under `name` in the global scope,
+/// creating it on first use. Handles are `Arc`s — cache them on hot
+/// paths.
 ///
 /// # Panics
 ///
 /// Panics if `name` is already registered as a different metric kind.
 pub fn counter(name: &str) -> Arc<Counter> {
-    let mut shard = shard_for(name).lock().unwrap();
-    match shard
-        .entry(name.to_string())
-        .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
-    {
-        Metric::Counter(c) => Arc::clone(c),
-        _ => panic!("metric {name:?} already registered with a different kind"),
-    }
+    global_registry().counter(name)
 }
 
-/// Returns the gauge registered under `name`, creating it on first use.
+/// Returns the gauge registered under `name` in the global scope,
+/// creating it on first use.
 ///
 /// # Panics
 ///
 /// Panics if `name` is already registered as a different metric kind.
 pub fn gauge(name: &str) -> Arc<Gauge> {
-    let mut shard = shard_for(name).lock().unwrap();
-    match shard
-        .entry(name.to_string())
-        .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
-    {
-        Metric::Gauge(g) => Arc::clone(g),
-        _ => panic!("metric {name:?} already registered with a different kind"),
-    }
+    global_registry().gauge(name)
 }
 
-/// Returns the histogram registered under `name`, creating it on first
-/// use.
+/// Returns the histogram registered under `name` in the global scope,
+/// creating it on first use.
 ///
 /// # Panics
 ///
 /// Panics if `name` is already registered as a different metric kind.
 pub fn histogram(name: &str) -> Arc<Histogram> {
-    let mut shard = shard_for(name).lock().unwrap();
-    match shard
-        .entry(name.to_string())
-        .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
-    {
-        Metric::Histogram(h) => Arc::clone(h),
-        _ => panic!("metric {name:?} already registered with a different kind"),
-    }
+    global_registry().histogram(name)
 }
 
-/// Current value of the counter named `name`, or 0 if it was never
-/// registered (convenience for tests and reports).
+/// Current value of the counter named `name` in the global scope, or 0
+/// if it was never registered (convenience for tests and reports).
 pub fn counter_value(name: &str) -> u64 {
-    let shard = shard_for(name).lock().unwrap();
-    match shard.get(name) {
-        Some(Metric::Counter(c)) => c.get(),
-        _ => 0,
-    }
+    global_registry().counter_value(name)
 }
 
-/// Adds `n` to the counter `name` if observability is enabled
-/// (one-liner for cold paths; hot paths should cache the handle).
+/// Adds `n` to the counter `name` in the global scope if observability
+/// is enabled (one-liner for cold paths; hot paths should cache the
+/// handle).
 pub fn add_counter(name: &str, n: u64) {
-    if enabled() {
-        counter(name).add(n);
-    }
+    global_registry().add_counter(name, n);
 }
 
-/// Records `v` into the histogram `name` if observability is enabled.
+/// Records `v` into the histogram `name` in the global scope if
+/// observability is enabled.
 pub fn record_histogram(name: &str, v: u64) {
-    if enabled() {
-        histogram(name).record(v);
-    }
+    global_registry().record_histogram(name, v);
 }
 
 /// CPU time consumed by the *calling thread*, in nanoseconds.
@@ -336,27 +459,10 @@ pub fn thread_time_ns() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
 }
 
-/// Freezes every registered metric into a [`MetricsSnapshot`] with
-/// deterministic (sorted) ordering.
+/// Freezes every metric registered in the global scope into a
+/// [`MetricsSnapshot`] with deterministic (sorted) ordering.
 pub fn snapshot() -> MetricsSnapshot {
-    let mut snap = MetricsSnapshot::default();
-    for shard in &registry().shards {
-        let shard = shard.lock().unwrap();
-        for (name, metric) in shard.iter() {
-            match metric {
-                Metric::Counter(c) => {
-                    snap.counters.insert(name.clone(), c.get());
-                }
-                Metric::Gauge(g) => {
-                    snap.gauges.insert(name.clone(), g.get());
-                }
-                Metric::Histogram(h) => {
-                    snap.histograms.insert(name.clone(), h.freeze());
-                }
-            }
-        }
-    }
-    snap
+    global_registry().snapshot()
 }
 
 // ---------------------------------------------------------------------------
@@ -572,6 +678,43 @@ mod tests {
         assert_eq!(current_span_path(), "");
         assert_eq!(histogram("span.outer_t").count(), 1);
         assert_eq!(histogram("span.outer_t>inner_t").count(), 1);
+    }
+
+    #[test]
+    fn scoped_registries_are_isolated() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("test.scoped.hits").add(3);
+        b.counter("test.scoped.hits").add(10);
+        assert_eq!(a.counter_value("test.scoped.hits"), 3);
+        assert_eq!(b.counter_value("test.scoped.hits"), 10);
+        // Neither scope leaks into the global registry.
+        assert_eq!(counter_value("test.scoped.hits"), 0);
+        let snap = a.snapshot();
+        assert_eq!(snap.counters.get("test.scoped.hits"), Some(&3));
+        assert!(!a.same_scope(&b));
+        assert!(a.same_scope(&a.clone()));
+    }
+
+    #[test]
+    fn global_handle_shares_free_function_scope() {
+        let g = Registry::global();
+        g.counter("test.scoped.global").add(2);
+        add_counter("test.scoped.global", 5);
+        assert_eq!(counter_value("test.scoped.global"), 7);
+        assert_eq!(g.counter_value("test.scoped.global"), 7);
+        assert!(g.same_scope(&Registry::global()));
+    }
+
+    #[test]
+    fn scoped_histograms_and_gauges() {
+        let r = Registry::new();
+        r.record_histogram("test.scoped.h", 8);
+        r.gauge("test.scoped.g").set(4);
+        let snap = r.snapshot();
+        assert_eq!(snap.histograms["test.scoped.h"].count, 1);
+        assert_eq!(snap.gauges["test.scoped.g"], 4);
+        assert_eq!(histogram("test.scoped.h").count(), 0);
     }
 
     #[test]

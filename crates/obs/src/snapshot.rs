@@ -227,7 +227,29 @@ impl MetricsSnapshot {
     /// suffix keeps concurrent runs (parallel test binaries) from
     /// clobbering each other.
     pub fn write_artifact(&self, run: &str) -> std::io::Result<PathBuf> {
+        self.write_artifact_tagged(run, "")
+    }
+
+    /// Like [`MetricsSnapshot::write_artifact`], but prefixes the file
+    /// name with a job/run `tag`: `<obs_dir>/<tag>-<run>-<pid>-<seq>.json`.
+    /// Concurrent jobs sharing one `CLINFL_OBS_DIR` pass their unique job
+    /// tag here so their snapshot files stay distinguishable (and cannot
+    /// clobber each other even if the sequence counter were reset). Both
+    /// components are sanitized to `[A-Za-z0-9._-]` — tags come from
+    /// user-submitted job names.
+    pub fn write_artifact_tagged(&self, run: &str, tag: &str) -> std::io::Result<PathBuf> {
         static SEQ: AtomicU64 = AtomicU64::new(0);
+        fn sanitize(s: &str) -> String {
+            s.chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect()
+        }
         let dir = match std::env::var_os("CLINFL_OBS_DIR") {
             Some(d) => PathBuf::from(d),
             // crates/obs/../../target/obs == <workspace>/target/obs.
@@ -235,7 +257,12 @@ impl MetricsSnapshot {
         };
         std::fs::create_dir_all(&dir)?;
         let seq = SEQ.fetch_add(1, Ordering::Relaxed);
-        let path = dir.join(format!("{run}-{}-{seq}.json", std::process::id()));
+        let stem = if tag.is_empty() {
+            sanitize(run)
+        } else {
+            format!("{}-{}", sanitize(tag), sanitize(run))
+        };
+        let path = dir.join(format!("{stem}-{}-{seq}.json", std::process::id()));
         std::fs::write(&path, self.to_json())?;
         Ok(path)
     }

@@ -18,6 +18,10 @@
 #                  is schema-checked, and the run fails if root round work grows
 #                  super-logarithmically between 64 and 1024 sites; then the
 #                  fault/resume chaos suites re-run at tree depth 2 (fan-out 3)
+#   jobs           multi-tenant admin API gate (DESIGN.md §3i): scripts/ci_jobs.sh
+#                  starts `clinfl serve`, submits two jobs over HTTP, streams
+#                  live NDJSON metrics, aborts one mid-run, and asserts the
+#                  survivor finishes with its own checkpoint dir intact
 #   doc            rustdoc with warnings denied (broken links fail the gate)
 #   clippy         clippy --all-targets with warnings denied
 #   fmt            cargo fmt --check
@@ -40,7 +44,7 @@ mkdir -p target
 TIMINGS=target/ci-timings.tsv
 RSS_FILE=target/.leg-rss
 
-ALL_LEGS="build test-serial test-parallel test-faults resume bench-smoke wire-codec scale doc clippy fmt"
+ALL_LEGS="build test-serial test-parallel test-faults resume bench-smoke wire-codec scale jobs doc clippy fmt"
 
 # Runs "$@" as a child and, after it exits, writes the peak RSS in KB of
 # the child process tree (getrusage RUSAGE_CHILDREN) to $RSS_FILE. The
@@ -127,6 +131,13 @@ run_leg() {
              && cargo run --release -q -p clinfl-bench --bin bench_scaling -- --run --out BENCH_scaling.json \
              && cargo run --release -q -p clinfl-bench --bin bench_scaling -- --check BENCH_scaling.json \
              && CLINFL_TREE=2x3 cargo test --release -q --test integration_faults --test integration_resume'
+        ;;
+    jobs)
+        # Admin-API gate: drives the multi-tenant job runtime end to end
+        # over HTTP (submit x2, stream, abort, survivor green). Needs the
+        # release clinfl binary; build it explicitly so the leg stands
+        # alone.
+        leg jobs bash -c 'cargo build --release -q -p clinfl && scripts/ci_jobs.sh'
         ;;
     doc) leg doc env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps ;;
     clippy) leg clippy cargo clippy --workspace --all-targets -- -D warnings ;;

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# CI leg `jobs`: end-to-end exercise of the multi-tenant job runtime and
+# its HTTP admin API, exactly as an operator would drive it:
+#
+#   1. start `clinfl serve` on an ephemeral port (address discovered via
+#      --addr-file), two concurrent job slots, per-job checkpoint dirs
+#   2. submit two jobs over HTTP: a long-running one ("doomed") and a
+#      short one ("survivor")
+#   3. stream the survivor's live NDJSON metrics until it reports
+#      `finished`
+#   4. abort the doomed job over the API and require it to land in
+#      `aborted` promptly (seconds, not the minutes its remaining rounds
+#      would cost)
+#   5. assert the survivor stayed green and both per-job checkpoint
+#      directories exist (isolation: one dir per job, lock-file guarded)
+#
+# Run from the repo root (scripts/check.sh does): scripts/ci_jobs.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/clinfl
+DIR=target/ci-jobs
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+"$BIN" serve --addr 127.0.0.1:0 --addr-file "$DIR/addr" --max-jobs 2 \
+    --scale 256 --checkpoint-root "$DIR/ckpts" >"$DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 100); do
+    [ -s "$DIR/addr" ] && break
+    sleep 0.1
+done
+[ -s "$DIR/addr" ] || { echo "serve never wrote its address"; cat "$DIR/serve.log"; exit 1; }
+CLINFL_ADMIN_ADDR=$(cat "$DIR/addr")
+export CLINFL_ADMIN_ADDR
+echo "==> admin API on $CLINFL_ADMIN_ADDR"
+
+printf 'name = doomed\nrounds = 400\nclients = 2\nmin_clients = 2\nseed = 9\n' |
+    "$BIN" job submit >"$DIR/doomed.json"
+printf 'name = survivor\nrounds = 2\nclients = 2\nmin_clients = 2\nseed = 7\n' |
+    "$BIN" job submit >"$DIR/survivor.json"
+DOOMED=$(grep -o '"id":[0-9]*' "$DIR/doomed.json" | head -1 | cut -d: -f2)
+SURV=$(grep -o '"id":[0-9]*' "$DIR/survivor.json" | head -1 | cut -d: -f2)
+echo "==> submitted doomed=$DOOMED survivor=$SURV"
+
+# Live metrics stream: blocks until the survivor reaches a terminal
+# state, so the last NDJSON line must say `finished`.
+"$BIN" job metrics --id "$SURV" --follow >"$DIR/stream.ndjson"
+tail -1 "$DIR/stream.ndjson" | grep -q '"state":"finished"' ||
+    { echo "survivor stream never reached finished"; tail -3 "$DIR/stream.ndjson"; exit 1; }
+echo "==> survivor streamed to finished ($(wc -l <"$DIR/stream.ndjson") snapshots)"
+
+"$BIN" job abort --id "$DOOMED" | grep -q '"aborted":true' ||
+    { echo "abort was not acknowledged"; exit 1; }
+ABORT_START=$SECONDS
+for _ in $(seq 150); do
+    "$BIN" job list >"$DIR/list.json"
+    grep -q "\"id\":$DOOMED,\"name\":\"doomed\",\"state\":\"aborted\"" "$DIR/list.json" && break
+    sleep 0.2
+done
+grep -q "\"id\":$DOOMED,\"name\":\"doomed\",\"state\":\"aborted\"" "$DIR/list.json" ||
+    { echo "doomed job never aborted"; cat "$DIR/list.json"; exit 1; }
+echo "==> doomed aborted in $((SECONDS - ABORT_START))s"
+
+grep -q "\"id\":$SURV,\"name\":\"survivor\",\"state\":\"finished\"" "$DIR/list.json" ||
+    { echo "survivor did not stay finished"; cat "$DIR/list.json"; exit 1; }
+
+# Per-job isolation on disk: each job persisted into its own directory.
+[ -d "$DIR/ckpts/job-1-doomed" ] && [ -d "$DIR/ckpts/job-2-survivor" ] ||
+    { echo "per-job checkpoint dirs missing"; ls -la "$DIR/ckpts" || true; exit 1; }
+
+echo "==> jobs leg ok: survivor finished, doomed aborted, per-job dirs intact"

@@ -1,0 +1,297 @@
+//! Multi-tenant job runtime integration: concurrent federations over the
+//! shared pool must stay bit-identical to solo runs, keep their metric
+//! namespaces apart, and obey the HTTP admin API end-to-end.
+
+use clinfl_flare::admin::{AdminServer, JobFactory};
+use clinfl_flare::executor::{ArithmeticExecutor, Executor, TaskContext};
+use clinfl_flare::job::JobConfig;
+use clinfl_flare::jobs::{JobRuntime, JobSpec, JobState};
+use clinfl_flare::{Dxo, WeightTensor, Weights};
+use clinfl_obs::json::Value;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn initial() -> Weights {
+    let mut w = Weights::new();
+    w.insert("p".into(), WeightTensor::new(vec![4], vec![0.0; 4]));
+    w
+}
+
+fn arith_spec(name: &str, rounds: u32, clients: usize, seed: u64) -> JobSpec {
+    JobSpec {
+        config: JobConfig::parse(&format!(
+            "name = {name}\nrounds = {rounds}\nclients = {clients}\nmin_clients = {clients}\n"
+        ))
+        .unwrap(),
+        seed,
+        initial: initial(),
+        make_executor: Box::new(|i, _| {
+            Box::new(ArithmeticExecutor {
+                delta: (i + 1) as f32 * 0.5,
+                n_examples: 10 + i as u64,
+            })
+        }),
+        checkpoint_dir: None,
+    }
+}
+
+/// Four concurrent jobs over one runtime, each compared against a solo
+/// same-seed run: the shared worker pool and interleaved schedules must
+/// not perturb a single bit of any job's final weights, and each job's
+/// scoped registry must count exactly its own rounds.
+#[test]
+fn four_concurrent_jobs_match_solo_runs_bit_identically() {
+    let params: [(u32, u64); 4] = [(2, 11), (3, 22), (4, 33), (5, 44)];
+
+    // Solo references, one at a time.
+    let mut solo = Vec::new();
+    for (i, (rounds, seed)) in params.iter().enumerate() {
+        let rt = JobRuntime::new(1);
+        let id = rt.submit(arith_spec(&format!("solo-{i}"), *rounds, 3, *seed));
+        assert_eq!(
+            rt.wait(id, Duration::from_secs(60)),
+            Some(JobState::Finished)
+        );
+        solo.push(rt.result(id).unwrap().final_weights);
+        rt.join_all();
+    }
+
+    // The same four jobs, concurrently.
+    let rt = JobRuntime::new(4);
+    let ids: Vec<u64> = params
+        .iter()
+        .enumerate()
+        .map(|(i, (rounds, seed))| rt.submit(arith_spec(&format!("conc-{i}"), *rounds, 3, *seed)))
+        .collect();
+    for (i, id) in ids.iter().enumerate() {
+        assert_eq!(
+            rt.wait(*id, Duration::from_secs(60)),
+            Some(JobState::Finished),
+            "job {i} did not finish"
+        );
+        let got = rt.result(*id).unwrap().final_weights;
+        assert_eq!(got, solo[i], "job {i} diverged from its solo same-seed run");
+    }
+
+    // Namespace isolation: each registry holds exactly its own job's
+    // round count — distinct by construction, so any cross-talk shows.
+    for (i, id) in ids.iter().enumerate() {
+        let reg = rt.registry(*id).unwrap();
+        assert_eq!(
+            reg.counter_value("flare.round.count"),
+            u64::from(params[i].0),
+            "job {i} registry contaminated"
+        );
+    }
+    rt.join_all();
+}
+
+/// The real model path: two same-seed clinical LSTM jobs submitted
+/// concurrently through the `clinfl serve` factory must both finish
+/// bit-identical to a solo run of the identical config.
+#[test]
+fn same_seed_clinical_jobs_concurrent_equals_solo() {
+    let cfg_text =
+        "name = lstm-pair\nrounds = 1\nclients = 2\nmin_clients = 2\nmodel = lstm\nseed = 5\n";
+    let base = clinfl::PipelineConfig::scaled(256);
+
+    let solo_rt = JobRuntime::new(1);
+    let factory = clinfl::drivers::serve_job_factory(base.clone(), None);
+    let solo_id = solo_rt.submit(factory(JobConfig::parse(cfg_text).unwrap()).unwrap());
+    assert_eq!(
+        solo_rt.wait(solo_id, Duration::from_secs(300)),
+        Some(JobState::Finished)
+    );
+    let solo = solo_rt.result(solo_id).unwrap().final_weights;
+    solo_rt.join_all();
+
+    let rt = JobRuntime::new(2);
+    let factory = clinfl::drivers::serve_job_factory(base, None);
+    let a = rt.submit(factory(JobConfig::parse(cfg_text).unwrap()).unwrap());
+    let b = rt.submit(factory(JobConfig::parse(cfg_text).unwrap()).unwrap());
+    assert_eq!(
+        rt.wait(a, Duration::from_secs(300)),
+        Some(JobState::Finished)
+    );
+    assert_eq!(
+        rt.wait(b, Duration::from_secs(300)),
+        Some(JobState::Finished)
+    );
+    let wa = rt.result(a).unwrap().final_weights;
+    let wb = rt.result(b).unwrap().final_weights;
+    assert_eq!(wa, solo, "concurrent job A diverged from solo");
+    assert_eq!(wb, solo, "concurrent job B diverged from solo");
+    rt.join_all();
+}
+
+// ---------------------------------------------------------------------
+// Admin HTTP end-to-end
+// ---------------------------------------------------------------------
+
+/// Trains like [`ArithmeticExecutor`] but sleeps per task so an abort
+/// can land mid-round.
+struct SlowExecutor(ArithmeticExecutor);
+
+impl Executor for SlowExecutor {
+    fn train(&mut self, global: &Weights, ctx: &TaskContext) -> Dxo {
+        std::thread::sleep(Duration::from_millis(25));
+        self.0.train(global, ctx)
+    }
+    fn validate(&mut self, global: &Weights, ctx: &TaskContext) -> f64 {
+        self.0.validate(global, ctx)
+    }
+}
+
+/// Factory for the HTTP tests: `model = slow` selects the sleeping
+/// executor, anything else the fast one.
+fn test_factory() -> JobFactory {
+    Box::new(|config: JobConfig| {
+        let slow = config.model.as_deref() == Some("slow");
+        Ok(JobSpec {
+            seed: config.seed.unwrap_or(1),
+            config,
+            initial: initial(),
+            make_executor: Box::new(move |i, _| {
+                let inner = ArithmeticExecutor {
+                    delta: (i + 1) as f32,
+                    n_examples: 10,
+                };
+                if slow {
+                    Box::new(SlowExecutor(inner))
+                } else {
+                    Box::new(inner)
+                }
+            }),
+            checkpoint_dir: None,
+        })
+    })
+}
+
+/// One HTTP/1.1 exchange; returns `(status, body)`.
+fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn submit(addr: std::net::SocketAddr, config: &str) -> u64 {
+    let (status, body) = http(addr, "POST", "/jobs", config);
+    assert_eq!(status, 201, "{body}");
+    Value::parse(&body)
+        .unwrap()
+        .get("id")
+        .and_then(Value::as_u64)
+        .unwrap()
+}
+
+fn state_of(addr: std::net::SocketAddr, id: u64) -> String {
+    let (status, body) = http(addr, "GET", &format!("/jobs/{id}"), "");
+    assert_eq!(status, 200, "{body}");
+    Value::parse(&body)
+        .unwrap()
+        .get("state")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string()
+}
+
+fn wait_state(addr: std::net::SocketAddr, id: u64, want: &str, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let state = state_of(addr, id);
+        if state == want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job {id} stuck in {state:?}, wanted {want:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Abort one of two concurrent jobs over the admin API mid-round: the
+/// abort must release the job's sessions promptly (far faster than its
+/// remaining rounds would take) and the surviving job must finish green
+/// with correct metrics.
+#[test]
+fn http_abort_mid_round_releases_sessions_and_spares_neighbor() {
+    let runtime = JobRuntime::new(2);
+    let server = AdminServer::bind("127.0.0.1:0", runtime.clone(), test_factory()).unwrap();
+    let addr = server.local_addr();
+
+    // 400 slow rounds ≈ 20+ s if left alone; the abort must cut that to
+    // well under the stream of remaining rounds.
+    let doomed = submit(
+        addr,
+        "name = doomed\nrounds = 400\nclients = 2\nmin_clients = 2\nmodel = slow\n",
+    );
+    let survivor = submit(
+        addr,
+        "name = survivor\nrounds = 3\nclients = 2\nmin_clients = 2\n",
+    );
+    wait_state(addr, doomed, "running", Duration::from_secs(20));
+
+    let abort_started = Instant::now();
+    let (status, body) = http(addr, "POST", &format!("/jobs/{doomed}/abort"), "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"aborted\":true"), "{body}");
+    wait_state(addr, doomed, "aborted", Duration::from_secs(15));
+    // Promptness: teardown beats the ~20 s the remaining rounds cost.
+    assert!(
+        abort_started.elapsed() < Duration::from_secs(15),
+        "abort took {:?}",
+        abort_started.elapsed()
+    );
+
+    wait_state(addr, survivor, "finished", Duration::from_secs(60));
+    let (status, body) = http(addr, "GET", &format!("/jobs/{survivor}/metrics"), "");
+    assert_eq!(status, 200);
+    let snap = Value::parse(&body).unwrap();
+    assert_eq!(
+        snap.get("counters")
+            .and_then(|c| c.get("flare.round.count"))
+            .and_then(Value::as_u64),
+        Some(3),
+        "survivor's registry must show exactly its own 3 rounds"
+    );
+    // The aborted job's registry likewise stays its own: fewer than 400
+    // rounds ever ran, and the abort marker landed.
+    let (_, body) = http(addr, "GET", &format!("/jobs/{doomed}/metrics"), "");
+    let snap = Value::parse(&body).unwrap();
+    let aborted_rounds = snap
+        .get("counters")
+        .and_then(|c| c.get("flare.round.count"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    assert!(
+        aborted_rounds < 400,
+        "doomed job ran {aborted_rounds} rounds"
+    );
+    assert_eq!(
+        snap.get("counters")
+            .and_then(|c| c.get("flare.run.aborted"))
+            .and_then(Value::as_u64),
+        Some(1)
+    );
+
+    server.join();
+    runtime.shutdown();
+}
