@@ -193,13 +193,21 @@ fn build_report(cfg: &PipelineConfig, accuracy: f64, m: &MetricsSnapshot) -> Val
             continue;
         }
         let time_ns = m.counter(&format!("{name}.time_ns"));
-        kernels.push((
-            name.to_string(),
-            Value::object(vec![
-                ("calls", Value::UInt(calls)),
-                ("total_ms", Value::Float(time_ns as f64 / 1e6)),
-            ]),
-        ));
+        let mut entry = vec![
+            ("calls", Value::UInt(calls)),
+            ("total_ms", Value::Float(time_ns as f64 / 1e6)),
+            (
+                "mean_ns",
+                Value::Float(time_ns as f64 / calls.max(1) as f64),
+            ),
+        ];
+        // GEMM kernels also record a `.flops` counter, from which a
+        // machine-legible throughput estimate follows.
+        let flops = m.counter(&format!("{name}.flops"));
+        if flops > 0 && time_ns > 0 {
+            entry.push(("gflops", Value::Float(flops as f64 / time_ns as f64)));
+        }
+        kernels.push((name.to_string(), Value::object(entry)));
     }
 
     let round = m
@@ -314,14 +322,16 @@ fn run_check(path: &str, min_reduction: Option<f64>) {
     if kernel_calls.is_none_or(|c| c == 0) {
         errors.push("kernels[\"tensor.matmul\"].calls missing or zero".to_string());
     }
-    if report
-        .get("kernels")
-        .and_then(|k| k.get("tensor.matmul"))
-        .and_then(|k| k.get("total_ms"))
-        .and_then(Value::as_f64)
-        .is_none()
-    {
-        errors.push("kernels[\"tensor.matmul\"].total_ms missing".to_string());
+    for field in ["total_ms", "mean_ns", "gflops"] {
+        if report
+            .get("kernels")
+            .and_then(|k| k.get("tensor.matmul"))
+            .and_then(|k| k.get(field))
+            .and_then(Value::as_f64)
+            .is_none()
+        {
+            errors.push(format!("kernels[\"tensor.matmul\"].{field} missing"));
+        }
     }
     let rounds = report
         .get("round")

@@ -260,8 +260,9 @@ impl BertModel {
             let q = proj(g, self, blk.wq, blk.bq);
             let k = proj(g, self, blk.wk, blk.bk);
             let v = proj(g, self, blk.wv, blk.bv);
-            let kt = g.transpose_last2(k); // [B, heads, dh, S]
-            let scores = g.matmul(q, kt); // [B, heads, S, S]
+            // q·kᵀ through the packed a·bᵀ kernel: one batched call over
+            // all B·heads score matrices, no transposed copy of k.
+            let scores = g.matmul_bt(q, k); // [B, heads, S, S]
             let scores = g.scale(scores, scale);
             let scores = g.add(scores, amask);
             let attn = g.softmax(scores);
@@ -330,11 +331,12 @@ impl BertModel {
         let d = g.gelu(d);
         let d = self.layer_norm(g, d, self.mlm_ln_g, self.mlm_ln_b);
         // Tied decoder: project back through the transposed token-embedding
-        // table, so MLM gradients also shape the embeddings directly.
+        // table, so MLM gradients also shape the embeddings directly. The
+        // packed a·bᵀ kernel reads the `[V, H]` table in place — no `[H, V]`
+        // transposed copy, and the gradient lands in the table's layout.
         let table = g.param(&self.params, self.tok_emb);
-        let dec_w = g.transpose_last2(table); // [H, V]
         let dec_b = g.param(&self.params, self.mlm_dec_b);
-        let logits = g.matmul(d, dec_w);
+        let logits = g.matmul_bt(d, table);
         let logits = g.add(logits, dec_b);
         g.cross_entropy(logits, mlm_labels, clinfl_text::IGNORE_INDEX)
     }

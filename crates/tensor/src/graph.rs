@@ -379,6 +379,29 @@ impl Graph {
         self.push(Op::Matmul { rhs_broadcast }, &[ia, ib], value)
     }
 
+    /// Batched matrix product with the right operand transposed in place:
+    /// `a[.., M, K] · b[.., N, K]ᵀ -> [.., M, N]` (see
+    /// [`Tensor::matmul_bt`]). Equivalent to
+    /// `matmul(a, transpose_last2(b))` — forward and backward are
+    /// bit-identical to that composition — but the packed `a·bᵀ` kernel
+    /// absorbs the transpose into its packing strides, so no transposed
+    /// copy of `b` (or of its gradient) is ever materialized. This is the
+    /// attention-score (`q·kᵀ`) and tied-decoder (`h·Eᵀ`) fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension or batch mismatch.
+    pub fn matmul_bt(&mut self, a: Var, b: Var) -> Var {
+        let (ia, ib) = (self.chk(a), self.chk(b));
+        let out_shape = self.values[ia].matmul_bt_shape(&self.values[ib]);
+        // Zeroed: the kernel accumulates into its output.
+        let mut value = self.pool.tensor_zeroed(out_shape);
+        self.values[ia].matmul_bt_into(&self.values[ib], &mut value);
+        let rhs_broadcast =
+            self.values[ib].shape().rank() == 2 && self.values[ia].shape().rank() > 2;
+        self.push(Op::MatmulABt { rhs_broadcast }, &[ia, ib], value)
+    }
+
     /// Transposes the last two dimensions.
     ///
     /// # Panics

@@ -5,15 +5,34 @@
 //! implementations in `ops`, and the Criterion micro-benchmarks without any
 //! graph overhead. All layouts are row-major.
 //!
+//! # GEMM family
+//!
+//! The three matrix products (`c += a·b`, `c += aᵀ·b`, `c += a·bᵀ`) share
+//! one packed, register-blocked implementation (see DESIGN.md §3j): both
+//! operands are packed into contiguous `MR`-row / `NR`-column panels held
+//! in thread-local scratch, and an `MR×NR` register-tile micro-kernel walks
+//! the panels with a fully unrolled inner loop that LLVM autovectorizes —
+//! no intrinsics, no `unsafe` (the crate denies it). Transposed operands
+//! are handled by the packing strides, so the backward passes never
+//! materialize a transposed copy. The batched entry points
+//! ([`matmul_batch_acc`] and friends) amortize packing across a whole
+//! batch: a broadcast right-hand side is packed exactly once.
+//!
+//! The serial reference kernels ([`matmul_acc_ref`] and friends) retain
+//! the previous naive loops; `bench_kernels` (CI leg `kernels`) times the
+//! packed kernels against them and fails below an enforced speedup floor.
+//!
 //! The matrix and row kernels parallelize over contiguous blocks of output
-//! rows through [`crate::pool`] when the operation is large enough.
-//! Every output element is accumulated in the same floating-point order
-//! regardless of thread count, so results are bit-identical from
-//! `CLINFL_THREADS=1` to the full budget (see the pool module's threading
-//! model).
+//! rows (output *tiles*, for the GEMMs) through [`crate::pool`] when the
+//! operation is large enough. Every output element is accumulated in the
+//! same floating-point order regardless of thread count, so results are
+//! bit-identical from `CLINFL_THREADS=1` to the full budget (see the pool
+//! module's threading model).
 
 use crate::pool;
 use clinfl_obs::KernelTimer;
+use std::cell::RefCell;
+use std::sync::{Arc, OnceLock};
 
 // Per-op wall-time + invocation counters (see DESIGN.md §3e). Each is a
 // static so the registry handles resolve once; a timed call costs two
@@ -28,12 +47,478 @@ static OBS_LOG_SOFTMAX_BWD: KernelTimer = KernelTimer::new("tensor.log_softmax_b
 static OBS_LAYER_NORM: KernelTimer = KernelTimer::new("tensor.layer_norm");
 static OBS_LAYER_NORM_BWD: KernelTimer = KernelTimer::new("tensor.layer_norm_backward");
 
-/// Row-block body shared by the serial and parallel paths of
-/// [`matmul_acc`]: accumulates rows `i0..` of `c` in `i-k-j` order.
+/// Cached handle for a `<kernel>.flops` counter: pairs with the
+/// [`KernelTimer`] of the same family so `bench_report` can derive a
+/// GFLOP/s estimate (`flops / time_ns`).
+struct FlopsCounter {
+    name: &'static str,
+    handle: OnceLock<Arc<clinfl_obs::Counter>>,
+}
+
+impl FlopsCounter {
+    const fn new(name: &'static str) -> Self {
+        FlopsCounter {
+            name,
+            handle: OnceLock::new(),
+        }
+    }
+
+    fn add(&self, flops: usize) {
+        if clinfl_obs::enabled() {
+            self.handle
+                .get_or_init(|| clinfl_obs::counter(self.name))
+                .add(flops as u64);
+        }
+    }
+}
+
+static FLOPS_MATMUL: FlopsCounter = FlopsCounter::new("tensor.matmul.flops");
+static FLOPS_MATMUL_AT_B: FlopsCounter = FlopsCounter::new("tensor.matmul_at_b.flops");
+static FLOPS_MATMUL_A_BT: FlopsCounter = FlopsCounter::new("tensor.matmul_a_bt.flops");
+
+// ---------------------------------------------------------------------------
+// Packed register-blocked GEMM core (DESIGN.md §3j)
+// ---------------------------------------------------------------------------
+
+/// Register-tile height: rows of `c` held in accumulators per micro-kernel
+/// pass. One packed A panel row is `MR` floats (32 bytes).
+pub const GEMM_MR: usize = 6;
+/// Register-tile width: columns of `c` held in accumulators per pass. One
+/// packed B panel row is `NR` floats — 64 bytes, one cache line.
+pub const GEMM_NR: usize = 16;
+/// k-chunk: the packed panels are walked in `KC`-deep slices so one
+/// A-panel slice (`KC·MR` floats) plus one B-panel slice (`KC·NR` floats)
+/// stay L1-resident. Accumulators live in registers *across* chunks, so
+/// chunking never changes the floating-point chain.
+const GEMM_KC: usize = 512;
+
+const MR: usize = GEMM_MR;
+const NR: usize = GEMM_NR;
+
+thread_local! {
+    /// Reusable packing scratch (A panels, B panels). Thread-local rather
+    /// than drawn from the graph's `BufferPool`: the kernels are free
+    /// functions with no pool handle, and pool worker threads could not
+    /// share the graph-owned `&mut BufferPool` anyway. The effect is the
+    /// same as the arena's — on the training thread the two buffers are
+    /// allocated once and recycled for every GEMM thereafter.
+    static PACK_SCRATCH: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// The register-tile inner loop: `acc[i][j] += a_panel[kk][i] *
+/// b_panel[kk][j]` for every `kk` in the panel slices.
+///
+/// The fixed-size array refs let LLVM fully unroll the `MR×NR` body and
+/// vectorize the `j` loop; the accumulators stay in registers for the
+/// whole walk. Vector lanes run across `j` (distinct output elements), so
+/// vectorization never reorders any single element's additions.
 #[inline]
-fn matmul_rows_block(a: &[f32], b: &[f32], c_block: &mut [f32], i0: usize, k: usize, n: usize) {
-    for (r, c_row) in c_block.chunks_mut(n).enumerate() {
-        let i = i0 + r;
+fn micro_kernel(acc: &mut [[f32; NR]; MR], a_panel: &[f32], b_panel: &[f32]) {
+    for (a_row, b_row) in a_panel.chunks_exact(MR).zip(b_panel.chunks_exact(NR)) {
+        let a_row: &[f32; MR] = a_row.try_into().expect("A panel row is MR wide");
+        let b_row: &[f32; NR] = b_row.try_into().expect("B panel row is NR wide");
+        for (&av, acc_row) in a_row.iter().zip(acc.iter_mut()) {
+            for (&bv, cv) in b_row.iter().zip(acc_row.iter_mut()) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Packs the logical `m×k` left operand (element `(i, p)` at
+/// `a[i*rs + p*cs]`) into `MR`-row panels: panel `ip` holds rows
+/// `ip*MR..`, laid out `[kk][ii]` so the micro-kernel reads one
+/// contiguous `MR`-float row per `kk`. Edge panels are zero-padded to
+/// full `MR` height.
+fn pack_a(a: &[f32], rs: usize, cs: usize, m: usize, k: usize, out: &mut Vec<f32>) {
+    let panels = m.div_ceil(MR);
+    out.clear();
+    out.resize(panels * k * MR, 0.0);
+    for (ip, panel) in out.chunks_exact_mut(k * MR).enumerate() {
+        let i0 = ip * MR;
+        let mr = (m - i0).min(MR);
+        for (kk, dst) in panel.chunks_exact_mut(MR).enumerate() {
+            for (ii, d) in dst[..mr].iter_mut().enumerate() {
+                *d = a[(i0 + ii) * rs + kk * cs];
+            }
+        }
+    }
+}
+
+/// Packs the logical `k×n` right operand (element `(p, j)` at
+/// `b[p*rs + j*cs]`) into `NR`-column panels laid out `[kk][jj]`. Edge
+/// panels are zero-padded to full `NR` width. Row-major operands
+/// (`cs == 1`) pack with straight slice copies.
+fn pack_b(b: &[f32], rs: usize, cs: usize, k: usize, n: usize, out: &mut Vec<f32>) {
+    let panels = n.div_ceil(NR);
+    out.clear();
+    out.resize(panels * k * NR, 0.0);
+    for (jp, panel) in out.chunks_exact_mut(k * NR).enumerate() {
+        let j0 = jp * NR;
+        let nr = (n - j0).min(NR);
+        if cs == 1 {
+            for (kk, dst) in panel.chunks_exact_mut(NR).enumerate() {
+                dst[..nr].copy_from_slice(&b[kk * rs + j0..kk * rs + j0 + nr]);
+            }
+        } else {
+            for (kk, dst) in panel.chunks_exact_mut(NR).enumerate() {
+                for (jj, d) in dst[..nr].iter_mut().enumerate() {
+                    *d = b[kk * rs + (j0 + jj) * cs];
+                }
+            }
+        }
+    }
+}
+
+/// Computes one horizontal slab of the output (`c_slab` = rows
+/// `row0..row0+c_slab.len()/n`, full width `n`) from the packed panels.
+/// `row0` must be a multiple of `MR` (slab partitioning is tile-aligned).
+///
+/// Per `MR×NR` tile: load the live `mr×nr` sub-tile of `c` into the
+/// accumulator array, run the micro-kernel over every k-chunk, store the
+/// live sub-tile back. Each output element therefore accumulates its
+/// products in ascending-`k` order on top of the entering value of `c` —
+/// the same per-element chain as the naive reference kernels. Padded
+/// accumulator lanes are computed but never stored.
+fn gemm_slab(a_pack: &[f32], b_pack: &[f32], c_slab: &mut [f32], row0: usize, k: usize, n: usize) {
+    debug_assert_eq!(row0 % MR, 0, "slab start must be tile-aligned");
+    let jp_count = n.div_ceil(NR);
+    for (pi, c_rows) in c_slab.chunks_mut(MR * n).enumerate() {
+        let ip = row0 / MR + pi;
+        let a_panel = &a_pack[ip * k * MR..(ip + 1) * k * MR];
+        for jp in 0..jp_count {
+            let j0 = jp * NR;
+            let nr = (n - j0).min(NR);
+            let b_panel = &b_pack[jp * k * NR..(jp + 1) * k * NR];
+            let mut acc = [[0.0f32; NR]; MR];
+            for (acc_row, c_row) in acc.iter_mut().zip(c_rows.chunks(n)) {
+                acc_row[..nr].copy_from_slice(&c_row[j0..j0 + nr]);
+            }
+            for (a_chunk, b_chunk) in a_panel
+                .chunks(GEMM_KC * MR)
+                .zip(b_panel.chunks(GEMM_KC * NR))
+            {
+                micro_kernel(&mut acc, a_chunk, b_chunk);
+            }
+            for (acc_row, c_row) in acc.iter().zip(c_rows.chunks_mut(n)) {
+                c_row[j0..j0 + nr].copy_from_slice(&acc_row[..nr]);
+            }
+        }
+    }
+}
+
+/// One strided GEMM through the packed core: `c[m, n] += A·B` where
+/// `A[i, p] = a[i*rs_a + p*cs_a]` and `B[p, j] = b[p*rs_b + j*cs_b]`
+/// (`p` = contraction index, `0..k`). All three public GEMM variants and
+/// their batched/flattened forms reduce to this by choice of strides.
+///
+/// Packs both operands on the calling thread (so parallel workers share
+/// the read-only panels), then splits the output into `MR`-aligned row
+/// slabs across the worker pool.
+#[allow(clippy::too_many_arguments)]
+fn gemm_strided(
+    a: &[f32],
+    rs_a: usize,
+    cs_a: usize,
+    b: &[f32],
+    rs_b: usize,
+    cs_b: usize,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    PACK_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        let (a_buf, b_buf) = &mut *scratch;
+        pack_a(a, rs_a, cs_a, m, k, a_buf);
+        pack_b(b, rs_b, cs_b, k, n, b_buf);
+        let (a_pack, b_pack) = (a_buf.as_slice(), b_buf.as_slice());
+        let panels = m.div_ceil(MR);
+        let w = pool::workers_for(panels, 2 * MR * k * n);
+        if w <= 1 {
+            gemm_slab(a_pack, b_pack, c, 0, k, n);
+            return;
+        }
+        let slab_rows = panels.div_ceil(w) * MR;
+        let jobs: Vec<_> = c
+            .chunks_mut(slab_rows * n)
+            .enumerate()
+            .map(|(si, c_slab)| move || gemm_slab(a_pack, b_pack, c_slab, si * slab_rows, k, n))
+            .collect();
+        pool::run_jobs(jobs);
+    });
+}
+
+/// Shared batch-parallel driver for the non-broadcast batched entry
+/// points: runs `gemm(bi, c_batch_slice)` for every batch index, in
+/// parallel blocks over the batch when the region is large enough. Each
+/// per-item GEMM packs into the running worker's own thread-local
+/// scratch, so workers never contend.
+fn batch_gemms(
+    c: &mut [f32],
+    lb: usize,
+    c_stride: usize,
+    work_per_item: usize,
+    gemm: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    let w = pool::workers_for(lb, work_per_item);
+    if w <= 1 {
+        for (bi, cb) in c.chunks_mut(c_stride).enumerate() {
+            gemm(bi, cb);
+        }
+        return;
+    }
+    let block = lb.div_ceil(w);
+    let jobs: Vec<_> = c
+        .chunks_mut(block * c_stride)
+        .enumerate()
+        .map(|(blk, c_block)| {
+            let gemm = &gemm;
+            move || {
+                for (bi, cb) in c_block.chunks_mut(c_stride).enumerate() {
+                    gemm(blk * block + bi, cb);
+                }
+            }
+        })
+        .collect();
+    pool::run_jobs(jobs);
+}
+
+// ---------------------------------------------------------------------------
+// Public GEMM entry points
+// ---------------------------------------------------------------------------
+
+/// `c[m, n] += a[m, k] * b[k, n]` (single matrix, accumulate).
+///
+/// Packed register-blocked implementation; each element of `c`
+/// accumulates its `k` products in ascending order on top of the entering
+/// value, the same per-element chain as [`matmul_acc_ref`] — results are
+/// bit-identical to the reference for finite inputs (see DESIGN.md §3j
+/// for the determinism argument) and across every thread count.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `m*k`, `k*n`, `m*n`.
+pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let _obs = OBS_MATMUL.start();
+    assert_eq!(a.len(), m * k, "matmul lhs length");
+    assert_eq!(b.len(), k * n, "matmul rhs length");
+    assert_eq!(c.len(), m * n, "matmul out length");
+    FLOPS_MATMUL.add(2 * m * k * n);
+    gemm_strided(a, k, 1, b, n, 1, c, m, k, n);
+}
+
+/// Batched `c[b, m, n] += a[b, m, k] * rhs`, where `rhs` is one shared
+/// `[k, n]` matrix (`rhs_broadcast`) or a per-batch `[b, k, n]` stack.
+///
+/// This is the packing-amortized entry point behind [`Tensor::matmul`]:
+/// a broadcast RHS is packed exactly once and the batch collapses into a
+/// single `(b·m)×k×n` GEMM (batch items are just extra output rows, so
+/// the per-element chains are unchanged); per-batch right-hand sides run
+/// as parallel per-item GEMMs. Records one `tensor.matmul` timer
+/// invocation for the whole batch.
+///
+/// [`Tensor::matmul`]: crate::Tensor::matmul
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with the batched shapes.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_batch_acc(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    lb: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    rhs_broadcast: bool,
+) {
+    let _obs = OBS_MATMUL.start();
+    assert_eq!(a.len(), lb * m * k, "matmul batch lhs length");
+    let b_len = if rhs_broadcast { k * n } else { lb * k * n };
+    assert_eq!(b.len(), b_len, "matmul batch rhs length");
+    assert_eq!(c.len(), lb * m * n, "matmul batch out length");
+    FLOPS_MATMUL.add(2 * lb * m * k * n);
+    if rhs_broadcast || lb == 1 {
+        gemm_strided(a, k, 1, b, n, 1, c, lb * m, k, n);
+        return;
+    }
+    batch_gemms(c, lb, m * n, 2 * m * k * n, |bi, cb| {
+        gemm_strided(
+            &a[bi * m * k..][..m * k],
+            k,
+            1,
+            &b[bi * k * n..][..k * n],
+            n,
+            1,
+            cb,
+            m,
+            k,
+            n,
+        );
+    });
+}
+
+/// `c[m, n] += a[k, m]^T * b[k, n]` — matmul with the left operand
+/// transposed, used by backward passes (`dW = x^T dy`).
+///
+/// The packing strides absorb the transpose (no transposed copy is ever
+/// built); each output element accumulates over ascending `p` exactly
+/// like [`matmul_at_b_acc_ref`], so results are bit-identical to the
+/// reference and across thread counts.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `k*m`, `k*n`, `m*n`.
+pub fn matmul_at_b_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let _obs = OBS_MATMUL_AT_B.start();
+    assert_eq!(a.len(), k * m, "matmul_at lhs length");
+    assert_eq!(b.len(), k * n, "matmul_at rhs length");
+    assert_eq!(c.len(), m * n, "matmul_at out length");
+    FLOPS_MATMUL_AT_B.add(2 * m * k * n);
+    gemm_strided(a, 1, m, b, n, 1, c, m, k, n);
+}
+
+/// Batched `aᵀ·b`: for each batch item, `c_bi[m, n] += a[bi][rows, m]^T *
+/// b[bi][rows, n]`. With `acc_shared`, all batch items accumulate into
+/// one shared `c[m, n]` in ascending batch order — the `dW = Σ_b x_bᵀ dy_b`
+/// shape of a broadcast matmul's weight gradient.
+///
+/// The shared-accumulator case collapses into a single GEMM contracting
+/// over all `lb*rows` rows at once (batch-major row order — the identical
+/// per-element chain to looping batches in order), so both operands are
+/// packed exactly once. Records one `tensor.matmul_at_b` timer invocation
+/// for the whole batch.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with the batched shapes.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_at_b_batch_acc(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    lb: usize,
+    rows: usize,
+    m: usize,
+    n: usize,
+    acc_shared: bool,
+) {
+    let _obs = OBS_MATMUL_AT_B.start();
+    assert_eq!(a.len(), lb * rows * m, "matmul_at batch lhs length");
+    assert_eq!(b.len(), lb * rows * n, "matmul_at batch rhs length");
+    let c_len = if acc_shared { m * n } else { lb * m * n };
+    assert_eq!(c.len(), c_len, "matmul_at batch out length");
+    FLOPS_MATMUL_AT_B.add(2 * lb * rows * m * n);
+    if acc_shared || lb == 1 {
+        gemm_strided(a, 1, m, b, n, 1, c, m, lb * rows, n);
+        return;
+    }
+    batch_gemms(c, lb, m * n, 2 * rows * m * n, |bi, cb| {
+        gemm_strided(
+            &a[bi * rows * m..][..rows * m],
+            1,
+            m,
+            &b[bi * rows * n..][..rows * n],
+            n,
+            1,
+            cb,
+            m,
+            rows,
+            n,
+        );
+    });
+}
+
+/// `c[m, k] += a[m, n] * b[k, n]^T` — matmul with the right operand
+/// transposed, used by backward passes (`dx = dy W^T`) and the attention
+/// score product (`q·kᵀ`).
+///
+/// The packing strides absorb the transpose. Each output element
+/// accumulates its products in ascending `n` order **on top of the
+/// entering value of `c`** — bit-identical to [`matmul_a_bt_acc_ref`]
+/// when `c` starts zeroed (the only way the training stack calls it);
+/// when accumulating into a non-zero `c` the reference sums into a local
+/// temporary first, which can differ by a final rounding.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `m*n`, `k*n`, `m*k`.
+pub fn matmul_a_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
+    let _obs = OBS_MATMUL_A_BT.start();
+    assert_eq!(a.len(), m * n, "matmul_bt lhs length");
+    assert_eq!(b.len(), k * n, "matmul_bt rhs length");
+    assert_eq!(c.len(), m * k, "matmul_bt out length");
+    FLOPS_MATMUL_A_BT.add(2 * m * k * n);
+    gemm_strided(a, n, 1, b, 1, n, c, m, n, k);
+}
+
+/// Batched `a·bᵀ`: for each batch item, `c[bi][m, kr] += a[bi][m, nc] *
+/// b[bi][kr, nc]^T`, with `rhs_broadcast` sharing one `[kr, nc]` right
+/// operand across the batch (packed exactly once; the batch collapses
+/// into a single flattened GEMM). Records one `tensor.matmul_a_bt` timer
+/// invocation for the whole batch.
+///
+/// This is the kernel behind attention scores (`q·kᵀ` per head) and the
+/// tied MLM decoder (`h·Eᵀ`), neither of which materializes a transpose.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with the batched shapes.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_a_bt_batch_acc(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    lb: usize,
+    m: usize,
+    nc: usize,
+    kr: usize,
+    rhs_broadcast: bool,
+) {
+    let _obs = OBS_MATMUL_A_BT.start();
+    assert_eq!(a.len(), lb * m * nc, "matmul_bt batch lhs length");
+    let b_len = if rhs_broadcast { kr * nc } else { lb * kr * nc };
+    assert_eq!(b.len(), b_len, "matmul_bt batch rhs length");
+    assert_eq!(c.len(), lb * m * kr, "matmul_bt batch out length");
+    FLOPS_MATMUL_A_BT.add(2 * lb * m * nc * kr);
+    if rhs_broadcast || lb == 1 {
+        gemm_strided(a, nc, 1, b, 1, nc, c, lb * m, nc, kr);
+        return;
+    }
+    batch_gemms(c, lb, m * kr, 2 * m * nc * kr, |bi, cb| {
+        gemm_strided(
+            &a[bi * m * nc..][..m * nc],
+            nc,
+            1,
+            &b[bi * kr * nc..][..kr * nc],
+            1,
+            nc,
+            cb,
+            m,
+            nc,
+            kr,
+        );
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Naive reference GEMMs (retained for bench_kernels and the proptests)
+// ---------------------------------------------------------------------------
+
+/// Serial reference for [`matmul_acc`]: the previous naive `i-k-j` loop
+/// (with its zero-skip fast path). Retained so `bench_kernels` and the
+/// kernel proptests can pin the packed implementation against it.
+pub fn matmul_acc_ref(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "matmul lhs length");
+    assert_eq!(b.len(), k * n, "matmul rhs length");
+    assert_eq!(c.len(), m * n, "matmul out length");
+    for (i, c_row) in c.chunks_mut(n).enumerate() {
         let a_row = &a[i * k..(i + 1) * k];
         for (p, &av) in a_row.iter().enumerate() {
             if av == 0.0 {
@@ -47,115 +532,35 @@ fn matmul_rows_block(a: &[f32], b: &[f32], c_block: &mut [f32], i0: usize, k: us
     }
 }
 
-/// `c[m, n] += a[m, k] * b[k, n]` (single matrix, accumulate).
-///
-/// The serial inner loops use an `i-k-j` order so the innermost loop
-/// streams both `b` and `c` rows sequentially — the main single-thread
-/// cache-friendliness lever without unsafe SIMD — and blocks of `c` rows
-/// run on pool threads, which is where the multi-core speedup comes from.
-/// Zero entries of `a` skip their row-update entirely (common under
-/// dropout and padding masks).
-///
-/// # Panics
-///
-/// Panics if the slice lengths do not match `m*k`, `k*n`, `m*n`.
-pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    let _obs = OBS_MATMUL.start();
-    assert_eq!(a.len(), m * k, "matmul lhs length");
-    assert_eq!(b.len(), k * n, "matmul rhs length");
-    assert_eq!(c.len(), m * n, "matmul out length");
-    if m == 0 || n == 0 {
-        return;
-    }
-    let w = pool::workers_for(m, 2 * k * n);
-    if w <= 1 {
-        matmul_rows_block(a, b, c, 0, k, n);
-        return;
-    }
-    let block_rows = m.div_ceil(w);
-    let jobs: Vec<_> = c
-        .chunks_mut(block_rows * n)
-        .enumerate()
-        .map(|(blk, c_block)| move || matmul_rows_block(a, b, c_block, blk * block_rows, k, n))
-        .collect();
-    pool::run_jobs(jobs);
-}
-
-/// `c[m, n] += a[k, m]^T * b[k, n]` — matmul with the left operand
-/// transposed, used by backward passes (`dW = x^T dy`).
-///
-/// The serial path keeps the cache-friendly `p`-outer order (streaming `a`
-/// and `b` once). The parallel path partitions `c` rows and accumulates
-/// each row over ascending `p` — the same per-element addition order as
-/// the serial loop, so both paths produce bit-identical results.
-///
-/// # Panics
-///
-/// Panics if the slice lengths do not match `k*m`, `k*n`, `m*n`.
-pub fn matmul_at_b_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    let _obs = OBS_MATMUL_AT_B.start();
+/// Serial reference for [`matmul_at_b_acc`]: the previous naive `p`-outer
+/// streaming loop.
+pub fn matmul_at_b_acc_ref(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), k * m, "matmul_at lhs length");
     assert_eq!(b.len(), k * n, "matmul_at rhs length");
     assert_eq!(c.len(), m * n, "matmul_at out length");
-    if m == 0 || n == 0 {
-        return;
-    }
-    let w = pool::workers_for(m, 2 * k * n);
-    if w <= 1 {
-        for p in 0..k {
-            let a_row = &a[p * m..(p + 1) * m];
-            let b_row = &b[p * n..(p + 1) * n];
-            for (i, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let c_row = &mut c[i * n..(i + 1) * n];
-                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += av * bv;
-                }
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
             }
         }
-        return;
     }
-    let block_rows = m.div_ceil(w);
-    let jobs: Vec<_> = c
-        .chunks_mut(block_rows * n)
-        .enumerate()
-        .map(|(blk, c_block)| {
-            move || {
-                let i0 = blk * block_rows;
-                for (r, c_row) in c_block.chunks_mut(n).enumerate() {
-                    let i = i0 + r;
-                    for p in 0..k {
-                        let av = a[p * m + i];
-                        if av == 0.0 {
-                            continue;
-                        }
-                        let b_row = &b[p * n..(p + 1) * n];
-                        for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                            *cv += av * bv;
-                        }
-                    }
-                }
-            }
-        })
-        .collect();
-    pool::run_jobs(jobs);
 }
 
-/// Row-block body shared by the serial and parallel paths of
-/// [`matmul_a_bt_acc`]: each output element is an independent dot product.
-#[inline]
-fn matmul_a_bt_rows_block(
-    a: &[f32],
-    b: &[f32],
-    c_block: &mut [f32],
-    i0: usize,
-    n: usize,
-    k: usize,
-) {
-    for (r, c_row) in c_block.chunks_mut(k).enumerate() {
-        let i = i0 + r;
+/// Serial reference for [`matmul_a_bt_acc`]: the previous naive
+/// per-element dot product (summed into a local temporary, then added to
+/// `c` — identical to the packed chain when `c` starts zeroed).
+pub fn matmul_a_bt_acc_ref(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
+    assert_eq!(a.len(), m * n, "matmul_bt lhs length");
+    assert_eq!(b.len(), k * n, "matmul_bt rhs length");
+    assert_eq!(c.len(), m * k, "matmul_bt out length");
+    for (i, c_row) in c.chunks_mut(k).enumerate() {
         let a_row = &a[i * n..(i + 1) * n];
         for (j, cv) in c_row.iter_mut().enumerate() {
             let b_row = &b[j * n..(j + 1) * n];
@@ -166,36 +571,6 @@ fn matmul_a_bt_rows_block(
             *cv += acc;
         }
     }
-}
-
-/// `c[m, k] += a[m, n] * b[k, n]^T` — matmul with the right operand
-/// transposed, used by backward passes (`dx = dy W^T`). Each output
-/// element is an independent dot product, so `c` rows parallelize
-/// directly.
-///
-/// # Panics
-///
-/// Panics if the slice lengths do not match `m*n`, `k*n`, `m*k`.
-pub fn matmul_a_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
-    let _obs = OBS_MATMUL_A_BT.start();
-    assert_eq!(a.len(), m * n, "matmul_bt lhs length");
-    assert_eq!(b.len(), k * n, "matmul_bt rhs length");
-    assert_eq!(c.len(), m * k, "matmul_bt out length");
-    if m == 0 || k == 0 {
-        return;
-    }
-    let w = pool::workers_for(m, 2 * k * n);
-    if w <= 1 {
-        matmul_a_bt_rows_block(a, b, c, 0, n, k);
-        return;
-    }
-    let block_rows = m.div_ceil(w);
-    let jobs: Vec<_> = c
-        .chunks_mut(block_rows * k)
-        .enumerate()
-        .map(|(blk, c_block)| move || matmul_a_bt_rows_block(a, b, c_block, blk * block_rows, n, k))
-        .collect();
-    pool::run_jobs(jobs);
 }
 
 /// In-place numerically-stable softmax over contiguous rows of width

@@ -49,6 +49,14 @@ pub(crate) enum Op {
         /// RHS was rank-2 and shared across the whole batch.
         rhs_broadcast: bool,
     },
+    /// Batched matrix product with the RHS transposed in place
+    /// (`a · bᵀ`), computed directly by the packed `a·bᵀ` kernel —
+    /// attention scores (`q·kᵀ`) and the tied MLM decoder (`h·Eᵀ`)
+    /// without materializing a transposed operand.
+    MatmulABt {
+        /// RHS was rank-2 and shared across the whole batch.
+        rhs_broadcast: bool,
+    },
     /// Swap of the last two dimensions.
     TransposeLast2,
     /// Swap of axes 1 and 2 of a rank-4 tensor (attention head split).
@@ -318,40 +326,70 @@ pub(crate) fn backward_node(
             let b = &values[ins[1]];
             let (batch, m, k) = a.shape().as_batched_matrix();
             let n = b.shape().last_dim();
-            // da[b] = dy[b] . b[b]^T ; db[b] = a[b]^T . dy[b].
-            // The dy·b^T product is computed as a plain `ikj` matmul against
-            // an explicitly transposed RHS: the transpose is O(k·n) while
-            // the dot-product formulation of `a·b^T` vectorizes far worse
-            // than the streaming kernel.
-            let mut bt = pool.tensor_uninit(b.shape().transposed_last2()); // [.., n, k]
-            b.transpose_last2_into(bt.data_mut());
+            // da[b] = dy[b] · b[b]ᵀ ; db[b] = a[b]ᵀ · dy[b]. Both go
+            // through the packed batched kernels, whose packing strides
+            // absorb the transposes — no transposed copy of `b` is built,
+            // and a broadcast `db` collapses the per-batch accumulation
+            // into one GEMM contracting over all batch·m rows.
             // Zeroed: the kernels accumulate into these.
             let mut da = pool.tensor_zeroed(*a.shape());
             let mut db = pool.tensor_zeroed(*b.shape());
-            for bi in 0..batch {
-                let dyb = &dy.data()[bi * m * n..(bi + 1) * m * n];
-                let ab = &a.data()[bi * m * k..(bi + 1) * m * k];
-                let btb = if *rhs_broadcast {
-                    bt.data()
-                } else {
-                    &bt.data()[bi * k * n..(bi + 1) * k * n]
-                };
-                kernels::matmul_acc(
-                    dyb,
-                    btb,
-                    &mut da.data_mut()[bi * m * k..(bi + 1) * m * k],
-                    m,
-                    n,
-                    k,
-                );
-                let db_slice = if *rhs_broadcast {
-                    &mut db.data_mut()[..]
-                } else {
-                    &mut db.data_mut()[bi * k * n..(bi + 1) * k * n]
-                };
-                kernels::matmul_at_b_acc(ab, dyb, db_slice, k, m, n);
-            }
-            pool.recycle(bt);
+            kernels::matmul_a_bt_batch_acc(
+                dy.data(),
+                b.data(),
+                da.data_mut(),
+                batch,
+                m,
+                n,
+                k,
+                *rhs_broadcast,
+            );
+            kernels::matmul_at_b_batch_acc(
+                a.data(),
+                dy.data(),
+                db.data_mut(),
+                batch,
+                m,
+                k,
+                n,
+                *rhs_broadcast,
+            );
+            pool.recycle(dy);
+            accumulate(grads, pool, ins[0], da);
+            accumulate(grads, pool, ins[1], db);
+        }
+        Op::MatmulABt { rhs_broadcast } => {
+            // y[b] = a[b] · b[b]ᵀ with a `[.., m, nc]`, b `[.., kr, nc]`,
+            // dy `[.., m, kr]`:
+            //   da[b] = dy[b] · b[b]          (plain matmul)
+            //   db[b] = dy[b]ᵀ · a[b]         (lands directly in b's layout)
+            // with db batch-accumulated when the RHS was broadcast.
+            let a = &values[ins[0]];
+            let b = &values[ins[1]];
+            let (batch, m, nc) = a.shape().as_batched_matrix();
+            let (_, kr, _) = b.shape().as_batched_matrix();
+            let mut da = pool.tensor_zeroed(*a.shape());
+            let mut db = pool.tensor_zeroed(*b.shape());
+            kernels::matmul_batch_acc(
+                dy.data(),
+                b.data(),
+                da.data_mut(),
+                batch,
+                m,
+                kr,
+                nc,
+                *rhs_broadcast,
+            );
+            kernels::matmul_at_b_batch_acc(
+                dy.data(),
+                a.data(),
+                db.data_mut(),
+                batch,
+                m,
+                kr,
+                nc,
+                *rhs_broadcast,
+            );
             pool.recycle(dy);
             accumulate(grads, pool, ins[0], da);
             accumulate(grads, pool, ins[1], db);

@@ -229,47 +229,83 @@ impl Tensor {
         let n = rhs.shape.last_dim();
         let rhs_broadcast = rhs.shape.rank() == 2;
         debug_assert_eq!(out.numel(), lb * m * n, "matmul_into out size");
-        if out.numel() == 0 {
+        if out.numel() == 0 || k == 0 {
             return;
         }
-        // Parallel over the batch; each matmul plans nested workers against
-        // the remaining budget, so small batches still split by rows.
-        let w = crate::pool::workers_for(lb, 2 * m * k * n);
-        if w <= 1 {
-            for (b, c) in out.data.chunks_mut(m * n).enumerate() {
-                let a = &self.data[b * m * k..(b + 1) * m * k];
-                let bslice = if rhs_broadcast {
-                    &rhs.data[..]
-                } else {
-                    &rhs.data[b * k * n..(b + 1) * k * n]
-                };
-                kernels::matmul_acc(a, bslice, c, m, k, n);
-            }
+        // One batched kernel entry: a broadcast RHS is packed once for the
+        // whole batch; per-batch right-hand sides parallelize over batch
+        // blocks inside the kernel.
+        kernels::matmul_batch_acc(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            lb,
+            m,
+            k,
+            n,
+            rhs_broadcast,
+        );
+    }
+
+    /// Matrix product with the right operand transposed:
+    /// `self[.., M, K] · rhs[.., N, K]ᵀ -> [.., M, N]`, with `rhs` either
+    /// rank-2 (broadcast over the batch) or batch-matched. Computed
+    /// directly by the packed `a·bᵀ` kernel — no transposed copy of `rhs`
+    /// is ever materialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension or batch mismatch.
+    pub fn matmul_bt(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.matmul_bt_shape(rhs).dims());
+        self.matmul_bt_into(rhs, &mut out);
+        out
+    }
+
+    /// The output shape of `self.matmul_bt(rhs)`, validating the operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension or batch mismatch (same conditions as
+    /// [`Tensor::matmul_bt`]).
+    pub(crate) fn matmul_bt_shape(&self, rhs: &Tensor) -> Shape {
+        let (lb, _m, k) = self.shape.as_batched_matrix();
+        let (rb, n, rk) = rhs.shape.as_batched_matrix();
+        assert_eq!(
+            k, rk,
+            "matmul_bt inner dims differ: {} vs {}",
+            self.shape, rhs.shape
+        );
+        if rhs.shape.rank() != 2 {
+            assert_eq!(
+                lb, rb,
+                "matmul_bt batch dims differ: {} vs {}",
+                self.shape, rhs.shape
+            );
+        }
+        self.shape.with_last(n)
+    }
+
+    /// Batched `self · rhsᵀ` accumulated into `out` (shape from
+    /// [`Tensor::matmul_bt_shape`], pre-zeroed).
+    pub(crate) fn matmul_bt_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        let (lb, m, k) = self.shape.as_batched_matrix();
+        let (_, n, _) = rhs.shape.as_batched_matrix();
+        let rhs_broadcast = rhs.shape.rank() == 2;
+        debug_assert_eq!(out.numel(), lb * m * n, "matmul_bt_into out size");
+        if out.numel() == 0 || k == 0 {
             return;
         }
-        let block = lb.div_ceil(w).max(1);
-        let jobs: Vec<_> = out
-            .data
-            .chunks_mut(block * m * n)
-            .enumerate()
-            .map(|(blk, out_block)| {
-                let a_all = &self.data;
-                let b_all = &rhs.data;
-                move || {
-                    for (bi, c) in out_block.chunks_mut(m * n).enumerate() {
-                        let b = blk * block + bi;
-                        let a = &a_all[b * m * k..(b + 1) * m * k];
-                        let bslice = if rhs_broadcast {
-                            &b_all[..]
-                        } else {
-                            &b_all[b * k * n..(b + 1) * k * n]
-                        };
-                        kernels::matmul_acc(a, bslice, c, m, k, n);
-                    }
-                }
-            })
-            .collect();
-        crate::pool::run_jobs(jobs);
+        kernels::matmul_a_bt_batch_acc(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            lb,
+            m,
+            k,
+            n,
+            rhs_broadcast,
+        );
     }
 
     /// Returns the tensor with its last two dimensions transposed.

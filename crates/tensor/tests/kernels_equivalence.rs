@@ -1,0 +1,243 @@
+//! Packed-vs-reference GEMM agreement (DESIGN.md §3j).
+//!
+//! The packed register-blocked kernels are constructed to preserve each
+//! output element's floating-point accumulation chain, so these tests pin
+//! **bitwise** agreement with the retained naive references wherever that
+//! order is preserved (`matmul`, `matmul_at_b` for any initial output;
+//! `matmul_a_bt` for a zeroed output — the only way the training stack
+//! calls it), and a bounded rounding difference for the one reordered
+//! case (`matmul_a_bt` accumulating into a non-zero output, where the
+//! reference sums into a local temporary first). A second group pins the
+//! batched entry points against loops of single GEMMs.
+//!
+//! Shapes sweep the degenerate and tile-boundary cases: every dimension
+//! draws from {1, 3, MR−1, MR, MR+1, NR−1, NR, NR+1, 257}.
+
+use clinfl_tensor::kernels;
+use clinfl_tensor::kernels::{GEMM_MR, GEMM_NR};
+use proptest::prelude::*;
+
+/// Tile-boundary dimension grid from the issue: degenerate, odd, around
+/// both tile edges, and one larger-than-KC-unaligned prime.
+const DIMS: [usize; 9] = [
+    1,
+    3,
+    GEMM_MR - 1,
+    GEMM_MR,
+    GEMM_MR + 1,
+    GEMM_NR - 1,
+    GEMM_NR,
+    GEMM_NR + 1,
+    257,
+];
+
+/// Deterministic pseudo-random fill in roughly [-0.5, 0.5].
+fn fill(buf: &mut [f32], mut state: u64) {
+    state = state.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    for v in buf.iter_mut() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        *v = ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+    }
+}
+
+fn assert_bits_eq(packed: &[f32], reference: &[f32], what: &str) {
+    for (i, (p, r)) in packed.iter().zip(reference).enumerate() {
+        assert_eq!(
+            p.to_bits(),
+            r.to_bits(),
+            "{what}: element {i} differs: packed {p} vs reference {r}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `matmul_acc` is bitwise identical to the naive reference for any
+    /// initial output contents: the packed kernel loads the output tile
+    /// into its accumulators and adds products in ascending-k order, the
+    /// same per-element chain as the reference.
+    #[test]
+    fn matmul_matches_reference_bitwise(
+        mi in 0usize..DIMS.len(), ki in 0usize..DIMS.len(), ni in 0usize..DIMS.len(),
+        seed in 0u64..1000,
+    ) {
+        let (m, k, n) = (DIMS[mi], DIMS[ki], DIMS[ni]);
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![0.0f32; k * n];
+        let mut c0 = vec![0.0f32; m * n];
+        fill(&mut a, seed);
+        fill(&mut b, seed ^ 0xa5a5);
+        fill(&mut c0, seed ^ 0x5a5a);
+        let mut packed = c0.clone();
+        let mut reference = c0;
+        kernels::matmul_acc(&a, &b, &mut packed, m, k, n);
+        kernels::matmul_acc_ref(&a, &b, &mut reference, m, k, n);
+        assert_bits_eq(&packed, &reference, "matmul");
+    }
+
+    /// `matmul_at_b_acc` (transposed LHS, the `dW = xᵀdy` shape) is
+    /// bitwise identical to the reference for any initial output.
+    #[test]
+    fn matmul_at_b_matches_reference_bitwise(
+        mi in 0usize..DIMS.len(), ki in 0usize..DIMS.len(), ni in 0usize..DIMS.len(),
+        seed in 0u64..1000,
+    ) {
+        let (m, k, n) = (DIMS[mi], DIMS[ki], DIMS[ni]);
+        let mut a = vec![0.0f32; k * m];
+        let mut b = vec![0.0f32; k * n];
+        let mut c0 = vec![0.0f32; m * n];
+        fill(&mut a, seed);
+        fill(&mut b, seed ^ 0xa5a5);
+        fill(&mut c0, seed ^ 0x5a5a);
+        let mut packed = c0.clone();
+        let mut reference = c0;
+        kernels::matmul_at_b_acc(&a, &b, &mut packed, m, k, n);
+        kernels::matmul_at_b_acc_ref(&a, &b, &mut reference, m, k, n);
+        assert_bits_eq(&packed, &reference, "matmul_at_b");
+    }
+
+    /// `matmul_a_bt_acc` (transposed RHS) into a **zeroed** output — the
+    /// only way the training stack invokes it — is bitwise identical: a
+    /// chain grown from +0.0 equals the reference's local dot product.
+    #[test]
+    fn matmul_a_bt_zeroed_matches_reference_bitwise(
+        mi in 0usize..DIMS.len(), ni in 0usize..DIMS.len(), ki in 0usize..DIMS.len(),
+        seed in 0u64..1000,
+    ) {
+        let (m, n, k) = (DIMS[mi], DIMS[ni], DIMS[ki]);
+        let mut a = vec![0.0f32; m * n];
+        let mut b = vec![0.0f32; k * n];
+        fill(&mut a, seed);
+        fill(&mut b, seed ^ 0xa5a5);
+        let mut packed = vec![0.0f32; m * k];
+        let mut reference = vec![0.0f32; m * k];
+        kernels::matmul_a_bt_acc(&a, &b, &mut packed, m, n, k);
+        kernels::matmul_a_bt_acc_ref(&a, &b, &mut reference, m, n, k);
+        assert_bits_eq(&packed, &reference, "matmul_a_bt (zeroed)");
+    }
+
+    /// `matmul_a_bt_acc` into a non-zero output is the one documented
+    /// reorder: the reference rounds the dot product separately before
+    /// adding it to the output, the packed kernel accumulates on top of
+    /// the initial value directly. The results differ by at most a few
+    /// roundings at the scale of the accumulated magnitude.
+    #[test]
+    fn matmul_a_bt_nonzero_bounded_error(
+        mi in 0usize..DIMS.len(), ni in 0usize..DIMS.len(), ki in 0usize..DIMS.len(),
+        seed in 0u64..1000,
+    ) {
+        let (m, n, k) = (DIMS[mi], DIMS[ni], DIMS[ki]);
+        let mut a = vec![0.0f32; m * n];
+        let mut b = vec![0.0f32; k * n];
+        let mut c0 = vec![0.0f32; m * k];
+        fill(&mut a, seed);
+        fill(&mut b, seed ^ 0xa5a5);
+        fill(&mut c0, seed ^ 0x5a5a);
+        let mut packed = c0.clone();
+        let mut reference = c0.clone();
+        kernels::matmul_a_bt_acc(&a, &b, &mut packed, m, n, k);
+        kernels::matmul_a_bt_acc_ref(&a, &b, &mut reference, m, n, k);
+        for i in 0..m * k {
+            let (row, col) = (i / k, i % k);
+            // Magnitude of everything that flowed through the chain
+            // bounds the worst-case rounding difference.
+            let mut mag = c0[i].abs();
+            for p in 0..n {
+                mag += (a[row * n + p] * b[col * n + p]).abs();
+            }
+            let tol = 4.0 * f32::EPSILON * mag + f32::MIN_POSITIVE;
+            let diff = (packed[i] - reference[i]).abs();
+            prop_assert!(
+                diff <= tol,
+                "matmul_a_bt (non-zero init): element {i}: packed {} vs reference {} \
+                 (diff {diff:e} > tol {tol:e})",
+                packed[i], reference[i]
+            );
+        }
+    }
+
+    /// The batched `matmul` and `a·bᵀ` entry points are bitwise
+    /// equivalent to looping single GEMMs over the batch, for both
+    /// per-batch and broadcast second operands.
+    #[test]
+    fn batched_matches_loop_of_gemms(
+        lb in 1usize..5, mi in 0usize..6, ki in 0usize..6, ni in 0usize..6,
+        broadcast_bit in 0u8..2,
+        seed in 0u64..1000,
+    ) {
+        let (m, k, n) = (DIMS[mi], DIMS[ki], DIMS[ni]);
+        let broadcast = broadcast_bit == 1;
+        let b_items = if broadcast { 1 } else { lb };
+
+        // matmul: c[bi] += a[bi] · b([bi]).
+        let mut a = vec![0.0f32; lb * m * k];
+        let mut b = vec![0.0f32; b_items * k * n];
+        fill(&mut a, seed);
+        fill(&mut b, seed ^ 0xa5a5);
+        let mut batched = vec![0.0f32; lb * m * n];
+        let mut looped = vec![0.0f32; lb * m * n];
+        kernels::matmul_batch_acc(&a, &b, &mut batched, lb, m, k, n, broadcast);
+        for bi in 0..lb {
+            let bb = if broadcast { &b[..] } else { &b[bi * k * n..][..k * n] };
+            kernels::matmul_acc(
+                &a[bi * m * k..][..m * k], bb,
+                &mut looped[bi * m * n..][..m * n], m, k, n,
+            );
+        }
+        assert_bits_eq(&batched, &looped, "matmul_batch vs loop");
+
+        // a·bᵀ: c[bi] += a[bi] · b([bi])ᵀ with a [lb, m, k], b [(lb,) n, k].
+        let mut a2 = vec![0.0f32; lb * m * k];
+        let mut b2 = vec![0.0f32; b_items * n * k];
+        fill(&mut a2, seed ^ 0x1111);
+        fill(&mut b2, seed ^ 0x2222);
+        let mut batched = vec![0.0f32; lb * m * n];
+        let mut looped = vec![0.0f32; lb * m * n];
+        kernels::matmul_a_bt_batch_acc(&a2, &b2, &mut batched, lb, m, k, n, broadcast);
+        for bi in 0..lb {
+            let bb = if broadcast { &b2[..] } else { &b2[bi * n * k..][..n * k] };
+            kernels::matmul_a_bt_acc(
+                &a2[bi * m * k..][..m * k], bb,
+                &mut looped[bi * m * n..][..m * n], m, k, n,
+            );
+        }
+        assert_bits_eq(&batched, &looped, "matmul_a_bt_batch vs loop");
+    }
+
+    /// The batched `aᵀ·b` entry point matches looping single GEMMs, both
+    /// with per-batch outputs and with one shared accumulator summed over
+    /// the batch in ascending order (the broadcast-`dW` gradient shape).
+    #[test]
+    fn batched_at_b_matches_loop_of_gemms(
+        lb in 1usize..5, ri in 0usize..6, mi in 0usize..6, ni in 0usize..6,
+        shared_bit in 0u8..2,
+        seed in 0u64..1000,
+    ) {
+        let (rows, m, n) = (DIMS[ri], DIMS[mi], DIMS[ni]);
+        let shared = shared_bit == 1;
+        let mut a = vec![0.0f32; lb * rows * m];
+        let mut b = vec![0.0f32; lb * rows * n];
+        fill(&mut a, seed);
+        fill(&mut b, seed ^ 0xa5a5);
+        let c_items = if shared { 1 } else { lb };
+        let mut batched = vec![0.0f32; c_items * m * n];
+        let mut looped = vec![0.0f32; c_items * m * n];
+        kernels::matmul_at_b_batch_acc(&a, &b, &mut batched, lb, rows, m, n, shared);
+        for bi in 0..lb {
+            let cb = if shared {
+                &mut looped[..]
+            } else {
+                &mut looped[bi * m * n..][..m * n]
+            };
+            kernels::matmul_at_b_acc(
+                &a[bi * rows * m..][..rows * m],
+                &b[bi * rows * n..][..rows * n],
+                cb, m, rows, n,
+            );
+        }
+        assert_bits_eq(&batched, &looped, "matmul_at_b_batch vs loop");
+    }
+}

@@ -10,6 +10,10 @@
 #                  require bit-identical weights; dir kept in
 #                  target/chaos-resume on failure for artifact upload)
 #   bench-smoke    bench_report smoke run + schema check of BENCH_report.json
+#   kernels        packed-GEMM perf floor (DESIGN.md §3j): bench_kernels times
+#                  the packed register-blocked kernels against the retained
+#                  naive references across the smoke run's hot shapes, writes
+#                  BENCH_kernels.json, and fails below a 2.5x aggregate speedup
 #   wire-codec     bench_report smoke with delta+topk0.05+int8 negotiated under
 #                  aggressive faults; fails unless encoded bytes are <= 1/10 of
 #                  the raw protocol (BENCH_wire_codec.json, DESIGN.md §3g)
@@ -44,7 +48,7 @@ mkdir -p target
 TIMINGS=target/ci-timings.tsv
 RSS_FILE=target/.leg-rss
 
-ALL_LEGS="build test-serial test-parallel test-faults resume bench-smoke wire-codec scale jobs doc clippy fmt"
+ALL_LEGS="build test-serial test-parallel test-faults resume bench-smoke kernels wire-codec scale jobs doc clippy fmt"
 
 # Runs "$@" as a child and, after it exits, writes the peak RSS in KB of
 # the child process tree (getrusage RUSAGE_CHILDREN) to $RSS_FILE. The
@@ -109,6 +113,14 @@ run_leg() {
         leg bench-smoke bash -c \
             'cargo run --release -q -p clinfl-bench --bin bench_report -- --smoke --out BENCH_report.json \
              && cargo run --release -q -p clinfl-bench --bin bench_report -- --check BENCH_report.json'
+        ;;
+    kernels)
+        # Kernel perf floor: the packed GEMM micro-kernels must hold an
+        # aggregate >=2.5x speedup over the naive references on the smoke
+        # run's hot shapes, or the tentpole win of PR 9 has regressed.
+        leg kernels bash -c \
+            'cargo run --release -q -p clinfl-bench --bin bench_kernels -- --run --out BENCH_kernels.json \
+             && cargo run --release -q -p clinfl-bench --bin bench_kernels -- --check BENCH_kernels.json --min-speedup 2.5'
         ;;
     wire-codec)
         # Compression gate: the full negotiated stack (delta ring + top-k +
