@@ -5,6 +5,9 @@
 //! clinfl centralized --model lstm --scale 16
 //! clinfl standalone  --model bert-mini --scale 16
 //! clinfl federated   --model lstm --scale 16 [--balanced] [--echo]
+//!                    [--dirichlet A] [--sample-fraction F]
+//!                    [--dp-clip C] [--dp-sigma S] [--dp-delta D]
+//!                    [--fedprox-mu M] [--personalize-epochs N]
 //!                    [--checkpoint-dir D] [--resume D] [--retain N]
 //!                    [--wire-codec S] [--wire-quant Q] [--wire-topk F]
 //!                    [--tree-depth D] [--tree-fanout F]
@@ -34,6 +37,16 @@
 //! federation through a hierarchical aggregation tree: interior nodes
 //! partial-FedAvg their shard of sites and forward one update upstream
 //! (DESIGN.md §3h). Depth `<= 1` keeps the classic flat fleet.
+//!
+//! Scenario knobs (DESIGN.md §3k): `--dirichlet A` draws the site
+//! partition from a symmetric Dirichlet(α) (lower α = more quantity
+//! skew); `--sample-fraction F` trains a seeded `ceil(F·n)`-site subset
+//! each round; `--dp-clip C` + `--dp-sigma S` enable DP-SGD (clip each
+//! site's update to L2 norm `C`, add Gaussian noise `S·C`), with the
+//! cumulative (ε, δ) at `--dp-delta D` (default 1e-5) printed at the
+//! end; `--fedprox-mu M` adds the FedProx proximal term; and
+//! `--personalize-epochs N` fine-tunes the final global model locally at
+//! each site for `N` epochs after the federation.
 //!
 //! Every subcommand runs on the synthetic cohort/corpus at `1/scale` of
 //! the paper's data volumes (see DESIGN.md for the substitution rationale).
@@ -71,15 +84,24 @@ struct Args {
     wire_topk: Option<f64>,
     tree_depth: Option<u32>,
     tree_fanout: Option<usize>,
+    dirichlet: Option<f64>,
+    sample_fraction: Option<f64>,
+    dp_clip: Option<f32>,
+    dp_sigma: Option<f32>,
+    dp_delta: Option<f64>,
+    fedprox_mu: Option<f32>,
+    personalize_epochs: Option<u32>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: clinfl <centralized|standalone|federated|pretrain|table3|fig2> \
          [--scale N] [--model lstm|bert|bert-mini] [--scheme centralized|small|fl-imbalanced|fl-balanced] \
-         [--balanced] [--echo] [--checkpoint-dir D] [--resume D] [--retain N] \
+         [--balanced] [--dirichlet A] [--echo] [--checkpoint-dir D] [--resume D] [--retain N] \
          [--wire-codec S] [--wire-quant f32|f16|int8] [--wire-topk F] \
-         [--tree-depth D] [--tree-fanout F]\n\
+         [--tree-depth D] [--tree-fanout F] \
+         [--sample-fraction F] [--dp-clip C] [--dp-sigma S] [--dp-delta D] \
+         [--fedprox-mu M] [--personalize-epochs N]\n\
          \x20      clinfl serve [--addr A] [--addr-file F] [--max-jobs N] [--scale N] [--checkpoint-root D]\n\
          \x20      clinfl job <submit|list|abort|metrics> [--addr A] [--file F] [--id N] [--follow]"
     );
@@ -317,6 +339,13 @@ fn parse_args() -> Result<Args, ExitCode> {
         wire_topk: None,
         tree_depth: None,
         tree_fanout: None,
+        dirichlet: None,
+        sample_fraction: None,
+        dp_clip: None,
+        dp_sigma: None,
+        dp_delta: None,
+        fedprox_mu: None,
+        personalize_epochs: None,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -362,6 +391,29 @@ fn parse_args() -> Result<Args, ExitCode> {
                 args.tree_fanout =
                     Some(argv.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
             }
+            "--dirichlet" => {
+                args.dirichlet = Some(argv.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
+            }
+            "--sample-fraction" => {
+                args.sample_fraction =
+                    Some(argv.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
+            }
+            "--dp-clip" => {
+                args.dp_clip = Some(argv.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
+            }
+            "--dp-sigma" => {
+                args.dp_sigma = Some(argv.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
+            }
+            "--dp-delta" => {
+                args.dp_delta = Some(argv.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
+            }
+            "--fedprox-mu" => {
+                args.fedprox_mu = Some(argv.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
+            }
+            "--personalize-epochs" => {
+                args.personalize_epochs =
+                    Some(argv.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
+            }
             _ => return Err(usage()),
         }
     }
@@ -397,6 +449,28 @@ fn main() -> ExitCode {
     }
     if let Some(f) = args.tree_fanout {
         cfg.runtime.tree_fanout = f;
+    }
+    if let Some(f) = args.sample_fraction {
+        if f <= 0.0 || f.is_nan() {
+            eprintln!("--sample-fraction must be positive, got {f}");
+            return ExitCode::from(2);
+        }
+        cfg.runtime.client_sample_fraction = f;
+    }
+    cfg.runtime.dp_clip = args.dp_clip;
+    if let Some(s) = args.dp_sigma {
+        cfg.runtime.dp_sigma = s;
+    }
+    if let Some(d) = args.dp_delta {
+        cfg.runtime.dp_delta = d;
+    }
+    cfg.runtime.fedprox_mu = args.fedprox_mu;
+    if let Some(n) = args.personalize_epochs {
+        cfg.runtime.personalize_epochs = n;
+    }
+    if let Err(e) = cfg.runtime.dp_params() {
+        eprintln!("invalid DP config: {e}");
+        return ExitCode::from(2);
     }
     if cfg.runtime.tree_depth >= 2 {
         println!(
@@ -445,7 +519,16 @@ fn main() -> ExitCode {
             );
         }
         "federated" => {
-            let partitioner = if args.balanced {
+            let partitioner = if let Some(alpha) = args.dirichlet {
+                if alpha <= 0.0 || alpha.is_nan() {
+                    eprintln!("--dirichlet alpha must be positive, got {alpha}");
+                    return ExitCode::from(2);
+                }
+                clinfl_data::SitePartitioner::Dirichlet {
+                    n_sites: cfg.n_clients,
+                    alpha,
+                }
+            } else if args.balanced {
                 cfg.balanced_partitioner()
             } else {
                 cfg.imbalanced_partitioner()
@@ -468,6 +551,15 @@ fn main() -> ExitCode {
                         args.model,
                         100.0 * out.accuracy
                     );
+                    if let Some((eps, delta)) = out.privacy {
+                        println!("differential privacy: (ε = {eps:.3}, δ = {delta:.0e})");
+                    }
+                    if let Some(mean) = out.personalized_mean {
+                        for (i, acc) in out.personalized_per_site.iter().enumerate() {
+                            println!("personalized site-{}: {:.1}%", i + 1, 100.0 * acc);
+                        }
+                        println!("personalized mean accuracy: {:.1}%", 100.0 * mean);
+                    }
                 }
                 Err(e) => {
                     eprintln!("federation failed: {e}");

@@ -165,6 +165,29 @@ pub struct RuntimeConfig {
     /// Maximum children per aggregation-tree node (only meaningful with
     /// `tree_depth >= 2`).
     pub tree_fanout: usize,
+    /// Per-round client sampling fraction in `(0, 1]`. Each round the
+    /// server seeds a deterministic draw of `ceil(fraction · n)` sites
+    /// from `(seed, round)` and only they train; everyone still receives
+    /// the validation broadcast. Values `>= 1.0` disable sampling and
+    /// take the exact legacy (bit-identical) code path.
+    pub client_sample_fraction: f64,
+    /// DP-SGD clipping norm: each site's weight delta is clipped to this
+    /// global L2 norm before Gaussian noise is added. `None` disables the
+    /// DP filter entirely (no clipping, no noise, no accountant).
+    pub dp_clip: Option<f32>,
+    /// DP-SGD noise multiplier σ (noise std = `dp_sigma · dp_clip` per
+    /// coordinate). Only meaningful with `dp_clip` set.
+    pub dp_sigma: f32,
+    /// Target δ of the (ε, δ) guarantee tracked by
+    /// `clinfl_flare::privacy::DpAccountant`.
+    pub dp_delta: f64,
+    /// FedProx proximal coefficient μ: local training adds
+    /// `μ/2 · ‖w − w_global‖²` to anchor sites near the global model
+    /// under non-IID drift. `None` keeps plain FedAvg local training.
+    pub fedprox_mu: Option<f32>,
+    /// Post-FL personalization: each site fine-tunes the final global
+    /// model on its own shard for this many local epochs (0 disables).
+    pub personalize_epochs: u32,
 }
 
 impl Default for RuntimeConfig {
@@ -183,6 +206,12 @@ impl Default for RuntimeConfig {
             wire_topk: None,
             tree_depth: 0,
             tree_fanout: 8,
+            client_sample_fraction: 1.0,
+            dp_clip: None,
+            dp_sigma: 1.0,
+            dp_delta: 1e-5,
+            fedprox_mu: None,
+            personalize_epochs: 0,
         }
     }
 }
@@ -214,6 +243,32 @@ impl RuntimeConfig {
             spec.topk_permille = Some(((f * 1000.0).round() as u16).clamp(1, 1000));
         }
         Ok(spec)
+    }
+
+    /// Resolves the DP-SGD knobs: `Ok(None)` when DP is off (`dp_clip`
+    /// unset), `Ok(Some((clip, sigma)))` when on and in range.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when `dp_clip`, `dp_sigma`, or `dp_delta`
+    /// is out of range.
+    pub fn dp_params(&self) -> Result<Option<(f32, f32)>, String> {
+        let Some(clip) = self.dp_clip else {
+            return Ok(None);
+        };
+        if !(clip > 0.0 && clip.is_finite()) {
+            return Err(format!("dp_clip {clip} must be a positive finite norm"));
+        }
+        if !(self.dp_sigma > 0.0 && self.dp_sigma.is_finite()) {
+            return Err(format!(
+                "dp_sigma {} must be a positive finite noise multiplier",
+                self.dp_sigma
+            ));
+        }
+        if !(self.dp_delta > 0.0 && self.dp_delta < 1.0) {
+            return Err(format!("dp_delta {} must be in (0, 1)", self.dp_delta));
+        }
+        Ok(Some((clip, self.dp_sigma)))
     }
 }
 
@@ -315,6 +370,19 @@ mod tests {
         assert!(
             TrainHyper::for_model(ModelSpec::Lstm).lr > TrainHyper::for_model(ModelSpec::Bert).lr
         );
+    }
+
+    #[test]
+    fn dp_params_validate() {
+        let mut rt = RuntimeConfig::default();
+        assert_eq!(rt.dp_params(), Ok(None));
+        rt.dp_clip = Some(1.0);
+        assert_eq!(rt.dp_params(), Ok(Some((1.0, 1.0))));
+        rt.dp_sigma = 0.0;
+        assert!(rt.dp_params().is_err());
+        rt.dp_sigma = 1.0;
+        rt.dp_delta = 1.0;
+        assert!(rt.dp_params().is_err());
     }
 
     #[test]

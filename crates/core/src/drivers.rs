@@ -7,6 +7,8 @@ use crate::learner::{Learner, MlmLearner};
 use clinfl_data::{generate_cohort, generate_corpus, ClassifyDataset, CodeSystem, SitePartitioner};
 use clinfl_flare::aggregator::WeightedFedAvg;
 use clinfl_flare::controller::SagConfig;
+use clinfl_flare::filters::{DpGaussian, FilterChain};
+use clinfl_flare::privacy::DpAccountant;
 use clinfl_flare::simulator::{SimulatorConfig, SimulatorRunner, TreeConfig};
 use clinfl_flare::{EventLog, FlareError};
 use clinfl_models::BertConfig;
@@ -51,6 +53,16 @@ pub struct TrainOutcome {
     pub history: Vec<(f64, f64)>,
     /// The run's event log (federated runs only).
     pub log: Option<EventLog>,
+    /// Per-site accuracy after post-FL personalization (each site
+    /// fine-tunes the final global model on its own shard for
+    /// `RuntimeConfig::personalize_epochs` local epochs). Empty when
+    /// personalization is disabled.
+    pub personalized_per_site: Vec<f64>,
+    /// Mean of `personalized_per_site` (`None` when disabled).
+    pub personalized_mean: Option<f64>,
+    /// Cumulative `(ε, δ)` from the DP accountant (`None` when DP-SGD is
+    /// off).
+    pub privacy: Option<(f64, f64)>,
 }
 
 /// Centralized training: one model over the pooled dataset — the paper's
@@ -85,6 +97,9 @@ fn centralized_on(
         accuracy: learner.evaluate(valid),
         history,
         log: None,
+        personalized_per_site: Vec::new(),
+        personalized_mean: None,
+        privacy: None,
     }
 }
 
@@ -140,9 +155,10 @@ fn simulator_config(cfg: &PipelineConfig) -> Result<SimulatorConfig, FlareError>
             rounds: cfg.rounds,
             min_clients: cfg.runtime.min_clients,
             round_timeout: cfg.runtime.round_timeout,
-            validate_global: true,
+            validate_global: true, // doubles as the unsampled clients' keepalive
             quorum_grace: cfg.runtime.quorum_grace,
             resume_from: None, // loaded by the simulator when `resume` is set
+            client_sample_fraction: cfg.runtime.client_sample_fraction,
         },
         seed: cfg.seed,
         behaviors: BTreeMap::new(),
@@ -188,31 +204,110 @@ pub fn train_federated_with(
     let hyper = TrainHyper::for_model(spec);
     let vocab_size = data.code_system.vocab().len();
 
+    let dp = cfg
+        .runtime
+        .dp_params()
+        .map_err(|e| FlareError::Codec(format!("bad DP config: {e}")))?;
+
     let seed_learner = Learner::new(spec, vocab_size, cfg.seq_len, hyper, cfg.seed);
     let initial = seed_learner.export_weights();
 
     let runner = SimulatorRunner::with_log(simulator_config(cfg)?, log.clone());
     let valid = data.valid.clone();
-    let result = runner.run_simple(
+    let result = runner.run(
         initial,
         |i, _site| {
             let learner = Learner::new(spec, vocab_size, cfg.seq_len, hyper, cfg.seed);
-            Box::new(ClinicalExecutor::new(
+            let mut executor = ClinicalExecutor::new(
                 learner,
                 shards[i].clone(),
                 valid.clone(),
                 cfg.local_epochs,
                 log.clone(),
-            ))
+            );
+            if let Some(mu) = cfg.runtime.fedprox_mu {
+                executor = executor.with_prox(mu);
+            }
+            Box::new(executor)
         },
         &WeightedFedAvg,
+        |i| {
+            // With DP on, every site's outgoing update is clipped and
+            // noised before it leaves the client — the server only ever
+            // sees the privatized delta.
+            let mut chain = FilterChain::new();
+            if let Some((clip, sigma)) = dp {
+                chain.push(Box::new(DpGaussian {
+                    clip_norm: clip,
+                    sigma,
+                    seed: cfg.seed ^ (i as u64 + 1).wrapping_mul(0xD1FF),
+                }));
+            }
+            chain
+        },
     )?;
+
+    // DP accounting: one noised release per completed round, amplified by
+    // the effective per-round sampling rate k/n (mirroring
+    // `clinfl_flare::controller::sample_sites`' k = ceil(fraction·n)).
+    let privacy = dp.map(|(_clip, sigma)| {
+        let n = cfg.n_clients.max(1);
+        let fraction = cfg.runtime.client_sample_fraction;
+        let q = if fraction >= 1.0 {
+            1.0
+        } else {
+            ((fraction.max(0.0) * n as f64).ceil() as usize).clamp(1, n) as f64 / n as f64
+        };
+        let mut acc = DpAccountant::new(f64::from(sigma), q, cfg.runtime.dp_delta);
+        for _ in &result.workflow.rounds {
+            acc.step();
+        }
+        acc.publish(&clinfl_obs::Registry::global());
+        (acc.epsilon(), acc.delta())
+    });
 
     // Server-side final evaluation of the aggregated model on the full
     // validation split.
+    let final_weights = &result.workflow.final_weights;
     let mut eval = Learner::new(spec, vocab_size, cfg.seq_len, hyper, cfg.seed);
-    eval.load_weights_owned(result.workflow.final_weights);
+    eval.load_weights(final_weights);
     let accuracy = eval.evaluate(&data.valid);
+
+    // Personalization arm: each site fine-tunes the final global model on
+    // its own shard, in parallel under the compute-permit budget (same
+    // scheme as `train_standalone`; results keyed by site index, so the
+    // output never depends on the thread schedule).
+    let mut personalized_per_site = Vec::new();
+    if cfg.runtime.personalize_epochs > 0 {
+        personalized_per_site = vec![0.0f64; shards.len()];
+        std::thread::scope(|s| {
+            for (i, (shard, slot)) in shards
+                .iter()
+                .zip(personalized_per_site.iter_mut())
+                .enumerate()
+            {
+                let valid = &data.valid;
+                s.spawn(move || {
+                    let _permit = clinfl_tensor::pool::compute_permit();
+                    let mut learner = Learner::new(
+                        spec,
+                        vocab_size,
+                        cfg.seq_len,
+                        hyper,
+                        cfg.seed.wrapping_add(0x9E + i as u64),
+                    );
+                    learner.load_weights(final_weights);
+                    for _ in 0..cfg.runtime.personalize_epochs {
+                        learner.train_epoch(shard);
+                    }
+                    *slot = learner.evaluate(valid);
+                });
+            }
+        });
+    }
+    let personalized_mean = (!personalized_per_site.is_empty())
+        .then(|| personalized_per_site.iter().sum::<f64>() / personalized_per_site.len() as f64);
+
     let history = result
         .workflow
         .rounds
@@ -231,6 +326,9 @@ pub fn train_federated_with(
         accuracy,
         history,
         log: Some(result.log),
+        personalized_per_site,
+        personalized_mean,
+        privacy,
     })
 }
 
@@ -475,18 +573,18 @@ fn mlm_warmup(cfg: &PipelineConfig, n_train: usize, batch_size: usize) -> LrSche
     }
 }
 
+/// Splits the MLM corpus into per-site shards with the same
+/// largest-remainder allocation as `clinfl_data::partition_by_ratios`.
+/// The old cumulative `start + round(n·rᵢ)` scheme let per-site rounding
+/// drift accumulate, silently starving (even emptying) the last sites on
+/// small corpora.
 fn split_sequences(seqs: &[Encoded], ratios: Vec<f64>) -> Vec<Vec<Encoded>> {
-    let n = seqs.len();
+    let counts = clinfl_data::allocate_counts(seqs.len(), &ratios);
     let mut out = Vec::with_capacity(ratios.len());
     let mut start = 0usize;
-    for (i, r) in ratios.iter().enumerate() {
-        let end = if i + 1 == ratios.len() {
-            n
-        } else {
-            (start + (n as f64 * r).round() as usize).min(n)
-        };
-        out.push(seqs[start..end].to_vec());
-        start = end;
+    for c in counts {
+        out.push(seqs[start..start + c].to_vec());
+        start += c;
     }
     out
 }
@@ -549,6 +647,41 @@ mod tests {
         assert_eq!(shards.iter().map(Vec::len).sum::<usize>(), 100);
         assert_eq!(shards.len(), 8);
         assert!(shards[0].len() > shards[7].len());
+    }
+
+    #[test]
+    fn mlm_split_has_no_rounding_drift() {
+        let e = Encoded {
+            ids: vec![2],
+            attention_mask: vec![1],
+        };
+        // The old cumulative-rounding split emptied trailing shards on
+        // small corpora; largest-remainder keeps every shard non-empty
+        // whenever n >= sites.
+        for n in [8usize, 10, 17, 33] {
+            let seqs = vec![e.clone(); n];
+            let shards = split_sequences(&seqs, clinfl_data::PAPER_IMBALANCED_RATIOS.to_vec());
+            assert_eq!(shards.iter().map(Vec::len).sum::<usize>(), n, "n={n}");
+            assert!(shards.iter().all(|s| !s.is_empty()), "empty shard at n={n}");
+        }
+    }
+
+    #[test]
+    fn federated_scenario_knobs_run() {
+        let mut cfg = tiny_cfg();
+        cfg.runtime.client_sample_fraction = 0.5;
+        cfg.runtime.dp_clip = Some(1.0);
+        cfg.runtime.dp_sigma = 0.8;
+        cfg.runtime.fedprox_mu = Some(0.01);
+        cfg.runtime.personalize_epochs = 1;
+        let out = train_federated(&cfg, ModelSpec::Lstm).unwrap();
+        assert!(out.accuracy > 0.0 && out.accuracy <= 1.0);
+        let (eps, delta) = out.privacy.expect("DP on => privacy tracked");
+        assert!(eps > 0.0 && eps.is_finite());
+        assert!((delta - 1e-5).abs() < 1e-12);
+        assert_eq!(out.personalized_per_site.len(), 8);
+        let mean = out.personalized_mean.expect("personalization ran");
+        assert!(mean > 0.0 && mean <= 1.0);
     }
 
     #[test]

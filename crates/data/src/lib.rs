@@ -41,5 +41,5 @@ pub use codes::{CodeSystem, CodeSystemSpec};
 pub use cohort::{generate_cohort, Cohort, CohortSpec, Patient};
 pub use corpus::{generate_corpus, Corpus, PretrainSpec};
 pub use dataset::{Batch, BatchIter, ClassifyDataset, Example};
-pub use notes::render_note;
-pub use partition::{SitePartitioner, PAPER_IMBALANCED_RATIOS};
+pub use notes::{render_note, render_note_for_site};
+pub use partition::{allocate_counts, SitePartitioner, PAPER_IMBALANCED_RATIOS};

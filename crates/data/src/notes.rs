@@ -17,16 +17,77 @@ use crate::cohort::Patient;
 /// transcription with a templated header, so tests (and tokenizers) see
 /// stable text.
 pub fn render_note(patient: &Patient) -> String {
+    render_note_for_site(patient, 0, 0.0)
+}
+
+/// Renders one patient's note with **site-specific vocabulary drift**:
+/// federated silos document the same clinical events with different house
+/// styles, and `drift` in `[0, 1]` controls how much of this site's
+/// phrasing diverges from the canonical [`render_note`] templates.
+///
+/// The choice of which event templates a site rewrites is a deterministic
+/// function of `(site, event code)` — each site has a stable dialect, the
+/// same across every patient and every call — so `drift = 0.0` is
+/// bit-identical to [`render_note`] and two sites with the same index
+/// produce the same text.
+pub fn render_note_for_site(patient: &Patient, site: usize, drift: f64) -> String {
+    assert!((0.0..=1.0).contains(&drift), "drift must be in [0,1]");
     let mut out = String::with_capacity(patient.events.len() * 24 + 64);
-    out.push_str(&format!(
-        "patient {} presented for antiplatelet management.",
-        patient.id
-    ));
+    if site_uses_dialect(site, "HEADER", drift) {
+        out.push_str(&format!(
+            "patient {} reviewed in the anticoagulation clinic.",
+            patient.id
+        ));
+    } else {
+        out.push_str(&format!(
+            "patient {} presented for antiplatelet management.",
+            patient.id
+        ));
+    }
     for event in &patient.events {
         out.push(' ');
-        out.push_str(&describe_event(event));
+        if site_uses_dialect(site, event, drift) {
+            out.push_str(&describe_event_dialect(event));
+        } else {
+            out.push_str(&describe_event(event));
+        }
     }
     out
+}
+
+/// True when `site`'s dialect rewrites the template for `key`: an
+/// FNV-style hash of `(site, key)` mapped into `[0, 1)` and compared to
+/// `drift`, so the rewritten subset grows monotonically with `drift`.
+fn site_uses_dialect(site: usize, key: &str, drift: f64) -> bool {
+    if drift <= 0.0 {
+        return false;
+    }
+    let mut h: u64 = 0xcbf29ce484222325 ^ (site as u64).wrapping_mul(0x100000001b3);
+    for b in key.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    ((h >> 11) as f64 / (1u64 << 53) as f64) < drift
+}
+
+/// Alternate house-style phrasings (the drifted vocabulary).
+fn describe_event_dialect(code: &str) -> String {
+    match code {
+        CodeSystem::CLOPIDOGREL => "commenced on clopidogrel 75mg od.".to_string(),
+        CodeSystem::CLOPIDOGREL_HIGH => "clopidogrel uptitrated to 150mg od.".to_string(),
+        CodeSystem::INTERACTING => "ppi cover with omeprazole 20mg commenced.".to_string(),
+        CodeSystem::RISK_DM2 => "known t2dm on background.".to_string(),
+        CodeSystem::RISK_CKD => "ckd stage 3 documented at baseline.".to_string(),
+        CodeSystem::INDEX_ACS => "index presentation with acs.".to_string(),
+        other => {
+            if let Some(code) = other.strip_prefix("DX:") {
+                format!("dx code {code} recorded.")
+            } else if let Some(code) = other.strip_prefix("RX:") {
+                format!("rx {code} issued.")
+            } else {
+                format!("finding {other} charted.")
+            }
+        }
+    }
 }
 
 fn describe_event(code: &str) -> String {
@@ -102,6 +163,56 @@ mod tests {
         assert!(vocab.id("clopidogrel").is_some());
         let tok = NoteTokenizer::new(vocab, 48);
         let e = tok.encode(&render_note(&cohort.patients[0]));
+        assert_eq!(e.ids.len(), 48);
+        assert!(e.real_len() > 10);
+    }
+
+    #[test]
+    fn zero_drift_matches_canonical_note() {
+        let cs = CodeSystem::new();
+        let cohort = generate_cohort(&cs, &CohortSpec::small(20, 13));
+        for p in &cohort.patients {
+            for site in 0..4 {
+                assert_eq!(render_note_for_site(p, site, 0.0), render_note(p));
+            }
+        }
+    }
+
+    #[test]
+    fn drift_is_deterministic_and_site_specific() {
+        let cs = CodeSystem::new();
+        let cohort = generate_cohort(&cs, &CohortSpec::small(60, 14));
+        let p = &cohort.patients[0];
+        // Stable per (site, drift) …
+        assert_eq!(
+            render_note_for_site(p, 1, 0.6),
+            render_note_for_site(p, 1, 0.6)
+        );
+        // … and at full drift every template is rewritten, so any two
+        // patients' notes differ from the canonical rendering.
+        let drifted = render_note_for_site(p, 3, 1.0);
+        assert_ne!(drifted, render_note(p));
+        assert!(drifted.contains("anticoagulation clinic"), "{drifted}");
+        // Some pair of sites must disagree at intermediate drift (each
+        // site has its own dialect subset).
+        let texts: Vec<String> = (0..6).map(|s| render_note_for_site(p, s, 0.5)).collect();
+        assert!(
+            texts.iter().any(|t| t != &texts[0]),
+            "expected site dialects to diverge at drift 0.5"
+        );
+    }
+
+    #[test]
+    fn drifted_notes_still_feed_word_pipeline() {
+        let cs = CodeSystem::new();
+        let cohort = generate_cohort(&cs, &CohortSpec::small(40, 15));
+        let mut builder = WordVocabBuilder::new(2);
+        for (i, p) in cohort.patients.iter().enumerate() {
+            builder.feed(&render_note_for_site(p, i % 4, 0.8));
+        }
+        let vocab = builder.build();
+        let tok = NoteTokenizer::new(vocab, 48);
+        let e = tok.encode(&render_note_for_site(&cohort.patients[0], 0, 0.8));
         assert_eq!(e.ids.len(), 48);
         assert!(e.real_len() > 10);
     }

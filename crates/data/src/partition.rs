@@ -1,4 +1,5 @@
-//! Multi-site data partitioners (balanced, paper-imbalanced, label-skew).
+//! Multi-site data partitioners (balanced, paper-imbalanced, label-skew,
+//! Dirichlet quantity-skew).
 
 use crate::dataset::ClassifyDataset;
 use rand::rngs::StdRng;
@@ -28,6 +29,17 @@ pub enum SitePartitioner {
         /// In `[0, 1]`: 0 = uniform, 1 = fully single-class sites.
         bias: f64,
     },
+    /// Dirichlet quantity skew: per-site fractions are drawn once from
+    /// `Dirichlet(alpha)` (deterministic in the partition seed). Small
+    /// `alpha` (≈0.1) produces heavily skewed silo sizes, large `alpha`
+    /// (≥10) approaches a balanced split — the standard non-IID knob in
+    /// the federated-learning literature.
+    Dirichlet {
+        /// Number of sites.
+        n_sites: usize,
+        /// Concentration parameter (> 0).
+        alpha: f64,
+    },
 }
 
 impl SitePartitioner {
@@ -42,18 +54,23 @@ impl SitePartitioner {
             SitePartitioner::Balanced { n_sites } => *n_sites,
             SitePartitioner::Ratios(r) => r.len(),
             SitePartitioner::LabelSkew { n_sites, .. } => *n_sites,
+            SitePartitioner::Dirichlet { n_sites, .. } => *n_sites,
         }
     }
 
     /// Splits `dataset` into per-site shards (deterministic in `seed`).
     ///
-    /// Every example lands in exactly one shard; shard sizes follow the
-    /// strategy (the last site absorbs rounding remainders).
+    /// Every example lands in exactly one shard. Shard sizes follow the
+    /// strategy via largest-remainder allocation, and whenever the dataset
+    /// has at least one example per site (`n >= n_sites`) every shard is
+    /// guaranteed non-empty. The degenerate `n < n_sites` case is allowed
+    /// — there are simply not enough examples to go around — and leaves
+    /// the lowest-ratio sites empty (tested below).
     ///
     /// # Panics
     ///
     /// Panics if the strategy is degenerate (zero sites, ratios that do not
-    /// sum to ≈ 1, bias outside `[0, 1]`).
+    /// sum to ≈ 1, bias outside `[0, 1]`, alpha ≤ 0).
     pub fn partition(&self, dataset: &ClassifyDataset, seed: u64) -> Vec<ClassifyDataset> {
         match self {
             SitePartitioner::Balanced { n_sites } => {
@@ -79,8 +96,114 @@ impl SitePartitioner {
                 );
                 partition_label_skew(dataset, *n_sites, *bias, seed)
             }
+            SitePartitioner::Dirichlet { n_sites, alpha } => {
+                assert!(*n_sites > 0, "need at least one site");
+                assert!(*alpha > 0.0, "alpha must be positive, got {alpha}");
+                let ratios = dirichlet_ratios(*n_sites, *alpha, seed);
+                // The shuffle seed is offset so the site-size draw and the
+                // example shuffle use independent streams.
+                partition_by_ratios(dataset, &ratios, seed.wrapping_add(0xD1E1))
+            }
         }
     }
+}
+
+/// Draws per-site fractions from `Dirichlet(alpha)`: `n` independent
+/// `Gamma(alpha, 1)` samples (Marsaglia–Tsang, with the `u^{1/alpha}`
+/// boost for `alpha < 1`), normalized to sum to 1.
+fn dirichlet_ratios(n: usize, alpha: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD112_1C11);
+    let mut g: Vec<f64> = (0..n).map(|_| gamma_sample(&mut rng, alpha)).collect();
+    let sum: f64 = g.iter().sum();
+    if sum <= f64::MIN_POSITIVE {
+        // Astronomically unlikely; fall back to a balanced draw rather
+        // than divide by zero.
+        return vec![1.0 / n as f64; n];
+    }
+    for v in &mut g {
+        *v /= sum;
+    }
+    g
+}
+
+/// One `Gamma(alpha, 1)` sample via Marsaglia & Tsang (2000).
+fn gamma_sample(rng: &mut StdRng, alpha: f64) -> f64 {
+    if alpha < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^{1/a}.
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        return gamma_sample(rng, alpha + 1.0) * u.powf(1.0 / alpha);
+    }
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = std_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u: f64 = rng.random();
+        if u < 1.0 - 0.0331 * x.powi(4)
+            || u.max(f64::MIN_POSITIVE).ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
+        {
+            return d * v;
+        }
+    }
+}
+
+/// Standard normal sample via Box–Muller.
+fn std_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-300);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Largest-remainder allocation of `n` examples over `ratios`: each site
+/// gets `floor(n·rᵢ)`, then the remaining examples go to the largest
+/// fractional parts (ties to the lower index). When `n >= ratios.len()`
+/// every site is additionally guaranteed at least one example (taken from
+/// the largest allocation), so rounding can never silently empty a shard
+/// — the bug the old cumulative `start + round(n·r)` scheme had.
+pub fn allocate_counts(n: usize, ratios: &[f64]) -> Vec<usize> {
+    let k = ratios.len();
+    let mut counts: Vec<usize> = Vec::with_capacity(k);
+    let mut fracs: Vec<(usize, f64)> = Vec::with_capacity(k);
+    let mut used = 0usize;
+    for (i, &r) in ratios.iter().enumerate() {
+        let exact = n as f64 * r;
+        let floor = exact.floor() as usize;
+        counts.push(floor);
+        fracs.push((i, exact - floor as f64));
+        used += floor;
+    }
+    // Distribute the remainder by largest fractional part, deterministic
+    // tie-break on the lower site index.
+    fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut remaining = n.saturating_sub(used);
+    for &(i, _) in fracs.iter().cycle().take(k.max(1) * 2) {
+        if remaining == 0 {
+            break;
+        }
+        counts[i] += 1;
+        remaining -= 1;
+    }
+    // Non-empty guarantee whenever there is enough data to go around.
+    if n >= k {
+        for i in 0..k {
+            while counts[i] == 0 {
+                let donor = (0..k)
+                    .max_by_key(|&j| counts[j])
+                    .expect("at least one site");
+                if counts[donor] <= 1 {
+                    break;
+                }
+                counts[donor] -= 1;
+                counts[i] += 1;
+            }
+        }
+    }
+    debug_assert_eq!(counts.iter().sum::<usize>(), n);
+    counts
 }
 
 fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
@@ -99,21 +222,23 @@ fn partition_by_ratios(
     seed: u64,
 ) -> Vec<ClassifyDataset> {
     let idx = shuffled_indices(dataset.len(), seed);
-    let n = dataset.len();
+    let counts = allocate_counts(dataset.len(), ratios);
     let mut shards = Vec::with_capacity(ratios.len());
     let mut start = 0usize;
-    for (s, &r) in ratios.iter().enumerate() {
-        let end = if s + 1 == ratios.len() {
-            n
-        } else {
-            (start + (n as f64 * r).round() as usize).min(n)
-        };
+    for &count in &counts {
+        let end = start + count;
         let examples = idx[start..end]
             .iter()
             .map(|&i| dataset.examples()[i].clone())
             .collect();
         shards.push(ClassifyDataset::from_examples(examples, dataset.seq_len()));
         start = end;
+    }
+    if dataset.len() >= ratios.len() {
+        debug_assert!(
+            shards.iter().all(|s| !s.is_empty()),
+            "largest-remainder allocation must keep every shard non-empty"
+        );
     }
     shards
 }
@@ -259,5 +384,100 @@ mod tests {
     #[should_panic(expected = "sum to 1")]
     fn bad_ratios_panic() {
         SitePartitioner::Ratios(vec![0.5, 0.2]).partition(&dataset(10), 0);
+    }
+
+    /// Regression for the rounding-drift bug: the old cumulative
+    /// `start + round(n·r)` allocation could hand an entire small dataset
+    /// to the high-ratio sites and leave a low-ratio shard empty. With
+    /// largest-remainder allocation every shard is non-empty whenever
+    /// `n >= n_sites`, for every seed.
+    #[test]
+    fn small_dataset_many_sites_keeps_every_shard_nonempty() {
+        for n in [8usize, 11, 17, 23, 40] {
+            let d = dataset(n);
+            for seed in 0..5u64 {
+                let shards = SitePartitioner::paper_imbalanced().partition(&d, seed);
+                let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+                assert_eq!(sizes.iter().sum::<usize>(), n);
+                assert!(
+                    sizes.iter().all(|&s| s > 0),
+                    "empty shard at n={n} seed={seed}: {sizes:?}"
+                );
+            }
+        }
+    }
+
+    /// The documented degenerate path: fewer examples than sites still
+    /// conserves every example, leaving the lowest-ratio sites empty.
+    #[test]
+    fn fewer_examples_than_sites_conserves() {
+        let d = dataset(5);
+        let shards = SitePartitioner::paper_imbalanced().partition(&d, 3);
+        assert_eq!(shards.len(), 8);
+        assert_eq!(shards.iter().map(|s| s.len()).sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn allocate_counts_conserves_and_fills() {
+        // Adversarial ratio shapes across a range of n.
+        let shapes: [&[f64]; 3] = [
+            &PAPER_IMBALANCED_RATIOS,
+            &[0.5, 0.25, 0.125, 0.0625, 0.0625],
+            &[1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+        ];
+        for ratios in shapes {
+            for n in 0..200usize {
+                let counts = allocate_counts(n, ratios);
+                assert_eq!(counts.iter().sum::<usize>(), n, "{ratios:?} n={n}");
+                if n >= ratios.len() {
+                    assert!(
+                        counts.iter().all(|&c| c > 0),
+                        "{ratios:?} n={n}: {counts:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dirichlet_is_deterministic_and_conserves() {
+        let d = dataset(400);
+        let p = SitePartitioner::Dirichlet {
+            n_sites: 6,
+            alpha: 0.3,
+        };
+        let a = p.partition(&d, 9);
+        let b = p.partition(&d, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().map(|s| s.len()).sum::<usize>(), 400);
+        assert!(a.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn dirichlet_alpha_controls_skew() {
+        let d = dataset(2000);
+        let spread = |alpha: f64| -> usize {
+            let shards = SitePartitioner::Dirichlet { n_sites: 8, alpha }.partition(&d, 21);
+            let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+            sizes.iter().max().unwrap() - sizes.iter().min().unwrap()
+        };
+        // Small alpha concentrates mass on few sites; large alpha is near
+        // balanced. The gap should be wide and ordered.
+        let skewed = spread(0.1);
+        let flat = spread(100.0);
+        assert!(
+            skewed > flat + 200,
+            "alpha=0.1 spread {skewed} vs alpha=100 spread {flat}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn dirichlet_rejects_bad_alpha() {
+        SitePartitioner::Dirichlet {
+            n_sites: 4,
+            alpha: 0.0,
+        }
+        .partition(&dataset(10), 0);
     }
 }

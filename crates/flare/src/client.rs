@@ -58,6 +58,7 @@ struct ClientObs {
     retries: CounterPair,
     timeouts: CounterPair,
     heartbeats: CounterPair,
+    send_errors: CounterPair,
 }
 
 impl ClientObs {
@@ -72,6 +73,7 @@ impl ClientObs {
             retries: CounterPair::scoped(obs, ns, site, "retries"),
             timeouts: CounterPair::scoped(obs, ns, site, "timeouts"),
             heartbeats: CounterPair::scoped(obs, ns, site, "heartbeats"),
+            send_errors: CounterPair::scoped(obs, ns, site, "send_errors"),
         }
     }
 }
@@ -145,6 +147,9 @@ pub struct FlClient {
     uplink: Option<UplinkEncoder>,
     /// Server messages that raced in during codec negotiation.
     pending: VecDeque<ServerMessage>,
+    /// Whether this site has already logged a best-effort send failure
+    /// (the counter keeps ticking; the warning fires once per site).
+    send_error_warned: bool,
 }
 
 impl std::fmt::Debug for FlClient {
@@ -215,6 +220,7 @@ impl FlClient {
             cache: PayloadCache::default(),
             uplink: None,
             pending: VecDeque::new(),
+            send_error_warned: false,
         })
     }
 
@@ -287,6 +293,27 @@ impl FlClient {
         res
     }
 
+    /// Accounts for a best-effort send that failed: the paths that
+    /// deliberately tolerate failure (duplicate submits, heartbeats, codec
+    /// announce, goodbye) used to drop the error on the floor, leaving a
+    /// persistently broken link invisible. Every failure now ticks
+    /// `flare.client.send_errors` (plus the per-site series) and the first
+    /// one per site logs a warning.
+    fn note_send_error(&mut self, op: &str, err: &FlareError) {
+        self.obs.send_errors.add(1);
+        if !self.send_error_warned {
+            self.send_error_warned = true;
+            self.log.warn(
+                "FederatedClient",
+                format!(
+                    "{}: best-effort {op} send failed ({err}); counting further \
+                     failures in flare.client.send_errors",
+                    self.site
+                ),
+            );
+        }
+    }
+
     /// Sends with bounded retries and exponential backoff. Only transport
     /// failures are retried; each attempt reseals the frame (the secure
     /// channel accepts any fresh nonce, so a duplicate delivery is
@@ -327,7 +354,9 @@ impl FlClient {
     fn send_redundant(&mut self, msg: &ClientMessage, op: &str) -> Result<(), FlareError> {
         self.send_with_retry(msg, op)?;
         for _ in 1..self.retry.submit_copies.max(1) {
-            let _ = self.send_once(msg);
+            if let Err(e) = self.send_once(msg) {
+                self.note_send_error("duplicate-submit", &e);
+            }
         }
         Ok(())
     }
@@ -371,7 +400,9 @@ impl FlClient {
                         ),
                     );
                     if self.retry.heartbeat {
-                        let _ = self.heartbeat();
+                        if let Err(e) = self.heartbeat() {
+                            self.note_send_error("heartbeat", &e);
+                        }
                     }
                     std::thread::sleep(backoff);
                     backoff = backoff.saturating_mul(2);
@@ -401,7 +432,9 @@ impl FlClient {
             site: self.site.clone(),
             specs: vec![CodecSpec::raw().to_string()],
         };
-        let _ = self.send_with_retry(&propose, "codec announce");
+        if let Err(e) = self.send_with_retry(&propose, "codec announce") {
+            self.note_send_error("codec-announce", &e);
+        }
     }
 
     /// Proposes `self.wire` to the server and waits (bounded) for the
@@ -750,7 +783,9 @@ impl FlClient {
     /// disconnect instead of a lost connection.
     pub fn send_bye(&mut self) {
         let site = self.site.clone();
-        let _ = self.send_once(&ClientMessage::Bye { site });
+        if let Err(e) = self.send_once(&ClientMessage::Bye { site }) {
+            self.note_send_error("goodbye", &e);
+        }
     }
 
     /// A "crashed" site: stops participating but keeps its connection

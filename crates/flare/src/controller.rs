@@ -87,6 +87,50 @@ pub trait ClientGateway {
         let _ = round;
         None
     }
+
+    /// Sends a task to the named subset of sites, returning the delivered
+    /// count. The default falls back to [`ClientGateway::broadcast`]
+    /// (mocks stay correct because the controller filters collected
+    /// updates to the sampled set anyway); [`crate::server::FlServer`]
+    /// overrides this with a slot-targeted send so unsampled sites never
+    /// even receive the round's weights.
+    fn send_to(&mut self, sites: &[String], task: &TaskAssignment) -> usize {
+        let _ = sites;
+        self.broadcast(task)
+    }
+}
+
+/// The deterministic per-round client sample: a Fisher–Yates shuffle of
+/// the sorted site list driven by a splitmix64 stream keyed on
+/// `(run_seed, round)`, keeping the first `ceil(fraction · n)` names
+/// (clamped to `[1, n]`) and re-sorting them so aggregation order stays
+/// name-stable. A pure function of its arguments — the same run seed
+/// replays the same participant schedule, which is what lets sampling
+/// compose with crash-resume.
+pub fn sample_sites(run_seed: u64, round: u32, fraction: f64, sites: &[String]) -> Vec<String> {
+    let n = sites.len();
+    if n == 0 || fraction >= 1.0 {
+        return sites.to_vec();
+    }
+    let k = ((fraction.max(0.0) * n as f64).ceil() as usize).clamp(1, n);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut state =
+        run_seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5EED_5A3B_1E55_0113;
+    for i in (1..n).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    let mut chosen: Vec<String> = order[..k].iter().map(|&i| sites[i].clone()).collect();
+    chosen.sort();
+    chosen
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Per-leaf bookkeeping for one shard of a tree round: which leaf sites
@@ -143,6 +187,14 @@ pub struct SagConfig {
     /// best-metric state, then continues at `next_round`. The `initial`
     /// weights passed to [`ScatterAndGather::run`] are ignored.
     pub resume_from: Option<RunCheckpoint>,
+    /// Fraction of leaf sites trained per round (FedAvg client sampling).
+    /// Each round a deterministic subset of `ceil(fraction · n)` sites —
+    /// a pure function of `(run_seed, round)`, see [`sample_sites`] — is
+    /// scattered to and gathered from; quorum, drop bookkeeping, and
+    /// round summaries are computed against the sampled set. Validation
+    /// still broadcasts to the whole fleet. `>= 1.0` (the default)
+    /// disables sampling entirely and takes the exact legacy code path.
+    pub client_sample_fraction: f64,
 }
 
 impl Default for SagConfig {
@@ -154,6 +206,7 @@ impl Default for SagConfig {
             validate_global: true,
             quorum_grace: None,
             resume_from: None,
+            client_sample_fraction: 1.0,
         }
     }
 }
@@ -343,12 +396,40 @@ impl ScatterAndGather {
             self.log.info(tag, format!("Round {round} started."));
             let mut expected_sites = gateway.leaf_sites();
             expected_sites.sort();
+            // Per-round client sampling: restrict this round's scatter and
+            // gather to a deterministic subset. `sampling = false` keeps
+            // the exact legacy path (bit-identical runs).
+            let sampling = self.config.client_sample_fraction < 1.0;
+            if sampling {
+                let all = expected_sites.len();
+                expected_sites = sample_sites(
+                    self.run_seed,
+                    round,
+                    self.config.client_sample_fraction,
+                    &expected_sites,
+                );
+                self.log.info(
+                    tag,
+                    format!(
+                        "Sampled {}/{all} site(s) for round {round}: {:?}",
+                        expected_sites.len(),
+                        expected_sites
+                    ),
+                );
+                self.obs
+                    .add_counter("flare.round.sampled", expected_sites.len() as u64);
+            }
             let expected = expected_sites.len();
-            let sent = gateway.broadcast(&TaskAssignment::Train {
+            let train = TaskAssignment::Train {
                 round,
                 total_rounds: self.config.rounds,
                 weights: global.clone(),
-            });
+            };
+            let sent = if sampling {
+                gateway.send_to(&expected_sites, &train)
+            } else {
+                gateway.broadcast(&train)
+            };
             self.log
                 .info(tag, format!("Scattered global model to {sent} client(s)."));
             let abort = self.abort.clone();
@@ -370,11 +451,18 @@ impl ScatterAndGather {
             // site name so aggregation order (and the floating-point result)
             // is independent of the thread schedule.
             updates.sort_by(|(a, _), (b, _)| a.cmp(b));
+            // Under sampling, drop any update from an unsampled site: a
+            // gateway whose `send_to` falls back to broadcast (mocks, old
+            // implementations) still has every client training, and their
+            // updates must not leak into the aggregate.
+            if sampling {
+                updates.retain(|(s, _)| expected_sites.binary_search(s).is_ok());
+            }
             // Leaf-granular view: with a tree gateway each update is an
             // interior shard covering several leaves; the manifest expands
             // it so quorum, drop bookkeeping, and round summaries stay
             // expressed in leaf sites exactly as in a flat run.
-            let leaf_updates: Vec<(String, BTreeMap<String, f64>)> =
+            let mut leaf_updates: Vec<(String, BTreeMap<String, f64>)> =
                 match gateway.round_manifest(round) {
                     Some(manifest) => manifest.leaf_contributors(),
                     None => updates
@@ -382,6 +470,9 @@ impl ScatterAndGather {
                         .map(|(s, d)| (s.clone(), d.metrics.clone()))
                         .collect(),
                 };
+            if sampling {
+                leaf_updates.retain(|(s, _)| expected_sites.binary_search(s).is_ok());
+            }
             for (site, _) in &leaf_updates {
                 self.log
                     .info(tag, format!("Contribution from {site} received."));
@@ -796,6 +887,140 @@ mod tests {
         assert_eq!(final_ckpt.next_round, 4);
         assert_eq!(final_ckpt.rounds.len(), 4);
         assert_eq!(final_ckpt.best_metric, Some(0.5));
+    }
+
+    #[test]
+    fn sample_sites_is_deterministic_and_bounded() {
+        let sites: Vec<String> = (1..=8).map(|i| format!("site-{i}")).collect();
+        let a = sample_sites(42, 3, 0.5, &sites);
+        let b = sample_sites(42, 3, 0.5, &sites);
+        assert_eq!(a, b, "same (seed, round, fraction) must agree");
+        assert_eq!(a.len(), 4);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted: {a:?}");
+        assert!(a.iter().all(|s| sites.contains(s)));
+        // Different rounds pick different subsets (with 70 possible
+        // 4-of-8 subsets, 5 identical consecutive draws would be a bug).
+        let distinct: std::collections::BTreeSet<Vec<String>> =
+            (0..5).map(|r| sample_sites(42, r, 0.5, &sites)).collect();
+        assert!(distinct.len() > 1, "sampling never varied across rounds");
+        // Fraction >= 1 and tiny fractions clamp sanely.
+        assert_eq!(sample_sites(42, 0, 1.0, &sites), sites);
+        assert_eq!(sample_sites(42, 0, 0.01, &sites).len(), 1);
+    }
+
+    #[test]
+    fn sampling_restricts_contributors_to_the_sampled_set() {
+        // MockGateway broadcasts (default send_to) and every client
+        // submits; the controller must keep only the sampled subset.
+        let mut gw = MockGateway::new(vec![1.0, 2.0, 3.0, 4.0]);
+        let sag = ScatterAndGather::new(
+            SagConfig {
+                rounds: 4,
+                min_clients: 1,
+                validate_global: false,
+                client_sample_fraction: 0.5,
+                ..SagConfig::default()
+            },
+            EventLog::new(),
+        )
+        .with_run_seed(7);
+        let res = sag
+            .run(
+                &mut gw,
+                &WeightedFedAvg,
+                &mut InMemoryPersistor::new(),
+                initial(),
+            )
+            .unwrap();
+        let all: Vec<String> = (1..=4).map(|i| format!("site-{i}")).collect();
+        for r in &res.rounds {
+            assert_eq!(
+                r.contributors.len(),
+                2,
+                "round {}: {:?}",
+                r.round,
+                r.contributors
+            );
+            assert_eq!(
+                r.contributors,
+                sample_sites(7, r.round, 0.5, &all),
+                "contributors must equal the deterministic sample"
+            );
+            assert!(r.dropped.is_empty(), "healthy sampled sites never drop");
+        }
+    }
+
+    #[test]
+    fn fraction_one_matches_unsampled_run_bitwise() {
+        let run = |fraction: f64| {
+            let mut gw = MockGateway::new(vec![1.0, 3.0, 5.0]);
+            ScatterAndGather::new(
+                SagConfig {
+                    rounds: 3,
+                    min_clients: 3,
+                    validate_global: true,
+                    client_sample_fraction: fraction,
+                    ..SagConfig::default()
+                },
+                EventLog::new(),
+            )
+            .run(
+                &mut gw,
+                &WeightedFedAvg,
+                &mut InMemoryPersistor::new(),
+                initial(),
+            )
+            .unwrap()
+        };
+        let flat = run(1.0);
+        let above = run(2.0); // any >= 1.0 is "off"
+        assert_eq!(flat.final_weights, above.final_weights);
+        assert_eq!(flat.rounds, above.rounds);
+    }
+
+    #[test]
+    fn sampled_run_resumes_bit_identically() {
+        let cfg = |rounds| SagConfig {
+            rounds,
+            min_clients: 1,
+            validate_global: true,
+            client_sample_fraction: 0.5,
+            ..SagConfig::default()
+        };
+        // Reference: uninterrupted 4-round sampled run.
+        let mut gw = MockGateway::new(vec![1.0, 3.0, 5.0, 7.0]);
+        let full = ScatterAndGather::new(cfg(4), EventLog::new())
+            .with_run_seed(42)
+            .run(
+                &mut gw,
+                &WeightedFedAvg,
+                &mut InMemoryPersistor::new(),
+                initial(),
+            )
+            .unwrap();
+        // Interrupted at round 2, resumed under the same run seed: the
+        // sample schedule is a pure function of (seed, round), so the
+        // resumed rounds pick the same subsets.
+        let mut gw = MockGateway::new(vec![1.0, 3.0, 5.0, 7.0]);
+        let mut pers = InMemoryPersistor::new();
+        ScatterAndGather::new(cfg(2), EventLog::new())
+            .with_run_seed(42)
+            .run(&mut gw, &WeightedFedAvg, &mut pers, initial())
+            .unwrap();
+        let ckpt = pers.load_checkpoint().unwrap();
+        let mut gw = MockGateway::new(vec![1.0, 3.0, 5.0, 7.0]);
+        let resumed = ScatterAndGather::new(
+            SagConfig {
+                resume_from: Some(ckpt),
+                ..cfg(4)
+            },
+            EventLog::new(),
+        )
+        .with_run_seed(42)
+        .run(&mut gw, &WeightedFedAvg, &mut pers, Weights::new())
+        .unwrap();
+        assert_eq!(resumed.final_weights, full.final_weights);
+        assert_eq!(resumed.rounds, full.rounds);
     }
 
     #[test]

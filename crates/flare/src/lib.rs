@@ -71,6 +71,7 @@ pub mod jobs;
 mod log;
 pub mod messages;
 pub mod persistor;
+pub mod privacy;
 pub mod provision;
 pub mod reactor;
 pub mod relay;

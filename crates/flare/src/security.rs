@@ -20,7 +20,7 @@ pub const DH_MODULUS: u64 = (1 << 61) - 1;
 pub const DH_GENERATOR: u64 = 5;
 
 /// Modular exponentiation `base^exp mod m` via square-and-multiply.
-fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+fn pow_mod(base: u64, mut exp: u64, m: u64) -> u64 {
     let mut acc: u128 = 1;
     let mut b: u128 = base as u128 % m as u128;
     while exp > 0 {
@@ -30,7 +30,6 @@ fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
         b = b * b % m as u128;
         exp >>= 1;
     }
-    let _ = &mut base;
     acc as u64
 }
 

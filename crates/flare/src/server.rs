@@ -1307,6 +1307,37 @@ impl ClientGateway for FlServer {
         sent
     }
 
+    /// Slot-targeted scatter for sampled rounds: only the named sites get
+    /// the task. Targeted frames always ship the self-contained raw
+    /// format — a different subset every round would thrash the delta
+    /// ring's per-spec base tracking, and a raw downlink simply makes the
+    /// client answer with a self-contained uplink (correct, just
+    /// uncompressed).
+    fn send_to(&mut self, sites: &[String], task: &TaskAssignment) -> usize {
+        let weight_bearing = matches!(
+            task,
+            TaskAssignment::Train { .. } | TaskAssignment::Validate { .. }
+        );
+        let raw_frame = ServerMessage::Task(task.clone()).to_frame();
+        let tx_metric = self.shared.metric("bytes_tx");
+        let obs = self.shared.obs();
+        let mut sent = 0;
+        let mut slots = self.shared.slots.lock();
+        for slot in slots
+            .iter_mut()
+            .filter(|s| s.alive && sites.iter().any(|n| n == &s.site))
+        {
+            if Self::send_frame_to_slot(slot, &raw_frame, &self.shared.log, &obs, &tx_metric) {
+                if weight_bearing {
+                    wire_count("flare.wire.bytes_tx_encoded", raw_frame.len() as u64);
+                    wire_count("flare.wire.bytes_tx_raw", raw_frame.len() as u64);
+                }
+                sent += 1;
+            }
+        }
+        sent
+    }
+
     fn collect_submissions(
         &mut self,
         round: u32,

@@ -368,6 +368,17 @@ impl SimulatorRunner {
                 );
                 None
             }
+            Some(_) if sag_cfg.client_sample_fraction < 1.0 => {
+                // Interior aggregator nodes scatter to their whole shard,
+                // so a per-round site subset cannot be addressed through
+                // them yet; run the sampled federation flat instead.
+                log.warn(
+                    "SimulatorRunner",
+                    "client sampling does not compose with tree aggregation; \
+                     falling back to a flat topology",
+                );
+                None
+            }
             t => t,
         };
         if let Some(tree) = topology {

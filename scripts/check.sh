@@ -26,6 +26,11 @@
 #                  starts `clinfl serve`, submits two jobs over HTTP, streams
 #                  live NDJSON metrics, aborts one mid-run, and asserts the
 #                  survivor finishes with its own checkpoint dir intact
+#   scenarios      scenario-matrix sweep (DESIGN.md §3k): scenario_matrix runs
+#                  the partition x sampling x DP x personalization smoke grid,
+#                  asserts the disabled-knobs cell is bit-identical to the flat
+#                  path, writes BENCH_scenarios.json, and the schema check
+#                  requires >=8 cells with valid accuracies and (eps, delta)
 #   doc            rustdoc with warnings denied (broken links fail the gate)
 #   clippy         clippy --all-targets with warnings denied
 #   fmt            cargo fmt --check
@@ -48,7 +53,7 @@ mkdir -p target
 TIMINGS=target/ci-timings.tsv
 RSS_FILE=target/.leg-rss
 
-ALL_LEGS="build test-serial test-parallel test-faults resume bench-smoke kernels wire-codec scale jobs doc clippy fmt"
+ALL_LEGS="build test-serial test-parallel test-faults resume bench-smoke kernels wire-codec scale jobs scenarios doc clippy fmt"
 
 # Runs "$@" as a child and, after it exits, writes the peak RSS in KB of
 # the child process tree (getrusage RUSAGE_CHILDREN) to $RSS_FILE. The
@@ -150,6 +155,16 @@ run_leg() {
         # release clinfl binary; build it explicitly so the leg stands
         # alone.
         leg jobs bash -c 'cargo build --release -q -p clinfl && scripts/ci_jobs.sh'
+        ;;
+    scenarios)
+        # Scenario-matrix gate: the smoke grid (2 partitions x sampling
+        # on/off x DP on/off, plus a personalization arm per partition)
+        # must produce in-range accuracies, finite (eps, delta) on every
+        # DP cell, and a baseline cell bit-identical to the plain
+        # federated path — so the sampling/DP knobs provably default off.
+        leg scenarios bash -c \
+            'cargo run --release -q -p clinfl-bench --bin scenario_matrix -- --smoke --out BENCH_scenarios.json \
+             && cargo run --release -q -p clinfl-bench --bin scenario_matrix -- --check BENCH_scenarios.json'
         ;;
     doc) leg doc env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps ;;
     clippy) leg clippy cargo clippy --workspace --all-targets -- -D warnings ;;

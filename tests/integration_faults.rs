@@ -105,6 +105,19 @@ fn scout_passing_seeds() {
     }
 }
 
+/// Same scout for the sampled chaos configuration below.
+#[test]
+#[ignore]
+fn scout_sampled_seeds() {
+    for seed in 1..=20u64 {
+        let mut cfg = chaos_config(seed);
+        cfg.sag.client_sample_fraction = 0.75;
+        cfg.sag.min_clients = 2;
+        let ok = run_sim(cfg).is_ok();
+        println!("seed {seed}: {}", if ok { "PASS" } else { "fail" });
+    }
+}
+
 /// CI's fault leg (`CLINFL_FAULTS=aggressive scripts/check.sh
 /// test-faults`) re-runs the suite with the fault profile taken from the
 /// environment. Without the variable this is a clean, fast completion
@@ -233,6 +246,42 @@ fn different_seeds_inject_different_faults() {
     assert_ne!(fa, fb, "seeds 1 and 2 produced identical fault schedules");
 }
 
+/// Client sampling composes with the chaos machinery: a sampled
+/// aggressive-fault run still completes every round via quorum, and each
+/// round's contributors + dropped partition exactly the seeded sample —
+/// never the full fleet.
+#[test]
+fn sampled_chaos_run_completes_and_respects_the_sample() {
+    let _serial = timing_guard();
+    // Fault seed from `scout_sampled_seeds`: with only 6 of 8 sites
+    // sampled per round, some fault schedules (e.g. seed 3) starve a
+    // round below even a quorum of 2.
+    let mut cfg = chaos_config(4);
+    // 6 of 8 sites per round; the aggressive profile crashes two sites,
+    // so the quorum drops to 2 to keep headroom in the worst round.
+    cfg.sag.client_sample_fraction = 0.75;
+    cfg.sag.min_clients = 2;
+    let res = run_sim(cfg).expect("sampled chaos run completes via quorum");
+    assert_eq!(res.workflow.rounds.len(), 5, "all rounds must complete");
+    let all: Vec<String> = (1..=8).map(|i| format!("site-{i}")).collect();
+    for r in &res.workflow.rounds {
+        // run_seed is the simulator seed (99), so the schedule replays.
+        let sampled = clinfl_flare::controller::sample_sites(99, r.round, 0.75, &all);
+        assert_eq!(sampled.len(), 6, "ceil(0.75 * 8)");
+        assert!(r.contributors.len() >= 2, "round {} under quorum", r.round);
+        for c in &r.contributors {
+            assert!(sampled.contains(c), "unsampled contributor {c}");
+        }
+        assert_eq!(
+            r.contributors.len() + r.dropped.len(),
+            sampled.len(),
+            "round {} summary must partition the sampled set",
+            r.round
+        );
+    }
+    assert!(res.log.contains("Sampled 6/8 site(s)"));
+}
+
 /// The quorum aggregate must not depend on HOW a straggler missed the
 /// round: a site that crashes and a site that merely stalls past the
 /// deadline must yield the same global model from the reporters.
@@ -354,6 +403,45 @@ mod liveness {
         server.shutdown();
         server.disconnect_all();
         assert!(server.liveness().iter().all(|(_, _, alive)| !alive));
+    }
+
+    /// Best-effort sends (goodbye, duplicate submits, heartbeats) used to
+    /// swallow their errors silently; they must now tick the
+    /// `flare.client.send_errors` counter and warn exactly once per site.
+    #[test]
+    fn failed_best_effort_sends_are_counted_and_warned_once() {
+        let _serial = timing_guard();
+        let log = EventLog::new();
+        let project = Project::with_n_sites("simulator_server", 1, 5);
+        let provisioned = project.provision();
+        let mut server = FlServer::new(provisioned.server.clone(), log.clone(), 5);
+        let (server_side, client_side) = in_proc_pair();
+        server.serve_connection(server_side);
+        let mut client =
+            FlClient::register(client_side, &provisioned.sites[0], 0xBEEF, log.clone())
+                .expect("registration");
+        // A scoped registry isolates this client's counters from every
+        // other test running in the process.
+        let obs = clinfl_obs::Registry::new();
+        client.set_registry(obs.clone());
+
+        // Kill the link out from under the client: every further
+        // best-effort send fails.
+        server.shutdown();
+        server.disconnect_all();
+        client.send_bye();
+        client.send_bye();
+
+        if clinfl_obs::enabled() {
+            let errors = obs.snapshot().counter("flare.client.send_errors");
+            assert!(errors >= 2, "expected >= 2 send errors, saw {errors}");
+        }
+        let warnings = log
+            .messages_from("FederatedClient")
+            .iter()
+            .filter(|m| m.contains("best-effort"))
+            .count();
+        assert_eq!(warnings, 1, "send-error warning must fire exactly once");
     }
 }
 

@@ -256,4 +256,132 @@ proptest! {
         prop_assert_eq!(shards.len(), n_sites);
         prop_assert_eq!(shards.iter().map(|s| s.len()).sum::<usize>(), n);
     }
+
+    #[test]
+    fn dirichlet_partitioner_conserves_and_fills(
+        n in 16usize..200,
+        n_sites in 2usize..8,
+        alpha_centi in 5u32..500, // α in [0.05, 5.0): skewed through balanced
+        seed in any::<u64>(),
+    ) {
+        let seq_len = 6;
+        let examples: Vec<clinfl_data::Example> = (0..n)
+            .map(|i| clinfl_data::Example {
+                encoded: Encoded {
+                    ids: vec![2, 5, 6, 7, 3, 0],
+                    attention_mask: vec![1, 1, 1, 1, 1, 0],
+                },
+                label: (i % 2) as u8,
+            })
+            .collect();
+        let ds = ClassifyDataset::from_examples(examples, seq_len);
+        let alpha = f64::from(alpha_centi) / 100.0;
+        let part = SitePartitioner::Dirichlet { n_sites, alpha };
+        let shards = part.partition(&ds, seed);
+        prop_assert_eq!(shards.len(), n_sites);
+        prop_assert_eq!(shards.iter().map(|s| s.len()).sum::<usize>(), n);
+        // Largest-remainder allocation guarantees no empty shard when
+        // there are at least as many examples as sites.
+        prop_assert!(shards.iter().all(|s| !s.is_empty()));
+        // Same (alpha, seed) must replay the same split.
+        let again = part.partition(&ds, seed);
+        for (a, b) in shards.iter().zip(&again) {
+            prop_assert_eq!(a.len(), b.len());
+        }
+    }
+
+    #[test]
+    fn dp_gaussian_clips_and_replays_deterministically(
+        w in arb_weights(),
+        clip in 0.1f32..10.0,
+        seed in any::<u64>(),
+        round in 0u32..64,
+    ) {
+        use clinfl_flare::filters::{DpGaussian, Filter};
+        // Global = zeros with the update's structure, so the filtered
+        // delta is exactly the dxo's weights.
+        let mut global = Weights::new();
+        for (name, t) in &w {
+            global.insert(name.clone(), WeightTensor::new(t.dims.clone(), vec![0.0; t.data.len()]));
+        }
+
+        // σ = 0 isolates the clipping step: the output delta's global L2
+        // norm can never exceed the clip norm.
+        let mut clip_only = DpGaussian { clip_norm: clip, sigma: 0.0, seed };
+        let clipped = clip_only.apply(Dxo::from_weights(w.clone(), 1), &global, round);
+        let norm: f64 = clipped
+            .weights
+            .values()
+            .flat_map(|t| t.data.iter())
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum::<f64>()
+            .sqrt();
+        prop_assert!(
+            norm <= f64::from(clip) * (1.0 + 1e-4),
+            "clipped norm {} exceeds clip {}", norm, clip
+        );
+
+        // Same (seed, round) must replay bit-identically even with noise.
+        let noised = |()| {
+            let mut f = DpGaussian { clip_norm: clip, sigma: 1.0, seed };
+            f.apply(Dxo::from_weights(w.clone(), 1), &global, round)
+        };
+        prop_assert_eq!(noised(()).weights, noised(()).weights);
+    }
+
+    #[test]
+    fn dp_gaussian_noise_matches_sigma(
+        sigma_deci in 5u32..30, // σ in [0.5, 3.0)
+        seed in any::<u64>(),
+    ) {
+        use clinfl_flare::filters::{DpGaussian, Filter};
+        // A zero update against a zero global: the output is pure noise,
+        // whose empirical std must sit near σ · clip (n = 4096 makes the
+        // band [σc/2, 2σc] astronomically safe).
+        let n = 4096;
+        let clip = 2.0f32;
+        let sigma = sigma_deci as f32 / 10.0;
+        let mut w = Weights::new();
+        w.insert("p".into(), WeightTensor::new(vec![n], vec![0.0; n]));
+        let mut filter = DpGaussian { clip_norm: clip, sigma, seed };
+        let out = filter.apply(Dxo::from_weights(w.clone(), 0), &w, 0);
+        let data = &out.weights["p"].data;
+        let mean: f64 = data.iter().map(|&v| f64::from(v)).sum::<f64>() / n as f64;
+        let std = (data
+            .iter()
+            .map(|&v| (f64::from(v) - mean).powi(2))
+            .sum::<f64>()
+            / n as f64)
+            .sqrt();
+        let expected = f64::from(sigma) * f64::from(clip);
+        prop_assert!(
+            std > expected * 0.5 && std < expected * 2.0,
+            "noise std {} far from sigma*clip {}", std, expected
+        );
+    }
+
+    #[test]
+    fn dp_accountant_grows_monotonically_and_sampling_never_hurts(
+        sigma_deci in 5u32..80, // σ in [0.5, 8.0)
+        q_centi in 5u32..70,    // q in [0.05, 0.70): the 2q² ≤ 1 regime
+        steps in 1u32..100,
+    ) {
+        use clinfl_flare::privacy::DpAccountant;
+        let sigma = f64::from(sigma_deci) / 10.0;
+        let q = f64::from(q_centi) / 100.0;
+        let mut full = DpAccountant::new(sigma, 1.0, 1e-5);
+        let mut sub = DpAccountant::new(sigma, q, 1e-5);
+        let mut last = 0.0;
+        for _ in 0..steps {
+            full.step();
+            sub.step();
+            let eps = full.epsilon();
+            prop_assert!(eps > last, "epsilon must strictly grow");
+            last = eps;
+        }
+        prop_assert!(full.epsilon().is_finite());
+        // Subsampling (q² amplification, valid while 2q² <= 1) can only
+        // shrink the budget relative to full participation.
+        prop_assert!(sub.epsilon() <= full.epsilon() + 1e-12);
+    }
 }
